@@ -1,0 +1,66 @@
+// Command dnsblserve serves a feed file (written by cmd/feedgen, or
+// converted from real blacklist data) as a DNSBL zone over DNS/UDP, the
+// way dbl- and uribl-style blacklists are consumed by mail filters:
+//
+//	dnsblserve -feed feeds-out/uribl.tsv -zone uribl.example -listen 127.0.0.1:5353
+//
+// Query it with the dnsbl client, or with standard tools:
+//
+//	dig @127.0.0.1 -p 5353 somespamdomain.com.uribl.example A
+//
+// An A answer of 127.0.0.2 means listed; NXDOMAIN means clean.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"tasterschoice/internal/dnsbl"
+	"tasterschoice/internal/feeds"
+)
+
+func main() {
+	feedPath := flag.String("feed", "", "feed TSV file to serve (required)")
+	zone := flag.String("zone", "dnsbl.example", "zone suffix to answer under")
+	listen := flag.String("listen", "127.0.0.1:5353", "UDP address to listen on")
+	ttl := flag.Uint("ttl", 300, "TTL for positive answers, seconds")
+	flag.Parse()
+	if *feedPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*feedPath)
+	if err != nil {
+		fail(err)
+	}
+	feed, err := feeds.ReadTSV(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	srv := dnsbl.NewServer(*zone, dnsbl.FeedZone{Feed: feed})
+	srv.TTL = uint32(*ttl)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("serving %s (%d domains) as zone %s on %s\n",
+		feed.Name, feed.Unique(), *zone, addr)
+	fmt.Printf("try: dig @%s somedomain.%s A\n", addr, *zone)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("\n%d queries served, %d listed\n", srv.Queries(), srv.Hits())
+	srv.Close()
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "dnsblserve: %v\n", err)
+	os.Exit(1)
+}

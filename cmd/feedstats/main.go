@@ -1,0 +1,165 @@
+// Command feedstats analyzes serialized feed files (written by
+// cmd/feedgen, or hand-converted real feed data) without needing the
+// generating world: it reports per-feed summaries, pairwise domain
+// intersections, volume-distribution comparisons for feeds with volume
+// information, and first-appearance latency against the aggregate
+// baseline.
+//
+// Usage:
+//
+//	feedstats FILE.tsv...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/report"
+	"tasterschoice/internal/stats"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: feedstats FILE.tsv...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var loaded []*feeds.Feed
+	for _, path := range flag.Args() {
+		f, err := load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "feedstats: %v\n", err)
+			os.Exit(1)
+		}
+		loaded = append(loaded, f)
+	}
+
+	printSummary(loaded)
+	printIntersections(loaded)
+	printProportionality(loaded)
+	printTiming(loaded)
+}
+
+func load(path string) (*feeds.Feed, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	return feeds.ReadTSV(file)
+}
+
+func printSummary(fs []*feeds.Feed) {
+	rows := make([][]string, len(fs))
+	for i, f := range fs {
+		rows[i] = []string{
+			f.Name, f.Kind.String(),
+			report.Comma(f.Samples()), report.Comma(int64(f.Unique())),
+			fmt.Sprintf("%t", f.HasVolume),
+		}
+	}
+	fmt.Println("== Feed summary ==")
+	fmt.Println(report.Table([]string{"Feed", "Type", "Samples", "Unique", "Volume?"}, rows))
+}
+
+func printIntersections(fs []*feeds.Feed) {
+	headers := []string{""}
+	for _, f := range fs {
+		headers = append(headers, f.Name)
+	}
+	rows := make([][]string, len(fs))
+	for i, a := range fs {
+		row := []string{a.Name}
+		aset := a.DomainSet()
+		for _, b := range fs {
+			n := 0
+			for d := range b.DomainSet() {
+				if aset[d] {
+					n++
+				}
+			}
+			row = append(row, fmt.Sprintf("%s(%s)",
+				report.Percent(stats.Fraction(n, b.Unique())), report.Count(n)))
+		}
+		rows[i] = row
+	}
+	fmt.Println("== Pairwise domain intersection (row ∩ col as % of col) ==")
+	fmt.Println(report.Table(headers, rows))
+}
+
+func printProportionality(fs []*feeds.Feed) {
+	var vols []*feeds.Feed
+	for _, f := range fs {
+		if f.HasVolume {
+			vols = append(vols, f)
+		}
+	}
+	if len(vols) < 2 {
+		return
+	}
+	dists := make([]stats.Dist, len(vols))
+	for i, f := range vols {
+		dists[i] = stats.NewDistFromCounts(f.Counts())
+	}
+	headers := []string{""}
+	for _, f := range vols {
+		headers = append(headers, f.Name)
+	}
+	vd := make([][]string, len(vols))
+	kt := make([][]string, len(vols))
+	for i := range vols {
+		vd[i] = []string{vols[i].Name}
+		kt[i] = []string{vols[i].Name}
+		for j := range vols {
+			vd[i] = append(vd[i], fmt.Sprintf("%.2f", stats.VariationDistance(dists[i], dists[j])))
+			if tau, _, ok := stats.KendallTauB(dists[i], dists[j]); ok {
+				kt[i] = append(kt[i], fmt.Sprintf("%.2f", tau))
+			} else {
+				kt[i] = append(kt[i], "-")
+			}
+		}
+	}
+	fmt.Println("== Pairwise variation distance (volume feeds) ==")
+	fmt.Println(report.Table(headers, vd))
+	fmt.Println("== Pairwise Kendall tau-b (volume feeds) ==")
+	fmt.Println(report.Table(headers, kt))
+}
+
+func printTiming(fs []*feeds.Feed) {
+	// Baseline first appearance: earliest across all feeds.
+	first := make(map[domain.Name]time.Time)
+	for _, f := range fs {
+		f.Each(func(d domain.Name, s feeds.DomainStat) {
+			if t, ok := first[d]; !ok || s.First.Before(t) {
+				first[d] = s.First
+			}
+		})
+	}
+	rows := make([][]string, 0, len(fs))
+	for _, f := range fs {
+		var deltas []float64
+		f.Each(func(d domain.Name, s feeds.DomainStat) {
+			deltas = append(deltas, s.First.Sub(first[d]).Hours())
+		})
+		sort.Float64s(deltas)
+		sum := stats.Summarize(deltas)
+		rows = append(rows, []string{
+			f.Name,
+			fmt.Sprintf("%d", sum.N),
+			fmt.Sprintf("%.1fh", sum.Median),
+			fmt.Sprintf("%.1fh", sum.P75),
+			fmt.Sprintf("%.1fh", sum.P95),
+		})
+	}
+	fmt.Println("== First appearance after aggregate baseline ==")
+	fmt.Println(report.Table([]string{"Feed", "N", "median", "p75", "p95"}, rows))
+}

@@ -1,0 +1,190 @@
+// Command sweep quantifies the reproduction's stability: it runs the
+// scenario across many seeds and reports mean and spread for each
+// headline metric, so "the shape holds" is a measured claim rather
+// than a single lucky seed (EXPERIMENTS.md cites this).
+//
+// Usage:
+//
+//	sweep [-seeds N] [-small] [-workers K]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"tasterschoice/internal/analysis"
+	"tasterschoice/internal/core"
+	"tasterschoice/internal/report"
+	"tasterschoice/internal/simulate"
+)
+
+// metricNames is printed in this order.
+var metricNames = []string{
+	"Hu tagged coverage %",
+	"uribl tagged volume %",
+	"Bot DNS purity %",
+	"mx2 DNS purity %",
+	"Hu/mx1 sample ratio",
+	"Hyb exclusive live %",
+	"mx2-Mail variation distance",
+	"Hu median onset (h)",
+	"mx1 median onset (h)",
+}
+
+func main() {
+	seeds := flag.Int("seeds", 10, "number of seeds to run")
+	small := flag.Bool("small", true, "use the reduced scenario (default; full scale is slower)")
+	workers := flag.Int("workers", 4, "concurrent scenario runs")
+	flag.Parse()
+
+	results := make([]map[string]float64, *seeds)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, *workers)
+	for i := 0; i < *seeds; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			seed := uint64(1000 + i*7919)
+			scen := simulate.Default(seed)
+			if *small {
+				scen = simulate.Small(seed)
+			}
+			ds, err := scen.Run()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: seed %d: %v\n", seed, err)
+				return
+			}
+			results[i] = metrics(core.NewStudy(ds))
+		}(i)
+	}
+	wg.Wait()
+
+	rows := make([][]string, 0, len(metricNames))
+	for _, name := range metricNames {
+		var vals []float64
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			if v, ok := r[name]; ok && !math.IsNaN(v) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		mean, sd := meanStd(vals)
+		lo, hi := minMax(vals)
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%.2f", mean),
+			fmt.Sprintf("%.2f", sd),
+			fmt.Sprintf("%.2f", lo),
+			fmt.Sprintf("%.2f", hi),
+			fmt.Sprintf("%d", len(vals)),
+		})
+	}
+	fmt.Printf("headline metrics across %d seeds:\n\n", *seeds)
+	fmt.Println(report.Table([]string{"Metric", "Mean", "StdDev", "Min", "Max", "N"}, rows))
+}
+
+// metrics extracts the headline numbers from one run.
+func metrics(s *core.Study) map[string]float64 {
+	out := map[string]float64{}
+
+	// Coverage.
+	union := map[string]bool{}
+	for _, name := range s.DS.Result.Order {
+		for d := range analysis.FeedDomains(s.DS, name, analysis.ClassTagged) {
+			union[d] = true
+		}
+	}
+	for _, r := range analysis.Coverage(s.DS, analysis.ClassTagged) {
+		if r.Name == "Hu" && len(union) > 0 {
+			out["Hu tagged coverage %"] = 100 * float64(r.Total) / float64(len(union))
+		}
+	}
+	for _, r := range analysis.Coverage(s.DS, analysis.ClassLive) {
+		if r.Name == "Hyb" && r.Total > 0 {
+			out["Hyb exclusive live %"] = 100 * float64(r.Exclusive) / float64(r.Total)
+		}
+	}
+
+	// Purity.
+	for _, r := range s.Table2() {
+		switch r.Name {
+		case "Bot":
+			out["Bot DNS purity %"] = r.DNS * 100
+		case "mx2":
+			out["mx2 DNS purity %"] = r.DNS * 100
+		}
+	}
+
+	// Volume coverage.
+	for _, r := range s.Figure3() {
+		if r.Name == "uribl" {
+			out["uribl tagged volume %"] = r.TaggedPct * 100
+		}
+	}
+
+	// Sample ratio.
+	if mx1 := s.DS.Feed("mx1").Samples(); mx1 > 0 {
+		out["Hu/mx1 sample ratio"] = float64(s.DS.Feed("Hu").Samples()) / float64(mx1)
+	}
+
+	// Proportionality.
+	vd := s.Figure7()
+	for i, n := range vd.Names {
+		if n == "mx2" {
+			out["mx2-Mail variation distance"] = vd.Value[i][0]
+		}
+	}
+
+	// Timing.
+	rows := analysis.FirstAppearance(s.DS,
+		[]string{"Hu", "dbl", "uribl", "mx1", "mx2", "Ac1"})
+	for _, r := range rows {
+		if r.Summary.N == 0 {
+			continue
+		}
+		switch r.Name {
+		case "Hu":
+			out["Hu median onset (h)"] = r.Summary.Median
+		case "mx1":
+			out["mx1 median onset (h)"] = r.Summary.Median
+		}
+	}
+	return out
+}
+
+func meanStd(vals []float64) (mean, sd float64) {
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	if len(vals) > 1 {
+		for _, v := range vals {
+			sd += (v - mean) * (v - mean)
+		}
+		sd = math.Sqrt(sd / float64(len(vals)-1))
+	}
+	return mean, sd
+}
+
+func minMax(vals []float64) (lo, hi float64) {
+	lo, hi = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

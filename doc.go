@@ -1,0 +1,28 @@
+// Package tasterschoice is a from-scratch reproduction of "Taster's
+// Choice: A Comparative Analysis of Spam Feeds" (Pitsillidis, Kanich,
+// Levchenko, Savage, Voelker — IMC 2012).
+//
+// The paper compares ten contemporaneous spam-domain feeds collected
+// with different methodologies and quantifies four feed qualities:
+// purity, coverage, proportionality and timing. Its raw inputs are
+// proprietary, so this module substitutes a deterministic synthetic
+// spam ecosystem plus mechanism-faithful models of each collection
+// methodology; every table and figure in the paper's evaluation is
+// regenerated from those mechanisms (see DESIGN.md and EXPERIMENTS.md).
+//
+// Layout:
+//
+//   - internal/domain, dnszone, mailmsg, smtpd, addrlist: substrates
+//     (registered domains, zone files, messages, SMTP, address lists)
+//   - internal/ecosystem: the generative spam ecosystem
+//   - internal/mailflow: the ten feed collectors and the mail oracle
+//   - internal/webcrawl, oracle: crawl labeling and volume ground truth
+//   - internal/stats, analysis, report: the paper's analyses
+//   - internal/simulate, core: scenario driver and the public study API
+//   - cmd/tasters, feedgen, feedstats: executables
+//
+// The benchmarks in bench_test.go regenerate each table and figure;
+// run them with:
+//
+//	go test -bench=. -benchmem .
+package tasterschoice

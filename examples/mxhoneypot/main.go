@@ -1,0 +1,149 @@
+// mxhoneypot runs the full network path of an MX honeypot feed: a real
+// SMTP server listening on localhost, a bot-like client that builds a
+// brute-force address list (which happens to include the honeypot's
+// domain — that is the only reason honeypots receive anything), renders
+// spam messages for a generated campaign schedule, and delivers them
+// over TCP. The server-side ingester reduces received messages to a
+// registered-domain feed, exactly like a production feed operator.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"tasterschoice/internal/addrlist"
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/ecosystem"
+	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/mailflow"
+	"tasterschoice/internal/mailmsg"
+	"tasterschoice/internal/randutil"
+	"tasterschoice/internal/simclock"
+	"tasterschoice/internal/smtpd"
+)
+
+const honeypotDomain = "quiet-old-domain.com"
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "mxhoneypot: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// --- The feed operator's side: SMTP sink + ingester. -----------
+	feed := feeds.New("mx-demo", feeds.KindMXHoneypot, true, true)
+	ing := feeds.NewIngester(feed)
+	var mu sync.Mutex
+	srv := smtpd.NewServer("mx."+honeypotDomain, func(env smtpd.Envelope) {
+		m, err := mailmsg.Parse(strings.NewReader(string(env.Data)))
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		ing.IngestMessage(m, env.ReceivedAt)
+		mu.Unlock()
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("MX honeypot for %s listening on %s\n", honeypotDomain, addr)
+
+	// --- The spammer's side. ----------------------------------------
+	// A tiny world supplies campaigns and domains to advertise.
+	cfg := ecosystem.DefaultConfig(7)
+	cfg.Scale = 0.02
+	cfg.BenignDomains = 500
+	cfg.AlexaTopN = 200
+	cfg.ODPDomains = 100
+	cfg.ObscureRegistered = 50
+	cfg.WebOnlyDomains = 20
+	cfg.OtherGoodsCampaigns = 30
+	cfg.RXAffiliates = 40
+	cfg.RXLoudAffiliates = 4
+	world, err := ecosystem.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Brute force: popular usernames at "every domain with an MX" —
+	// the honeypot's domain is just one more .com in the list.
+	targets := addrlist.BruteForce([]domain.Name{
+		honeypotDomain, "some-company.com", "another-startup.net",
+	}, 60)
+	var honeypotRcpts []string
+	for _, a := range targets.Addresses {
+		if strings.HasSuffix(a, "@"+honeypotDomain) {
+			honeypotRcpts = append(honeypotRcpts, a)
+		}
+	}
+	fmt.Printf("brute-force list: %d addresses, %d at the honeypot\n",
+		targets.Len(), len(honeypotRcpts))
+
+	// Deliver a few messages per loud campaign over real SMTP.
+	rng := randutil.New(99)
+	client, err := smtpd.Dial(addr.String())
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	if err := client.Hello("bot.infected.example"); err != nil {
+		return err
+	}
+	sent := 0
+	for i := range world.Campaigns {
+		c := &world.Campaigns[i]
+		if c.Class != ecosystem.ClassLoud || sent >= 120 {
+			continue
+		}
+		for _, slot := range c.Domains {
+			rcpt := honeypotRcpts[rng.Intn(len(honeypotRcpts))]
+			when := simclock.PaperWindow().Clamp(slot.Start)
+			var chaff domain.Name
+			if rng.Bool(0.2) {
+				chaff = world.Benign[rng.Intn(len(world.Benign))].Name
+			}
+			m := mailflow.RenderMessage(rng, world, c, slot, chaff, when, rcpt)
+			if err := client.Send(m.From, []string{rcpt}, m.Bytes()); err != nil {
+				return fmt.Errorf("send: %w", err)
+			}
+			sent++
+		}
+	}
+	if err := client.Quit(); err != nil {
+		return err
+	}
+
+	// --- What the feed saw. -----------------------------------------
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("\ndelivered %d messages over SMTP; feed: %s\n", sent, feed)
+	fmt.Println("top observed domains:")
+	type row struct {
+		d domain.Name
+		c int64
+	}
+	var rows []row
+	feed.Each(func(d domain.Name, s feeds.DomainStat) {
+		rows = append(rows, row{d, s.Count})
+	})
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			if rows[j].c > rows[i].c {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+	for i, r := range rows {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %-30s %4d samples\n", r.d, r.c)
+	}
+	return nil
+}

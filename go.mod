@@ -1,0 +1,3 @@
+module tasterschoice
+
+go 1.22

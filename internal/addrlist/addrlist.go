@@ -1,0 +1,227 @@
+// Package addrlist models how spammers build target address lists —
+// the operational difference (paper §2) that determines which
+// collection points can see which campaigns:
+//
+//   - brute force: popular usernames at every domain with a valid MX —
+//     this is how newly registered MX honeypot domains receive spam at
+//     all;
+//   - harvesting: scraping addresses published on web sources — the
+//     vector through which seeded honey accounts enter spammer lists;
+//   - purchased/targeted: real user addresses of a provider, which only
+//     the provider itself (and hence a human-identified feed) observes.
+package addrlist
+
+import (
+	"fmt"
+	"sort"
+
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/randutil"
+)
+
+// Kind labels how a list was built.
+type Kind uint8
+
+const (
+	// KindBruteForce is generated username@domain pairs.
+	KindBruteForce Kind = iota
+	// KindHarvested is scraped from public web sources.
+	KindHarvested
+	// KindTargeted is a purchased list of real provider users.
+	KindTargeted
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindBruteForce:
+		return "brute-force"
+	case KindHarvested:
+		return "harvested"
+	case KindTargeted:
+		return "targeted"
+	default:
+		return "unknown"
+	}
+}
+
+// List is a target address list.
+type List struct {
+	Kind      Kind
+	Addresses []string
+}
+
+// Len returns the address count.
+func (l *List) Len() int { return len(l.Addresses) }
+
+// Contains reports whether the list includes addr.
+func (l *List) Contains(addr string) bool {
+	for _, a := range l.Addresses {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// DomainsCovered returns the distinct recipient domains on the list.
+func (l *List) DomainsCovered() []domain.Name {
+	seen := make(map[domain.Name]bool)
+	var out []domain.Name
+	for _, a := range l.Addresses {
+		for i := len(a) - 1; i >= 0; i-- {
+			if a[i] == '@' {
+				d := domain.Name(a[i+1:])
+				if !seen[d] {
+					seen[d] = true
+					out = append(out, d)
+				}
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CommonUsernames are the local parts a brute-force generator tries
+// first, in priority order.
+var CommonUsernames = []string{
+	"info", "admin", "sales", "contact", "support", "office", "mail",
+	"webmaster", "postmaster", "john", "mary", "david", "mike", "sarah",
+	"test", "hello", "service", "billing", "hr", "news",
+}
+
+// BruteForce builds a list by pairing usernames with every given
+// domain, cycling through usernames until n addresses exist. Lists
+// built this way hit any domain with an MX record — including MX
+// honeypots — which is exactly their observational signature.
+func BruteForce(domains []domain.Name, n int) *List {
+	if len(domains) == 0 || n <= 0 {
+		return &List{Kind: KindBruteForce}
+	}
+	addrs := make([]string, 0, n)
+	for i := 0; len(addrs) < n; i++ {
+		user := CommonUsernames[i%len(CommonUsernames)]
+		suffix := ""
+		if cycle := i / len(CommonUsernames); cycle > 0 {
+			suffix = fmt.Sprintf("%d", cycle)
+		}
+		for _, d := range domains {
+			if len(addrs) >= n {
+				break
+			}
+			addrs = append(addrs, user+suffix+"@"+string(d))
+		}
+	}
+	return &List{Kind: KindBruteForce, Addresses: addrs}
+}
+
+// Source is a public web page, forum, or mailing-list archive where
+// addresses become visible to harvesters.
+type Source struct {
+	Name      string
+	addresses []string
+	seen      map[string]bool
+}
+
+// NewSource creates an empty source.
+func NewSource(name string) *Source {
+	return &Source{Name: name, seen: make(map[string]bool)}
+}
+
+// Publish exposes an address on the source (idempotent).
+func (s *Source) Publish(addr string) {
+	if s.seen[addr] {
+		return
+	}
+	s.seen[addr] = true
+	s.addresses = append(s.addresses, addr)
+}
+
+// Addresses returns the published addresses in publication order.
+func (s *Source) Addresses() []string {
+	return append([]string(nil), s.addresses...)
+}
+
+// Seeder distributes honey-account addresses across web sources; a
+// honey-account feed's quality depends on how many accounts it has and
+// how well they are seeded (paper §3.2).
+type Seeder struct {
+	rng *randutil.RNG
+}
+
+// NewSeeder creates a seeder with its own randomness stream.
+func NewSeeder(rng *randutil.RNG) *Seeder { return &Seeder{rng: rng} }
+
+// Seed publishes each account on perAccount distinct random sources.
+// It panics if perAccount exceeds the source count.
+func (s *Seeder) Seed(accounts []string, sources []*Source, perAccount int) {
+	if perAccount > len(sources) {
+		panic(fmt.Sprintf("addrlist: perAccount %d > sources %d", perAccount, len(sources)))
+	}
+	for _, acct := range accounts {
+		for _, idx := range s.rng.SampleInts(len(sources), perAccount) {
+			sources[idx].Publish(acct)
+		}
+	}
+}
+
+// Harvest scrapes a random subset of sources (each visited with
+// probability coverage) and returns the de-duplicated catch as a
+// harvested list. A poorly run harvester (low coverage) misses the
+// accounts seeded only on unvisited sources — the mechanism behind a
+// badly seeded honey-account feed missing whole campaigns.
+func Harvest(rng *randutil.RNG, sources []*Source, coverage float64) *List {
+	seen := make(map[string]bool)
+	var addrs []string
+	for _, src := range sources {
+		if !rng.Bool(coverage) {
+			continue
+		}
+		for _, a := range src.addresses {
+			if !seen[a] {
+				seen[a] = true
+				addrs = append(addrs, a)
+			}
+		}
+	}
+	return &List{Kind: KindHarvested, Addresses: addrs}
+}
+
+// Targeted builds a purchased list of n real users at the given
+// provider domain.
+func Targeted(rng *randutil.RNG, provider domain.Name, n int) *List {
+	addrs := make([]string, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		for {
+			a := rng.Letters(3+rng.Intn(6)) + fmt.Sprintf("%d", rng.Intn(100)) + "@" + string(provider)
+			if !seen[a] {
+				seen[a] = true
+				addrs[i] = a
+				break
+			}
+		}
+	}
+	return &List{Kind: KindTargeted, Addresses: addrs}
+}
+
+// Merge combines lists, de-duplicating; the result keeps the kind of
+// the first list.
+func Merge(lists ...*List) *List {
+	out := &List{}
+	seen := make(map[string]bool)
+	for i, l := range lists {
+		if i == 0 {
+			out.Kind = l.Kind
+		}
+		for _, a := range l.Addresses {
+			if !seen[a] {
+				seen[a] = true
+				out.Addresses = append(out.Addresses, a)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package addrlist
+
+import (
+	"strings"
+	"testing"
+
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/randutil"
+)
+
+func TestBruteForceCoversAllDomains(t *testing.T) {
+	domains := []domain.Name{"a.com", "b.com", "mx-honeypot.net"}
+	l := BruteForce(domains, 100)
+	if l.Len() != 100 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	covered := l.DomainsCovered()
+	if len(covered) != 3 {
+		t.Fatalf("covered = %v", covered)
+	}
+	// Addresses are unique.
+	seen := map[string]bool{}
+	for _, a := range l.Addresses {
+		if seen[a] {
+			t.Fatalf("duplicate %s", a)
+		}
+		seen[a] = true
+		if !strings.Contains(a, "@") {
+			t.Fatalf("malformed %s", a)
+		}
+	}
+}
+
+func TestBruteForceCyclesUsernames(t *testing.T) {
+	l := BruteForce([]domain.Name{"only.com"}, len(CommonUsernames)*2)
+	if l.Len() != len(CommonUsernames)*2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	if !l.Contains("info@only.com") || !l.Contains("info1@only.com") {
+		t.Fatal("username cycling broken")
+	}
+}
+
+func TestBruteForceEmpty(t *testing.T) {
+	if l := BruteForce(nil, 10); l.Len() != 0 {
+		t.Fatal("no domains should give empty list")
+	}
+	if l := BruteForce([]domain.Name{"a.com"}, 0); l.Len() != 0 {
+		t.Fatal("n=0 should give empty list")
+	}
+}
+
+func TestSourcePublishIdempotent(t *testing.T) {
+	s := NewSource("forum")
+	s.Publish("a@b.com")
+	s.Publish("a@b.com")
+	s.Publish("c@d.com")
+	if got := s.Addresses(); len(got) != 2 {
+		t.Fatalf("addresses = %v", got)
+	}
+}
+
+func TestSeedAndHarvestFullCoverage(t *testing.T) {
+	rng := randutil.New(1)
+	sources := make([]*Source, 10)
+	for i := range sources {
+		sources[i] = NewSource("src")
+	}
+	accounts := []string{"h1@trap.com", "h2@trap.com", "h3@trap.com"}
+	NewSeeder(rng.SplitNamed("seed")).Seed(accounts, sources, 3)
+	l := Harvest(rng.SplitNamed("harvest"), sources, 1.0)
+	for _, a := range accounts {
+		if !l.Contains(a) {
+			t.Fatalf("full-coverage harvest missed %s", a)
+		}
+	}
+	if l.Kind != KindHarvested {
+		t.Fatalf("kind = %v", l.Kind)
+	}
+}
+
+func TestHarvestPartialCoverageMisses(t *testing.T) {
+	rng := randutil.New(2)
+	sources := make([]*Source, 50)
+	for i := range sources {
+		sources[i] = NewSource("src")
+		sources[i].Publish("only-here-" + string(rune('a'+i%26)) + "@x.com")
+	}
+	// Each address lives on exactly one source; 20% coverage should
+	// catch roughly 20% of sources.
+	l := Harvest(rng, sources, 0.2)
+	if l.Len() == 0 || l.Len() >= 40 {
+		t.Fatalf("harvest with 0.2 coverage caught %d of 50", l.Len())
+	}
+}
+
+func TestSeedPanicsOnImpossibleSpread(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSeeder(randutil.New(1)).Seed([]string{"a@b.c"}, []*Source{NewSource("x")}, 2)
+}
+
+func TestTargetedList(t *testing.T) {
+	l := Targeted(randutil.New(3), "webmail.example", 200)
+	if l.Len() != 200 || l.Kind != KindTargeted {
+		t.Fatalf("len=%d kind=%v", l.Len(), l.Kind)
+	}
+	covered := l.DomainsCovered()
+	if len(covered) != 1 || covered[0] != "webmail.example" {
+		t.Fatalf("covered = %v", covered)
+	}
+	seen := map[string]bool{}
+	for _, a := range l.Addresses {
+		if seen[a] {
+			t.Fatalf("duplicate %s", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &List{Kind: KindBruteForce, Addresses: []string{"x@a.com", "y@a.com"}}
+	b := &List{Kind: KindHarvested, Addresses: []string{"y@a.com", "z@b.com"}}
+	m := Merge(a, b)
+	if m.Len() != 3 || m.Kind != KindBruteForce {
+		t.Fatalf("merge: %+v", m)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{KindBruteForce, KindHarvested, KindTargeted} {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+}

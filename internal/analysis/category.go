@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/ecosystem"
+	"tasterschoice/internal/feeds"
+)
+
+// CategoryRow is one feed's tagged-domain composition across the three
+// tagged goods categories (pharmaceuticals, replicas, software) — the
+// classes the paper's §3.4 storefront tagging covers. An extension
+// view: the paper discusses the categories but does not tabulate the
+// per-feed split.
+type CategoryRow struct {
+	Name     string
+	Pharma   int
+	Replica  int
+	Software int
+}
+
+// Total returns the row's tagged-domain count.
+func (r CategoryRow) Total() int { return r.Pharma + r.Replica + r.Software }
+
+// CategoryBreakdown counts each feed's tagged domains per goods
+// category.
+func CategoryBreakdown(ds *Dataset) []CategoryRow {
+	out := make([]CategoryRow, 0, len(ds.Result.Order))
+	for _, name := range ds.Result.Order {
+		row := CategoryRow{Name: name}
+		ds.Feed(name).Each(func(d domain.Name, _ feeds.DomainStat) {
+			l := ds.Labels.Get(d)
+			if l == nil || !l.TaggedClean() {
+				return
+			}
+			switch l.Category {
+			case ecosystem.CategoryPharma:
+				row.Pharma++
+			case ecosystem.CategoryReplica:
+				row.Replica++
+			case ecosystem.CategorySoftware:
+				row.Software++
+			}
+		})
+		out = append(out, row)
+	}
+	return out
+}
+
+// ShareRow is one feed's implied market-share estimate: the fraction of
+// its observed volume attributable to each goods category. The paper's
+// §5 warns that extrapolating "X% of all spam advertises Y" from a
+// single feed is risky precisely because these shares vary so much by
+// collection methodology; this view quantifies the spread.
+type ShareRow struct {
+	Name string
+	// PharmaShare/ReplicaShare/SoftwareShare are volume fractions of
+	// the feed's tagged volume.
+	PharmaShare   float64
+	ReplicaShare  float64
+	SoftwareShare float64
+}
+
+// CategoryShares computes per-feed category volume shares for the
+// volume feeds, plus the oracle's ground truth as the "Mail" row.
+func CategoryShares(ds *Dataset) []ShareRow {
+	categoryOf := func(d string) (ecosystem.Category, bool) {
+		l := ds.Labels.Get(domain.Name(d))
+		if l == nil || !l.TaggedClean() {
+			return 0, false
+		}
+		return l.Category, true
+	}
+	rowFrom := func(name string, counts map[string]int64) ShareRow {
+		var pharma, replica, software, total int64
+		for d, c := range counts {
+			cat, ok := categoryOf(d)
+			if !ok {
+				continue
+			}
+			total += c
+			switch cat {
+			case ecosystem.CategoryPharma:
+				pharma += c
+			case ecosystem.CategoryReplica:
+				replica += c
+			case ecosystem.CategorySoftware:
+				software += c
+			}
+		}
+		row := ShareRow{Name: name}
+		if total > 0 {
+			row.PharmaShare = float64(pharma) / float64(total)
+			row.ReplicaShare = float64(replica) / float64(total)
+			row.SoftwareShare = float64(software) / float64(total)
+		}
+		return row
+	}
+
+	// Ground truth first: oracle volumes over the tagged union.
+	union := taggedUnion(ds)
+	mailCounts := make(map[string]int64)
+	for d := range union {
+		mailCounts[d] = ds.Result.Oracle.Volume(domain.Name(d))
+	}
+	rows := []ShareRow{rowFrom(MailColumn, mailCounts)}
+	for _, name := range VolumeFeeds(ds) {
+		rows = append(rows, rowFrom(name, ds.Feed(name).Counts()))
+	}
+	return rows
+}

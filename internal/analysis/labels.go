@@ -1,0 +1,206 @@
+// Package analysis implements the paper's four feed-quality analyses —
+// purity, coverage, proportionality, and timing — plus the affiliate
+// program and revenue views, each producing the data behind one of the
+// paper's tables or figures.
+//
+// All analyses operate on a Dataset: the ten collected feeds, the
+// incoming-mail oracle, and per-domain labels obtained by crawling
+// every feed domain and checking zone files, exactly mirroring the
+// paper's methodology (§3.4, §4.1.4):
+//
+//   - DNS: the domain appeared in a covered TLD zone file within the
+//     window bracketing the measurement period.
+//   - HTTP: some URL received for the domain answered 200.
+//   - Tagged: the final page matched a storefront signature.
+//   - live domains: HTTP minus (Alexa ∪ ODP).
+//   - tagged domains: Tagged minus (Alexa ∪ ODP).
+package analysis
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/ecosystem"
+	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/mailflow"
+	"tasterschoice/internal/simclock"
+	"tasterschoice/internal/webcrawl"
+)
+
+// Label is the classification of one feed domain.
+type Label struct {
+	// InZoneTLD reports whether the domain's TLD has zone-file
+	// visibility (the DNS indicator's denominator).
+	InZoneTLD bool
+	// DNS reports zone-file appearance during the bracketed window.
+	DNS bool
+	// HTTP reports a successful web visit.
+	HTTP bool
+	// Tagged reports a storefront signature match.
+	Tagged bool
+	// Program / Affiliate / AffiliateKey / Category describe the tag.
+	Program      int
+	Affiliate    int
+	AffiliateKey string
+	Category     ecosystem.Category
+	// Alexa / ODP mark the benign-list memberships.
+	Alexa, ODP bool
+}
+
+// Benignish reports Alexa-or-ODP membership (the paper's conservative
+// exclusion set).
+func (l *Label) Benignish() bool { return l.Alexa || l.ODP }
+
+// Live implements the paper's "live domain" definition.
+func (l *Label) Live() bool { return l.HTTP && !l.Benignish() }
+
+// TaggedClean implements the paper's post-§4.1.4 "tagged domain"
+// definition (tagged minus Alexa/ODP).
+func (l *Label) TaggedClean() bool { return l.Tagged && !l.Benignish() }
+
+// Labels maps every domain occurring in any feed to its label.
+type Labels struct {
+	m map[domain.Name]*Label
+}
+
+// Get returns the label for d (nil if d was in no feed).
+func (ls *Labels) Get(d domain.Name) *Label { return ls.m[d] }
+
+// Len returns the number of labeled domains.
+func (ls *Labels) Len() int { return len(ls.m) }
+
+// Dataset bundles everything the analyses consume.
+type Dataset struct {
+	World  *ecosystem.World
+	Result *mailflow.Result
+	Labels *Labels
+}
+
+// Union returns all labeled domains in sorted order.
+func (ds *Dataset) Union() []domain.Name {
+	out := make([]domain.Name, 0, ds.Labels.Len())
+	for d := range ds.Labels.m {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Feed returns the named feed.
+func (ds *Dataset) Feed(name string) *feeds.Feed { return ds.Result.Feed(name) }
+
+// BuildLabels crawls and zone-checks every domain occurring in any
+// feed, using one crawler worker per CPU. For each domain it visits
+// the sample URLs the feeds received (URL feeds preserve redirection
+// context); domain-only feeds contribute a bare "http://domain/"
+// visit, as in the paper.
+func BuildLabels(w *ecosystem.World, res *mailflow.Result) *Labels {
+	return BuildLabelsConcurrent(w, res, runtime.GOMAXPROCS(0))
+}
+
+// BuildLabelsConcurrent is BuildLabels with an explicit worker count.
+// The result is identical for any worker count: each domain's label is
+// computed independently.
+func BuildLabelsConcurrent(w *ecosystem.World, res *mailflow.Result, workers int) *Labels {
+	return BuildLabelsWith(w, res, workers, func() webcrawl.Visitor {
+		return webcrawl.New(w)
+	})
+}
+
+// BuildLabelsWith labels using caller-provided crawler instances — one
+// per worker — so the crawl can run over the in-process simulator or a
+// real-HTTP webhost crawler interchangeably.
+func BuildLabelsWith(w *ecosystem.World, res *mailflow.Result, workers int,
+	newVisitor func() webcrawl.Visitor) *Labels {
+	if workers < 1 {
+		workers = 1
+	}
+	zoneWindow := zoneCheckWindow(w)
+	ls := &Labels{m: make(map[domain.Name]*Label)}
+
+	// Collect, per domain, the distinct URLs the feeds saw for it.
+	urlsOf := make(map[domain.Name][]string)
+	for _, name := range res.Order {
+		f := res.Feed(name)
+		f.Each(func(d domain.Name, s feeds.DomainStat) {
+			if _, seen := ls.m[d]; !seen {
+				ls.m[d] = &Label{Program: -1, Affiliate: -1}
+			}
+			if s.SampleURL == "" {
+				return
+			}
+			for _, u := range urlsOf[d] {
+				if u == s.SampleURL {
+					return
+				}
+			}
+			urlsOf[d] = append(urlsOf[d], s.SampleURL)
+		})
+	}
+
+	// Shard the domains across workers; every label is written only
+	// by its own worker, so no locking is needed.
+	domains := make([]domain.Name, 0, len(ls.m))
+	for d := range ls.m {
+		domains = append(domains, d)
+	}
+	if workers > len(domains) {
+		workers = len(domains)
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			crawler := newVisitor()
+			for i := shard; i < len(domains); i += workers {
+				d := domains[i]
+				labelOne(w, crawler, zoneWindow, d, urlsOf[d], ls.m[d])
+			}
+		}(wk)
+	}
+	wg.Wait()
+	return ls
+}
+
+// labelOne fills in one domain's label.
+func labelOne(w *ecosystem.World, crawler webcrawl.Visitor,
+	zoneWindow simclock.Window, d domain.Name, urls []string, label *Label) {
+	label.InZoneTLD = w.Registry.Covers(d)
+	if label.InZoneTLD {
+		label.DNS = w.Registry.AppearedDuring(d, zoneWindow)
+	}
+	if info, ok := w.Info(d); ok {
+		label.Alexa = info.Alexa
+		label.ODP = info.ODP
+	}
+	if len(urls) == 0 {
+		urls = []string{"http://" + string(d) + "/"}
+	}
+	for _, u := range urls {
+		r := crawler.Visit(u)
+		if r.OK {
+			label.HTTP = true
+		}
+		if r.Tagged && !label.Tagged {
+			label.Tagged = true
+			label.Program = r.Program
+			label.Affiliate = r.Affiliate
+			label.AffiliateKey = r.AffiliateKey
+			label.Category = r.Category
+		}
+	}
+}
+
+// zoneCheckWindow brackets the measurement window by 16 months on each
+// side, as the paper's zone-file checks do.
+func zoneCheckWindow(w *ecosystem.World) simclock.Window {
+	return w.Config.Window.Extend(487, 487)
+}
+
+// NewDataset labels a collection run and bundles it for analysis.
+func NewDataset(w *ecosystem.World, res *mailflow.Result) *Dataset {
+	return &Dataset{World: w, Result: res, Labels: BuildLabels(w, res)}
+}

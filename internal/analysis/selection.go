@@ -1,0 +1,71 @@
+package analysis
+
+// Greedy feed selection: the paper's §5 advice — "when working with
+// multiple feeds, the priority should be to obtain a set that is as
+// diverse as possible; additional feeds of the same type offer reduced
+// added value" — turned into an algorithm. Greedy set cover over the
+// feeds' domain sets yields an acquisition order and shows exactly how
+// fast marginal value decays (and that the second MX honeypot buys
+// almost nothing).
+
+// SelectionStep is one round of greedy feed acquisition.
+type SelectionStep struct {
+	// Feed is the feed chosen this round.
+	Feed string
+	// Marginal is the number of new domains it contributes beyond the
+	// feeds already chosen.
+	Marginal int
+	// Cumulative is the union size after adding it; CumulativeFrac is
+	// that union over the all-feeds union.
+	Cumulative     int
+	CumulativeFrac float64
+}
+
+// GreedySelection repeatedly picks the feed with the largest marginal
+// contribution of domains in the given class, until every feed is
+// chosen. Ties break toward the canonical feed order.
+func GreedySelection(ds *Dataset, class DomainClass) []SelectionStep {
+	order := ds.Result.Order
+	sets := make(map[string]map[string]bool, len(order))
+	union := make(map[string]bool)
+	for _, name := range order {
+		s := FeedDomains(ds, name, class)
+		sets[name] = s
+		for d := range s {
+			union[d] = true
+		}
+	}
+	covered := make(map[string]bool)
+	remaining := append([]string(nil), order...)
+	steps := make([]SelectionStep, 0, len(order))
+	for len(remaining) > 0 {
+		bestIdx, bestGain := 0, -1
+		for i, name := range remaining {
+			gain := 0
+			for d := range sets[name] {
+				if !covered[d] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestIdx, bestGain = i, gain
+			}
+		}
+		name := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		for d := range sets[name] {
+			covered[d] = true
+		}
+		frac := 0.0
+		if len(union) > 0 {
+			frac = float64(len(covered)) / float64(len(union))
+		}
+		steps = append(steps, SelectionStep{
+			Feed:           name,
+			Marginal:       bestGain,
+			Cumulative:     len(covered),
+			CumulativeFrac: frac,
+		})
+	}
+	return steps
+}

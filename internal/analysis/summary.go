@@ -1,0 +1,35 @@
+package analysis
+
+import "tasterschoice/internal/feeds"
+
+// FeedSummary is one row of Table 1.
+type FeedSummary struct {
+	Name string
+	Kind feeds.Kind
+	// Samples is the total record count ("Domains" column); for
+	// blacklists the paper reports n/a, flagged here by SamplesNA.
+	Samples   int64
+	SamplesNA bool
+	// Unique is the number of distinct registered domains.
+	Unique int
+}
+
+// Table1 summarizes the feeds (paper Table 1).
+func Table1(ds *Dataset) []FeedSummary {
+	out := make([]FeedSummary, 0, len(ds.Result.Order))
+	for _, name := range ds.Result.Order {
+		f := ds.Feed(name)
+		row := FeedSummary{
+			Name:   name,
+			Kind:   f.Kind,
+			Unique: f.Unique(),
+		}
+		if f.Kind == feeds.KindBlacklist {
+			row.SamplesNA = true
+		} else {
+			row.Samples = f.Samples()
+		}
+		out = append(out, row)
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package dnsbl
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/randutil"
+)
+
+// ErrServFail is returned when the server answered but with a failure
+// code.
+var ErrServFail = errors.New("dnsbl: server failure")
+
+// Client queries a DNSBL server over UDP.
+type Client struct {
+	// Addr is the server's UDP address.
+	Addr string
+	// TCPAddr is the server's TCP address for ListedTCP (defaults to
+	// Addr).
+	TCPAddr string
+	// Suffix is the DNSBL zone ("dbl.example").
+	Suffix string
+	// Timeout per attempt (default 2s) and Retries (default 2
+	// additional attempts) — UDP drops are normal.
+	Timeout time.Duration
+	Retries int
+
+	rng *randutil.RNG
+}
+
+// NewClient creates a client for a DNSBL zone at addr.
+func NewClient(addr, suffix string, seed uint64) *Client {
+	return &Client{
+		Addr:    addr,
+		Suffix:  suffix,
+		Timeout: 2 * time.Second,
+		Retries: 2,
+		rng:     randutil.NewNamed(seed, "dnsbl-client"),
+	}
+}
+
+// Listed queries whether d is on the blacklist.
+func (c *Client) Listed(d domain.Name) (bool, error) {
+	resp, err := c.query(d, TypeA)
+	if err != nil {
+		return false, err
+	}
+	switch resp.Header.RCode {
+	case RCodeNXDomain:
+		return false, nil
+	case RCodeNoError:
+		for _, a := range resp.Answers {
+			if a.Type == TypeA && len(a.Data) == 4 && a.Data[0] == 127 {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("%w: rcode %d", ErrServFail, resp.Header.RCode)
+	}
+}
+
+// Reason returns the TXT listing reason for d ("" when unlisted).
+func (c *Client) Reason(d domain.Name) (string, error) {
+	resp, err := c.query(d, TypeTXT)
+	if err != nil {
+		return "", err
+	}
+	if resp.Header.RCode == RCodeNXDomain {
+		return "", nil
+	}
+	if resp.Header.RCode != RCodeNoError {
+		return "", fmt.Errorf("%w: rcode %d", ErrServFail, resp.Header.RCode)
+	}
+	for _, a := range resp.Answers {
+		if a.Type == TypeTXT {
+			strs, err := TXTStrings(a.Data)
+			if err != nil {
+				return "", err
+			}
+			if len(strs) > 0 {
+				return strs[0], nil
+			}
+		}
+	}
+	return "", nil
+}
+
+// query performs one lookup with retries, verifying the response ID.
+func (c *Client) query(d domain.Name, qtype uint16) (*Message, error) {
+	qname := string(d) + "." + c.Suffix
+	var lastErr error
+	attempts := c.Retries + 1
+	for i := 0; i < attempts; i++ {
+		id := uint16(c.rng.Uint64())
+		req := &Message{
+			Header:    Header{ID: id, RecursionDesired: false},
+			Questions: []Question{{Name: qname, Type: qtype, Class: ClassIN}},
+		}
+		raw, err := req.Pack()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.exchange(raw, id)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
+func (c *Client) exchange(raw []byte, wantID uint16) (*Message, error) {
+	conn, err := net.Dial("udp", c.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(c.Timeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(raw); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := Unpack(buf[:n])
+		if err != nil {
+			continue // garbage datagram; keep waiting until deadline
+		}
+		if resp.Header.ID != wantID || !resp.Header.Response {
+			continue // stale or spoofed; ignore
+		}
+		return resp, nil
+	}
+}

@@ -1,0 +1,202 @@
+package dnsbl
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/feeds"
+)
+
+// ListedAddress is the conventional "listed" answer for domain
+// blacklists (127.0.0.2).
+var ListedAddress = [4]byte{127, 0, 0, 2}
+
+// Zone answers listing queries for a set of domains. Implementations
+// must be safe for concurrent use.
+type Zone interface {
+	// Listed reports whether d is on the list; reason is included in
+	// TXT answers when non-empty.
+	Listed(d domain.Name) (listed bool, reason string)
+}
+
+// FeedZone adapts a feeds.Feed into a Zone — serving a blacklist feed
+// the way its operator would.
+type FeedZone struct {
+	Feed *feeds.Feed
+}
+
+// Listed implements Zone.
+func (z FeedZone) Listed(d domain.Name) (bool, string) {
+	s, ok := z.Feed.Stat(d)
+	if !ok {
+		return false, ""
+	}
+	return true, "listed " + s.First.UTC().Format(time.RFC3339) + " by " + z.Feed.Name
+}
+
+// StaticZone is a fixed set of listed domains, for tests and small
+// deployments.
+type StaticZone map[domain.Name]string
+
+// Listed implements Zone.
+func (z StaticZone) Listed(d domain.Name) (bool, string) {
+	reason, ok := z[d]
+	return ok, reason
+}
+
+// Server serves a Zone over DNS/UDP under a zone suffix: a query for
+// "<domain>.<suffix>" returns 127.0.0.2 when <domain> is listed and
+// NXDOMAIN otherwise, matching rbldnsd-style DNSBL behaviour.
+type Server struct {
+	// Suffix is the DNSBL zone ("dbl.example"), without trailing dot.
+	Suffix string
+	// Zone answers the listing queries.
+	Zone Zone
+	// TTL for positive answers (default 300s).
+	TTL uint32
+
+	mu           sync.Mutex
+	conn         net.PacketConn
+	tcpListeners map[net.Listener]struct{}
+	closed       bool
+
+	queries atomic.Int64
+	hits    atomic.Int64
+}
+
+// NewServer creates a server for the zone suffix.
+func NewServer(suffix string, zone Zone) *Server {
+	return &Server{Suffix: strings.ToLower(strings.TrimSuffix(suffix, ".")), Zone: zone, TTL: 300}
+}
+
+// Queries returns the number of queries handled; Hits the number
+// answered as listed.
+func (s *Server) Queries() int64 { return s.queries.Load() }
+
+// Hits returns the number of queries answered "listed".
+func (s *Server) Hits() int64 { return s.hits.Load() }
+
+// Listen binds a UDP socket ("127.0.0.1:0" for tests) and serves in a
+// background goroutine, returning the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.conn = conn
+	s.mu.Unlock()
+	go s.serve(conn)
+	return conn.LocalAddr(), nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.conn != nil {
+		err = s.conn.Close()
+	}
+	for l := range s.tcpListeners {
+		l.Close()
+	}
+	return err
+}
+
+func (s *Server) serve(conn net.PacketConn) {
+	buf := make([]byte, 4096)
+	for {
+		n, addr, err := conn.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		resp := s.Handle(buf[:n])
+		if resp != nil {
+			conn.WriteTo(resp, addr) //nolint:errcheck // best-effort UDP reply
+		}
+	}
+}
+
+// Handle processes one raw DNS query and returns the raw response
+// (nil to drop). Exported for in-memory use and tests.
+func (s *Server) Handle(raw []byte) []byte {
+	s.queries.Add(1)
+	query, err := Unpack(raw)
+	if err != nil || query.Header.Response {
+		return nil // not a query we can answer; drop
+	}
+	resp := &Message{
+		Header: Header{
+			ID:               query.Header.ID,
+			Response:         true,
+			Opcode:           query.Header.Opcode,
+			Authoritative:    true,
+			RecursionDesired: query.Header.RecursionDesired,
+		},
+		Questions: query.Questions,
+	}
+	if len(query.Questions) != 1 || query.Header.Opcode != 0 {
+		resp.Header.RCode = RCodeFormErr
+		return mustPack(resp)
+	}
+	q := query.Questions[0]
+	name := strings.ToLower(strings.TrimSuffix(q.Name, "."))
+	suffix := "." + s.Suffix
+	if !strings.HasSuffix(name, suffix) {
+		resp.Header.RCode = RCodeRefused
+		return mustPack(resp)
+	}
+	if q.Class != ClassIN {
+		resp.Header.RCode = RCodeNXDomain
+		return mustPack(resp)
+	}
+	queried := domain.Name(strings.TrimSuffix(name, suffix))
+	listed, reason := s.Zone.Listed(queried)
+	if !listed {
+		resp.Header.RCode = RCodeNXDomain
+		return mustPack(resp)
+	}
+	s.hits.Add(1)
+	switch q.Type {
+	case TypeA:
+		resp.Answers = append(resp.Answers, ARecord(q.Name, s.TTL,
+			ListedAddress[0], ListedAddress[1], ListedAddress[2], ListedAddress[3]))
+	case TypeTXT:
+		if reason == "" {
+			reason = "listed"
+		}
+		resp.Answers = append(resp.Answers, TXTRecord(q.Name, s.TTL, reason))
+	default:
+		// Listed, but no data of the requested type: NOERROR with an
+		// empty answer section.
+	}
+	return mustPack(resp)
+}
+
+// mustPack serializes a response. DNS labels may legally contain
+// bytes — including '.' — that cannot survive the dotted-string
+// representation; if echoing the question back is impossible, degrade
+// to a bare FORMERR with no question section rather than fail.
+func mustPack(m *Message) []byte {
+	b, err := m.Pack()
+	if err == nil {
+		return b
+	}
+	fallback := &Message{Header: m.Header}
+	fallback.Header.RCode = RCodeFormErr
+	b, err = fallback.Pack()
+	if err != nil {
+		// A question-less, answer-less message always packs.
+		panic("dnsbl: packing empty response failed: " + err.Error())
+	}
+	return b
+}

@@ -1,0 +1,160 @@
+package dnsbl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"tasterschoice/internal/domain"
+)
+
+// DNS over TCP (RFC 1035 §4.2.2): each message is prefixed with a
+// two-byte big-endian length. Real resolvers fall back to TCP when a
+// UDP answer is truncated; large TXT listing reasons can need it.
+
+// ReadTCPMessage reads one length-prefixed DNS message.
+func ReadTCPMessage(r io.Reader) ([]byte, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(lenBuf[:])
+	if n == 0 {
+		return nil, fmt.Errorf("dnsbl: zero-length TCP message")
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// WriteTCPMessage writes one length-prefixed DNS message.
+func WriteTCPMessage(w io.Writer, msg []byte) error {
+	if len(msg) > 0xffff {
+		return fmt.Errorf("dnsbl: message too large for TCP framing (%d)", len(msg))
+	}
+	var lenBuf [2]byte
+	binary.BigEndian.PutUint16(lenBuf[:], uint16(len(msg)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(msg)
+	return err
+}
+
+// ListenTCP additionally serves the zone over TCP on addr. Multiple
+// queries may be pipelined on one connection.
+func (s *Server) ListenTCP(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.tcpListeners == nil {
+		s.tcpListeners = make(map[net.Listener]struct{})
+	}
+	s.tcpListeners[l] = struct{}{}
+	s.mu.Unlock()
+	go s.serveTCP(l)
+	return l.Addr(), nil
+}
+
+func (s *Server) serveTCP(l net.Listener) {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			w := bufio.NewWriter(conn)
+			for {
+				conn.SetReadDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
+				raw, err := ReadTCPMessage(r)
+				if err != nil {
+					return
+				}
+				resp := s.Handle(raw)
+				if resp == nil {
+					return // garbage: drop the connection
+				}
+				if err := WriteTCPMessage(w, resp); err != nil {
+					return
+				}
+				if err := w.Flush(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// ListedTCP queries over TCP (one connection per call).
+func (c *Client) ListedTCP(d domain.Name) (bool, error) {
+	resp, err := c.queryTCP(d, TypeA)
+	if err != nil {
+		return false, err
+	}
+	switch resp.Header.RCode {
+	case RCodeNXDomain:
+		return false, nil
+	case RCodeNoError:
+		for _, a := range resp.Answers {
+			if a.Type == TypeA && len(a.Data) == 4 && a.Data[0] == 127 {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("%w: rcode %d", ErrServFail, resp.Header.RCode)
+	}
+}
+
+// queryTCP performs one lookup over a fresh TCP connection. TCPAddr
+// defaults to Addr when unset.
+func (c *Client) queryTCP(d domain.Name, qtype uint16) (*Message, error) {
+	addr := c.TCPAddr
+	if addr == "" {
+		addr = c.Addr
+	}
+	id := uint16(c.rng.Uint64())
+	req := &Message{
+		Header:    Header{ID: id},
+		Questions: []Question{{Name: string(d) + "." + c.Suffix, Type: qtype, Class: ClassIN}},
+	}
+	raw, err := req.Pack()
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialTimeout("tcp", addr, c.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(c.Timeout)) //nolint:errcheck
+	if err := WriteTCPMessage(conn, raw); err != nil {
+		return nil, err
+	}
+	respRaw, err := ReadTCPMessage(bufio.NewReader(conn))
+	if err != nil {
+		return nil, err
+	}
+	resp, err := Unpack(respRaw)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.ID != id || !resp.Header.Response {
+		return nil, fmt.Errorf("dnsbl: mismatched TCP response")
+	}
+	return resp, nil
+}

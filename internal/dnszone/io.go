@@ -1,0 +1,79 @@
+package dnszone
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"tasterschoice/internal/domain"
+)
+
+// Zone-file snapshot serialization. The paper consumed daily zone-file
+// snapshots from seven TLD registries; this is the equivalent exchange
+// format: one registered name per line under a "$ORIGIN tld." header,
+// as a zone-file-shaped domain inventory.
+
+// WriteSnapshot writes the zone for one TLD as of instant t.
+func (r *Registry) WriteSnapshot(w io.Writer, tld string, t time.Time) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "$ORIGIN %s.\n", tld)
+	fmt.Fprintf(bw, "; snapshot %s\n", t.UTC().Format(time.RFC3339))
+	for _, d := range r.Snapshot(tld, t) {
+		// Registered names relative to the origin.
+		rel := strings.TrimSuffix(string(d), "."+tld)
+		fmt.Fprintf(bw, "%s\n", rel)
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot parses a snapshot written by WriteSnapshot, returning
+// the TLD, snapshot time and the registered domains (fully qualified).
+func ReadSnapshot(rd io.Reader) (tld string, at time.Time, domains []domain.Name, err error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		switch {
+		case text == "":
+			continue
+		case strings.HasPrefix(text, "$ORIGIN "):
+			tld = strings.TrimSuffix(strings.TrimPrefix(text, "$ORIGIN "), ".")
+		case strings.HasPrefix(text, "; snapshot "):
+			at, err = time.Parse(time.RFC3339, strings.TrimPrefix(text, "; snapshot "))
+			if err != nil {
+				return "", time.Time{}, nil, fmt.Errorf("dnszone: line %d: %w", line, err)
+			}
+		case strings.HasPrefix(text, ";"):
+			continue // comment
+		default:
+			if tld == "" {
+				return "", time.Time{}, nil, fmt.Errorf("dnszone: line %d: name before $ORIGIN", line)
+			}
+			domains = append(domains, domain.Name(text+"."+tld))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", time.Time{}, nil, err
+	}
+	if tld == "" {
+		return "", time.Time{}, nil, fmt.Errorf("dnszone: missing $ORIGIN header")
+	}
+	sort.Slice(domains, func(i, j int) bool { return domains[i] < domains[j] })
+	return tld, at, domains, nil
+}
+
+// LoadSnapshot registers every domain of a parsed snapshot as present
+// at the snapshot instant — how a researcher ingests registry data
+// they did not generate. Domains already active are untouched.
+func (r *Registry) LoadSnapshot(tld string, at time.Time, domains []domain.Name) {
+	for _, d := range domains {
+		if !r.ActiveAt(d, at) {
+			r.Register(d, at)
+		}
+	}
+}

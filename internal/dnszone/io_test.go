@@ -1,0 +1,88 @@
+package dnszone
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tasterschoice/internal/domain"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := NewPaperRegistry()
+	r.Register("bbb.com", t0)
+	r.Register("aaa.com", t0)
+	r.Register("gone.com", t0)
+	r.Drop("gone.com", t1)
+	r.Register("other.net", t0)
+
+	var buf bytes.Buffer
+	if err := r.WriteSnapshot(&buf, "com", t2); err != nil {
+		t.Fatal(err)
+	}
+	tld, at, domains, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tld != "com" || !at.Equal(t2) {
+		t.Fatalf("tld=%q at=%v", tld, at)
+	}
+	if len(domains) != 2 || domains[0] != "aaa.com" || domains[1] != "bbb.com" {
+		t.Fatalf("domains: %v", domains)
+	}
+}
+
+func TestLoadSnapshot(t *testing.T) {
+	src := NewPaperRegistry()
+	src.Register("a.com", t0)
+	src.Register("b.com", t0)
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf, "com", t1); err != nil {
+		t.Fatal(err)
+	}
+	tld, at, domains, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewPaperRegistry()
+	dst.LoadSnapshot(tld, at, domains)
+	for _, d := range []domain.Name{"a.com", "b.com"} {
+		if !dst.ActiveAt(d, t2) {
+			t.Fatalf("%s not active after load", d)
+		}
+		if dst.ActiveAt(d, t0) {
+			t.Fatalf("%s active before the snapshot instant", d)
+		}
+	}
+	// Idempotent.
+	dst.LoadSnapshot(tld, at, domains)
+	if dst.Size() != 2 {
+		t.Fatalf("Size = %d after double load", dst.Size())
+	}
+}
+
+func TestReadSnapshotErrors(t *testing.T) {
+	cases := map[string]string{
+		"no origin":          "aaa\n",
+		"empty":              "",
+		"bad snapshot stamp": "$ORIGIN com.\n; snapshot notatime\n",
+	}
+	for name, raw := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, _, _, err := ReadSnapshot(strings.NewReader(raw)); err == nil {
+				t.Fatalf("accepted %q", raw)
+			}
+		})
+	}
+}
+
+func TestReadSnapshotSkipsComments(t *testing.T) {
+	raw := "$ORIGIN com.\n; a comment\n\nzzz\naaa\n"
+	_, _, domains, err := ReadSnapshot(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(domains) != 2 || domains[0] != "aaa.com" {
+		t.Fatalf("domains: %v (sorted expected)", domains)
+	}
+}

@@ -1,0 +1,25 @@
+package domain
+
+import "testing"
+
+func BenchmarkRegistered(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := DefaultRules.Registered("shop.cheappills77.co.uk"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFromURL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := DefaultRules.FromURL("http://www.cheappills77.com/p/c123?aff=9"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPublicSuffix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = DefaultRules.PublicSuffix("a.b.c.example.com.br")
+	}
+}

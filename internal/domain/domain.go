@@ -1,0 +1,242 @@
+// Package domain implements registered-domain ("eTLD+1") handling, the
+// unit of comparison used throughout the reproduction.
+//
+// The paper compares feeds at the granularity of registered domains: the
+// part of a fully-qualified name that its owner registered with the
+// registrar ("ucsd.edu" for "cs.ucsd.edu"), because spammers can mint
+// arbitrarily many names below a registration to frustrate finer-grained
+// blacklisting. This package provides public-suffix rules with the same
+// semantics as the Public Suffix List (normal, wildcard and exception
+// rules), FQDN and URL parsing, and validation.
+package domain
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+)
+
+// Errors returned by the parsing functions.
+var (
+	ErrEmpty        = errors.New("domain: empty name")
+	ErrIPAddress    = errors.New("domain: name is an IP address")
+	ErrBadLabel     = errors.New("domain: invalid label")
+	ErrTooLong      = errors.New("domain: name exceeds 253 octets")
+	ErrPublicSuffix = errors.New("domain: name is a bare public suffix")
+)
+
+// Name is a normalized registered domain (lowercase, no trailing dot).
+type Name string
+
+// String returns the domain as a plain string.
+func (n Name) String() string { return string(n) }
+
+// TLD returns the name's rightmost label ("com" for "example.com").
+func (n Name) TLD() string {
+	s := string(n)
+	if i := strings.LastIndexByte(s, '.'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+// ruleKind discriminates public-suffix rule types.
+type ruleKind uint8
+
+const (
+	ruleNormal    ruleKind = iota // "com" — the labels themselves are a suffix
+	ruleWildcard                  // "*.ck" — any single label under ck is a suffix
+	ruleException                 // "!www.ck" — cancels a wildcard; www.ck is registrable
+)
+
+// Rules is a compiled set of public-suffix rules. The zero value has no
+// rules; use DefaultRules for the embedded practical set.
+type Rules struct {
+	rules map[string]ruleKind
+}
+
+// NewRules compiles a rule list. Each entry uses PSL syntax: a plain
+// suffix ("com", "co.uk"), a wildcard ("*.ck"), or an exception
+// ("!www.ck"). Entries are case-insensitive.
+func NewRules(entries []string) (*Rules, error) {
+	r := &Rules{rules: make(map[string]ruleKind, len(entries))}
+	for _, e := range entries {
+		e = strings.ToLower(strings.TrimSpace(e))
+		if e == "" || strings.HasPrefix(e, "//") {
+			continue
+		}
+		kind := ruleNormal
+		switch {
+		case strings.HasPrefix(e, "!"):
+			kind = ruleException
+			e = e[1:]
+		case strings.HasPrefix(e, "*."):
+			kind = ruleWildcard
+			e = e[2:]
+		}
+		if e == "" {
+			return nil, fmt.Errorf("domain: empty rule after prefix")
+		}
+		for _, label := range strings.Split(e, ".") {
+			if !validLabel(label) {
+				return nil, fmt.Errorf("%w: %q in rule", ErrBadLabel, label)
+			}
+		}
+		r.rules[e] = kind
+	}
+	return r, nil
+}
+
+// MustNewRules is NewRules that panics on error; for static rule tables.
+func MustNewRules(entries []string) *Rules {
+	r, err := NewRules(entries)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Len returns the number of compiled rules.
+func (r *Rules) Len() int { return len(r.rules) }
+
+// PublicSuffix returns the public suffix of the normalized name
+// (without scheme/port/trailing dot) according to the rule set. If no
+// rule matches, the rightmost label is the suffix (the PSL "default
+// rule" `*`).
+func (r *Rules) PublicSuffix(name string) string {
+	labels := strings.Split(name, ".")
+	// Walk suffixes from the shortest (rightmost label) to the whole
+	// name, tracking the longest matching rule. Exception rules win
+	// over everything at their level.
+	bestLen := 1 // default rule: rightmost label
+	for i := len(labels) - 1; i >= 0; i-- {
+		suffix := strings.Join(labels[i:], ".")
+		kind, ok := r.rules[suffix]
+		if ok {
+			switch kind {
+			case ruleNormal:
+				if n := len(labels) - i; n > bestLen {
+					bestLen = n
+				}
+			case ruleWildcard:
+				// "*.foo" makes every direct child of foo a suffix.
+				if n := len(labels) - i + 1; i > 0 && n > bestLen {
+					bestLen = n
+				}
+				if n := len(labels) - i; n > bestLen {
+					bestLen = n
+				}
+			case ruleException:
+				// Exception: the matched name itself is registrable,
+				// so its parent is the public suffix.
+				return strings.Join(labels[i+1:], ".")
+			}
+		}
+	}
+	return strings.Join(labels[len(labels)-bestLen:], ".")
+}
+
+// Registered reduces a fully-qualified domain name to its registered
+// domain. The input may carry a port, trailing dot, or mixed case. It
+// returns an error for empty names, IP addresses, invalid labels, or
+// names that are themselves bare public suffixes.
+func (r *Rules) Registered(fqdn string) (Name, error) {
+	name, err := Normalize(fqdn)
+	if err != nil {
+		return "", err
+	}
+	suffix := r.PublicSuffix(name)
+	if name == suffix {
+		return "", fmt.Errorf("%w: %q", ErrPublicSuffix, fqdn)
+	}
+	// The registered domain is the suffix plus one label.
+	rest := strings.TrimSuffix(name, "."+suffix)
+	if i := strings.LastIndexByte(rest, '.'); i >= 0 {
+		rest = rest[i+1:]
+	}
+	return Name(rest + "." + suffix), nil
+}
+
+// Normalize lowercases a hostname, strips any port and trailing dot,
+// and validates its labels. It rejects IP addresses.
+func Normalize(fqdn string) (string, error) {
+	s := strings.ToLower(strings.TrimSpace(fqdn))
+	if s == "" {
+		return "", ErrEmpty
+	}
+	// Strip a port if present. A bare IPv6 literal in brackets is
+	// rejected below as an IP.
+	if h, _, err := net.SplitHostPort(s); err == nil {
+		s = h
+	}
+	s = strings.TrimSuffix(s, ".")
+	if s == "" {
+		return "", ErrEmpty
+	}
+	if net.ParseIP(s) != nil {
+		return "", fmt.Errorf("%w: %q", ErrIPAddress, fqdn)
+	}
+	if len(s) > 253 {
+		return "", fmt.Errorf("%w: %q", ErrTooLong, fqdn)
+	}
+	for _, label := range strings.Split(s, ".") {
+		if !validLabel(label) {
+			return "", fmt.Errorf("%w: %q in %q", ErrBadLabel, label, fqdn)
+		}
+	}
+	return s, nil
+}
+
+// validLabel reports whether s is a valid DNS label: 1..63 chars of
+// letters, digits, and interior hyphens.
+func validLabel(s string) bool {
+	if len(s) == 0 || len(s) > 63 {
+		return false
+	}
+	if s[0] == '-' || s[len(s)-1] == '-' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c >= '0' && c <= '9':
+		case c == '-':
+		case c >= 'A' && c <= 'Z':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// FromURL extracts the registered domain from a spam-advertised URL.
+// It tolerates scheme-less URLs ("example.com/buy") as the paper's
+// feeds often report bare domains.
+func (r *Rules) FromURL(rawURL string) (Name, error) {
+	host := HostOf(rawURL)
+	if host == "" {
+		return "", ErrEmpty
+	}
+	return r.Registered(host)
+}
+
+// HostOf returns the host portion of a (possibly scheme-less) URL,
+// without validation. It returns "" if no host can be identified.
+func HostOf(rawURL string) string {
+	s := strings.TrimSpace(rawURL)
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	// Strip userinfo.
+	if i := strings.IndexByte(s, '@'); i >= 0 {
+		if j := strings.IndexAny(s, "/?#"); j < 0 || i < j {
+			s = s[i+1:]
+		}
+	}
+	if i := strings.IndexAny(s, "/?#"); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}

@@ -1,0 +1,19 @@
+package domain_test
+
+import (
+	"fmt"
+
+	"tasterschoice/internal/domain"
+)
+
+func ExampleRules_Registered() {
+	d, _ := domain.DefaultRules.Registered("shop.cheappills77.co.uk")
+	fmt.Println(d)
+	// Output: cheappills77.co.uk
+}
+
+func ExampleRules_FromURL() {
+	d, _ := domain.DefaultRules.FromURL("http://www.cheappills77.com/p/c12?aff=9")
+	fmt.Println(d)
+	// Output: cheappills77.com
+}

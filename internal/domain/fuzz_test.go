@@ -1,0 +1,40 @@
+package domain
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRegistered ensures registered-domain reduction never panics and
+// is idempotent on its own output.
+func FuzzRegistered(f *testing.F) {
+	f.Add("www.example.com")
+	f.Add("a.b.c.co.uk")
+	f.Add("x.www.ck")
+	f.Add("127.0.0.1")
+	f.Add("..")
+	f.Add(strings.Repeat("a.", 200) + "com")
+	f.Fuzz(func(t *testing.T, name string) {
+		d, err := DefaultRules.Registered(name)
+		if err != nil {
+			return
+		}
+		again, err := DefaultRules.Registered(d.String())
+		if err != nil {
+			t.Fatalf("Registered not re-parseable: %q -> %q: %v", name, d, err)
+		}
+		if again != d {
+			t.Fatalf("not idempotent: %q -> %q -> %q", name, d, again)
+		}
+	})
+}
+
+// FuzzFromURL ensures URL reduction never panics.
+func FuzzFromURL(f *testing.F) {
+	f.Add("http://user@www.shop.example.co.uk:8080/p/c1?x=1#f")
+	f.Add("www.x.com")
+	f.Add("://")
+	f.Fuzz(func(t *testing.T, raw string) {
+		_, _ = DefaultRules.FromURL(raw)
+	})
+}

@@ -1,0 +1,52 @@
+package domain
+
+// DefaultRules is a practical public-suffix rule set covering the TLDs
+// the simulation and the paper's analyses use: the seven zone-file TLDs
+// the paper checks (com, net, org, biz, us, aero, info) plus other
+// common TLDs, a representative set of multi-label country suffixes,
+// and wildcard/exception cases exercising full PSL semantics.
+var DefaultRules = MustNewRules([]string{
+	// Generic TLDs (the paper's zone-file set first).
+	"com", "net", "org", "biz", "us", "aero", "info",
+	"edu", "gov", "mil", "int", "name", "mobi", "pro", "tel", "travel",
+	"cat", "jobs", "museum", "coop", "asia", "xxx",
+	// Common ccTLDs used by spam-advertised domains in 2010.
+	"ru", "cn", "in", "de", "fr", "nl", "eu", "it", "es", "pl", "cz",
+	"ro", "br", "mx", "ca", "ch", "at", "be", "se", "no", "dk", "fi",
+	"jp", "kr", "tw", "hk", "sg", "my", "th", "vn", "ph", "id", "tr",
+	"ua", "by", "kz", "lv", "lt", "ee", "gr", "pt", "hu", "sk", "si",
+	"bg", "hr", "rs", "il", "ae", "sa", "za", "ng", "ke", "eg", "ma",
+	"ar", "cl", "co", "pe", "ve", "tv", "cc", "ws", "to", "me", "io",
+	"im", "ms", "nu", "st", "vg", "am", "fm", "gd", "gs", "la", "md",
+	// Multi-label public suffixes.
+	"co.uk", "org.uk", "me.uk", "ltd.uk", "plc.uk", "net.uk", "ac.uk", "gov.uk",
+	"com.au", "net.au", "org.au", "edu.au", "gov.au", "id.au",
+	"com.br", "net.br", "org.br", "gov.br",
+	"com.cn", "net.cn", "org.cn", "gov.cn", "edu.cn",
+	"co.in", "net.in", "org.in", "firm.in", "gen.in", "ind.in",
+	"co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp",
+	"co.kr", "ne.kr", "or.kr", "re.kr",
+	"com.mx", "net.mx", "org.mx",
+	"co.nz", "net.nz", "org.nz", "ac.nz", "govt.nz",
+	"com.ru", "net.ru", "org.ru", "pp.ru",
+	"com.tw", "net.tw", "org.tw",
+	"co.za", "net.za", "org.za", "web.za",
+	"com.ua", "net.ua", "org.ua", "in.ua",
+	"com.tr", "net.tr", "org.tr", "gen.tr",
+	"com.sg", "net.sg", "org.sg",
+	"com.hk", "net.hk", "org.hk",
+	"com.my", "net.my", "org.my",
+	"com.ph", "net.ph", "org.ph",
+	"com.vn", "net.vn", "org.vn",
+	"com.ar", "net.ar", "org.ar",
+	"com.co", "net.co", "org.co",
+	"com.pl", "net.pl", "org.pl", "waw.pl",
+	"uk", "au", "nz",
+	// Wildcard and exception rules (PSL semantics).
+	"*.ck", "!www.ck",
+	"*.bd",
+	"*.er",
+	"*.fk",
+	"*.np",
+	"*.pg",
+})

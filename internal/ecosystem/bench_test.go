@@ -1,0 +1,19 @@
+package ecosystem
+
+import "testing"
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	cfg := testConfig(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MustGenerate(cfg)
+	}
+}
+
+func BenchmarkGenerateDefault(b *testing.B) {
+	cfg := DefaultConfig(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MustGenerate(cfg)
+	}
+}

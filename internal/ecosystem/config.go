@@ -1,0 +1,255 @@
+package ecosystem
+
+import (
+	"fmt"
+
+	"tasterschoice/internal/simclock"
+)
+
+// Config controls ecosystem generation. The zero value is not usable;
+// start from DefaultConfig.
+//
+// The default scenario is scaled roughly 1:1000 in message volume and
+// 1:50 in domain counts relative to the paper's feeds, so a full
+// three-month simulation plus all analyses runs in seconds. Scale
+// multiplies campaign counts and volumes for smaller (tests) or larger
+// runs.
+type Config struct {
+	// Seed drives all generation; equal seeds give identical worlds.
+	Seed uint64
+	// Window is the measurement period.
+	Window simclock.Window
+	// Scale multiplies campaign counts and volumes. 1.0 is the
+	// default scenario; tests use smaller values.
+	Scale float64
+
+	// Affiliate program structure.
+	PharmaPrograms   int // number of pharmacy programs (first is RX)
+	ReplicaPrograms  int
+	SoftwarePrograms int
+	// RXAffiliates is the number of affiliates in the RX program; the
+	// paper identified 846 distinct RX-Promotion affiliate IDs.
+	RXAffiliates int
+	// OtherAffiliatesMean is the mean affiliate count per non-RX
+	// program.
+	OtherAffiliatesMean float64
+	// RXLoudAffiliates is how many RX affiliates advertise through
+	// botnets; the paper's honeypot feeds see only ~20 RX affiliates.
+	RXLoudAffiliates int
+	// QuietAffiliateFrac is the fraction of each program's affiliates
+	// (by descending revenue) that run quiet targeted campaigns. The
+	// rest, minus the loud ones, run tiny campaigns.
+	QuietAffiliateFrac float64
+
+	// Affiliate revenue model (annual USD, Pareto).
+	RevenueMin   float64
+	RevenueAlpha float64
+
+	// Botnets.
+	Botnets          int
+	MonitoredBotnets int
+	// BotnetAffiliatesMean is the mean roster size (operator plus
+	// renter affiliates) per botnet.
+	BotnetAffiliatesMean float64
+
+	// Campaign counts at Scale = 1.
+	// QuietCampaignProb is the probability a quiet-tier affiliate
+	// runs at least one campaign during the window; QuietExtraMean is
+	// the expected number of additional campaigns (Poisson).
+	QuietCampaignProb float64
+	QuietExtraMean    float64
+	// TinyCampaignProb is the probability a tiny-tier affiliate runs
+	// a campaign during the window.
+	TinyCampaignProb float64
+	// LoudCampaignsPerSlot is the expected number of campaigns each
+	// botnet-roster affiliate launches during the window.
+	LoudCampaignsPerSlot float64
+	// MegaCampaigns is the number of months-long, very high-volume
+	// botnet campaigns (the Rustock-style continuous pharma blasts
+	// that dominate global spam volume). Their domains persist after
+	// rotation, so a short oracle window still samples them — the
+	// property behind the paper's low mx2-vs-Mail variation distance.
+	MegaCampaigns int
+	// MegaVolumeMultiplier scales LoudVolumeMedian for mega
+	// campaigns; MegaMinDays/MegaMaxDays bound their duration.
+	MegaVolumeMultiplier float64
+	MegaMinDays          float64
+	MegaMaxDays          float64
+	// MegaDomainsMean is the mean rotated-domain count per mega
+	// campaign.
+	MegaDomainsMean float64
+	// OtherGoodsCampaigns is the number of untagged-goods e-mail
+	// campaigns (sites live, no storefront signature).
+	OtherGoodsCampaigns int
+	// OtherGoodsLoudFrac is the fraction of other-goods campaigns
+	// sent loudly through botnets.
+	OtherGoodsLoudFrac float64
+	// WebOnlyDomains is the number of domains advertised only via
+	// web/search spam (reaching only the hybrid feed).
+	WebOnlyDomains int
+	// WebOnlyTaggedFrac is the fraction of web-only domains that are
+	// genuine program storefronts advertised through search spam —
+	// the hybrid feed's exclusive tagged contribution.
+	WebOnlyTaggedFrac float64
+
+	// Campaign volume models (log-normal, nominal messages at
+	// Scale = 1).
+	LoudVolumeMedian  float64
+	LoudVolumeSigma   float64
+	QuietVolumeMedian float64
+	QuietVolumeSigma  float64
+	TinyVolumeMedian  float64
+	TinyVolumeSigma   float64
+	OtherVolumeMedian float64
+	OtherVolumeSigma  float64
+
+	// Domain rotation.
+	LoudDomainsMean  float64 // mean rotated domains per loud campaign
+	QuietDomainsMean float64
+	// RedirectorAdFrac is the fraction of loud ad slots abusing a
+	// benign redirection service instead of a registered domain.
+	RedirectorAdFrac float64
+	// LandingAdFrac is the fraction of ad slots using a dedicated
+	// landing domain that redirects to the storefront.
+	LandingAdFrac float64
+
+	// Liveness at crawl time, per class.
+	LoudAliveProb    float64
+	QuietAliveProb   float64
+	TinyAliveProb    float64
+	OtherAliveProb   float64
+	WebOnlyAliveProb float64
+	// WebOnlyRegisteredProb is the fraction of web-only spam domains
+	// that are actually registered (web-spam feeds carry junk).
+	WebOnlyRegisteredProb float64
+
+	// Benign universe.
+	BenignDomains int
+	AlexaTopN     int // top-ranked benign domains flagged as Alexa
+	ODPDomains    int // benign domains flagged as ODP listings
+	Redirectors   int // popular benign domains offering redirection
+	// ObscureRegistered is a pool of registered but unpopular
+	// domains; random-looking poison names occasionally collide with
+	// these (the Bot feed's exclusive live domains).
+	ObscureRegistered int
+
+	// Poisoning (the Rustock episode): the poisoner botnet emits
+	// random unregistered domains between the two day offsets.
+	PoisonStartDay int
+	PoisonEndDay   int
+}
+
+// DefaultConfig returns the default scenario for the given seed.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:   seed,
+		Window: simclock.PaperWindow(),
+		Scale:  1.0,
+
+		PharmaPrograms:      29,
+		ReplicaPrograms:     10,
+		SoftwarePrograms:    6,
+		RXAffiliates:        846,
+		OtherAffiliatesMean: 25,
+		RXLoudAffiliates:    26,
+		QuietAffiliateFrac:  0.42,
+
+		RevenueMin:   1500,
+		RevenueAlpha: 1.15,
+
+		Botnets:              30,
+		MonitoredBotnets:     4,
+		BotnetAffiliatesMean: 4.5,
+
+		QuietCampaignProb:    0.97,
+		QuietExtraMean:       0.25,
+		TinyCampaignProb:     0.97,
+		LoudCampaignsPerSlot: 2.4,
+		MegaCampaigns:        3,
+		MegaVolumeMultiplier: 500,
+		MegaMinDays:          55,
+		MegaMaxDays:          88,
+		MegaDomainsMean:      10,
+		OtherGoodsCampaigns:  5200,
+		OtherGoodsLoudFrac:   0.06,
+		WebOnlyDomains:       7000,
+		WebOnlyTaggedFrac:    0.012,
+
+		LoudVolumeMedian:  30000,
+		LoudVolumeSigma:   1.0,
+		QuietVolumeMedian: 1100,
+		QuietVolumeSigma:  0.8,
+		TinyVolumeMedian:  160,
+		TinyVolumeSigma:   0.6,
+		OtherVolumeMedian: 220,
+		OtherVolumeSigma:  0.9,
+
+		LoudDomainsMean:  3.0,
+		QuietDomainsMean: 1.3,
+		RedirectorAdFrac: 0.02,
+		LandingAdFrac:    0.10,
+
+		LoudAliveProb:    0.88,
+		QuietAliveProb:   0.72,
+		TinyAliveProb:    0.55,
+		OtherAliveProb:   0.55,
+		WebOnlyAliveProb: 0.62,
+
+		WebOnlyRegisteredProb: 0.72,
+
+		BenignDomains: 20000,
+		AlexaTopN:     8000,
+		ODPDomains:    4000,
+		Redirectors:   30,
+
+		ObscureRegistered: 3000,
+
+		PoisonStartDay: 24,
+		PoisonEndDay:   45,
+	}
+}
+
+// Validate checks the configuration for structural errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.Window.Duration() <= 0:
+		return fmt.Errorf("ecosystem: empty window")
+	case c.Scale <= 0:
+		return fmt.Errorf("ecosystem: Scale must be positive, got %g", c.Scale)
+	case c.PharmaPrograms < 1:
+		return fmt.Errorf("ecosystem: need at least one pharma program (the RX program)")
+	case c.RXAffiliates < 1:
+		return fmt.Errorf("ecosystem: need at least one RX affiliate")
+	case c.RXLoudAffiliates > c.RXAffiliates:
+		return fmt.Errorf("ecosystem: RXLoudAffiliates %d exceeds RXAffiliates %d",
+			c.RXLoudAffiliates, c.RXAffiliates)
+	case c.MonitoredBotnets > c.Botnets:
+		return fmt.Errorf("ecosystem: MonitoredBotnets %d exceeds Botnets %d",
+			c.MonitoredBotnets, c.Botnets)
+	case c.Botnets < 1:
+		return fmt.Errorf("ecosystem: need at least one botnet")
+	case c.QuietAffiliateFrac < 0 || c.QuietAffiliateFrac > 1:
+		return fmt.Errorf("ecosystem: QuietAffiliateFrac out of [0,1]")
+	case c.AlexaTopN > c.BenignDomains:
+		return fmt.Errorf("ecosystem: AlexaTopN %d exceeds BenignDomains %d",
+			c.AlexaTopN, c.BenignDomains)
+	case c.ODPDomains > c.BenignDomains:
+		return fmt.Errorf("ecosystem: ODPDomains %d exceeds BenignDomains %d",
+			c.ODPDomains, c.BenignDomains)
+	case c.Redirectors > c.BenignDomains:
+		return fmt.Errorf("ecosystem: Redirectors %d exceeds BenignDomains %d",
+			c.Redirectors, c.BenignDomains)
+	case c.PoisonEndDay < c.PoisonStartDay:
+		return fmt.Errorf("ecosystem: poison window inverted")
+	}
+	return nil
+}
+
+// scaled multiplies a count by the scale factor, keeping at least min.
+func (c *Config) scaled(n int, min int) int {
+	v := int(float64(n) * c.Scale)
+	if v < min {
+		v = min
+	}
+	return v
+}

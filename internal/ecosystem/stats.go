@@ -1,0 +1,86 @@
+package ecosystem
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WorldStats summarizes a generated world — the inventory printed by
+// cmd/tasters so a reader can see what the scenario actually contains.
+type WorldStats struct {
+	Programs   int
+	Affiliates int
+	// RXAffiliates is the keyed-affiliate roster size.
+	RXAffiliates int
+	Botnets      int
+	Monitored    int
+	// Campaign counts by class; Mega counts the months-long blasts
+	// (a subset of Loud).
+	Loud, Quiet, Tiny, WebOnly, Mega int
+	// AdDomains is the number of advertised domain slots; SpamDomains
+	// the distinct registered spam domains created for them.
+	AdDomains   int
+	SpamDomains int
+	Benign      int
+	// NominalVolume is the total campaign volume at simulation scale.
+	NominalVolume float64
+}
+
+// Stats computes the inventory.
+func (w *World) Stats() WorldStats {
+	s := WorldStats{
+		Programs:   len(w.Programs),
+		Affiliates: len(w.Affiliates),
+		Botnets:    len(w.Botnets),
+		Benign:     len(w.Benign),
+	}
+	rx := w.RXProgram()
+	for i := range w.Affiliates {
+		if rx != nil && w.Affiliates[i].Program == rx.ID {
+			s.RXAffiliates++
+		}
+	}
+	for i := range w.Botnets {
+		if w.Botnets[i].Monitored {
+			s.Monitored++
+		}
+	}
+	spamDomains := make(map[string]bool)
+	for i := range w.Campaigns {
+		c := &w.Campaigns[i]
+		switch c.Class {
+		case ClassLoud:
+			s.Loud++
+			if c.Duration().Hours() > 24*45 {
+				s.Mega++
+			}
+		case ClassQuiet:
+			s.Quiet++
+		case ClassTiny:
+			s.Tiny++
+		case ClassWebOnly:
+			s.WebOnly++
+		}
+		s.NominalVolume += c.Volume
+		for _, d := range c.Domains {
+			s.AdDomains++
+			if !d.Redirector {
+				spamDomains[string(d.Name)] = true
+			}
+		}
+	}
+	s.SpamDomains = len(spamDomains)
+	return s
+}
+
+// String renders the inventory compactly.
+func (s WorldStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d programs (%d RX affiliates of %d total), %d botnets (%d monitored)\n",
+		s.Programs, s.RXAffiliates, s.Affiliates, s.Botnets, s.Monitored)
+	fmt.Fprintf(&b, "campaigns: %d loud (%d mega), %d quiet, %d tiny, %d web-only\n",
+		s.Loud, s.Mega, s.Quiet, s.Tiny, s.WebOnly)
+	fmt.Fprintf(&b, "%d ad slots over %d spam domains, %d benign domains, %.1fM nominal messages",
+		s.AdDomains, s.SpamDomains, s.Benign, s.NominalVolume/1e6)
+	return b.String()
+}

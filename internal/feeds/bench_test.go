@@ -1,0 +1,38 @@
+package feeds
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/simclock"
+)
+
+func BenchmarkObserve(b *testing.B) {
+	f := New("bench", KindMXHoneypot, true, true)
+	t0 := simclock.PaperStart
+	names := make([]domain.Name, 1000)
+	for i := range names {
+		names[i] = domain.Name(fmt.Sprintf("domain%04d.com", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Observe(t0, names[i%len(names)], "http://x.com/")
+	}
+}
+
+func BenchmarkWriteTSV(b *testing.B) {
+	f := New("bench", KindMXHoneypot, true, true)
+	t0 := simclock.PaperStart
+	for i := 0; i < 5000; i++ {
+		f.Observe(t0, domain.Name(fmt.Sprintf("domain%05d.com", i)), "http://x.com/p/c1")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := f.WriteTSV(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

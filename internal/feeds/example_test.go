@@ -1,0 +1,30 @@
+package feeds_test
+
+import (
+	"fmt"
+	"time"
+
+	"tasterschoice/internal/feeds"
+)
+
+func ExampleFeed_Observe() {
+	at := time.Date(2010, 8, 1, 12, 0, 0, 0, time.UTC)
+	f := feeds.New("mx1", feeds.KindMXHoneypot, true, true)
+	f.Observe(at, "cheappills.com", "http://cheappills.com/p/c1")
+	f.Observe(at.Add(time.Hour), "cheappills.com", "http://cheappills.com/p/c1")
+	s, _ := f.Stat("cheappills.com")
+	fmt.Printf("%d samples, %d unique, count=%d\n", f.Samples(), f.Unique(), s.Count)
+	// Output: 2 samples, 1 unique, count=2
+}
+
+func ExampleUnion() {
+	at := time.Date(2010, 8, 1, 0, 0, 0, 0, time.UTC)
+	a := feeds.New("mx1", feeds.KindMXHoneypot, true, true)
+	a.Observe(at, "pills.com", "")
+	b := feeds.New("Ac1", feeds.KindHoneyAccount, true, true)
+	b.Observe(at.Add(time.Hour), "pills.com", "")
+	b.Observe(at, "watches.net", "")
+	u := feeds.Union("super-feed", a, b)
+	fmt.Printf("%d domains, %d samples\n", u.Unique(), u.Samples())
+	// Output: 2 domains, 3 samples
+}

@@ -1,0 +1,297 @@
+// Package feeds defines the spam-feed data model used throughout the
+// reproduction: a feed is a named stream of (time, domain[, URL])
+// observations, aggregated per registered domain.
+//
+// Feeds differ in reporting semantics exactly as in the paper: some
+// carry meaningful per-domain volumes, blacklists are binary (a domain
+// is listed once), some report full URLs while others only registered
+// domains. Collection methodology — who sees which spam — lives in
+// internal/mailflow; this package only records observations.
+package feeds
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tasterschoice/internal/domain"
+)
+
+// Kind is a feed's collection methodology, per the paper's taxonomy.
+type Kind uint8
+
+const (
+	// KindHuman is human-identified spam from a large webmail
+	// provider ("this is spam" reports).
+	KindHuman Kind = iota
+	// KindBlacklist is an operational domain blacklist (meta-feed).
+	KindBlacklist
+	// KindMXHoneypot accepts all SMTP to quiescent domains.
+	KindMXHoneypot
+	// KindHoneyAccount is seeded honey e-mail accounts.
+	KindHoneyAccount
+	// KindBotnet is spam captured from monitored bot instances.
+	KindBotnet
+	// KindHybrid is a feed of unknown, mixed methodology.
+	KindHybrid
+)
+
+// String returns the kind name as used in the paper.
+func (k Kind) String() string {
+	switch k {
+	case KindHuman:
+		return "Human identified"
+	case KindBlacklist:
+		return "Blacklist"
+	case KindMXHoneypot:
+		return "MX honeypot"
+	case KindHoneyAccount:
+		return "Seeded honey accounts"
+	case KindBotnet:
+		return "Botnet"
+	case KindHybrid:
+		return "Hybrid"
+	default:
+		return "Unknown"
+	}
+}
+
+// DomainStat aggregates a feed's observations of one registered domain.
+type DomainStat struct {
+	// Count is the number of samples naming the domain.
+	Count int64
+	// First and Last are the earliest and latest observation times.
+	First, Last time.Time
+	// SampleURL is one URL observed for the domain ("" for
+	// domain-only feeds); the crawler visits it, as the paper visits
+	// received URLs.
+	SampleURL string
+}
+
+// Feed is an aggregated spam-domain feed.
+type Feed struct {
+	// Name is the feed mnemonic ("Hu", "mx1", "uribl", ...).
+	Name string
+	// Kind is the collection methodology.
+	Kind Kind
+	// HasVolume reports whether per-domain counts carry meaning; the
+	// paper's proportionality analysis uses only such feeds.
+	HasVolume bool
+	// URLs reports whether the feed reports full URLs (true) or bare
+	// registered domains (false).
+	URLs bool
+	// DedupWindow, when positive, makes the provider de-duplicate
+	// identically advertised domains: an observation of a domain
+	// within the window after its previous record is dropped (paper
+	// §2 — "some providers will de-duplicate identically advertised
+	// domains within a given time window"). Deduplicated feeds are
+	// unsuitable for volume analysis.
+	DedupWindow time.Duration
+	// Tap, when set, receives every recorded observation as a raw
+	// record — the hook a provider uses to publish its subscription
+	// stream (see internal/feedsync) while aggregating locally.
+	// Deduplicated observations are not tapped: the provider reports
+	// nothing new for them.
+	Tap func(RawRecord)
+
+	samples int64
+	// deduped counts observations dropped by the dedup window.
+	deduped int64
+	stats   map[domain.Name]*DomainStat
+}
+
+// New creates an empty feed.
+func New(name string, kind Kind, hasVolume, urls bool) *Feed {
+	return &Feed{
+		Name:      name,
+		Kind:      kind,
+		HasVolume: hasVolume,
+		URLs:      urls,
+		stats:     make(map[domain.Name]*DomainStat),
+	}
+}
+
+// Observe records one sample naming d at time t, optionally with the
+// URL it was advertised by. URLs are retained only for URL-reporting
+// feeds and only the first seen per domain. Observations suppressed by
+// the dedup window still extend the domain's Last timestamp (the
+// provider saw the mail; it just reported nothing new).
+func (f *Feed) Observe(t time.Time, d domain.Name, url string) {
+	s := f.stats[d]
+	if s == nil {
+		f.samples++
+		s = &DomainStat{Count: 1, First: t, Last: t}
+		if f.URLs {
+			s.SampleURL = url
+		}
+		f.stats[d] = s
+		f.tap(t, d, url)
+		return
+	}
+	if f.DedupWindow > 0 && !t.Before(s.Last) && t.Sub(s.Last) < f.DedupWindow {
+		f.deduped++
+		s.Last = t
+		return
+	}
+	f.samples++
+	s.Count++
+	if t.Before(s.First) {
+		s.First = t
+	}
+	if t.After(s.Last) {
+		s.Last = t
+	}
+	f.tap(t, d, url)
+}
+
+// tap forwards one recorded observation to the subscription hook.
+func (f *Feed) tap(t time.Time, d domain.Name, url string) {
+	if f.Tap == nil {
+		return
+	}
+	if !f.URLs {
+		url = ""
+	}
+	f.Tap(RawRecord{Time: t, Domain: string(d), URL: url})
+}
+
+// ObserveOnce records d in blacklist fashion: only the first listing is
+// kept, with Count pinned to 1 (a domain either is on the list at time
+// t or it is not).
+func (f *Feed) ObserveOnce(t time.Time, d domain.Name) {
+	if s, ok := f.stats[d]; ok {
+		if t.Before(s.First) {
+			s.First = t
+			s.Last = t
+		}
+		return
+	}
+	f.samples++
+	f.stats[d] = &DomainStat{Count: 1, First: t, Last: t}
+	f.tap(t, d, "")
+}
+
+// Samples returns the total number of recorded samples (the paper's
+// "Domains" column in Table 1).
+func (f *Feed) Samples() int64 { return f.samples }
+
+// Deduped returns the number of observations suppressed by the dedup
+// window.
+func (f *Feed) Deduped() int64 { return f.deduped }
+
+// Unique returns the number of distinct registered domains.
+func (f *Feed) Unique() int { return len(f.stats) }
+
+// Stat returns the aggregate for d.
+func (f *Feed) Stat(d domain.Name) (DomainStat, bool) {
+	s, ok := f.stats[d]
+	if !ok {
+		return DomainStat{}, false
+	}
+	return *s, true
+}
+
+// Has reports whether the feed contains d.
+func (f *Feed) Has(d domain.Name) bool {
+	_, ok := f.stats[d]
+	return ok
+}
+
+// Domains returns the feed's distinct domains in sorted order.
+func (f *Feed) Domains() []domain.Name {
+	out := make([]domain.Name, 0, len(f.stats))
+	for d := range f.stats {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DomainSet returns the feed's domains as a set keyed by plain string.
+func (f *Feed) DomainSet() map[string]bool {
+	out := make(map[string]bool, len(f.stats))
+	for d := range f.stats {
+		out[string(d)] = true
+	}
+	return out
+}
+
+// Counts returns per-domain sample counts keyed by plain string, the
+// input to empirical volume distributions.
+func (f *Feed) Counts() map[string]int64 {
+	out := make(map[string]int64, len(f.stats))
+	for d, s := range f.stats {
+		out[string(d)] = s.Count
+	}
+	return out
+}
+
+// Each calls fn for every domain in sorted order.
+func (f *Feed) Each(fn func(d domain.Name, s DomainStat)) {
+	for _, d := range f.Domains() {
+		fn(d, *f.stats[d])
+	}
+}
+
+// Retain drops every domain for which keep returns false, returning the
+// number removed. The paper applies this to blacklist feeds, keeping
+// only entries that co-occur in a base feed (blacklist-only domains
+// could not be crawled).
+func (f *Feed) Retain(keep func(d domain.Name) bool) int {
+	removed := 0
+	for d, s := range f.stats {
+		if !keep(d) {
+			f.samples -= s.Count
+			delete(f.stats, d)
+			removed++
+		}
+	}
+	return removed
+}
+
+// String summarizes the feed.
+func (f *Feed) String() string {
+	return fmt.Sprintf("%s[%s]: %d samples, %d unique domains",
+		f.Name, f.Kind, f.samples, f.Unique())
+}
+
+// Union builds the aggregate super-feed the paper uses as its working
+// ideal ("we combine all of our feeds into one aggregate super-feed,
+// taking it as our ideal", §4): per domain, counts sum and the
+// first/last appearances span all inputs. Volume semantics survive only
+// if every input has them; URL reporting survives if any input has it.
+func Union(name string, inputs ...*Feed) *Feed {
+	hasVolume := len(inputs) > 0
+	urls := false
+	for _, f := range inputs {
+		hasVolume = hasVolume && f.HasVolume
+		urls = urls || f.URLs
+	}
+	out := New(name, KindHybrid, hasVolume, urls)
+	for _, f := range inputs {
+		for d, s := range f.stats {
+			t := out.stats[d]
+			if t == nil {
+				copied := *s
+				if !out.URLs {
+					copied.SampleURL = ""
+				}
+				out.stats[d] = &copied
+				out.samples += s.Count
+				continue
+			}
+			t.Count += s.Count
+			out.samples += s.Count
+			if s.First.Before(t.First) {
+				t.First = s.First
+			}
+			if s.Last.After(t.Last) {
+				t.Last = s.Last
+			}
+			if t.SampleURL == "" && out.URLs {
+				t.SampleURL = s.SampleURL
+			}
+		}
+	}
+	return out
+}

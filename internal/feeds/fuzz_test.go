@@ -1,0 +1,33 @@
+package feeds
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTSV ensures the feed deserializer never panics and that
+// accepted inputs round-trip.
+func FuzzReadTSV(f *testing.F) {
+	f.Add("#feed x\tmx\ttrue\ttrue\na.com\t2\t2010-08-01T00:00:00Z\t2010-08-02T00:00:00Z\thttp://a.com/\n")
+	f.Add("#feed y\tblacklist\tfalse\tfalse\n")
+	f.Add("garbage")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, raw string) {
+		feed, err := ReadTSV(strings.NewReader(raw))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := feed.WriteTSV(&buf); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		again, err := ReadTSV(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of own output failed: %v", err)
+		}
+		if again.Unique() != feed.Unique() || again.Samples() != feed.Samples() {
+			t.Fatalf("round trip changed counts")
+		}
+	})
+}

@@ -1,0 +1,56 @@
+package feeds
+
+import (
+	"time"
+
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/mailmsg"
+)
+
+// Ingester reduces full e-mail messages to feed observations: it
+// extracts the URLs from a message body, reduces each to a registered
+// domain, and records it. This is the pipeline a real URL-feed operator
+// runs on every received message; the MX honeypot collectors and the
+// SMTP example use it.
+type Ingester struct {
+	Feed  *Feed
+	Rules *domain.Rules
+	// Dropped counts URLs that did not yield a valid registered
+	// domain (IP-literal URLs, bare public suffixes, garbage).
+	Dropped int64
+}
+
+// NewIngester creates an ingester feeding f using the default
+// public-suffix rules.
+func NewIngester(f *Feed) *Ingester {
+	return &Ingester{Feed: f, Rules: domain.DefaultRules}
+}
+
+// IngestMessage extracts and records all advertised domains in the
+// message. The observation time is the message's Date header if set,
+// otherwise fallback. It returns the number of domains recorded.
+func (in *Ingester) IngestMessage(m *mailmsg.Message, fallback time.Time) int {
+	t := m.Date
+	if t.IsZero() {
+		t = fallback
+	}
+	n := 0
+	for _, u := range mailmsg.ExtractURLs(m.Body) {
+		if in.IngestURL(t, u) {
+			n++
+		}
+	}
+	return n
+}
+
+// IngestURL records a single observed URL at time t. It reports whether
+// a registered domain was extracted and recorded.
+func (in *Ingester) IngestURL(t time.Time, rawURL string) bool {
+	d, err := in.Rules.FromURL(rawURL)
+	if err != nil {
+		in.Dropped++
+		return false
+	}
+	in.Feed.Observe(t, d, rawURL)
+	return true
+}

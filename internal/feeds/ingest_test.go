@@ -1,0 +1,64 @@
+package feeds
+
+import (
+	"testing"
+	"time"
+
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/mailmsg"
+)
+
+func TestIngestMessage(t *testing.T) {
+	f := New("mx1", KindMXHoneypot, true, true)
+	in := NewIngester(f)
+	m := &mailmsg.Message{
+		Date: t1,
+		Body: "Buy at http://www.cheappills.com/p/c7 or http://shop.watches.net/p/c8\n" +
+			"chaff: http://w3.org/TR",
+	}
+	n := in.IngestMessage(m, t0)
+	if n != 3 {
+		t.Fatalf("ingested %d domains, want 3", n)
+	}
+	for _, d := range []string{"cheappills.com", "watches.net", "w3.org"} {
+		s, ok := f.Stat(domain.Name(d))
+		if !ok {
+			t.Fatalf("missing %s", d)
+		}
+		if !s.First.Equal(t1) {
+			t.Fatalf("%s observed at %v, want message date %v", d, s.First, t1)
+		}
+	}
+}
+
+func TestIngestMessageFallbackTime(t *testing.T) {
+	f := New("mx1", KindMXHoneypot, true, true)
+	in := NewIngester(f)
+	m := &mailmsg.Message{Body: "http://pills.com/x"}
+	in.IngestMessage(m, t2)
+	s, _ := f.Stat("pills.com")
+	if !s.First.Equal(t2) {
+		t.Fatalf("fallback time not used: %v", s.First)
+	}
+}
+
+func TestIngestURLRejectsGarbage(t *testing.T) {
+	f := New("mx1", KindMXHoneypot, true, true)
+	in := NewIngester(f)
+	bad := []string{
+		"http://192.168.0.1/x", // IP literal
+		"http://com/x",         // bare public suffix
+		"http:///x",            // no host
+	}
+	for _, u := range bad {
+		if in.IngestURL(time.Time{}, u) {
+			t.Errorf("IngestURL(%q) accepted", u)
+		}
+	}
+	if in.Dropped != int64(len(bad)) {
+		t.Fatalf("Dropped = %d, want %d", in.Dropped, len(bad))
+	}
+	if f.Unique() != 0 {
+		t.Fatalf("feed gained %d domains from garbage", f.Unique())
+	}
+}

@@ -1,0 +1,131 @@
+package feeds
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"tasterschoice/internal/domain"
+)
+
+// The TSV serialization format:
+//
+//	#feed <name>\t<kind>\t<hasVolume>\t<urls>
+//	<domain>\t<count>\t<firstRFC3339>\t<lastRFC3339>\t<sampleURL>
+//	...
+//
+// One aggregate row per domain, sorted, making files diffable across
+// runs. cmd/feedgen writes this format and cmd/feedstats reads it.
+
+// kindNames maps Kind values to their serialization tokens.
+var kindNames = map[Kind]string{
+	KindHuman:        "human",
+	KindBlacklist:    "blacklist",
+	KindMXHoneypot:   "mx",
+	KindHoneyAccount: "account",
+	KindBotnet:       "botnet",
+	KindHybrid:       "hybrid",
+}
+
+// kindFromName is the inverse of kindNames.
+func kindFromName(s string) (Kind, bool) {
+	for k, name := range kindNames {
+		if name == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// WriteTSV serializes the feed.
+func (f *Feed) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "#feed %s\t%s\t%t\t%t\n", f.Name, kindNames[f.Kind], f.HasVolume, f.URLs)
+	for _, d := range f.Domains() {
+		s := f.stats[d]
+		fmt.Fprintf(bw, "%s\t%d\t%s\t%s\t%s\n",
+			d, s.Count,
+			s.First.UTC().Format(time.RFC3339Nano),
+			s.Last.UTC().Format(time.RFC3339Nano),
+			s.SampleURL)
+	}
+	return bw.Flush()
+}
+
+// ReadTSV deserializes a feed written by WriteTSV.
+func ReadTSV(r io.Reader) (*Feed, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("feeds: empty input")
+	}
+	header := sc.Text()
+	if !strings.HasPrefix(header, "#feed ") {
+		return nil, fmt.Errorf("feeds: bad header %q", header)
+	}
+	parts := strings.Split(strings.TrimPrefix(header, "#feed "), "\t")
+	if len(parts) != 4 {
+		return nil, fmt.Errorf("feeds: bad header field count %d", len(parts))
+	}
+	kind, ok := kindFromName(parts[1])
+	if !ok {
+		return nil, fmt.Errorf("feeds: unknown kind %q", parts[1])
+	}
+	hasVolume, err := strconv.ParseBool(parts[2])
+	if err != nil {
+		return nil, fmt.Errorf("feeds: bad hasVolume: %w", err)
+	}
+	urls, err := strconv.ParseBool(parts[3])
+	if err != nil {
+		return nil, fmt.Errorf("feeds: bad urls flag: %w", err)
+	}
+	f := New(parts[0], kind, hasVolume, urls)
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("feeds: line %d: want 5 fields, got %d", lineNo, len(fields))
+		}
+		count, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || count < 1 {
+			return nil, fmt.Errorf("feeds: line %d: bad count %q", lineNo, fields[1])
+		}
+		first, err := time.Parse(time.RFC3339Nano, fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("feeds: line %d: bad first time: %w", lineNo, err)
+		}
+		last, err := time.Parse(time.RFC3339Nano, fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("feeds: line %d: bad last time: %w", lineNo, err)
+		}
+		if last.Before(first) {
+			return nil, fmt.Errorf("feeds: line %d: last before first", lineNo)
+		}
+		d := domain.Name(fields[0])
+		if _, dup := f.stats[d]; dup {
+			return nil, fmt.Errorf("feeds: line %d: duplicate domain %s", lineNo, d)
+		}
+		f.stats[d] = &DomainStat{
+			Count:     count,
+			First:     first,
+			Last:      last,
+			SampleURL: fields[4],
+		}
+		f.samples += count
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,84 @@
+package feeds
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"tasterschoice/internal/domain"
+)
+
+// Raw record streams: some providers deliver a record per message
+// rather than aggregates (paper §2: "sometimes data is reported in raw
+// form, with a data record for each and every spam message"). The JSON
+// Lines format here is the wire form of that mode; Feed.Observe
+// aggregates it back.
+
+// RawRecord is one observation in a raw feed stream.
+type RawRecord struct {
+	// Time is the observation timestamp.
+	Time time.Time `json:"time"`
+	// Domain is the registered domain.
+	Domain string `json:"domain"`
+	// URL is the full advertised URL, if the provider reports URLs.
+	URL string `json:"url,omitempty"`
+}
+
+// RawWriter streams raw records as JSON lines.
+type RawWriter struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	// Written counts records emitted.
+	Written int64
+}
+
+// NewRawWriter wraps w.
+func NewRawWriter(w io.Writer) *RawWriter {
+	bw := bufio.NewWriter(w)
+	return &RawWriter{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write emits one record.
+func (rw *RawWriter) Write(rec RawRecord) error {
+	if rec.Domain == "" {
+		return fmt.Errorf("feeds: raw record without domain")
+	}
+	if err := rw.enc.Encode(rec); err != nil {
+		return err
+	}
+	rw.Written++
+	return nil
+}
+
+// Flush flushes buffered output; call before closing the underlying
+// writer.
+func (rw *RawWriter) Flush() error { return rw.w.Flush() }
+
+// ReadRaw consumes a JSON-lines raw stream into the feed, returning the
+// number of records ingested. Malformed lines abort with an error
+// naming the line.
+func (f *Feed) ReadRaw(r io.Reader) (int64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var n int64
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec RawRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return n, fmt.Errorf("feeds: raw line %d: %w", line, err)
+		}
+		if rec.Domain == "" {
+			return n, fmt.Errorf("feeds: raw line %d: missing domain", line)
+		}
+		f.Observe(rec.Time, domain.Name(rec.Domain), rec.URL)
+		n++
+	}
+	return n, sc.Err()
+}

@@ -1,0 +1,90 @@
+package feeds
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRawRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRawWriter(&buf)
+	records := []RawRecord{
+		{Time: t0, Domain: "pills.com", URL: "http://pills.com/p/c1"},
+		{Time: t1, Domain: "pills.com", URL: "http://pills.com/p/c1"},
+		{Time: t2, Domain: "watches.net"},
+	}
+	for _, r := range records {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Written != 3 {
+		t.Fatalf("Written = %d", w.Written)
+	}
+
+	f := New("mx1", KindMXHoneypot, true, true)
+	n, err := f.ReadRaw(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || f.Samples() != 3 || f.Unique() != 2 {
+		t.Fatalf("n=%d samples=%d unique=%d", n, f.Samples(), f.Unique())
+	}
+	s, _ := f.Stat("pills.com")
+	if s.Count != 2 || !s.First.Equal(t0) || !s.Last.Equal(t1) {
+		t.Fatalf("stat: %+v", s)
+	}
+	if s.SampleURL != "http://pills.com/p/c1" {
+		t.Fatalf("url: %q", s.SampleURL)
+	}
+}
+
+func TestRawWriterRejectsEmptyDomain(t *testing.T) {
+	w := NewRawWriter(&bytes.Buffer{})
+	if err := w.Write(RawRecord{Time: t0}); err == nil {
+		t.Fatal("empty domain accepted")
+	}
+}
+
+func TestReadRawErrors(t *testing.T) {
+	f := New("x", KindHuman, false, false)
+	if _, err := f.ReadRaw(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := f.ReadRaw(strings.NewReader(`{"time":"2010-08-01T00:00:00Z"}` + "\n")); err == nil {
+		t.Fatal("missing domain accepted")
+	}
+}
+
+func TestReadRawSkipsBlankLines(t *testing.T) {
+	f := New("x", KindHuman, false, false)
+	input := `{"time":"2010-08-01T00:00:00Z","domain":"a.com"}` + "\n\n" +
+		`{"time":"2010-08-02T00:00:00Z","domain":"b.com"}` + "\n"
+	n, err := f.ReadRaw(strings.NewReader(input))
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestReadRawHonorsDedupWindow(t *testing.T) {
+	f := New("x", KindHybrid, false, false)
+	f.DedupWindow = time.Hour
+	var buf bytes.Buffer
+	w := NewRawWriter(&buf)
+	for i := 0; i < 10; i++ {
+		w.Write(RawRecord{Time: t0.Add(time.Duration(i) * time.Minute), Domain: "a.com"}) //nolint:errcheck
+	}
+	w.Flush() //nolint:errcheck
+	if _, err := f.ReadRaw(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := f.Stat("a.com")
+	if s.Count != 1 {
+		t.Fatalf("dedup not applied: count %d", s.Count)
+	}
+}

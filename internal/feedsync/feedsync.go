@@ -1,0 +1,346 @@
+// Package feedsync implements feed delivery by subscription: the paper
+// receives its blacklist feeds "by subscription", and every commercial
+// feed in the study reaches its consumers as a continuously delivered
+// record stream. The server publishes per-record feed logs over TCP; a
+// client catches up from any offset and can keep tailing live, so a
+// consumer rebuilds the exact same aggregate feed the provider holds —
+// including after reconnecting.
+//
+// Wire protocol (line-oriented, JSON records):
+//
+//	C: SUB <feed> <offset> <catchup|tail>\n
+//	S: OK <feed> <kind> <hasVolume> <urls>\n
+//	S: {"time":...,"domain":...}\n           (records from offset on)
+//	S: .\n                                   (catchup complete; in
+//	                                          catchup mode the server
+//	                                          then closes)
+//
+// In tail mode the server keeps the connection open and streams each
+// newly published record as it arrives.
+package feedsync
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/feeds"
+)
+
+// ErrUnknownFeed is returned for subscriptions to unregistered feeds.
+var ErrUnknownFeed = errors.New("feedsync: unknown feed")
+
+// feedLog is one feed's append-only record log.
+type feedLog struct {
+	kind      feeds.Kind
+	hasVolume bool
+	urls      bool
+
+	mu      sync.Mutex
+	records []feeds.RawRecord
+	// changed is closed and replaced on every publish, waking tailers.
+	changed chan struct{}
+}
+
+// Server publishes feed logs to subscribers.
+type Server struct {
+	mu   sync.Mutex
+	logs map[string]*feedLog
+
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// NewServer creates an empty publisher.
+func NewServer() *Server {
+	return &Server{
+		logs:  make(map[string]*feedLog),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Register creates a feed log. Registering an existing name is an
+// error.
+func (s *Server) Register(name string, kind feeds.Kind, hasVolume, urls bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.logs[name]; dup {
+		return fmt.Errorf("feedsync: feed %q already registered", name)
+	}
+	s.logs[name] = &feedLog{
+		kind:      kind,
+		hasVolume: hasVolume,
+		urls:      urls,
+		changed:   make(chan struct{}),
+	}
+	return nil
+}
+
+// Publish appends a record to a feed's log, waking any tailers.
+func (s *Server) Publish(name string, rec feeds.RawRecord) error {
+	s.mu.Lock()
+	log := s.logs[name]
+	s.mu.Unlock()
+	if log == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownFeed, name)
+	}
+	if rec.Domain == "" {
+		return fmt.Errorf("feedsync: record without domain")
+	}
+	log.mu.Lock()
+	log.records = append(log.records, rec)
+	close(log.changed)
+	log.changed = make(chan struct{})
+	log.mu.Unlock()
+	return nil
+}
+
+// Len returns the current record count of a feed (0 for unknown).
+func (s *Server) Len(name string) int {
+	s.mu.Lock()
+	log := s.logs[name]
+	s.mu.Unlock()
+	if log == nil {
+		return 0
+	}
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	return len(log.records)
+}
+
+// Listen binds addr and serves subscribers in the background.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	go s.serve(l)
+	return l.Addr(), nil
+}
+
+func (s *Server) serve(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener and disconnects subscribers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	return err
+}
+
+// handle serves one subscription.
+func (s *Server) handle(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 4 || fields[0] != "SUB" {
+		fmt.Fprintf(w, "ERR bad request\n")
+		w.Flush() //nolint:errcheck
+		return
+	}
+	name := fields[1]
+	var offset int64
+	if _, err := fmt.Sscanf(fields[2], "%d", &offset); err != nil || offset < 0 {
+		fmt.Fprintf(w, "ERR bad offset\n")
+		w.Flush() //nolint:errcheck
+		return
+	}
+	tail := fields[3] == "tail"
+
+	s.mu.Lock()
+	log := s.logs[name]
+	s.mu.Unlock()
+	if log == nil {
+		fmt.Fprintf(w, "ERR unknown feed\n")
+		w.Flush() //nolint:errcheck
+		return
+	}
+	fmt.Fprintf(w, "OK %s %d %t %t\n", name, log.kind, log.hasVolume, log.urls)
+
+	enc := json.NewEncoder(w)
+	pos := offset
+	caughtUp := false
+	for {
+		log.mu.Lock()
+		end := int64(len(log.records))
+		var batch []feeds.RawRecord
+		if pos < end {
+			batch = append(batch, log.records[pos:end]...)
+		}
+		changed := log.changed
+		log.mu.Unlock()
+
+		for _, rec := range batch {
+			if err := enc.Encode(rec); err != nil {
+				return
+			}
+		}
+		pos += int64(len(batch))
+
+		if !caughtUp && pos >= end {
+			caughtUp = true
+			fmt.Fprintf(w, ".\n")
+			if !tail {
+				w.Flush() //nolint:errcheck
+				return
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if caughtUp {
+			// Wait for new records; the connection dying wakes us
+			// through the write error on the next flush.
+			<-changed
+		}
+	}
+}
+
+// Client subscribes to a feedsync server.
+type Client struct {
+	// Addr is the server address.
+	Addr string
+	// DialTimeout bounds connection establishment (default 10s).
+	DialTimeout time.Duration
+}
+
+// NewClient returns a client for the server at addr.
+func NewClient(addr string) *Client {
+	return &Client{Addr: addr, DialTimeout: 10 * time.Second}
+}
+
+// Sync catches up feed `name` from offset, applying every record to
+// dst, and returns the new offset. The server closes the connection
+// after the catch-up marker.
+func (c *Client) Sync(name string, offset int64, dst *feeds.Feed) (int64, error) {
+	conn, err := net.DialTimeout("tcp", c.Addr, c.DialTimeout)
+	if err != nil {
+		return offset, err
+	}
+	defer conn.Close()
+	n, err := c.stream(conn, name, offset, "catchup", dst, nil)
+	return offset + n, err
+}
+
+// Tail streams records from offset into dst until stop is closed or
+// the connection drops. Each applied record is also passed to onRecord
+// when non-nil. It returns the final offset.
+func (c *Client) Tail(name string, offset int64, dst *feeds.Feed,
+	stop <-chan struct{}, onRecord func(feeds.RawRecord)) (int64, error) {
+	conn, err := net.DialTimeout("tcp", c.Addr, c.DialTimeout)
+	if err != nil {
+		return offset, err
+	}
+	defer conn.Close()
+	if stop != nil {
+		go func() {
+			<-stop
+			conn.Close()
+		}()
+	}
+	n, err := c.stream(conn, name, offset, "tail", dst, onRecord)
+	return offset + n, err
+}
+
+// stream runs the protocol on an established connection, returning the
+// number of records applied.
+func (c *Client) stream(conn net.Conn, name string, offset int64, mode string,
+	dst *feeds.Feed, onRecord func(feeds.RawRecord)) (int64, error) {
+	if _, err := fmt.Fprintf(conn, "SUB %s %d %s\n", name, offset, mode); err != nil {
+		return 0, err
+	}
+	r := bufio.NewReader(conn)
+	header, err := r.ReadString('\n')
+	if err != nil {
+		return 0, err
+	}
+	header = strings.TrimSpace(header)
+	if strings.HasPrefix(header, "ERR") {
+		if strings.Contains(header, "unknown feed") {
+			return 0, fmt.Errorf("%w: %q", ErrUnknownFeed, name)
+		}
+		return 0, fmt.Errorf("feedsync: server: %s", header)
+	}
+	if !strings.HasPrefix(header, "OK ") {
+		return 0, fmt.Errorf("feedsync: bad header %q", header)
+	}
+	var applied int64
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			if mode == "tail" {
+				return applied, nil // connection closed by stop or server
+			}
+			return applied, err
+		}
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "":
+			continue
+		case line == ".":
+			if mode == "catchup" {
+				return applied, nil
+			}
+			continue // tail: catch-up marker, keep streaming
+		default:
+			var rec feeds.RawRecord
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				return applied, fmt.Errorf("feedsync: bad record: %w", err)
+			}
+			dst.Observe(rec.Time, domain.Name(rec.Domain), rec.URL)
+			applied++
+			if onRecord != nil {
+				onRecord(rec)
+			}
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package feedsync
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/simclock"
+)
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	srv := NewServer()
+	if err := srv.Register("uribl", feeds.KindBlacklist, false, false); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr.String()
+}
+
+func rec(i int) feeds.RawRecord {
+	return feeds.RawRecord{
+		Time:   simclock.PaperStart.Add(time.Duration(i) * time.Hour),
+		Domain: fmt.Sprintf("domain%03d.com", i),
+		URL:    fmt.Sprintf("http://domain%03d.com/p/c%d", i, i),
+	}
+}
+
+func TestCatchupSync(t *testing.T) {
+	srv, addr := startServer(t)
+	for i := 0; i < 50; i++ {
+		if err := srv.Publish("uribl", rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := feeds.New("uribl", feeds.KindBlacklist, false, false)
+	offset, err := NewClient(addr).Sync("uribl", 0, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offset != 50 || dst.Unique() != 50 {
+		t.Fatalf("offset=%d unique=%d", offset, dst.Unique())
+	}
+	s, _ := dst.Stat("domain007.com")
+	if !s.First.Equal(simclock.PaperStart.Add(7 * time.Hour)) {
+		t.Fatalf("record time lost: %v", s.First)
+	}
+}
+
+func TestResumeFromOffset(t *testing.T) {
+	srv, addr := startServer(t)
+	for i := 0; i < 30; i++ {
+		srv.Publish("uribl", rec(i)) //nolint:errcheck
+	}
+	c := NewClient(addr)
+	dst := feeds.New("uribl", feeds.KindBlacklist, false, false)
+	offset, err := c.Sync("uribl", 0, dst)
+	if err != nil || offset != 30 {
+		t.Fatalf("first sync: offset=%d err=%v", offset, err)
+	}
+	// More records arrive while we were away.
+	for i := 30; i < 45; i++ {
+		srv.Publish("uribl", rec(i)) //nolint:errcheck
+	}
+	offset, err = c.Sync("uribl", offset, dst)
+	if err != nil || offset != 45 {
+		t.Fatalf("resume: offset=%d err=%v", offset, err)
+	}
+	if dst.Unique() != 45 || dst.Samples() != 45 {
+		t.Fatalf("unique=%d samples=%d (duplicates on resume?)", dst.Unique(), dst.Samples())
+	}
+}
+
+func TestTailReceivesLivePublishes(t *testing.T) {
+	srv, addr := startServer(t)
+	for i := 0; i < 5; i++ {
+		srv.Publish("uribl", rec(i)) //nolint:errcheck
+	}
+	dst := feeds.New("uribl", feeds.KindBlacklist, false, false)
+	stop := make(chan struct{})
+	got := make(chan feeds.RawRecord, 64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var offset int64
+	var tailErr error
+	go func() {
+		defer wg.Done()
+		offset, tailErr = NewClient(addr).Tail("uribl", 0, dst, stop,
+			func(r feeds.RawRecord) { got <- r })
+	}()
+
+	// Drain the catch-up.
+	for i := 0; i < 5; i++ {
+		select {
+		case <-got:
+		case <-time.After(5 * time.Second):
+			t.Fatal("catch-up record missing")
+		}
+	}
+	// Live publishes flow through.
+	for i := 5; i < 8; i++ {
+		srv.Publish("uribl", rec(i)) //nolint:errcheck
+		select {
+		case r := <-got:
+			if r.Domain != rec(i).Domain {
+				t.Fatalf("live record %d: got %s", i, r.Domain)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("live record %d missing", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if tailErr != nil {
+		t.Fatalf("tail: %v", tailErr)
+	}
+	if offset != 8 || dst.Unique() != 8 {
+		t.Fatalf("offset=%d unique=%d", offset, dst.Unique())
+	}
+}
+
+func TestUnknownFeed(t *testing.T) {
+	_, addr := startServer(t)
+	dst := feeds.New("x", feeds.KindBlacklist, false, false)
+	_, err := NewClient(addr).Sync("nope", 0, dst)
+	if !errors.Is(err, ErrUnknownFeed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	srv := NewServer()
+	if err := srv.Register("a", feeds.KindHuman, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register("a", feeds.KindHuman, false, false); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	srv := NewServer()
+	if err := srv.Publish("missing", rec(0)); !errors.Is(err, ErrUnknownFeed) {
+		t.Fatalf("err = %v", err)
+	}
+	srv.Register("a", feeds.KindHuman, false, false) //nolint:errcheck
+	if err := srv.Publish("a", feeds.RawRecord{Time: simclock.PaperStart}); err == nil {
+		t.Fatal("record without domain accepted")
+	}
+	if srv.Len("a") != 0 {
+		t.Fatal("invalid record stored")
+	}
+}
+
+func TestConcurrentSubscribers(t *testing.T) {
+	srv, addr := startServer(t)
+	for i := 0; i < 200; i++ {
+		srv.Publish("uribl", rec(i)) //nolint:errcheck
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < 6; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := feeds.New("uribl", feeds.KindBlacklist, false, false)
+			offset, err := NewClient(addr).Sync("uribl", 0, dst)
+			if err != nil || offset != 200 || dst.Unique() != 200 {
+				t.Errorf("subscriber: offset=%d unique=%d err=%v", offset, dst.Unique(), err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSyncedFeedMatchesSource round-trips a mailflow-style stream: the
+// consumer's aggregate must equal one built directly.
+func TestSyncedFeedMatchesSource(t *testing.T) {
+	srv, addr := startServer(t)
+	direct := feeds.New("uribl", feeds.KindBlacklist, false, false)
+	for i := 0; i < 100; i++ {
+		r := rec(i % 25) // repeats: aggregation must match too
+		r.Time = r.Time.Add(time.Duration(i) * time.Minute)
+		srv.Publish("uribl", r) //nolint:errcheck
+		direct.Observe(r.Time, domain.Name(r.Domain), r.URL)
+	}
+	synced := feeds.New("uribl", feeds.KindBlacklist, false, false)
+	if _, err := NewClient(addr).Sync("uribl", 0, synced); err != nil {
+		t.Fatal(err)
+	}
+	if synced.Unique() != direct.Unique() || synced.Samples() != direct.Samples() {
+		t.Fatalf("synced %d/%d vs direct %d/%d",
+			synced.Samples(), synced.Unique(), direct.Samples(), direct.Unique())
+	}
+	synced.Each(func(d domain.Name, s feeds.DomainStat) {
+		ds, ok := direct.Stat(d)
+		if !ok || ds.Count != s.Count || !ds.First.Equal(s.First) || !ds.Last.Equal(s.Last) {
+			t.Fatalf("domain %s differs: %+v vs %+v", d, s, ds)
+		}
+	})
+}

@@ -1,0 +1,153 @@
+// Package mailfilter implements the operational use the paper frames
+// coverage around: using a spam-domain feed as an oracle to classify
+// mail. A filter extracts the URLs from a message, reduces them to
+// registered domains, and marks the message spam if any domain is
+// listed; the evaluation harness measures how much spam a given feed
+// actually catches — and what benign mail it would damage.
+package mailfilter
+
+import (
+	"fmt"
+
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/mailmsg"
+)
+
+// Lister answers listing queries — a local feeds.Feed copy, a live
+// dnsbl.Client, or anything else.
+type Lister interface {
+	Listed(d domain.Name) (bool, error)
+}
+
+// FeedLister adapts a local feed snapshot into a Lister.
+type FeedLister struct {
+	Feed *feeds.Feed
+}
+
+// Listed implements Lister.
+func (l FeedLister) Listed(d domain.Name) (bool, error) {
+	return l.Feed.Has(d), nil
+}
+
+// Verdict is one message's classification.
+type Verdict struct {
+	// Spam reports whether any extracted domain was listed.
+	Spam bool
+	// Matched is the first listed domain ("" if none).
+	Matched domain.Name
+	// Domains is every registered domain extracted from the message.
+	Domains []domain.Name
+}
+
+// Filter classifies messages against a Lister.
+type Filter struct {
+	Lister Lister
+	Rules  *domain.Rules
+	// cache avoids re-querying the same registered domain; DNSBL
+	// answers are cacheable (they carry TTLs).
+	cache map[domain.Name]bool
+
+	// Lookups counts Lister queries actually issued (cache misses).
+	Lookups int64
+}
+
+// New creates a filter over the given lister with default rules.
+func New(l Lister) *Filter {
+	return &Filter{
+		Lister: l,
+		Rules:  domain.DefaultRules,
+		cache:  make(map[domain.Name]bool),
+	}
+}
+
+// Classify extracts the message's domains and checks each against the
+// blacklist. The first listed domain decides; remaining domains are
+// still reported in the verdict.
+func (f *Filter) Classify(m *mailmsg.Message) (Verdict, error) {
+	var v Verdict
+	for _, u := range mailmsg.ExtractURLs(m.Body) {
+		d, err := f.Rules.FromURL(u)
+		if err != nil {
+			continue // unparseable URL: no domain to check
+		}
+		v.Domains = append(v.Domains, d)
+		if v.Spam {
+			continue
+		}
+		listed, err := f.listed(d)
+		if err != nil {
+			return v, fmt.Errorf("mailfilter: lookup %s: %w", d, err)
+		}
+		if listed {
+			v.Spam = true
+			v.Matched = d
+		}
+	}
+	return v, nil
+}
+
+func (f *Filter) listed(d domain.Name) (bool, error) {
+	if hit, ok := f.cache[d]; ok {
+		return hit, nil
+	}
+	f.Lookups++
+	listed, err := f.Lister.Listed(d)
+	if err != nil {
+		return false, err
+	}
+	f.cache[d] = listed
+	return listed, nil
+}
+
+// Eval accumulates a classification confusion matrix.
+type Eval struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one classified message given ground truth.
+func (e *Eval) Add(truthSpam, verdictSpam bool) {
+	switch {
+	case truthSpam && verdictSpam:
+		e.TP++
+	case truthSpam && !verdictSpam:
+		e.FN++
+	case !truthSpam && verdictSpam:
+		e.FP++
+	default:
+		e.TN++
+	}
+}
+
+// Total returns the number of messages evaluated.
+func (e Eval) Total() int { return e.TP + e.FP + e.TN + e.FN }
+
+// CatchRate is the fraction of spam caught (recall).
+func (e Eval) CatchRate() float64 {
+	if e.TP+e.FN == 0 {
+		return 0
+	}
+	return float64(e.TP) / float64(e.TP+e.FN)
+}
+
+// FalsePositiveRate is the fraction of ham wrongly marked spam.
+func (e Eval) FalsePositiveRate() float64 {
+	if e.FP+e.TN == 0 {
+		return 0
+	}
+	return float64(e.FP) / float64(e.FP+e.TN)
+}
+
+// Precision is the fraction of spam verdicts that were right.
+func (e Eval) Precision() float64 {
+	if e.TP+e.FP == 0 {
+		return 0
+	}
+	return float64(e.TP) / float64(e.TP+e.FP)
+}
+
+// String summarizes the evaluation.
+func (e Eval) String() string {
+	return fmt.Sprintf("catch %.1f%%, false-positive %.2f%%, precision %.1f%% (n=%d)",
+		e.CatchRate()*100, e.FalsePositiveRate()*100, e.Precision()*100, e.Total())
+}

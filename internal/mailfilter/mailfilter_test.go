@@ -1,0 +1,132 @@
+package mailfilter
+
+import (
+	"errors"
+	"testing"
+
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/mailmsg"
+	"tasterschoice/internal/simclock"
+)
+
+func testLister() FeedLister {
+	f := feeds.New("dbl", feeds.KindBlacklist, false, false)
+	f.ObserveOnce(simclock.PaperStart, "cheappills.com")
+	f.ObserveOnce(simclock.PaperStart, "replicas.net")
+	return FeedLister{Feed: f}
+}
+
+func TestClassifySpam(t *testing.T) {
+	filter := New(testLister())
+	m := &mailmsg.Message{Body: "buy at http://www.cheappills.com/p/c1 now"}
+	v, err := filter.Classify(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Spam || v.Matched != "cheappills.com" {
+		t.Fatalf("verdict: %+v", v)
+	}
+}
+
+func TestClassifyHam(t *testing.T) {
+	filter := New(testLister())
+	m := &mailmsg.Message{Body: "meeting notes at http://intranet.company.org/wiki"}
+	v, err := filter.Classify(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Spam || v.Matched != "" {
+		t.Fatalf("verdict: %+v", v)
+	}
+	if len(v.Domains) != 1 || v.Domains[0] != "company.org" {
+		t.Fatalf("domains: %v", v.Domains)
+	}
+}
+
+func TestClassifyNoURLs(t *testing.T) {
+	filter := New(testLister())
+	v, err := filter.Classify(&mailmsg.Message{Body: "no links at all"})
+	if err != nil || v.Spam || len(v.Domains) != 0 {
+		t.Fatalf("verdict: %+v err=%v", v, err)
+	}
+}
+
+func TestClassifySubdomainOfListed(t *testing.T) {
+	// Blacklisting works at registered-domain granularity: a message
+	// advertising shop.cheappills.com must still be caught.
+	filter := New(testLister())
+	m := &mailmsg.Message{Body: "http://shop.cheappills.com/sale"}
+	v, err := filter.Classify(m)
+	if err != nil || !v.Spam {
+		t.Fatalf("subdomain evaded blacklist: %+v err=%v", v, err)
+	}
+}
+
+func TestClassifyCachesLookups(t *testing.T) {
+	filter := New(testLister())
+	m := &mailmsg.Message{Body: "http://a-site.com/1 http://a-site.com/2 http://b-site.com/"}
+	if _, err := filter.Classify(m); err != nil {
+		t.Fatal(err)
+	}
+	if filter.Lookups != 2 {
+		t.Fatalf("Lookups = %d, want 2 (a-site cached)", filter.Lookups)
+	}
+	if _, err := filter.Classify(m); err != nil {
+		t.Fatal(err)
+	}
+	if filter.Lookups != 2 {
+		t.Fatalf("Lookups = %d after repeat, want 2", filter.Lookups)
+	}
+}
+
+type failingLister struct{}
+
+func (failingLister) Listed(domain.Name) (bool, error) {
+	return false, errors.New("boom")
+}
+
+func TestClassifyPropagatesLookupErrors(t *testing.T) {
+	filter := New(failingLister{})
+	_, err := filter.Classify(&mailmsg.Message{Body: "http://x.com/"})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestEvalMetrics(t *testing.T) {
+	var e Eval
+	// 8 spam (6 caught), 12 ham (1 false positive).
+	for i := 0; i < 6; i++ {
+		e.Add(true, true)
+	}
+	for i := 0; i < 2; i++ {
+		e.Add(true, false)
+	}
+	e.Add(false, true)
+	for i := 0; i < 11; i++ {
+		e.Add(false, false)
+	}
+	if e.Total() != 20 {
+		t.Fatalf("Total = %d", e.Total())
+	}
+	if got := e.CatchRate(); got != 0.75 {
+		t.Errorf("CatchRate = %g", got)
+	}
+	if got := e.FalsePositiveRate(); got != 1.0/12 {
+		t.Errorf("FPR = %g", got)
+	}
+	if got := e.Precision(); got != 6.0/7 {
+		t.Errorf("Precision = %g", got)
+	}
+	if e.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestEvalEmpty(t *testing.T) {
+	var e Eval
+	if e.CatchRate() != 0 || e.FalsePositiveRate() != 0 || e.Precision() != 0 {
+		t.Fatal("empty eval should be all zeros")
+	}
+}

@@ -1,0 +1,345 @@
+// Package mailflow turns a generated ecosystem into the ten observed
+// spam feeds plus the incoming-mail oracle. It is the heart of the
+// reproduction: every feed difference the paper measures — who sees
+// loud vs. quiet campaigns, filter feedback, human report latency,
+// blacklist listing delay, poisoning — is a mechanism implemented here,
+// not a baked-in outcome.
+//
+// Rather than materializing the global mail stream (the paper estimates
+// >100 billion messages/day worldwide), the engine thins it at each
+// observation point: for every campaign ad slot and every collector, it
+// draws a Poisson number of arrivals with rate (slot volume x that
+// collector's visibility coefficient) and spreads them over the slot's
+// window. This is the standard Poisson-thinning construction and keeps
+// a full three-month scenario around a couple of million events.
+package mailflow
+
+import (
+	"fmt"
+)
+
+// FeedNames is the canonical feed order used by the paper's tables.
+var FeedNames = []string{"Hu", "dbl", "uribl", "mx1", "mx2", "mx3", "Ac1", "Ac2", "Bot", "Hyb"}
+
+// Config holds the collection-side coefficients. Zero value is
+// unusable; start from DefaultConfig. All exposure coefficients are
+// "arrivals at this collector per unit of campaign volume".
+type Config struct {
+	// Seed drives collection randomness; independent of the
+	// ecosystem seed so the same world can be observed repeatedly.
+	Seed uint64
+
+	// --- MX honeypots --------------------------------------------
+	// MXExposure is the base exposure of each of the three MX
+	// honeypots to loud botnet mail (brute-force lists cover their
+	// domains to differing degrees).
+	MXExposure [3]float64
+	// MXSpreadSigma is the per-(honeypot, botnet) log-normal
+	// variability of list presence; a honeypot with low spread sees
+	// every botnet evenly.
+	MXSpreadSigma [3]float64
+	// MXInclusionProb is the probability a given loud campaign's
+	// brute-force lists include each MX honeypot's domains at all;
+	// even "spam everything" lists are finite. mx2's domains are
+	// everywhere (which is also why it caught the poison), the other
+	// two miss a slice of campaigns.
+	MXInclusionProb [3]float64
+	// MX3MonitoredBoost multiplies mx3's exposure to monitored
+	// botnets; the paper finds mx3's volume mix closer to Bot than to
+	// the other MX feeds.
+	MX3MonitoredBoost float64
+	// MXTypoRate is legitimate messages mistakenly delivered to an MX
+	// honeypot (sender typos, dummy signup addresses) per day.
+	MXTypoRate float64
+	// HoneypotJunkPerDay is the rate (per feed per day) at which each
+	// MX honeypot and honey-account feed accumulates one-off junk
+	// domains (misparsed URLs, garbage hostnames) — the source of
+	// their small exclusive-domain tails.
+	HoneypotJunkPerDay float64
+
+	// --- Seeded honey accounts -----------------------------------
+	// AcExposure is base exposure of the two honey-account feeds to
+	// harvested-list mail.
+	AcExposure [2]float64
+	// AcInclusionProb is the probability a given loud campaign's
+	// lists include each account feed's seeded addresses at all; Ac2
+	// is poorly seeded and misses many campaigns entirely.
+	AcInclusionProb [2]float64
+	// AcSpreadSigma is per-(feed, campaign) exposure variability.
+	AcSpreadSigma [2]float64
+
+	// --- Webmail provider (drives Hu and the oracle) --------------
+	// WebmailExposure converts loud campaign volume into arrivals at
+	// the webmail provider's MXes.
+	WebmailExposure float64
+	// QuietWebmailExposure ditto for quiet targeted campaigns (their
+	// lists are nearly all webmail users).
+	QuietWebmailExposure float64
+	// TinyWebmailExposure ditto for tiny campaigns.
+	TinyWebmailExposure float64
+	// OtherQuietWebmailExposure for quiet campaigns advertising
+	// untagged goods.
+	OtherQuietWebmailExposure float64
+	// InboxEvasion is the probability a message reaches an inbox
+	// (evades the automated filter), per campaign class: loud
+	// campaigns are well-known to filters, quiet ones evade.
+	InboxEvasionLoud  float64
+	InboxEvasionQuiet float64
+	InboxEvasionTiny  float64
+	// ReportProb is the per-inbox-message probability some user
+	// clicks "this is spam". The simulation thins webmail arrivals by
+	// orders of magnitude, so this is the report probability per
+	// *sampled* arrival, standing in for the provider's hundreds of
+	// millions of reporters.
+	ReportProb float64
+	// ReportDelayMedianHours and ReportDelaySigma model the
+	// log-normal human delay between delivery and report.
+	ReportDelayMedianHours float64
+	ReportDelaySigma       float64
+	// FilterAfterReport is the probability subsequent messages
+	// naming an already-reported domain are filtered (the provider's
+	// feedback loop; this is what keeps Hu's volume low).
+	FilterAfterReport float64
+	// HuJunkReports is the expected number of junk human reports
+	// (typos, bogus domains) over the whole window.
+	HuJunkReports float64
+	// HuChaffProb is the probability a report also names a benign
+	// chaff domain from the message.
+	HuChaffProb float64
+	// HuPrefilterVolume / HuPrefilterProb: ad slots whose volume
+	// exceeds the threshold are, with the given probability, blocked
+	// outright by the provider's filters (the biggest blast templates
+	// are trivially signatured), so no user ever sees or reports the
+	// domain. This is why the paper's Hu feed, despite ~96% tagged-
+	// domain coverage, covers less tagged *volume* than uribl: the
+	// few domains it misses are among the very largest.
+	HuPrefilterVolume float64
+	HuPrefilterProb   float64
+
+	// --- Loud-campaign ramp ----------------------------------------
+	// Before renting botnet capacity for the blast, spammers test a
+	// domain's deliverability with low-volume targeted sends. During
+	// this stealth lead-in only webmail users (and hence Hu and the
+	// blacklists' sources) can see the domain; honeypots see nothing
+	// until the blast begins. This is the mechanism behind the
+	// paper's Figure 9/10 contrast: Hu and dbl list domains within a
+	// day of campaign start while honeypot feeds lag by days.
+	// StealthLeadMinDays/MaxDays bound the per-slot lead (uniform),
+	// capped at half the slot; StealthTrickle is the lead-in webmail
+	// send rate as a fraction of the blast's webmail rate.
+	StealthLeadMinDays float64
+	StealthLeadMaxDays float64
+	StealthTrickle     float64
+
+	// --- Botnet monitor -------------------------------------------
+	// BotCaptureRate converts a monitored botnet's campaign volume
+	// into captured messages at the monitor.
+	BotCaptureRate float64
+
+	// --- Chaff ----------------------------------------------------
+	// ChaffProb is the probability a full-message feed arrival also
+	// records a benign chaff URL embedded in the message.
+	ChaffProb float64
+	// ChaffZipfS skews chaff domain choice toward popular benign
+	// domains (image hosts, DTD references).
+	ChaffZipfS float64
+	// ChaffTopN bounds the chaff vocabulary to the most popular
+	// benign domains: spammers embed the same well-known hosts
+	// (w3.org, microsoft.com, big image hosts) over and over.
+	ChaffTopN int
+
+	// --- Blacklists -----------------------------------------------
+	DBL   BlacklistConfig
+	URIBL BlacklistConfig
+
+	// --- Hybrid feed ----------------------------------------------
+	// HybExposure converts included loud campaign volume into Hyb
+	// mail-sink arrivals.
+	HybExposure float64
+	// HybLoudInclusionLow/High: inclusion probability for the
+	// smallest/largest loud campaigns (interpolated by log volume);
+	// the Hyb feed's sources are biased against the very largest
+	// campaigns, giving it many tagged domains but little covered
+	// volume.
+	HybLoudInclusionLow  float64
+	HybLoudInclusionHigh float64
+	// HybQuietInclusion / HybTinyInclusion: probability Hyb's mixed
+	// sources pick up quieter campaigns.
+	HybQuietInclusion float64
+	HybTinyInclusion  float64
+	// HybQuietObs is the expected observations Hyb records for an
+	// included quiet campaign domain.
+	HybQuietObs float64
+	// HybWebObsPerDay is the rate at which Hyb's web-spam sources
+	// re-observe each web-only domain during its active window.
+	HybWebObsPerDay float64
+
+	// --- Poisoning (the Rustock episode) --------------------------
+	// PoisonBotArrivals / PoisonMX2Arrivals: total poison messages
+	// captured by the bot monitor and received by mx2 during the
+	// poison window.
+	PoisonBotArrivals int
+	PoisonMX2Arrivals int
+	// PoisonFreshProbBot / PoisonFreshProbMX2: probability a poison
+	// message carries a never-seen random domain (vs. re-using a
+	// recent one). Controls junk-unique counts.
+	PoisonFreshProbBot float64
+	PoisonFreshProbMX2 float64
+	// PoisonLiveHitProb is the probability a random generated name
+	// collides with a real registered (obscure) domain — the source
+	// of the Bot feed's exclusive live domains.
+	PoisonLiveHitProb float64
+
+	// --- Oracle ----------------------------------------------------
+	// BenignMailTop is the oracle-window legitimate-mail count of the
+	// most popular benign domain; rank r receives
+	// BenignMailTop/(r+1)^BenignMailZipfS.
+	BenignMailTop   float64
+	BenignMailZipfS float64
+}
+
+// BlacklistConfig describes one blacklist's listing behavior.
+type BlacklistConfig struct {
+	// ListProb is the probability a campaign domain of each class
+	// gets listed at all.
+	ListProbLoud       float64
+	ListProbQuiet      float64
+	ListProbTiny       float64
+	ListProbOtherLoud  float64
+	ListProbOtherQuiet float64
+	// LatencyMedianHours / LatencySigma: log-normal delay between a
+	// domain's first advertisement and its listing.
+	LatencyMedianHours float64
+	LatencySigma       float64
+	// JunkBenign is the expected number of benign domains erroneously
+	// listed over the window (the small Alexa/ODP contamination).
+	JunkBenign float64
+}
+
+// DefaultConfig returns collection coefficients calibrated so the
+// default ecosystem scenario reproduces the paper's qualitative shape
+// (see EXPERIMENTS.md for the side-by-side).
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed: seed,
+
+		MXExposure:         [3]float64{0.0016, 0.0040, 0.0010},
+		MXSpreadSigma:      [3]float64{0.95, 0.15, 1.15},
+		MXInclusionProb:    [3]float64{0.85, 0.97, 0.80},
+		MX3MonitoredBoost:  4.0,
+		MXTypoRate:         2.0,
+		HoneypotJunkPerDay: 1.5,
+
+		AcExposure:      [2]float64{0.0030, 0.0085},
+		AcInclusionProb: [2]float64{0.92, 0.45},
+		AcSpreadSigma:   [2]float64{0.6, 1.6},
+
+		WebmailExposure:           0.020,
+		QuietWebmailExposure:      0.045,
+		TinyWebmailExposure:       0.30,
+		OtherQuietWebmailExposure: 0.055,
+		InboxEvasionLoud:          0.06,
+		InboxEvasionQuiet:         0.75,
+		InboxEvasionTiny:          0.80,
+		ReportProb:                0.35,
+		ReportDelayMedianHours:    8,
+		ReportDelaySigma:          1.1,
+		FilterAfterReport:         0.985,
+		HuPrefilterVolume:         150000,
+		HuPrefilterProb:           0.25,
+		HuJunkReports:             1000,
+		HuChaffProb:               0.015,
+
+		StealthLeadMinDays: 0.4,
+		StealthLeadMaxDays: 3.4,
+		StealthTrickle:     0.08,
+
+		BotCaptureRate: 0.013,
+
+		ChaffProb:  0.05,
+		ChaffZipfS: 1.2,
+		ChaffTopN:  150,
+
+		DBL: BlacklistConfig{
+			ListProbLoud:       0.80,
+			ListProbQuiet:      0.75,
+			ListProbTiny:       0.32,
+			ListProbOtherLoud:  0.90,
+			ListProbOtherQuiet: 0.45,
+			LatencyMedianHours: 7,
+			LatencySigma:       0.7,
+			JunkBenign:         40,
+		},
+		URIBL: BlacklistConfig{
+			ListProbLoud:       0.97,
+			ListProbQuiet:      0.38,
+			ListProbTiny:       0.06,
+			ListProbOtherLoud:  0.85,
+			ListProbOtherQuiet: 0.10,
+			LatencyMedianHours: 15,
+			LatencySigma:       0.8,
+			JunkBenign:         18,
+		},
+
+		HybExposure:          0.0022,
+		HybLoudInclusionLow:  0.80,
+		HybLoudInclusionHigh: 0.04,
+		HybQuietInclusion:    0.25,
+		HybTinyInclusion:     0.05,
+		HybQuietObs:          2,
+		HybWebObsPerDay:      2.2,
+
+		PoisonBotArrivals:  120000,
+		PoisonMX2Arrivals:  115000,
+		PoisonFreshProbBot: 0.75,
+		PoisonFreshProbMX2: 0.16,
+		PoisonLiveHitProb:  0.012,
+
+		BenignMailTop:   9000,
+		BenignMailZipfS: 0.95,
+	}
+}
+
+// Validate checks coefficient sanity.
+func (c *Config) Validate() error {
+	probs := map[string]float64{
+		"InboxEvasionLoud":   c.InboxEvasionLoud,
+		"InboxEvasionQuiet":  c.InboxEvasionQuiet,
+		"InboxEvasionTiny":   c.InboxEvasionTiny,
+		"ReportProb":         c.ReportProb,
+		"FilterAfterReport":  c.FilterAfterReport,
+		"ChaffProb":          c.ChaffProb,
+		"PoisonFreshProbBot": c.PoisonFreshProbBot,
+		"PoisonFreshProbMX2": c.PoisonFreshProbMX2,
+		"PoisonLiveHitProb":  c.PoisonLiveHitProb,
+		"HybQuietInclusion":  c.HybQuietInclusion,
+		"HybTinyInclusion":   c.HybTinyInclusion,
+	}
+	for name, p := range probs {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("mailflow: %s = %g out of [0,1]", name, p)
+		}
+	}
+	for i, e := range c.MXExposure {
+		if e < 0 {
+			return fmt.Errorf("mailflow: MXExposure[%d] negative", i)
+		}
+	}
+	for i, p := range c.MXInclusionProb {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("mailflow: MXInclusionProb[%d] out of [0,1]", i)
+		}
+	}
+	for i, p := range c.AcInclusionProb {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("mailflow: AcInclusionProb[%d] out of [0,1]", i)
+		}
+	}
+	if c.PoisonBotArrivals < 0 || c.PoisonMX2Arrivals < 0 {
+		return fmt.Errorf("mailflow: negative poison arrivals")
+	}
+	if c.ReportDelayMedianHours <= 0 {
+		return fmt.Errorf("mailflow: ReportDelayMedianHours must be positive")
+	}
+	return nil
+}

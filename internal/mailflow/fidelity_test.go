@@ -1,0 +1,88 @@
+package mailflow
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/ecosystem"
+	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/mailmsg"
+	"tasterschoice/internal/randutil"
+	"tasterschoice/internal/simclock"
+)
+
+// TestFastPathMatchesFullFidelityPath validates the engine's thinning
+// shortcut: the fast path records (time, domain, URL) directly, while a
+// real MX honeypot renders, transmits, parses and URL-extracts every
+// message. For the same arrivals, both must yield identical feeds
+// (modulo chaff, which the full path also carries in-message).
+func TestFastPathMatchesFullFidelityPath(t *testing.T) {
+	world := testWorld(51)
+	rng := randutil.New(52)
+
+	fast := feeds.New("fast", feeds.KindMXHoneypot, true, true)
+	full := feeds.New("full", feeds.KindMXHoneypot, true, true)
+	ingester := feeds.NewIngester(full)
+
+	window := simclock.PaperWindow()
+	arrivals := 0
+	for i := range world.Campaigns {
+		c := &world.Campaigns[i]
+		if c.Class != ecosystem.ClassLoud || arrivals > 400 {
+			continue
+		}
+		for _, slot := range c.Domains {
+			// RFC 5322 Date headers carry second precision; align the
+			// fast path so the comparison is exact.
+			at := window.Clamp(slot.Start).Truncate(time.Second)
+			url := ecosystem.AdURL(c, slot)
+			var chaff domain.Name
+			if rng.Bool(0.3) {
+				chaff = world.Benign[rng.Intn(len(world.Benign))].Name
+			}
+
+			// Fast path: record directly.
+			d, err := domain.DefaultRules.FromURL(url)
+			if err != nil {
+				t.Fatalf("ad URL %q invalid: %v", url, err)
+			}
+			fast.Observe(at, d, url)
+			if chaff != "" {
+				fast.Observe(at, chaff, ecosystem.ChaffURL(chaff))
+			}
+
+			// Full-fidelity path: render → serialize → parse → ingest.
+			m := RenderMessage(rng, world, c, slot, chaff, at, "x@honeypot.test")
+			parsed, err := mailmsg.Parse(bytes.NewReader(m.Bytes()))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			ingester.IngestMessage(parsed, at)
+			arrivals++
+		}
+	}
+	if arrivals < 50 {
+		t.Fatalf("only %d arrivals exercised", arrivals)
+	}
+
+	if fast.Unique() != full.Unique() {
+		t.Fatalf("unique domains differ: fast %d, full %d", fast.Unique(), full.Unique())
+	}
+	fast.Each(func(d domain.Name, fs feeds.DomainStat) {
+		gs, ok := full.Stat(d)
+		if !ok {
+			t.Fatalf("domain %s missing from full-fidelity feed", d)
+		}
+		if fs.Count != gs.Count {
+			t.Fatalf("domain %s count: fast %d, full %d", d, fs.Count, gs.Count)
+		}
+		if !fs.First.Equal(gs.First) || !fs.Last.Equal(gs.Last) {
+			t.Fatalf("domain %s timestamps differ", d)
+		}
+	})
+	if ingester.Dropped != 0 {
+		t.Fatalf("full path dropped %d URLs", ingester.Dropped)
+	}
+}

@@ -1,0 +1,67 @@
+package mailflow
+
+import (
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/randutil"
+)
+
+// poisonTLDs is the TLD mix of generated poison names; keeping them in
+// zone-covered TLDs makes them count against the DNS purity indicator
+// exactly as the Rustock junk did.
+var poisonTLDs = []string{"com", "com", "com", "net", "info"}
+
+// PoisonSource generates the Rustock-style random domain stream seen at
+// one collection point. With probability fresh it mints a brand-new
+// random name; otherwise it re-uses one of the most recent names,
+// modeling how many poison messages repeat a domain before rotating.
+// A small fraction of "fresh" names collide with genuinely registered
+// obscure domains.
+type PoisonSource struct {
+	rng     *randutil.RNG
+	fresh   float64
+	liveHit float64
+	obscure []domain.Name
+	recent  []domain.Name
+	next    int
+}
+
+// NewPoisonSource builds a source. obscure is the pool of real
+// registered domains random names can collide with (may be empty).
+func NewPoisonSource(rng *randutil.RNG, fresh, liveHit float64, obscure []domain.Name) *PoisonSource {
+	return &PoisonSource{
+		rng:     rng,
+		fresh:   fresh,
+		liveHit: liveHit,
+		obscure: obscure,
+		recent:  make([]domain.Name, 0, 512),
+	}
+}
+
+// Next returns the poison domain carried by the next message.
+func (p *PoisonSource) Next() domain.Name {
+	if len(p.recent) == 0 || p.rng.Bool(p.fresh) {
+		d := p.mint()
+		p.remember(d)
+		return d
+	}
+	return p.recent[p.rng.Intn(len(p.recent))]
+}
+
+func (p *PoisonSource) mint() domain.Name {
+	if len(p.obscure) > 0 && p.rng.Bool(p.liveHit) {
+		return p.obscure[p.rng.Intn(len(p.obscure))]
+	}
+	label := p.rng.AlphaNum(7 + p.rng.Intn(8))
+	tld := poisonTLDs[p.rng.Intn(len(poisonTLDs))]
+	return domain.Name(label + "." + tld)
+}
+
+// remember keeps a bounded ring of recent names for re-use.
+func (p *PoisonSource) remember(d domain.Name) {
+	if len(p.recent) < cap(p.recent) {
+		p.recent = append(p.recent, d)
+		return
+	}
+	p.recent[p.next] = d
+	p.next = (p.next + 1) % len(p.recent)
+}

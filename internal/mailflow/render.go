@@ -1,0 +1,70 @@
+package mailflow
+
+import (
+	"fmt"
+	"time"
+
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/ecosystem"
+	"tasterschoice/internal/mailmsg"
+	"tasterschoice/internal/randutil"
+)
+
+// Subject and body templates by goods category. Flavor only — what
+// matters is that the advertised URL (and any chaff) appears in the
+// body where a URL-extracting feed pipeline will find it.
+var (
+	subjectsByCategory = map[ecosystem.Category][]string{
+		ecosystem.CategoryPharma: {
+			"Your prescription is ready", "80%% off all meds",
+			"Canadian pharmacy - no Rx needed", "Feel better today",
+		},
+		ecosystem.CategoryReplica: {
+			"Luxury watches - 90%% off", "Designer bags, wholesale prices",
+			"Swiss replicas, free shipping",
+		},
+		ecosystem.CategorySoftware: {
+			"OEM software from $9.95", "Adobe + Office bundle deal",
+			"Download instantly, no box",
+		},
+		ecosystem.CategoryOther: {
+			"You have to see this", "Great deal inside",
+			"Limited time offer",
+		},
+	}
+	bodyLeads = []string{
+		"Hi, we thought you would like this:",
+		"Exclusive offer for our customers:",
+		"Don't miss out - order now at",
+		"Trusted by thousands. Visit",
+	}
+)
+
+// RenderMessage builds a full e-mail message for one delivery of a
+// campaign's ad slot, the way the full-fidelity SMTP path transmits it.
+// chaff, if non-empty, is embedded as an extra benign URL.
+func RenderMessage(rng *randutil.RNG, w *ecosystem.World, c *ecosystem.Campaign,
+	slot ecosystem.AdDomain, chaff domain.Name, t time.Time, to string) *mailmsg.Message {
+	cat := ecosystem.CategoryOther
+	if c.Program >= 0 {
+		cat = w.Programs[c.Program].Category
+	}
+	subjects := subjectsByCategory[cat]
+	subject := fmt.Sprintf(subjects[rng.Intn(len(subjects))])
+	lead := bodyLeads[rng.Intn(len(bodyLeads))]
+	url := ecosystem.AdURL(c, slot)
+	body := fmt.Sprintf("%s\n%s\n", lead, url)
+	if chaff != "" {
+		body += fmt.Sprintf("<img src=\"%s\">\n", ecosystem.ChaffURL(chaff))
+	}
+	body += "To unsubscribe, just ignore this message.\n"
+	from := fmt.Sprintf("%s@%s", rng.Letters(5+rng.Intn(5)), slot.Name)
+	return &mailmsg.Message{
+		From:      from,
+		To:        to,
+		Subject:   subject,
+		Date:      t,
+		MessageID: fmt.Sprintf("<%s@%s>", rng.AlphaNum(16), slot.Name),
+		Body:      body,
+	}
+}

@@ -1,0 +1,83 @@
+package mailflow
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/ecosystem"
+	"tasterschoice/internal/mailmsg"
+	"tasterschoice/internal/randutil"
+	"tasterschoice/internal/simclock"
+)
+
+// TestRenderedMessageSurvivesFeedPipeline exercises the full-fidelity
+// path end to end: render → serialize → parse → URL extraction →
+// registered-domain reduction, verifying a real feed operator's
+// pipeline recovers exactly the advertised (and chaff) domains.
+func TestRenderedMessageSurvivesFeedPipeline(t *testing.T) {
+	world := testWorld(21)
+	rng := randutil.New(5)
+	at := simclock.PaperStart.Add(36 * time.Hour)
+	checked := 0
+	for i := range world.Campaigns {
+		c := &world.Campaigns[i]
+		if c.Class == ecosystem.ClassWebOnly || checked >= 50 {
+			continue
+		}
+		slot := c.Domains[0]
+		chaff := world.Benign[rng.Intn(len(world.Benign))].Name
+		m := RenderMessage(rng, world, c, slot, chaff, at, "victim@webmail.example")
+		parsed, err := mailmsg.Parse(bytes.NewReader(m.Bytes()))
+		if err != nil {
+			t.Fatalf("campaign %d: parse: %v", c.ID, err)
+		}
+		if !parsed.Date.Equal(at) {
+			t.Fatalf("campaign %d: date %v", c.ID, parsed.Date)
+		}
+		urls := mailmsg.ExtractURLs(parsed.Body)
+		var domains []domain.Name
+		for _, u := range urls {
+			d, err := domain.DefaultRules.FromURL(u)
+			if err != nil {
+				t.Fatalf("campaign %d: FromURL(%q): %v", c.ID, u, err)
+			}
+			domains = append(domains, d)
+		}
+		wantAd, err := domain.DefaultRules.Registered(string(slot.Name))
+		if err != nil {
+			t.Fatalf("slot domain invalid: %v", err)
+		}
+		foundAd, foundChaff := false, false
+		for _, d := range domains {
+			if d == wantAd {
+				foundAd = true
+			}
+			if d == chaff {
+				foundChaff = true
+			}
+		}
+		if !foundAd {
+			t.Fatalf("campaign %d: advertised domain %s not recovered from %v",
+				c.ID, wantAd, domains)
+		}
+		if !foundChaff {
+			t.Fatalf("campaign %d: chaff %s not recovered from %v", c.ID, chaff, domains)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no campaigns checked")
+	}
+}
+
+func TestRenderMessageFromAddressUsesAdDomain(t *testing.T) {
+	world := testWorld(22)
+	rng := randutil.New(6)
+	c := &world.Campaigns[0]
+	m := RenderMessage(rng, world, c, c.Domains[0], "", simclock.PaperStart, "x@y.com")
+	if m.From == "" || m.To != "x@y.com" || m.Subject == "" || m.MessageID == "" {
+		t.Fatalf("incomplete message: %+v", m)
+	}
+}

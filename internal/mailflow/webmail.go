@@ -1,0 +1,116 @@
+package mailflow
+
+import (
+	"sort"
+	"time"
+
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/ecosystem"
+	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/oracle"
+	"tasterschoice/internal/randutil"
+	"tasterschoice/internal/simclock"
+)
+
+// webmail models the large webmail provider: every incoming message is
+// counted by the oracle, the automated filter drops most loud spam,
+// surviving messages reach inboxes where users sometimes click "this is
+// spam" (after a human-timescale delay), and each report feeds the
+// provider's filter so later messages naming the same domain rarely get
+// through again. That feedback loop is the mechanism behind the Hu
+// feed's paradoxical profile: tiny volume, enormous coverage.
+type webmail struct {
+	cfg    *Config
+	window simclock.Window
+	hu     *feeds.Feed
+	oracle *oracle.Oracle
+	// firstReport records the earliest report time per domain; the
+	// filter acts on messages arriving after it.
+	firstReport map[domain.Name]time.Time
+	// reports counts total human reports (diagnostics).
+	reports int64
+}
+
+func newWebmail(cfg *Config, window simclock.Window, hu *feeds.Feed, o *oracle.Oracle) *webmail {
+	return &webmail{
+		cfg:         cfg,
+		window:      window,
+		hu:          hu,
+		oracle:      o,
+		firstReport: make(map[domain.Name]time.Time),
+	}
+}
+
+// evasion returns the filter-evasion probability for a campaign class.
+func (wm *webmail) evasion(class ecosystem.CampaignClass) float64 {
+	switch class {
+	case ecosystem.ClassLoud:
+		return wm.cfg.InboxEvasionLoud
+	case ecosystem.ClassTiny:
+		return wm.cfg.InboxEvasionTiny
+	default:
+		return wm.cfg.InboxEvasionQuiet
+	}
+}
+
+// deliver processes a batch of incoming messages naming d. times need
+// not be sorted; chaff, if non-nil, supplies an additional benign
+// domain some reports name.
+func (wm *webmail) deliver(rng *randutil.RNG, times []time.Time, d domain.Name,
+	class ecosystem.CampaignClass, chaff func() (domain.Name, bool)) {
+	if len(times) == 0 {
+		return
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+	evade := wm.evasion(class)
+	for _, t := range times {
+		wm.oracle.Record(t, d)
+		inbox := false
+		if rt, reported := wm.firstReport[d]; reported && t.After(rt) {
+			// The domain is in the provider's filter now.
+			inbox = !rng.Bool(wm.cfg.FilterAfterReport)
+		} else {
+			inbox = rng.Bool(evade)
+		}
+		if !inbox || !rng.Bool(wm.cfg.ReportProb) {
+			continue
+		}
+		delay := rng.LogNormal(0, wm.cfg.ReportDelaySigma) * wm.cfg.ReportDelayMedianHours
+		rt := t.Add(time.Duration(delay * float64(time.Hour)))
+		if !rt.Before(wm.window.End) {
+			continue
+		}
+		wm.report(rng, rt, d, chaff)
+	}
+}
+
+// report records a human spam report at time rt.
+func (wm *webmail) report(rng *randutil.RNG, rt time.Time, d domain.Name,
+	chaff func() (domain.Name, bool)) {
+	wm.reports++
+	wm.hu.Observe(rt, d, "")
+	if prev, ok := wm.firstReport[d]; !ok || rt.Before(prev) {
+		wm.firstReport[d] = rt
+	}
+	if chaff != nil && rng.Bool(wm.cfg.HuChaffProb) {
+		if cd, ok := chaff(); ok {
+			wm.hu.Observe(rt, cd, "")
+		}
+	}
+}
+
+// recordOnly counts incoming messages for the oracle without any
+// chance of inbox delivery — used for blasts the provider's filters
+// block outright.
+func (wm *webmail) recordOnly(times []time.Time, d domain.Name) {
+	for _, t := range times {
+		wm.oracle.Record(t, d)
+	}
+}
+
+// Reported reports whether d has been human-reported (used by tests and
+// the ablation benches).
+func (wm *webmail) Reported(d domain.Name) bool {
+	_, ok := wm.firstReport[d]
+	return ok
+}

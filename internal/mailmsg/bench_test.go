@@ -1,0 +1,42 @@
+package mailmsg
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func benchMessage() *Message {
+	return &Message{
+		From:    "x@spam.example",
+		To:      "victim@webmail.example",
+		Subject: "Great offer inside",
+		Date:    time.Date(2010, 8, 15, 12, 0, 0, 0, time.UTC),
+		Body: "Check http://cheappills77.com/p/c12 or http://replica-hub.net/p/c13\n" +
+			"also <img src=\"http://img-host.example/x.png\"> and www.bonus.org today",
+	}
+}
+
+func BenchmarkSerialize(b *testing.B) {
+	m := benchMessage()
+	for i := 0; i < b.N; i++ {
+		_ = m.Bytes()
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	raw := benchMessage().Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtractURLs(b *testing.B) {
+	body := benchMessage().Body
+	for i := 0; i < b.N; i++ {
+		_ = ExtractURLs(body)
+	}
+}

@@ -1,0 +1,49 @@
+package mailmsg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse ensures the message parser never panics and that anything
+// it accepts re-serializes and re-parses stably.
+func FuzzParse(f *testing.F) {
+	f.Add("From: a@b.com\r\nSubject: hi\r\n\r\nbody http://x.com/\r\n")
+	f.Add("Subject: folded\r\n\tcontinuation\r\n\r\n")
+	f.Add("From: a@b.com\n\nbare lf body\n")
+	f.Add(":\r\n\r\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, raw string) {
+		m, err := Parse(strings.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip through our own serializer.
+		again, err := Parse(bytes.NewReader(m.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of own output failed: %v", err)
+		}
+		if again.Body != strings.ReplaceAll(m.Body, "\r\n", "\n") && again.Body != m.Body {
+			t.Fatalf("body unstable: %q vs %q", m.Body, again.Body)
+		}
+	})
+}
+
+// FuzzExtractURLs ensures URL extraction never panics and always
+// returns distinct entries.
+func FuzzExtractURLs(f *testing.F) {
+	f.Add("see http://a.com and www.b.org, also <a href=\"http://c.net/x\">z</a>")
+	f.Add("http://")
+	f.Add("www.")
+	f.Fuzz(func(t *testing.T, body string) {
+		urls := ExtractURLs(body)
+		seen := map[string]bool{}
+		for _, u := range urls {
+			if seen[u] {
+				t.Fatalf("duplicate URL %q", u)
+			}
+			seen[u] = true
+		}
+	})
+}

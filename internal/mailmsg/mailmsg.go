@@ -1,0 +1,264 @@
+// Package mailmsg models the e-mail messages flowing through the
+// simulated spam ecosystem: construction, RFC 5322-style serialization
+// and parsing, and extraction of advertised URLs from message bodies.
+//
+// Feeds in the paper differ in what they report — some provide full
+// message content, some only URLs, some only registered domains. The
+// richer collectors in this reproduction therefore operate on full
+// Message values and reduce them with ExtractURLs + domain.Rules, the
+// same pipeline a real feed operator runs.
+package mailmsg
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Message is a simplified e-mail message: a fixed set of common headers
+// plus free-form extras, and a plain-text body that may carry URLs.
+type Message struct {
+	From    string
+	To      string
+	Subject string
+	Date    time.Time
+	// MessageID uniquely identifies the message ("<id@host>").
+	MessageID string
+	// Extra holds additional headers (canonical-cased keys).
+	Extra map[string]string
+	Body  string
+}
+
+// dateLayout is the RFC 5322 date format.
+const dateLayout = "Mon, 02 Jan 2006 15:04:05 -0700"
+
+// foldLimit is the RFC 5322 recommended line length for headers; long
+// header values are folded onto continuation lines at spaces.
+const foldLimit = 78
+
+// WriteTo serializes the message in RFC 5322 style (CRLF line endings,
+// folded long headers, blank line between headers and body). It
+// implements io.WriterTo.
+func (m *Message) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	writeHeader := func(k, v string) {
+		if v == "" {
+			return
+		}
+		line := k + ": " + sanitizeHeader(v)
+		for len(line) > foldLimit {
+			// Fold at the last space before the limit; if none, emit
+			// the long line unfolded rather than corrupt a token.
+			cut := strings.LastIndexByte(line[:foldLimit], ' ')
+			if cut <= len(k)+1 {
+				break
+			}
+			buf.WriteString(line[:cut])
+			buf.WriteString("\r\n")
+			line = "\t" + line[cut+1:]
+		}
+		buf.WriteString(line)
+		buf.WriteString("\r\n")
+	}
+	writeHeader("From", m.From)
+	writeHeader("To", m.To)
+	writeHeader("Subject", m.Subject)
+	if !m.Date.IsZero() {
+		writeHeader("Date", m.Date.UTC().Format(dateLayout))
+	}
+	writeHeader("Message-ID", m.MessageID)
+	// Deterministic ordering for extra headers.
+	keys := make([]string, 0, len(m.Extra))
+	for k := range m.Extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		writeHeader(k, m.Extra[k])
+	}
+	buf.WriteString("\r\n")
+	body := strings.ReplaceAll(m.Body, "\r\n", "\n")
+	buf.WriteString(strings.ReplaceAll(body, "\n", "\r\n"))
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// sanitizeHeader strips CR/LF to prevent header injection.
+func sanitizeHeader(v string) string {
+	v = strings.ReplaceAll(v, "\r", " ")
+	return strings.ReplaceAll(v, "\n", " ")
+}
+
+// Bytes returns the serialized message.
+func (m *Message) Bytes() []byte {
+	var buf bytes.Buffer
+	m.WriteTo(&buf) //nolint:errcheck // bytes.Buffer cannot fail
+	return buf.Bytes()
+}
+
+// String returns the serialized message as a string.
+func (m *Message) String() string { return string(m.Bytes()) }
+
+// Parse reads a serialized message back into a Message. Unknown headers
+// land in Extra. Header continuation lines (leading whitespace) are
+// folded with a single space. Parse tolerates both CRLF and LF endings.
+func Parse(r io.Reader) (*Message, error) {
+	br := bufio.NewReader(r)
+	m := &Message{Extra: make(map[string]string)}
+	var lastKey string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil && line == "" {
+			if err == io.EOF {
+				return nil, fmt.Errorf("mailmsg: missing header/body separator")
+			}
+			return nil, err
+		}
+		trimmed := strings.TrimRight(line, "\r\n")
+		if trimmed == "" {
+			break // header/body separator
+		}
+		if trimmed[0] == ' ' || trimmed[0] == '\t' {
+			if lastKey == "" {
+				return nil, fmt.Errorf("mailmsg: continuation line before any header")
+			}
+			m.setHeader(lastKey, m.getHeader(lastKey)+" "+strings.TrimSpace(trimmed))
+			continue
+		}
+		k, v, ok := strings.Cut(trimmed, ":")
+		if !ok {
+			return nil, fmt.Errorf("mailmsg: malformed header line %q", trimmed)
+		}
+		k = strings.TrimSpace(k)
+		v = strings.TrimSpace(v)
+		lastKey = k
+		m.setHeader(k, v)
+	}
+	body, err := io.ReadAll(br)
+	if err != nil {
+		return nil, err
+	}
+	m.Body = strings.ReplaceAll(string(body), "\r\n", "\n")
+	if len(m.Extra) == 0 {
+		m.Extra = nil
+	}
+	return m, nil
+}
+
+func (m *Message) setHeader(k, v string) {
+	switch strings.ToLower(k) {
+	case "from":
+		m.From = v
+	case "to":
+		m.To = v
+	case "subject":
+		m.Subject = v
+	case "date":
+		if t, err := time.Parse(dateLayout, v); err == nil {
+			m.Date = t.UTC()
+		}
+	case "message-id":
+		m.MessageID = v
+	default:
+		if m.Extra == nil {
+			m.Extra = make(map[string]string)
+		}
+		m.Extra[k] = v
+	}
+}
+
+func (m *Message) getHeader(k string) string {
+	switch strings.ToLower(k) {
+	case "from":
+		return m.From
+	case "to":
+		return m.To
+	case "subject":
+		return m.Subject
+	case "message-id":
+		return m.MessageID
+	default:
+		return m.Extra[k]
+	}
+}
+
+// ExtractURLs returns the URLs found in the body, in order of first
+// appearance, de-duplicated. It recognizes http:// and https:// URLs in
+// plain text and inside href="..." attributes, plus bare www.-prefixed
+// hosts (reported as scheme-less URLs), matching how feed operators
+// harvest spam-advertised links.
+func ExtractURLs(body string) []string {
+	var urls []string
+	seen := make(map[string]bool)
+	add := func(u string) {
+		u = trimURLPunct(u)
+		if u == "" || seen[u] {
+			return
+		}
+		seen[u] = true
+		urls = append(urls, u)
+	}
+	for i := 0; i < len(body); {
+		rest := body[i:]
+		switch {
+		case hasFoldPrefix(rest, "http://"), hasFoldPrefix(rest, "https://"):
+			end := urlEnd(rest)
+			add(rest[:end])
+			i += end
+		case hasFoldPrefix(rest, "href=\""):
+			start := i + len("href=\"")
+			if j := strings.IndexByte(body[start:], '"'); j >= 0 {
+				add(body[start : start+j])
+				i = start + j + 1
+			} else {
+				i = len(body)
+			}
+		case hasFoldPrefix(rest, "www.") && (i == 0 || isURLBoundary(body[i-1])):
+			end := urlEnd(rest)
+			add(rest[:end])
+			i += end
+		default:
+			i++
+		}
+	}
+	return urls
+}
+
+// urlEnd returns the length of the URL token starting at the beginning
+// of s: it ends at whitespace, quotes, angle brackets, or end of input.
+func urlEnd(s string) int {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\n', '\r', '"', '\'', '<', '>', ')', ']', '}':
+			return i
+		}
+	}
+	return len(s)
+}
+
+// trimURLPunct removes trailing punctuation commonly adjacent to URLs
+// in prose ("visit http://x.com."), which is not part of the URL.
+func trimURLPunct(u string) string {
+	return strings.TrimRight(u, ".,;:!?")
+}
+
+// isURLBoundary reports whether c can precede the start of a bare URL.
+func isURLBoundary(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\r', '(', '[', '<', '"', '\'', '=', ',', ':', ';':
+		return true
+	}
+	return false
+}
+
+// hasFoldPrefix is a case-insensitive strings.HasPrefix for ASCII.
+func hasFoldPrefix(s, prefix string) bool {
+	if len(s) < len(prefix) {
+		return false
+	}
+	return strings.EqualFold(s[:len(prefix)], prefix)
+}

@@ -1,0 +1,248 @@
+package mailmsg
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sample() *Message {
+	return &Message{
+		From:      "spammer@botnet.example",
+		To:        "victim@webmail.example",
+		Subject:   "Cheap meds here",
+		Date:      time.Date(2010, 8, 15, 12, 30, 0, 0, time.UTC),
+		MessageID: "<abc123@botnet.example>",
+		Extra:     map[string]string{"X-Campaign": "c42"},
+		Body:      "Buy now at http://cheappills.com/buy?aff=7\nThanks",
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := sample()
+	parsed, err := Parse(bytes.NewReader(m.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.From != m.From || parsed.To != m.To || parsed.Subject != m.Subject {
+		t.Fatalf("headers differ: %+v", parsed)
+	}
+	if !parsed.Date.Equal(m.Date) {
+		t.Fatalf("date %v != %v", parsed.Date, m.Date)
+	}
+	if parsed.MessageID != m.MessageID {
+		t.Fatalf("message-id %q", parsed.MessageID)
+	}
+	if parsed.Extra["X-Campaign"] != "c42" {
+		t.Fatalf("extra headers: %v", parsed.Extra)
+	}
+	if parsed.Body != m.Body {
+		t.Fatalf("body %q != %q", parsed.Body, m.Body)
+	}
+}
+
+func TestSerializationUsesCRLF(t *testing.T) {
+	raw := sample().String()
+	head, _, ok := strings.Cut(raw, "\r\n\r\n")
+	if !ok {
+		t.Fatal("no CRLF header/body separator")
+	}
+	for _, line := range strings.Split(head, "\r\n") {
+		if strings.Contains(line, "\n") {
+			t.Fatalf("bare LF in header section: %q", line)
+		}
+	}
+}
+
+func TestHeaderInjectionSanitized(t *testing.T) {
+	m := &Message{Subject: "evil\r\nBcc: target@x.com", Body: "hi"}
+	raw := m.String()
+	if strings.Contains(raw, "Bcc: target") && strings.Contains(raw, "\r\nBcc:") {
+		t.Fatal("header injection not sanitized")
+	}
+	parsed, err := Parse(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := parsed.Extra["Bcc"]; ok {
+		t.Fatal("injected header materialized")
+	}
+}
+
+func TestParseLFOnly(t *testing.T) {
+	raw := "From: a@b.com\nSubject: hi\n\nbody line\n"
+	m, err := Parse(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From != "a@b.com" || m.Subject != "hi" || m.Body != "body line\n" {
+		t.Fatalf("parsed: %+v", m)
+	}
+}
+
+func TestParseContinuationLine(t *testing.T) {
+	raw := "Subject: part one\r\n\tpart two\r\n\r\nbody"
+	m, err := Parse(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Subject != "part one part two" {
+		t.Fatalf("Subject = %q", m.Subject)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for name, raw := range map[string]string{
+		"no separator":       "From: a@b.com\r\n",
+		"malformed header":   "NotAHeader\r\n\r\nbody",
+		"leading whitespace": " folded: without header\r\n\r\nbody",
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(raw)); err == nil {
+				t.Fatalf("expected error for %q", raw)
+			}
+		})
+	}
+}
+
+func TestParseEmptyBody(t *testing.T) {
+	m, err := Parse(strings.NewReader("From: a@b.com\r\n\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Body != "" {
+		t.Fatalf("Body = %q", m.Body)
+	}
+}
+
+func TestExtractURLsPlain(t *testing.T) {
+	body := "Visit http://cheappills.com/buy now, or https://Replica.Example.ORG/sale."
+	got := ExtractURLs(body)
+	want := []string{"http://cheappills.com/buy", "https://Replica.Example.ORG/sale"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ExtractURLs = %v, want %v", got, want)
+	}
+}
+
+func TestExtractURLsHref(t *testing.T) {
+	body := `<a href="http://store.com/x">click</a> and <a href="http://other.com/y">here</a>`
+	got := ExtractURLs(body)
+	want := []string{"http://store.com/x", "http://other.com/y"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ExtractURLs = %v, want %v", got, want)
+	}
+}
+
+func TestExtractURLsBareWWW(t *testing.T) {
+	body := "go to www.pills.com for deals"
+	got := ExtractURLs(body)
+	if len(got) != 1 || got[0] != "www.pills.com" {
+		t.Fatalf("ExtractURLs = %v", got)
+	}
+	// Not a boundary: should not match inside a word.
+	if got := ExtractURLs("xwww.pills.com"); len(got) != 0 {
+		t.Fatalf("matched mid-word: %v", got)
+	}
+	// Start of body is a boundary.
+	if got := ExtractURLs("www.first.com rest"); len(got) != 1 {
+		t.Fatalf("start-of-body www: %v", got)
+	}
+}
+
+func TestExtractURLsDedup(t *testing.T) {
+	body := "http://a.com http://a.com http://b.com"
+	got := ExtractURLs(body)
+	want := []string{"http://a.com", "http://b.com"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ExtractURLs = %v", got)
+	}
+}
+
+func TestExtractURLsTrailingPunct(t *testing.T) {
+	got := ExtractURLs("see http://a.com/page.")
+	if len(got) != 1 || got[0] != "http://a.com/page" {
+		t.Fatalf("ExtractURLs = %v", got)
+	}
+}
+
+func TestExtractURLsQuoteTerminated(t *testing.T) {
+	got := ExtractURLs(`<img src="http://img.host.com/x.png"> text`)
+	if len(got) != 1 || got[0] != "http://img.host.com/x.png" {
+		t.Fatalf("ExtractURLs = %v", got)
+	}
+}
+
+func TestExtractURLsEmpty(t *testing.T) {
+	if got := ExtractURLs("no links here"); len(got) != 0 {
+		t.Fatalf("ExtractURLs = %v", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: serialize → parse preserves subject and body for
+	// header-safe subjects and CR-free bodies.
+	f := func(subjRaw, bodyRaw []byte) bool {
+		subj := strings.Map(func(r rune) rune {
+			if r < 32 || r > 126 {
+				return -1
+			}
+			return r
+		}, string(subjRaw))
+		subj = strings.TrimSpace(subj)
+		body := strings.Map(func(r rune) rune {
+			if r == '\r' {
+				return -1
+			}
+			if r != '\n' && (r < 32 || r > 126) {
+				return -1
+			}
+			return r
+		}, string(bodyRaw))
+		m := &Message{From: "a@b.com", Subject: subj, Body: body}
+		parsed, err := Parse(bytes.NewReader(m.Bytes()))
+		if err != nil {
+			return false
+		}
+		return parsed.Subject == subj && parsed.Body == body
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderFolding(t *testing.T) {
+	long := strings.Repeat("wordy segment ", 12) // ~170 chars
+	m := &Message{From: "a@b.com", Subject: strings.TrimSpace(long), Body: "x"}
+	raw := m.String()
+	head, _, _ := strings.Cut(raw, "\r\n\r\n")
+	for _, line := range strings.Split(head, "\r\n") {
+		if len(line) > 90 {
+			t.Fatalf("unfolded header line (%d chars): %q", len(line), line)
+		}
+	}
+	// The folded header must parse back to the original subject.
+	parsed, err := Parse(bytes.NewReader(m.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Subject != m.Subject {
+		t.Fatalf("folded subject corrupted:\n%q\n%q", m.Subject, parsed.Subject)
+	}
+}
+
+func TestHeaderFoldingUnbreakableToken(t *testing.T) {
+	// A single unbreakable token longer than the limit is emitted
+	// as-is rather than corrupted.
+	token := strings.Repeat("x", 120)
+	m := &Message{Subject: token, Body: ""}
+	parsed, err := Parse(bytes.NewReader(m.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Subject != token {
+		t.Fatalf("token corrupted: %q", parsed.Subject)
+	}
+}

@@ -1,0 +1,156 @@
+// Package mta glues the substrates into the production pipeline the
+// paper's purity analysis is really about: an inbound mail server that
+// filters at SMTP time using a domain blacklist. Every message received
+// over SMTP is parsed, its URLs reduced to registered domains, each
+// domain checked against the configured blacklist (a local feed
+// snapshot or a live DNSBL), and the message delivered or rejected.
+//
+// This is where feed quality turns operational: a low-purity feed
+// rejects legitimate mail; a low-coverage feed lets spam through.
+package mta
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"tasterschoice/internal/mailfilter"
+	"tasterschoice/internal/mailmsg"
+	"tasterschoice/internal/smtpd"
+)
+
+// Decision is the MTA's verdict on one message.
+type Decision struct {
+	// Spam reports whether the filter flagged the message.
+	Spam bool
+	// Matched is the blacklisted domain that triggered the verdict.
+	Matched string
+	// Envelope is the received message.
+	Envelope smtpd.Envelope
+	// FilterErr records a lookup failure (message is delivered on
+	// error: fail open, as production filters do).
+	FilterErr error
+}
+
+// Server is a filtering inbound MTA.
+type Server struct {
+	// Lister is the blacklist consulted per domain.
+	Lister mailfilter.Lister
+	// Deliver receives every accepted message's decision (spam is
+	// tagged, not rejected, when RejectSpam is false).
+	Deliver func(Decision)
+	// RejectSpam makes the server answer DATA with a 550-style
+	// rejection for spam... SMTP-level behaviour is emulated by not
+	// delivering; the sender still sees 250 (honeypot-quiet mode) to
+	// avoid tipping off spammers.
+	RejectSpam bool
+
+	smtp *smtpd.Server
+	mu   sync.Mutex
+	// counters
+	received, delivered, rejected, errors int64
+}
+
+// Stats reports the server's counters.
+type Stats struct {
+	Received, Delivered, Rejected, Errors int64
+}
+
+// NewServer builds an MTA filtering against the lister.
+func NewServer(hostname string, lister mailfilter.Lister, deliver func(Decision)) *Server {
+	s := &Server{Lister: lister, Deliver: deliver}
+	s.smtp = smtpd.NewServer(hostname, s.handle)
+	return s
+}
+
+// Listen starts the SMTP listener.
+func (s *Server) Listen(addr string) (net.Addr, error) { return s.smtp.Listen(addr) }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.smtp.Close() }
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Received:  s.received,
+		Delivered: s.delivered,
+		Rejected:  s.rejected,
+		Errors:    s.errors,
+	}
+}
+
+// handle classifies one received envelope. Each connection goroutine
+// gets its own filter view; the lister itself must be concurrency-safe
+// (feeds snapshots and DNSBL clients are).
+func (s *Server) handle(env smtpd.Envelope) {
+	dec := Decision{Envelope: env}
+	m, err := mailmsg.Parse(strings.NewReader(string(env.Data)))
+	if err == nil {
+		filter := mailfilter.New(s.Lister)
+		verdict, ferr := filter.Classify(m)
+		if ferr != nil {
+			dec.FilterErr = ferr
+		} else {
+			dec.Spam = verdict.Spam
+			dec.Matched = string(verdict.Matched)
+		}
+	}
+
+	s.mu.Lock()
+	s.received++
+	switch {
+	case dec.FilterErr != nil:
+		s.errors++
+		s.delivered++ // fail open
+	case dec.Spam && s.RejectSpam:
+		s.rejected++
+	default:
+		s.delivered++
+	}
+	s.mu.Unlock()
+
+	if s.Deliver != nil && (!dec.Spam || !s.RejectSpam) {
+		s.Deliver(dec)
+	}
+}
+
+// SendAll is a convenience for tests and examples: deliver messages to
+// the MTA over a real SMTP connection.
+func SendAll(addr string, msgs []*mailmsg.Message) error {
+	c, err := smtpd.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Hello("sender.example"); err != nil {
+		return err
+	}
+	for _, m := range msgs {
+		to := m.To
+		if to == "" {
+			to = "user@localhost"
+		}
+		if err := c.Send(m.From, []string{to}, m.Bytes()); err != nil {
+			return err
+		}
+	}
+	return c.Quit()
+}
+
+// WaitReceived polls until the MTA has processed n messages or the
+// timeout elapses, returning whether the target was reached. SMTP
+// handlers run asynchronously to the client's final reply only in
+// pathological cases, but tests should not depend on scheduling.
+func (s *Server) WaitReceived(n int64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if s.Stats().Received >= n {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return s.Stats().Received >= n
+}

@@ -1,0 +1,73 @@
+package oracle
+
+import (
+	"testing"
+	"time"
+
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/simclock"
+)
+
+func TestRecordWindowing(t *testing.T) {
+	w := simclock.NewWindow(5)
+	o := New(w)
+	d := domain.Name("pills.com")
+	o.Record(w.Start, d)                       // inside
+	o.Record(w.End.Add(-time.Nanosecond), d)   // inside
+	o.Record(w.End, d)                         // outside
+	o.Record(w.Start.Add(-time.Nanosecond), d) // outside
+	if got := o.Volume(d); got != 2 {
+		t.Fatalf("Volume = %d, want 2", got)
+	}
+	if o.Total() != 2 || o.Unique() != 1 {
+		t.Fatalf("total=%d unique=%d", o.Total(), o.Unique())
+	}
+}
+
+func TestAddBulk(t *testing.T) {
+	o := New(simclock.NewWindow(5))
+	o.AddBulk("big.com", 1000)
+	o.AddBulk("big.com", 500)
+	o.AddBulk("ignored.com", 0)
+	o.AddBulk("ignored2.com", -5)
+	if o.Volume("big.com") != 1500 {
+		t.Fatalf("Volume = %d", o.Volume("big.com"))
+	}
+	if o.Unique() != 1 {
+		t.Fatalf("Unique = %d", o.Unique())
+	}
+}
+
+func TestVolumes(t *testing.T) {
+	o := New(simclock.NewWindow(5))
+	o.AddBulk("a.com", 10)
+	got := o.Volumes([]domain.Name{"a.com", "missing.com"})
+	if got["a.com"] != 10 || got["missing.com"] != 0 || len(got) != 2 {
+		t.Fatalf("Volumes = %v", got)
+	}
+}
+
+func TestDistRestrictsSupport(t *testing.T) {
+	o := New(simclock.NewWindow(5))
+	o.AddBulk("a.com", 30)
+	o.AddBulk("b.com", 10)
+	o.AddBulk("outside.com", 1000)
+	d := o.Dist(map[string]bool{"a.com": true, "b.com": true})
+	if len(d) != 2 {
+		t.Fatalf("dist = %v", d)
+	}
+	if d["a.com"] != 0.75 || d["b.com"] != 0.25 {
+		t.Fatalf("dist = %v", d)
+	}
+}
+
+func TestPaperOracleWindow(t *testing.T) {
+	m := simclock.PaperWindow()
+	w := PaperOracleWindow(m)
+	if w.Days() != 5 {
+		t.Fatalf("oracle window %d days", w.Days())
+	}
+	if w.Start.Before(m.Start) || w.End.After(m.End) {
+		t.Fatalf("oracle window %v outside measurement", w)
+	}
+}

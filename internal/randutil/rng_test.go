@@ -1,0 +1,270 @@
+package randutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("step %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestNewNamedIndependentStreams(t *testing.T) {
+	a := NewNamed(7, "campaigns")
+	b := NewNamed(7, "crawler")
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("named streams with same seed should differ")
+	}
+	// And the same name must reproduce.
+	c := NewNamed(7, "campaigns")
+	d := NewNamed(7, "campaigns")
+	if c.Uint64() != d.Uint64() {
+		t.Fatal("same-named streams should be identical")
+	}
+}
+
+func TestZeroSeedNotDegenerate(t *testing.T) {
+	r := New(0)
+	zeros := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 2 {
+		t.Fatalf("seed 0 produced %d zero outputs of 100", zeros)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	child := parent.Split()
+	// Parent and child should not track each other.
+	match := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			match++
+		}
+	}
+	if match > 0 {
+		t.Fatalf("parent and child matched %d times", match)
+	}
+}
+
+func TestSplitNamedOrderInsensitive(t *testing.T) {
+	a := New(5)
+	b := New(5)
+	ax := a.SplitNamed("x")
+	ay := a.SplitNamed("y")
+	by := b.SplitNamed("y")
+	bx := b.SplitNamed("x")
+	if ax.Uint64() != bx.Uint64() {
+		t.Fatal("SplitNamed(x) differs depending on creation order")
+	}
+	if ay.Uint64() != by.Uint64() {
+		t.Fatal("SplitNamed(y) differs depending on creation order")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniform(t *testing.T) {
+	r := New(11)
+	const n = 10
+	counts := make([]int, n)
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(trials) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("value %d: count %d, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(13)
+	sum := 0.0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / trials; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean %g, want ~0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(17)
+	hits := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / trials; math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) rate %g", p)
+	}
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(19)
+	var sum, sumSq float64
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("variance %g, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(23)
+	sum := 0.0
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / trials; math.Abs(mean-1) > 0.02 {
+		t.Errorf("mean %g, want ~1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(29)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestLettersAndAlphaNum(t *testing.T) {
+	r := New(31)
+	s := r.Letters(20)
+	if len(s) != 20 {
+		t.Fatalf("Letters(20) length %d", len(s))
+	}
+	for _, c := range s {
+		if c < 'a' || c > 'z' {
+			t.Fatalf("Letters produced %q", s)
+		}
+	}
+	a := r.AlphaNum(12)
+	if len(a) != 12 {
+		t.Fatalf("AlphaNum(12) length %d", len(a))
+	}
+	if a[0] < 'a' || a[0] > 'z' {
+		t.Fatalf("AlphaNum must start with a letter, got %q", a)
+	}
+	if r.AlphaNum(0) != "" {
+		t.Fatal("AlphaNum(0) should be empty")
+	}
+}
+
+func TestShuffleProperty(t *testing.T) {
+	// Property: shuffling preserves the multiset of elements.
+	f := func(seed uint64, raw []byte) bool {
+		r := New(seed)
+		vals := make([]int, len(raw))
+		counts := map[int]int{}
+		for i, b := range raw {
+			vals[i] = int(b)
+			counts[int(b)]++
+		}
+		r.ShuffleInts(vals)
+		for _, v := range vals {
+			counts[v]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nProperty(t *testing.T) {
+	// Property: Uint64n(n) is always < n for any n >= 1.
+	f := func(seed uint64, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			if r.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"tasterschoice/internal/analysis"
+)
+
+// CSV emitters: machine-readable counterparts of the ASCII renderers,
+// with raw numbers instead of formatted percentages, for plotting the
+// reproduced tables and figures with external tools.
+
+// writeCSV writes one header plus rows.
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return fmt.Sprintf("%.6f", v) }
+func d(v int) string     { return fmt.Sprintf("%d", v) }
+func d64(v int64) string { return fmt.Sprintf("%d", v) }
+
+// CSVFeedSummary emits Table 1.
+func CSVFeedSummary(w io.Writer, rows []analysis.FeedSummary) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		samples := d64(r.Samples)
+		if r.SamplesNA {
+			samples = ""
+		}
+		out[i] = []string{r.Name, r.Kind.String(), samples, d(r.Unique)}
+	}
+	return writeCSV(w, []string{"feed", "type", "samples", "unique"}, out)
+}
+
+// CSVPurity emits Table 2 as fractions.
+func CSVPurity(w io.Writer, rows []analysis.PurityRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Name, f(r.DNS), f(r.Covered), f(r.HTTP),
+			f(r.Tagged), f(r.ODP), f(r.Alexa)}
+	}
+	return writeCSV(w, []string{"feed", "dns", "zone_covered", "http", "tagged", "odp", "alexa"}, out)
+}
+
+// CSVCoverage emits Table 3 for all three domain classes.
+func CSVCoverage(w io.Writer, all, live, tagged []analysis.CoverageRow) error {
+	out := make([][]string, len(all))
+	for i := range all {
+		out[i] = []string{all[i].Name,
+			d(all[i].Total), d(all[i].Exclusive),
+			d(live[i].Total), d(live[i].Exclusive),
+			d(tagged[i].Total), d(tagged[i].Exclusive)}
+	}
+	return writeCSV(w, []string{"feed", "all", "all_exclusive", "live",
+		"live_exclusive", "tagged", "tagged_exclusive"}, out)
+}
+
+// CSVMatrix emits a pairwise matrix in long form (row, col, count,
+// frac), including the All column.
+func CSVMatrix(w io.Writer, m *analysis.Matrix) error {
+	var out [][]string
+	cols := append(append([]string(nil), m.Names...), "All")
+	for i, rowName := range m.Names {
+		for j, colName := range cols {
+			out = append(out, []string{rowName, colName,
+				d(m.Count[i][j]), f(m.Frac[i][j])})
+		}
+	}
+	return writeCSV(w, []string{"row", "col", "count", "frac_of_col"}, out)
+}
+
+// CSVVolume emits Figure 3.
+func CSVVolume(w io.Writer, rows []analysis.VolumeRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Name, f(r.LivePct), f(r.LiveBenignPct),
+			f(r.TaggedPct), f(r.TaggedBenignPct)}
+	}
+	return writeCSV(w, []string{"feed", "live_pct", "live_benign_pct",
+		"tagged_pct", "tagged_benign_pct"}, out)
+}
+
+// CSVRevenue emits Figure 6.
+func CSVRevenue(w io.Writer, rows []analysis.RevenueRow, total float64) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		frac := 0.0
+		if total > 0 {
+			frac = r.Revenue / total
+		}
+		out[i] = []string{r.Name, f(r.Revenue), d(r.Affiliates), f(frac)}
+	}
+	return writeCSV(w, []string{"feed", "revenue_usd", "affiliates", "revenue_frac"}, out)
+}
+
+// CSVPairwise emits Figures 7/8 in long form.
+func CSVPairwise(w io.Writer, p *analysis.PairwiseDist) error {
+	var out [][]string
+	for i, a := range p.Names {
+		for j, b := range p.Names {
+			val := ""
+			if p.OK[i][j] {
+				val = f(p.Value[i][j])
+			}
+			out = append(out, []string{a, b, val})
+		}
+	}
+	return writeCSV(w, []string{"row", "col", "value"}, out)
+}
+
+// CSVTiming emits Figures 9-12 boxplot summaries in hours.
+func CSVTiming(w io.Writer, rows []analysis.TimingRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		s := r.Summary
+		out[i] = []string{r.Name, d(s.N), f(s.Min), f(s.P25), f(s.Median),
+			f(s.P75), f(s.P95), f(s.Max), f(s.Mean)}
+	}
+	return writeCSV(w, []string{"feed", "n", "min_h", "p25_h", "median_h",
+		"p75_h", "p95_h", "max_h", "mean_h"}, out)
+}
+
+// CSVSelection emits the greedy acquisition order.
+func CSVSelection(w io.Writer, steps []analysis.SelectionStep) error {
+	out := make([][]string, len(steps))
+	for i, s := range steps {
+		out[i] = []string{d(i + 1), s.Feed, d(s.Marginal), d(s.Cumulative),
+			f(s.CumulativeFrac)}
+	}
+	return writeCSV(w, []string{"rank", "feed", "marginal", "cumulative", "cumulative_frac"}, out)
+}
+
+// SelectionTable renders the greedy acquisition order as text.
+func SelectionTable(steps []analysis.SelectionStep) string {
+	rows := make([][]string, len(steps))
+	for i, s := range steps {
+		rows[i] = []string{
+			fmt.Sprintf("%d", i+1), s.Feed,
+			Comma(int64(s.Marginal)), Comma(int64(s.Cumulative)),
+			Percent(s.CumulativeFrac),
+		}
+	}
+	return Table([]string{"#", "Feed", "Marginal", "Cumulative", "Coverage"}, rows)
+}

@@ -1,0 +1,129 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"tasterschoice/internal/analysis"
+	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/stats"
+)
+
+// parseCSV re-reads emitted CSV, failing on malformed output.
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV unparseable: %v", err)
+	}
+	return rows
+}
+
+func TestCSVFeedSummary(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []analysis.FeedSummary{
+		{Name: "Hu", Kind: feeds.KindHuman, Samples: 123, Unique: 45},
+		{Name: "dbl", Kind: feeds.KindBlacklist, SamplesNA: true, Unique: 9},
+	}
+	if err := CSVFeedSummary(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := parseCSV(t, &buf)
+	if len(got) != 3 || got[1][0] != "Hu" || got[1][2] != "123" {
+		t.Fatalf("rows: %v", got)
+	}
+	if got[2][2] != "" {
+		t.Fatalf("blacklist samples should be empty, got %q", got[2][2])
+	}
+}
+
+func TestCSVPurityFractions(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []analysis.PurityRow{{Name: "mx1", DNS: 0.5, HTTP: 0.25}}
+	if err := CSVPurity(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := parseCSV(t, &buf)
+	if got[1][1] != "0.500000" || got[1][3] != "0.250000" {
+		t.Fatalf("rows: %v", got)
+	}
+}
+
+func TestCSVMatrixLongForm(t *testing.T) {
+	m := analysis.NewMatrix([]string{"a", "b"}, []map[string]bool{
+		{"x": true, "y": true},
+		{"y": true},
+	})
+	var buf bytes.Buffer
+	if err := CSVMatrix(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got := parseCSV(t, &buf)
+	// header + 2 rows × (2 cols + All) = 7 lines.
+	if len(got) != 7 {
+		t.Fatalf("lines: %d", len(got))
+	}
+	// a∩b = {y}: find row a,b.
+	found := false
+	for _, r := range got[1:] {
+		if r[0] == "a" && r[1] == "b" {
+			found = true
+			if r[2] != "1" {
+				t.Fatalf("a∩b = %s", r[2])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("missing a,b cell")
+	}
+}
+
+func TestCSVTimingAndPairwise(t *testing.T) {
+	var buf bytes.Buffer
+	timing := []analysis.TimingRow{{Name: "mx1", Summary: stats.Summarize([]float64{1, 2, 3})}}
+	if err := CSVTiming(&buf, timing); err != nil {
+		t.Fatal(err)
+	}
+	got := parseCSV(t, &buf)
+	if got[1][0] != "mx1" || got[1][1] != "3" {
+		t.Fatalf("timing rows: %v", got)
+	}
+
+	buf.Reset()
+	p := &analysis.PairwiseDist{
+		Names: []string{"Mail", "mx1"},
+		Value: [][]float64{{0, 0.5}, {0.5, 0}},
+		OK:    [][]bool{{true, true}, {true, false}},
+	}
+	if err := CSVPairwise(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got = parseCSV(t, &buf)
+	if len(got) != 5 {
+		t.Fatalf("pairwise lines: %d", len(got))
+	}
+	if got[4][2] != "" {
+		t.Fatalf("not-OK cell should be empty, got %q", got[4][2])
+	}
+}
+
+func TestCSVSelectionAndTable(t *testing.T) {
+	steps := []analysis.SelectionStep{
+		{Feed: "Hu", Marginal: 100, Cumulative: 100, CumulativeFrac: 0.8},
+		{Feed: "Hyb", Marginal: 25, Cumulative: 125, CumulativeFrac: 1.0},
+	}
+	var buf bytes.Buffer
+	if err := CSVSelection(&buf, steps); err != nil {
+		t.Fatal(err)
+	}
+	got := parseCSV(t, &buf)
+	if got[1][1] != "Hu" || got[2][3] != "125" {
+		t.Fatalf("selection rows: %v", got)
+	}
+	txt := SelectionTable(steps)
+	if !strings.Contains(txt, "Hu") || !strings.Contains(txt, "80%") {
+		t.Fatalf("SelectionTable: %s", txt)
+	}
+}

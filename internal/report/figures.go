@@ -1,0 +1,210 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"tasterschoice/internal/analysis"
+)
+
+// FeedSummaryTable renders Table 1.
+func FeedSummaryTable(rows []analysis.FeedSummary) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		samples := Comma(r.Samples)
+		if r.SamplesNA {
+			samples = "n/a"
+		}
+		out[i] = []string{r.Name, r.Kind.String(), samples, Comma(int64(r.Unique))}
+	}
+	return Table([]string{"Feed", "Type", "Samples", "Unique"}, out)
+}
+
+// PurityTable renders Table 2.
+func PurityTable(rows []analysis.PurityRow) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Name,
+			Percent(r.DNS),
+			Percent(r.HTTP),
+			Percent(r.Tagged),
+			Percent(r.ODP),
+			Percent(r.Alexa),
+		}
+	}
+	return Table([]string{"Feed", "DNS", "HTTP", "Tagged", "ODP", "Alexa"}, out)
+}
+
+// CoverageTable renders one domain class's slice of Table 3.
+func CoverageTable(all, live, tagged []analysis.CoverageRow) string {
+	out := make([][]string, len(all))
+	for i := range all {
+		out[i] = []string{
+			all[i].Name,
+			Comma(int64(all[i].Total)), Comma(int64(all[i].Exclusive)),
+			Comma(int64(live[i].Total)), Comma(int64(live[i].Exclusive)),
+			Comma(int64(tagged[i].Total)), Comma(int64(tagged[i].Exclusive)),
+		}
+	}
+	return Table([]string{"Feed", "All", "All-Excl", "Live", "Live-Excl", "Tagged", "Tagged-Excl"}, out)
+}
+
+// ExclusiveScatter renders Figure 1 as a table of distinct vs exclusive
+// counts with the exclusivity share.
+func ExclusiveScatter(rows []analysis.CoverageRow) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		frac := 0.0
+		if r.Total > 0 {
+			frac = float64(r.Exclusive) / float64(r.Total)
+		}
+		out[i] = []string{r.Name, Comma(int64(r.Total)), Comma(int64(r.Exclusive)), Percent(frac)}
+	}
+	return Table([]string{"Feed", "Distinct", "Exclusive", "Excl%"}, out)
+}
+
+// Matrix renders a pairwise coverage matrix (Figures 2, 4, 5): each
+// cell shows |row ∩ col| as a percentage of the column, over the count.
+func MatrixTable(m *analysis.Matrix) string {
+	headers := append([]string{""}, m.Names...)
+	headers = append(headers, "All")
+	rows := make([][]string, len(m.Names))
+	for i := range m.Names {
+		row := make([]string, 0, len(headers))
+		row = append(row, m.Names[i])
+		for j := 0; j <= len(m.Names); j++ {
+			row = append(row, fmt.Sprintf("%s(%s)", Percent(m.Frac[i][j]), Count(m.Count[i][j])))
+		}
+		rows[i] = row
+	}
+	return Table(headers, rows)
+}
+
+// VolumeBars renders Figure 3 as stacked horizontal bars.
+func VolumeBars(rows []analysis.VolumeRow) string {
+	var b strings.Builder
+	b.WriteString("Live domains ('#' live, '+' excluded Alexa/ODP volume):\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-5s %s %5.1f%% (+%.1f%%)\n",
+			r.Name, StackedBar(r.LivePct, r.LiveBenignPct, 40),
+			r.LivePct*100, r.LiveBenignPct*100)
+	}
+	b.WriteString("Tagged domains:\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-5s %s %5.1f%% (+%.1f%%)\n",
+			r.Name, StackedBar(r.TaggedPct, r.TaggedBenignPct, 40),
+			r.TaggedPct*100, r.TaggedBenignPct*100)
+	}
+	return b.String()
+}
+
+// RevenueBars renders Figure 6.
+func RevenueBars(rows []analysis.RevenueRow, total float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "RX affiliate coverage weighted by annual revenue (total $%.2fM):\n", total/1e6)
+	for _, r := range rows {
+		frac := 0.0
+		if total > 0 {
+			frac = r.Revenue / total
+		}
+		fmt.Fprintf(&b, "  %-5s %s $%.2fM (%d affiliates)\n",
+			r.Name, HBar(frac, 40), r.Revenue/1e6, r.Affiliates)
+	}
+	return b.String()
+}
+
+// PairwiseTable renders Figures 7 and 8: a symmetric metric matrix with
+// two-decimal cells ("-" where the pair is not comparable).
+func PairwiseTable(p *analysis.PairwiseDist) string {
+	headers := append([]string{""}, p.Names...)
+	rows := make([][]string, len(p.Names))
+	for i := range p.Names {
+		row := make([]string, 0, len(headers))
+		row = append(row, p.Names[i])
+		for j := range p.Names {
+			if !p.OK[i][j] {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.2f", p.Value[i][j]))
+		}
+		rows[i] = row
+	}
+	return Table(headers, rows)
+}
+
+// TimingTable renders Figures 9-12: boxplot summaries in hours with a
+// small ASCII box scaled to the shared axis.
+func TimingTable(rows []analysis.TimingRow) string {
+	axisMax := 1.0
+	for _, r := range rows {
+		if r.Summary.N > 0 && r.Summary.P95 > axisMax {
+			axisMax = r.Summary.P95
+		}
+	}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		s := r.Summary
+		if s.N == 0 {
+			out[i] = []string{r.Name, "0", "-", "-", "-", "-", ""}
+			continue
+		}
+		out[i] = []string{
+			r.Name,
+			fmt.Sprintf("%d", s.N),
+			fmt.Sprintf("%.1fh", s.P25),
+			fmt.Sprintf("%.1fh", s.Median),
+			fmt.Sprintf("%.1fh", s.P75),
+			fmt.Sprintf("%.1fh", s.P95),
+			Box(s.Min, s.P25, s.Median, s.P75, s.P95, 0, axisMax, 30),
+		}
+	}
+	return Table([]string{"Feed", "N", "p25", "median", "p75", "p95", "box(0.." + fmt.Sprintf("%.0fh", axisMax) + ")"}, out)
+}
+
+// CategoryTable renders the per-feed tagged-domain composition across
+// goods categories.
+func CategoryTable(rows []analysis.CategoryRow) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Name,
+			Comma(int64(r.Pharma)),
+			Comma(int64(r.Replica)),
+			Comma(int64(r.Software)),
+			Comma(int64(r.Total())),
+		}
+	}
+	return Table([]string{"Feed", "Pharma", "Replica", "Software", "Total"}, out)
+}
+
+// ReconstructionTable renders campaign-reconstruction scores.
+func ReconstructionTable(rows []analysis.Reconstruction) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Feed,
+			Comma(int64(r.Domains)),
+			Comma(int64(r.TrueCampaigns)),
+			Comma(int64(r.Clusters)),
+			Percent(r.PairPrecision),
+			Percent(r.PairRecall),
+		}
+	}
+	return Table([]string{"Feed", "Domains", "TrueCampaigns", "Inferred", "PairPrec", "PairRecall"}, out)
+}
+
+// SharesTable renders per-feed category volume shares.
+func SharesTable(rows []analysis.ShareRow) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Name,
+			Percent(r.PharmaShare),
+			Percent(r.ReplicaShare),
+			Percent(r.SoftwareShare),
+		}
+	}
+	return Table([]string{"Feed", "Pharma", "Replica", "Software"}, out)
+}

@@ -1,0 +1,121 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"tasterschoice/internal/analysis"
+	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/stats"
+)
+
+func TestFeedSummaryTable(t *testing.T) {
+	out := FeedSummaryTable([]analysis.FeedSummary{
+		{Name: "Hu", Kind: feeds.KindHuman, Samples: 10733231, Unique: 1051211},
+		{Name: "dbl", Kind: feeds.KindBlacklist, SamplesNA: true, Unique: 413392},
+	})
+	if !strings.Contains(out, "10,733,231") || !strings.Contains(out, "n/a") {
+		t.Fatalf("table:\n%s", out)
+	}
+}
+
+func TestPurityTableRendersPaperStyle(t *testing.T) {
+	out := PurityTable([]analysis.PurityRow{
+		{Name: "Bot", DNS: 0.004, HTTP: 0.004, Tagged: 0.001, ODP: 0, Alexa: 0.002},
+	})
+	if !strings.Contains(out, "<1%") || !strings.Contains(out, "0%") {
+		t.Fatalf("table:\n%s", out)
+	}
+}
+
+func TestCoverageTableAlignsClasses(t *testing.T) {
+	rows := []analysis.CoverageRow{{Name: "Hu", Total: 100, Exclusive: 40}}
+	out := CoverageTable(rows, rows, rows)
+	if !strings.Contains(out, "Tagged-Excl") || !strings.Contains(out, "40") {
+		t.Fatalf("table:\n%s", out)
+	}
+}
+
+func TestMatrixTable(t *testing.T) {
+	m := analysis.NewMatrix([]string{"a", "b"}, []map[string]bool{
+		{"x": true, "y": true},
+		{"y": true, "z": true},
+	})
+	out := MatrixTable(m)
+	// a∩b = {y} = 50% of b's 2.
+	if !strings.Contains(out, "50%(1)") {
+		t.Fatalf("matrix:\n%s", out)
+	}
+	if !strings.Contains(out, "All") {
+		t.Fatalf("missing All column:\n%s", out)
+	}
+}
+
+func TestVolumeBarsAndRevenueBars(t *testing.T) {
+	vb := VolumeBars([]analysis.VolumeRow{
+		{Name: "Hu", LivePct: 0.4, LiveBenignPct: 0.5, TaggedPct: 0.8, TaggedBenignPct: 0.01},
+	})
+	if !strings.Contains(vb, "Hu") || !strings.Contains(vb, "#") || !strings.Contains(vb, "+") {
+		t.Fatalf("volume bars:\n%s", vb)
+	}
+	rb := RevenueBars([]analysis.RevenueRow{
+		{Name: "Hu", Revenue: 6.2e6, Affiliates: 800},
+	}, 6.5e6)
+	if !strings.Contains(rb, "$6.20M") || !strings.Contains(rb, "800 affiliates") {
+		t.Fatalf("revenue bars:\n%s", rb)
+	}
+}
+
+func TestPairwiseTableDashForNotOK(t *testing.T) {
+	p := &analysis.PairwiseDist{
+		Names: []string{"Mail", "mx1"},
+		Value: [][]float64{{0, 0.19}, {0.19, 0}},
+		OK:    [][]bool{{true, true}, {true, false}},
+	}
+	out := PairwiseTable(p)
+	if !strings.Contains(out, "0.19") || !strings.Contains(out, "-") {
+		t.Fatalf("pairwise:\n%s", out)
+	}
+}
+
+func TestTimingTableEmptyRow(t *testing.T) {
+	out := TimingTable([]analysis.TimingRow{
+		{Name: "mx1", Summary: stats.Summarize([]float64{1, 2, 3, 50})},
+		{Name: "empty"},
+	})
+	if !strings.Contains(out, "mx1") || !strings.Contains(out, "empty") {
+		t.Fatalf("timing:\n%s", out)
+	}
+	// The empty row renders dashes rather than NaNs.
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("NaN leaked:\n%s", out)
+	}
+}
+
+func TestCategoryTable(t *testing.T) {
+	out := CategoryTable([]analysis.CategoryRow{
+		{Name: "Hu", Pharma: 100, Replica: 30, Software: 10},
+	})
+	if !strings.Contains(out, "140") {
+		t.Fatalf("category totals:\n%s", out)
+	}
+}
+
+func TestReconstructionTable(t *testing.T) {
+	out := ReconstructionTable([]analysis.Reconstruction{
+		{Feed: "mx2", Domains: 50, TrueCampaigns: 20, Clusters: 22,
+			PairPrecision: 0.9, PairRecall: 0.8},
+	})
+	if !strings.Contains(out, "mx2") || !strings.Contains(out, "90%") || !strings.Contains(out, "80%") {
+		t.Fatalf("reconstruction:\n%s", out)
+	}
+}
+
+func TestExclusiveScatter(t *testing.T) {
+	out := ExclusiveScatter([]analysis.CoverageRow{
+		{Name: "Hyb", Total: 496893, Exclusive: 322215},
+	})
+	if !strings.Contains(out, "65%") {
+		t.Fatalf("scatter:\n%s", out)
+	}
+}

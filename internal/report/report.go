@@ -1,0 +1,155 @@
+// Package report renders analysis results as aligned ASCII tables,
+// percentage matrices, bar charts and boxplot summaries — the textual
+// equivalents of the paper's tables and figures, printed by
+// cmd/tasters and the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders an aligned text table. The first row is the header; a
+// separator line follows it.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Percent renders a fraction the way the paper's tables do: "<1%" for
+// small non-zero values, otherwise a rounded integer percentage.
+func Percent(v float64) string {
+	switch {
+	case v <= 0:
+		return "0%"
+	case v < 0.01:
+		return "<1%"
+	case v >= 0.995 && v < 1:
+		return ">99%"
+	default:
+		return fmt.Sprintf("%.0f%%", v*100)
+	}
+}
+
+// Count renders a number the way the paper's matrices do: 541, 12K,
+// 1.3M.
+func Count(n int) string {
+	switch {
+	case n < 10000:
+		return fmt.Sprintf("%d", n)
+	case n < 1000000:
+		return fmt.Sprintf("%dK", (n+500)/1000)
+	default:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	}
+}
+
+// Comma renders an integer with thousands separators (Table 1 style).
+func Comma(n int64) string {
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	s := fmt.Sprintf("%d", n)
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// HBar renders a horizontal bar of the given fractional fill.
+func HBar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	fill := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", fill) + strings.Repeat(".", width-fill)
+}
+
+// StackedBar renders a two-segment horizontal bar: the primary segment
+// with '#', the stacked (secondary) segment with '+'.
+func StackedBar(primary, stacked float64, width int) string {
+	if primary < 0 {
+		primary = 0
+	}
+	if stacked < 0 {
+		stacked = 0
+	}
+	if primary+stacked > 1 {
+		over := primary + stacked
+		primary /= over
+		stacked /= over
+	}
+	p := int(primary*float64(width) + 0.5)
+	s := int(stacked*float64(width) + 0.5)
+	if p+s > width {
+		s = width - p
+	}
+	return strings.Repeat("#", p) + strings.Repeat("+", s) + strings.Repeat(".", width-p-s)
+}
+
+// Box renders a tiny boxplot of [min, p25, median, p75, max] scaled to
+// the given axis range.
+func Box(min, p25, median, p75, max, axisMin, axisMax float64, width int) string {
+	if axisMax <= axisMin || width < 5 {
+		return strings.Repeat(" ", width)
+	}
+	pos := func(v float64) int {
+		f := (v - axisMin) / (axisMax - axisMin)
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		return int(f * float64(width-1))
+	}
+	row := []byte(strings.Repeat(" ", width))
+	for i := pos(min); i <= pos(max) && i < width; i++ {
+		row[i] = '-'
+	}
+	for i := pos(p25); i <= pos(p75) && i < width; i++ {
+		row[i] = '='
+	}
+	row[pos(median)] = '|'
+	return string(row)
+}

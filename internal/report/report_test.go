@@ -1,0 +1,107 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	got := Table([]string{"A", "Long"}, [][]string{{"xx", "y"}, {"z", "wwwww"}})
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), got)
+	}
+	if !strings.HasPrefix(lines[0], "A ") || !strings.Contains(lines[0], "Long") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "--") {
+		t.Fatalf("separator: %q", lines[1])
+	}
+}
+
+func TestPercent(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0%",
+		-0.5:   "0%",
+		0.005:  "<1%",
+		0.02:   "2%",
+		0.5:    "50%",
+		0.996:  ">99%",
+		1:      "100%",
+		0.3349: "33%",
+	}
+	for v, want := range cases {
+		if got := Percent(v); got != want {
+			t.Errorf("Percent(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := map[int]string{
+		541:      "541",
+		9999:     "9999",
+		12400:    "12K",
+		114000:   "114K",
+		1300000:  "1.3M",
+		13588727: "13.6M",
+	}
+	for v, want := range cases {
+		if got := Count(v); got != want {
+			t.Errorf("Count(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestComma(t *testing.T) {
+	cases := map[int64]string{
+		0:         "0",
+		999:       "999",
+		1000:      "1,000",
+		1051211:   "1,051,211",
+		-4520:     "-4,520",
+		451603575: "451,603,575",
+	}
+	for v, want := range cases {
+		if got := Comma(v); got != want {
+			t.Errorf("Comma(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestHBar(t *testing.T) {
+	if got := HBar(0.5, 10); got != "#####....." {
+		t.Errorf("HBar = %q", got)
+	}
+	if got := HBar(-1, 4); got != "...." {
+		t.Errorf("HBar(-1) = %q", got)
+	}
+	if got := HBar(2, 4); got != "####" {
+		t.Errorf("HBar(2) = %q", got)
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	got := StackedBar(0.25, 0.25, 8)
+	if got != "##++...." {
+		t.Errorf("StackedBar = %q", got)
+	}
+	// Overflow normalizes rather than exceeding width.
+	if got := StackedBar(0.9, 0.9, 10); len(got) != 10 {
+		t.Errorf("StackedBar overflow length %d", len(got))
+	}
+}
+
+func TestBox(t *testing.T) {
+	got := Box(0, 2, 5, 8, 10, 0, 10, 21)
+	if len(got) != 21 {
+		t.Fatalf("width %d", len(got))
+	}
+	if !strings.Contains(got, "|") || !strings.Contains(got, "=") {
+		t.Fatalf("Box = %q", got)
+	}
+	// Degenerate axis yields blanks, not a panic.
+	if got := Box(1, 1, 1, 1, 1, 5, 5, 10); got != strings.Repeat(" ", 10) {
+		t.Fatalf("degenerate Box = %q", got)
+	}
+}

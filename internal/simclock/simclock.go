@@ -1,0 +1,175 @@
+// Package simclock provides simulated time for the spam-feed
+// reproduction: the paper's fixed three-month measurement window,
+// helpers for positioning events inside it, and a deterministic event
+// queue used by the delivery engine.
+//
+// All timestamps in the simulation are ordinary time.Time values in UTC
+// anchored at the paper's measurement period (2010-08-01 through
+// 2010-10-31) so that serialized feeds are directly comparable with the
+// quantities reported in the paper.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Paper measurement window constants.
+var (
+	// PaperStart is the first instant of the paper's measurement
+	// period: 2010-08-01 00:00:00 UTC.
+	PaperStart = time.Date(2010, time.August, 1, 0, 0, 0, 0, time.UTC)
+	// PaperEnd is the first instant after the measurement period:
+	// 2010-11-01 00:00:00 UTC (the period covers 92 days).
+	PaperEnd = time.Date(2010, time.November, 1, 0, 0, 0, 0, time.UTC)
+)
+
+// Window is a half-open interval of simulated time [Start, End).
+type Window struct {
+	Start time.Time
+	End   time.Time
+}
+
+// PaperWindow returns the paper's three-month measurement window.
+func PaperWindow() Window {
+	return Window{Start: PaperStart, End: PaperEnd}
+}
+
+// NewWindow returns a window of the given number of days starting at
+// the paper's start date. It panics if days <= 0.
+func NewWindow(days int) Window {
+	if days <= 0 {
+		panic(fmt.Sprintf("simclock: NewWindow with days=%d", days))
+	}
+	return Window{Start: PaperStart, End: PaperStart.AddDate(0, 0, days)}
+}
+
+// Days returns the window's length in whole days, rounding up partial
+// days.
+func (w Window) Days() int {
+	d := w.End.Sub(w.Start)
+	days := int(d / (24 * time.Hour))
+	if d%(24*time.Hour) != 0 {
+		days++
+	}
+	return days
+}
+
+// Duration returns End − Start.
+func (w Window) Duration() time.Duration { return w.End.Sub(w.Start) }
+
+// Contains reports whether t falls inside the half-open window.
+func (w Window) Contains(t time.Time) bool {
+	return !t.Before(w.Start) && t.Before(w.End)
+}
+
+// Clamp returns t restricted to [Start, End).
+func (w Window) Clamp(t time.Time) time.Time {
+	if t.Before(w.Start) {
+		return w.Start
+	}
+	if !t.Before(w.End) {
+		return w.End.Add(-time.Nanosecond)
+	}
+	return t
+}
+
+// At returns the instant a fraction f of the way through the window;
+// f is clamped to [0, 1).
+func (w Window) At(f float64) time.Time {
+	if f < 0 {
+		f = 0
+	}
+	if f >= 1 {
+		f = 1 - 1e-12
+	}
+	return w.Start.Add(time.Duration(f * float64(w.Duration())))
+}
+
+// Day returns the start of day i (zero-based) within the window.
+func (w Window) Day(i int) time.Time {
+	return w.Start.AddDate(0, 0, i)
+}
+
+// DayIndex returns the zero-based day index of t relative to the window
+// start. Times before the start yield negative indexes.
+func (w Window) DayIndex(t time.Time) int {
+	d := t.Sub(w.Start)
+	idx := int(d / (24 * time.Hour))
+	if d < 0 && d%(24*time.Hour) != 0 {
+		idx--
+	}
+	return idx
+}
+
+// Extend returns a window widened by the given number of days on each
+// side. The paper brackets its DNS zone checks 16 months before and
+// after the measurement period; callers express that with Extend.
+func (w Window) Extend(daysBefore, daysAfter int) Window {
+	return Window{
+		Start: w.Start.AddDate(0, 0, -daysBefore),
+		End:   w.End.AddDate(0, 0, daysAfter),
+	}
+}
+
+// Event is an item scheduled in simulated time. Payload is opaque to
+// the queue.
+type Event struct {
+	Time    time.Time
+	Payload any
+	seq     uint64 // insertion order; breaks ties deterministically
+}
+
+// Queue is a deterministic min-heap of events ordered by time, with
+// FIFO tie-breaking so equal-time events dequeue in insertion order.
+// The zero value is ready to use. Queue is not safe for concurrent use.
+type Queue struct {
+	h    eventHeap
+	seqs uint64
+}
+
+// Push schedules a payload at time t.
+func (q *Queue) Push(t time.Time, payload any) {
+	q.seqs++
+	heap.Push(&q.h, Event{Time: t, Payload: payload, seq: q.seqs})
+}
+
+// Pop removes and returns the earliest event. ok is false if the queue
+// is empty.
+func (q *Queue) Pop() (ev Event, ok bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	return heap.Pop(&q.h).(Event), true
+}
+
+// Peek returns the earliest event without removing it.
+func (q *Queue) Peek() (ev Event, ok bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	return q.h[0], true
+}
+
+// Len returns the number of queued events.
+func (q *Queue) Len() int { return len(q.h) }
+
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].Time.Equal(h[j].Time) {
+		return h[i].Time.Before(h[j].Time)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

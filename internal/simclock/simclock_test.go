@@ -1,0 +1,167 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPaperWindowDays(t *testing.T) {
+	w := PaperWindow()
+	if got := w.Days(); got != 92 {
+		t.Fatalf("paper window is %d days, want 92 (Aug 31 + Sep 30 + Oct 31)", got)
+	}
+}
+
+func TestNewWindow(t *testing.T) {
+	w := NewWindow(5)
+	if w.Days() != 5 {
+		t.Fatalf("Days() = %d", w.Days())
+	}
+	if !w.Start.Equal(PaperStart) {
+		t.Fatalf("Start = %v", w.Start)
+	}
+}
+
+func TestNewWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWindow(0)
+}
+
+func TestContains(t *testing.T) {
+	w := NewWindow(10)
+	cases := []struct {
+		t    time.Time
+		want bool
+	}{
+		{w.Start, true},
+		{w.Start.Add(-time.Nanosecond), false},
+		{w.End.Add(-time.Nanosecond), true},
+		{w.End, false},
+	}
+	for _, c := range cases {
+		if got := w.Contains(c.t); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	w := NewWindow(10)
+	if got := w.Clamp(w.Start.Add(-time.Hour)); !got.Equal(w.Start) {
+		t.Errorf("Clamp below = %v", got)
+	}
+	if got := w.Clamp(w.End.Add(time.Hour)); !got.Before(w.End) {
+		t.Errorf("Clamp above = %v not before end", got)
+	}
+	mid := w.Start.Add(12 * time.Hour)
+	if got := w.Clamp(mid); !got.Equal(mid) {
+		t.Errorf("Clamp inside = %v", got)
+	}
+}
+
+func TestAtFraction(t *testing.T) {
+	w := NewWindow(10)
+	if got := w.At(0); !got.Equal(w.Start) {
+		t.Errorf("At(0) = %v", got)
+	}
+	if got := w.At(0.5); !got.Equal(w.Start.Add(5 * 24 * time.Hour)) {
+		t.Errorf("At(0.5) = %v", got)
+	}
+	if got := w.At(1); !got.Before(w.End) {
+		t.Errorf("At(1) = %v should stay inside window", got)
+	}
+	if got := w.At(-3); !got.Equal(w.Start) {
+		t.Errorf("At(-3) = %v", got)
+	}
+}
+
+func TestDayAndDayIndex(t *testing.T) {
+	w := PaperWindow()
+	for i := 0; i < w.Days(); i++ {
+		d := w.Day(i)
+		if got := w.DayIndex(d); got != i {
+			t.Fatalf("DayIndex(Day(%d)) = %d", i, got)
+		}
+		if got := w.DayIndex(d.Add(23 * time.Hour)); got != i {
+			t.Fatalf("DayIndex(Day(%d)+23h) = %d", i, got)
+		}
+	}
+	if got := w.DayIndex(w.Start.Add(-time.Hour)); got != -1 {
+		t.Errorf("DayIndex one hour before start = %d, want -1", got)
+	}
+	if got := w.DayIndex(w.Start.AddDate(0, 0, -2)); got != -2 {
+		t.Errorf("DayIndex two days before start = %d, want -2", got)
+	}
+}
+
+func TestExtend(t *testing.T) {
+	w := PaperWindow()
+	// The paper checks zone files 16 months before and after; about
+	// 487 days on each side.
+	e := w.Extend(487, 487)
+	if !e.Start.Before(w.Start) || !e.End.After(w.End) {
+		t.Fatal("Extend did not widen the window")
+	}
+	if got := e.Days(); got != 92+2*487 {
+		t.Errorf("extended window %d days", got)
+	}
+}
+
+func TestQueueOrdering(t *testing.T) {
+	var q Queue
+	w := NewWindow(3)
+	q.Push(w.Day(2), "c")
+	q.Push(w.Day(0), "a")
+	q.Push(w.Day(1), "b")
+	var got []string
+	for {
+		ev, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, ev.Payload.(string))
+	}
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("pop order %v", got)
+	}
+}
+
+func TestQueueFIFOTieBreak(t *testing.T) {
+	var q Queue
+	at := PaperStart
+	for i := 0; i < 10; i++ {
+		q.Push(at, i)
+	}
+	for i := 0; i < 10; i++ {
+		ev, ok := q.Pop()
+		if !ok || ev.Payload.(int) != i {
+			t.Fatalf("tie-break order violated at %d: %v ok=%v", i, ev.Payload, ok)
+		}
+	}
+}
+
+func TestQueuePeekAndLen(t *testing.T) {
+	var q Queue
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue should report !ok")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue should report !ok")
+	}
+	q.Push(PaperStart.Add(time.Hour), "x")
+	q.Push(PaperStart, "y")
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	ev, ok := q.Peek()
+	if !ok || ev.Payload.(string) != "y" {
+		t.Fatalf("Peek = %v", ev.Payload)
+	}
+	if q.Len() != 2 {
+		t.Fatal("Peek must not remove")
+	}
+}

@@ -1,0 +1,33 @@
+package smtpd
+
+import "testing"
+
+// BenchmarkDeliveryThroughput measures end-to-end message delivery over
+// a loopback TCP connection, one message per iteration.
+func BenchmarkDeliveryThroughput(b *testing.B) {
+	srv := NewServer("mx.bench", func(Envelope) {})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Hello("bench"); err != nil {
+		b.Fatal(err)
+	}
+	data := []byte("Subject: bench\r\n\r\nhttp://cheappills.com/p/c1\r\n")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send("a@b.c", []string{"x@mx.bench"}, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if got := srv.Received(); got != int64(b.N) {
+		b.Fatalf("received %d of %d", got, b.N)
+	}
+}

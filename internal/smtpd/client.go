@@ -1,0 +1,135 @@
+package smtpd
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is a minimal SMTP sender, used by the bot-delivery example and
+// the end-to-end tests to push mail into a honeypot server.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	// Timeout bounds each protocol exchange.
+	Timeout time.Duration
+}
+
+// Dial connects to an SMTP server and consumes the greeting.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClient(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient wraps an established connection (e.g. one side of a
+// net.Pipe) and consumes the greeting.
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{
+		conn:    conn,
+		r:       bufio.NewReader(conn),
+		w:       bufio.NewWriter(conn),
+		Timeout: 30 * time.Second,
+	}
+	if _, err := c.expect(220); err != nil {
+		return nil, fmt.Errorf("smtpd: greeting: %w", err)
+	}
+	return c, nil
+}
+
+// Hello sends EHLO.
+func (c *Client) Hello(hostname string) error {
+	return c.cmd(250, "EHLO %s", hostname)
+}
+
+// Send transmits one envelope; the client must have sent Hello first.
+func (c *Client) Send(from string, to []string, data []byte) error {
+	if err := c.cmd(250, "MAIL FROM:<%s>", from); err != nil {
+		return err
+	}
+	for _, rcpt := range to {
+		if err := c.cmd(250, "RCPT TO:<%s>", rcpt); err != nil {
+			return err
+		}
+	}
+	if err := c.cmd(354, "DATA"); err != nil {
+		return err
+	}
+	for _, line := range strings.Split(strings.ReplaceAll(string(data), "\r\n", "\n"), "\n") {
+		// Dot-stuffing per RFC 5321 §4.5.2.
+		if strings.HasPrefix(line, ".") {
+			line = "." + line
+		}
+		fmt.Fprintf(c.w, "%s\r\n", line)
+	}
+	fmt.Fprintf(c.w, ".\r\n")
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	_, err := c.expect(250)
+	return err
+}
+
+// Quit ends the session and closes the connection.
+func (c *Client) Quit() error {
+	err := c.cmd(221, "QUIT")
+	closeErr := c.conn.Close()
+	if err != nil {
+		return err
+	}
+	return closeErr
+}
+
+// Close closes the connection without QUIT.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// cmd sends a command and expects the given reply code.
+func (c *Client) cmd(wantCode int, format string, args ...any) error {
+	fmt.Fprintf(c.w, format+"\r\n", args...)
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	_, err := c.expect(wantCode)
+	return err
+}
+
+// expect reads a (possibly multi-line) reply and checks its code.
+func (c *Client) expect(wantCode int) (string, error) {
+	var last string
+	for {
+		if c.Timeout > 0 {
+			c.conn.SetReadDeadline(time.Now().Add(c.Timeout)) //nolint:errcheck
+		}
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return "", err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if len(line) < 4 {
+			return "", fmt.Errorf("smtpd: short reply %q", line)
+		}
+		code, err := strconv.Atoi(line[:3])
+		if err != nil {
+			return "", fmt.Errorf("smtpd: bad reply %q", line)
+		}
+		last = line[4:]
+		if line[3] == '-' {
+			continue // multi-line reply
+		}
+		if code != wantCode {
+			return last, fmt.Errorf("smtpd: got %d %s, want %d", code, last, wantCode)
+		}
+		return last, nil
+	}
+}

@@ -1,0 +1,362 @@
+// Package smtpd implements a minimal SMTP server and client over the
+// standard net package: the network substrate of an MX honeypot.
+//
+// An MX honeypot (paper §3.2) points a quiescent domain's MX record at
+// a server that accepts every message it is offered. The server here
+// speaks enough RFC 5321 to receive mail from real senders — greeting,
+// HELO/EHLO, MAIL, RCPT, DATA, RSET, NOOP, QUIT — accepts all
+// recipients, enforces size and time limits, and hands complete
+// envelopes to a handler (typically a feeds.Ingester). The matching
+// client is used by the bot-delivery example and the end-to-end tests.
+package smtpd
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Envelope is one received message.
+type Envelope struct {
+	// From is the reverse-path from MAIL FROM (may be empty for
+	// bounces).
+	From string
+	// To are the accepted RCPT TO forward-paths.
+	To []string
+	// Data is the raw message content (headers + body, dot-unstuffed,
+	// CRLF line endings).
+	Data []byte
+	// ReceivedAt is the server wall-clock time at end of DATA.
+	ReceivedAt time.Time
+	// RemoteAddr is the client's network address.
+	RemoteAddr string
+}
+
+// Handler consumes received envelopes. Handlers must be safe for
+// concurrent use; the server calls them from per-connection goroutines.
+type Handler func(Envelope)
+
+// Server is an accept-everything SMTP sink.
+type Server struct {
+	// Hostname is announced in the greeting ("mx.example").
+	Hostname string
+	// Handler receives every completed envelope.
+	Handler Handler
+	// MaxMessageBytes caps DATA size (default 1 MiB).
+	MaxMessageBytes int
+	// MaxRecipients caps RCPT count per message (default 1000).
+	MaxRecipients int
+	// ReadTimeout bounds each command/data read (default 30s).
+	ReadTimeout time.Duration
+	// MaxConns caps concurrent connections; excess connections get a
+	// 421 and are closed (default 256).
+	MaxConns int
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+
+	// Received counts accepted envelopes (atomic).
+	received atomic.Int64
+}
+
+// NewServer returns a server with defaults applied.
+func NewServer(hostname string, h Handler) *Server {
+	return &Server{
+		Hostname:        hostname,
+		Handler:         h,
+		MaxMessageBytes: 1 << 20,
+		MaxRecipients:   1000,
+		ReadTimeout:     30 * time.Second,
+		MaxConns:        256,
+		conns:           make(map[net.Conn]struct{}),
+	}
+}
+
+// Received returns the number of envelopes accepted so far.
+func (s *Server) Received() int64 { return s.received.Load() }
+
+// Listen starts listening on addr ("127.0.0.1:0" for tests) and serves
+// in a background goroutine. It returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return nil, errors.New("smtpd: server closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	go s.serve(l)
+	return l.Addr(), nil
+}
+
+// serve accepts connections until the listener closes.
+func (s *Server) serve(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		if s.MaxConns > 0 && len(s.conns) >= s.MaxConns {
+			s.mu.Unlock()
+			// Too busy: refuse politely per RFC 5321 §3.8.
+			conn.Write([]byte("421 " + s.Hostname + " too many connections, try later\r\n")) //nolint:errcheck
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// Close stops the listener and closes active connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	return err
+}
+
+// session state per connection.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+
+	helo string
+	from string
+	// fromSeen distinguishes "MAIL FROM:<>" (valid null sender) from
+	// no MAIL command at all.
+	fromSeen bool
+	to       []string
+}
+
+// ServeConn runs one SMTP session on an arbitrary net.Conn (exported so
+// tests can drive it over net.Pipe).
+func (s *Server) ServeConn(conn net.Conn) {
+	sess := &session{
+		srv:  s,
+		conn: conn,
+		r:    bufio.NewReader(conn),
+		w:    bufio.NewWriter(conn),
+	}
+	sess.reply(220, s.Hostname+" ESMTP tasterschoice honeypot")
+	for {
+		line, err := sess.readLine()
+		if err != nil {
+			return
+		}
+		if done := sess.command(line); done {
+			return
+		}
+	}
+}
+
+func (sess *session) readLine() (string, error) {
+	if t := sess.srv.ReadTimeout; t > 0 {
+		sess.conn.SetReadDeadline(time.Now().Add(t)) //nolint:errcheck
+	}
+	line, err := sess.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func (sess *session) reply(code int, text string) {
+	fmt.Fprintf(sess.w, "%d %s\r\n", code, text)
+	sess.w.Flush() //nolint:errcheck
+}
+
+func (sess *session) replyLines(code int, lines ...string) {
+	for i, l := range lines {
+		sep := "-"
+		if i == len(lines)-1 {
+			sep = " "
+		}
+		fmt.Fprintf(sess.w, "%d%s%s\r\n", code, sep, l)
+	}
+	sess.w.Flush() //nolint:errcheck
+}
+
+// command dispatches one command line; it returns true when the session
+// should end.
+func (sess *session) command(line string) bool {
+	verb, args, _ := strings.Cut(line, " ")
+	switch strings.ToUpper(verb) {
+	case "HELO":
+		sess.helo = strings.TrimSpace(args)
+		sess.resetTransaction()
+		sess.reply(250, sess.srv.Hostname)
+	case "EHLO":
+		sess.helo = strings.TrimSpace(args)
+		sess.resetTransaction()
+		sess.replyLines(250, sess.srv.Hostname,
+			fmt.Sprintf("SIZE %d", sess.srv.MaxMessageBytes),
+			"8BITMIME", "PIPELINING")
+	case "MAIL":
+		sess.cmdMail(args)
+	case "RCPT":
+		sess.cmdRcpt(args)
+	case "DATA":
+		sess.cmdData()
+	case "RSET":
+		sess.resetTransaction()
+		sess.reply(250, "OK")
+	case "NOOP":
+		sess.reply(250, "OK")
+	case "VRFY":
+		// A honeypot confirms everything.
+		sess.reply(252, "send some mail, we will take it")
+	case "QUIT":
+		sess.reply(221, sess.srv.Hostname+" closing connection")
+		return true
+	default:
+		sess.reply(502, "command not implemented")
+	}
+	return false
+}
+
+func (sess *session) resetTransaction() {
+	sess.from = ""
+	sess.fromSeen = false
+	sess.to = nil
+}
+
+// parsePath extracts the address from "FROM:<a@b>" / "TO:<a@b>" syntax.
+func parsePath(args, prefix string) (string, bool) {
+	rest := strings.TrimSpace(args)
+	if len(rest) < len(prefix) || !strings.EqualFold(rest[:len(prefix)], prefix) {
+		return "", false
+	}
+	rest = strings.TrimSpace(rest[len(prefix):])
+	// Drop ESMTP parameters after the path.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	if !strings.HasPrefix(rest, "<") || !strings.HasSuffix(rest, ">") {
+		return "", false
+	}
+	return rest[1 : len(rest)-1], true
+}
+
+func (sess *session) cmdMail(args string) {
+	if sess.fromSeen {
+		sess.reply(503, "nested MAIL command")
+		return
+	}
+	addr, ok := parsePath(args, "FROM:")
+	if !ok {
+		sess.reply(501, "syntax: MAIL FROM:<address>")
+		return
+	}
+	sess.from = addr
+	sess.fromSeen = true
+	sess.reply(250, "OK")
+}
+
+func (sess *session) cmdRcpt(args string) {
+	if !sess.fromSeen {
+		sess.reply(503, "need MAIL before RCPT")
+		return
+	}
+	if len(sess.to) >= sess.srv.MaxRecipients {
+		sess.reply(452, "too many recipients")
+		return
+	}
+	addr, ok := parsePath(args, "TO:")
+	if !ok || addr == "" {
+		sess.reply(501, "syntax: RCPT TO:<address>")
+		return
+	}
+	// Accept-everything: that is the whole point of an MX honeypot.
+	sess.to = append(sess.to, addr)
+	sess.reply(250, "OK")
+}
+
+func (sess *session) cmdData() {
+	if !sess.fromSeen {
+		sess.reply(503, "need MAIL before DATA")
+		return
+	}
+	if len(sess.to) == 0 {
+		sess.reply(503, "need RCPT before DATA")
+		return
+	}
+	sess.reply(354, "end data with <CRLF>.<CRLF>")
+	var data []byte
+	tooBig := false
+	for {
+		line, err := sess.readLine()
+		if err != nil {
+			return
+		}
+		if line == "." {
+			break
+		}
+		// Dot-unstuffing per RFC 5321 §4.5.2.
+		line = strings.TrimPrefix(line, ".")
+		if !tooBig {
+			data = append(data, line...)
+			data = append(data, '\r', '\n')
+			if len(data) > sess.srv.MaxMessageBytes {
+				tooBig = true
+			}
+		}
+	}
+	if tooBig {
+		sess.reply(552, "message exceeds size limit")
+		sess.resetTransaction()
+		return
+	}
+	env := Envelope{
+		From:       sess.from,
+		To:         sess.to,
+		Data:       data,
+		ReceivedAt: time.Now(),
+		RemoteAddr: sess.conn.RemoteAddr().String(),
+	}
+	if sess.srv.Handler != nil {
+		sess.srv.Handler(env)
+	}
+	sess.srv.received.Add(1)
+	sess.resetTransaction()
+	sess.reply(250, "OK: message accepted")
+}

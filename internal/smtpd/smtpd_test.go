@@ -1,0 +1,460 @@
+package smtpd
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/mailmsg"
+)
+
+// collect returns a handler that appends envelopes under a lock.
+func collect() (Handler, func() []Envelope) {
+	var mu sync.Mutex
+	var got []Envelope
+	h := func(e Envelope) {
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	}
+	return h, func() []Envelope {
+		mu.Lock()
+		defer mu.Unlock()
+		out := make([]Envelope, len(got))
+		copy(out, got)
+		return out
+	}
+}
+
+func TestEndToEndDelivery(t *testing.T) {
+	h, got := collect()
+	srv := NewServer("mx.honeypot.test", h)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Hello("bot.example"); err != nil {
+		t.Fatal(err)
+	}
+	msg := &mailmsg.Message{
+		From:    "spammer@bot.example",
+		To:      "victim@honeypot.test",
+		Subject: "Cheap meds",
+		Date:    time.Date(2010, 8, 10, 0, 0, 0, 0, time.UTC),
+		Body:    "Visit http://cheappills7.com/p/c12 today",
+	}
+	if err := c.Send("spammer@bot.example", []string{"victim@honeypot.test"}, msg.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quit(); err != nil {
+		t.Fatal(err)
+	}
+
+	envs := got()
+	if len(envs) != 1 {
+		t.Fatalf("received %d envelopes", len(envs))
+	}
+	env := envs[0]
+	if env.From != "spammer@bot.example" || len(env.To) != 1 || env.To[0] != "victim@honeypot.test" {
+		t.Fatalf("envelope: %+v", env)
+	}
+	parsed, err := mailmsg.Parse(strings.NewReader(string(env.Data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := mailmsg.ExtractURLs(parsed.Body)
+	if len(urls) != 1 || urls[0] != "http://cheappills7.com/p/c12" {
+		t.Fatalf("urls: %v", urls)
+	}
+	if srv.Received() != 1 {
+		t.Fatalf("Received() = %d", srv.Received())
+	}
+}
+
+func TestServerFeedsIngester(t *testing.T) {
+	feed := feeds.New("mx1", feeds.KindMXHoneypot, true, true)
+	ing := feeds.NewIngester(feed)
+	var mu sync.Mutex
+	srv := NewServer("mx.test", func(e Envelope) {
+		m, err := mailmsg.Parse(strings.NewReader(string(e.Data)))
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		ing.IngestMessage(m, e.ReceivedAt)
+		mu.Unlock()
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Hello("bot"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		m := &mailmsg.Message{
+			From: "a@b.com", To: "x@mx.test",
+			Date: time.Date(2010, 8, 10, i, 0, 0, 0, time.UTC),
+			Body: fmt.Sprintf("http://pills%d.com/p/c1 and http://shared.com/p/c1", i),
+		}
+		if err := c.Send("a@b.com", []string{"x@mx.test"}, m.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Quit() //nolint:errcheck
+
+	mu.Lock()
+	defer mu.Unlock()
+	if feed.Unique() != 6 { // pills0..4 + shared.com
+		t.Fatalf("unique = %d, want 6", feed.Unique())
+	}
+	s, _ := feed.Stat("shared.com")
+	if s.Count != 5 {
+		t.Fatalf("shared.com count = %d", s.Count)
+	}
+}
+
+// pipeSession drives the protocol over net.Pipe and returns the
+// transcript helper.
+func pipeSession(t *testing.T, srv *Server) (*bufio.Reader, func(string), func()) {
+	t.Helper()
+	clientEnd, serverEnd := net.Pipe()
+	go srv.ServeConn(serverEnd)
+	r := bufio.NewReader(clientEnd)
+	send := func(line string) {
+		if _, err := clientEnd.Write([]byte(line + "\r\n")); err != nil {
+			t.Fatalf("write %q: %v", line, err)
+		}
+	}
+	cleanup := func() { clientEnd.Close(); serverEnd.Close() }
+	return r, send, cleanup
+}
+
+func expectCode(t *testing.T, r *bufio.Reader, code string) string {
+	t.Helper()
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if !strings.HasPrefix(line, code) {
+			t.Fatalf("reply %q, want code %s", line, code)
+		}
+		if len(line) > 3 && line[3] == '-' {
+			continue
+		}
+		return strings.TrimSpace(line)
+	}
+}
+
+func TestProtocolSequencing(t *testing.T) {
+	srv := NewServer("mx.test", nil)
+	r, send, cleanup := pipeSession(t, srv)
+	defer cleanup()
+	expectCode(t, r, "220")
+
+	// RCPT before MAIL.
+	send("RCPT TO:<x@y.com>")
+	expectCode(t, r, "503")
+	// DATA before MAIL.
+	send("DATA")
+	expectCode(t, r, "503")
+	// Bad MAIL syntax.
+	send("MAIL FROM x@y.com")
+	expectCode(t, r, "501")
+	// Good MAIL.
+	send("MAIL FROM:<x@y.com>")
+	expectCode(t, r, "250")
+	// Nested MAIL.
+	send("MAIL FROM:<other@y.com>")
+	expectCode(t, r, "503")
+	// DATA without RCPT.
+	send("DATA")
+	expectCode(t, r, "503")
+	// RSET clears the transaction.
+	send("RSET")
+	expectCode(t, r, "250")
+	send("RCPT TO:<x@y.com>")
+	expectCode(t, r, "503")
+	// Unknown verb.
+	send("BOGUS")
+	expectCode(t, r, "502")
+	send("NOOP")
+	expectCode(t, r, "250")
+	send("QUIT")
+	expectCode(t, r, "221")
+}
+
+func TestNullSenderAccepted(t *testing.T) {
+	h, got := collect()
+	srv := NewServer("mx.test", h)
+	r, send, cleanup := pipeSession(t, srv)
+	defer cleanup()
+	expectCode(t, r, "220")
+	send("HELO bounce.example")
+	expectCode(t, r, "250")
+	send("MAIL FROM:<>")
+	expectCode(t, r, "250")
+	send("RCPT TO:<x@mx.test>")
+	expectCode(t, r, "250")
+	send("DATA")
+	expectCode(t, r, "354")
+	send("Subject: bounce")
+	send("")
+	send("body")
+	send(".")
+	expectCode(t, r, "250")
+	send("QUIT")
+	expectCode(t, r, "221")
+	envs := got()
+	if len(envs) != 1 || envs[0].From != "" {
+		t.Fatalf("envelopes: %+v", envs)
+	}
+}
+
+func TestDotStuffing(t *testing.T) {
+	h, got := collect()
+	srv := NewServer("mx.test", h)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Hello("x"); err != nil {
+		t.Fatal(err)
+	}
+	body := "Subject: t\r\n\r\n.leading dot line\r\nnormal\r\n..double\r\n"
+	if err := c.Send("a@b.c", []string{"d@e.f"}, []byte(body)); err != nil {
+		t.Fatal(err)
+	}
+	c.Quit() //nolint:errcheck
+	envs := got()
+	if len(envs) != 1 {
+		t.Fatalf("envelopes: %d", len(envs))
+	}
+	data := string(envs[0].Data)
+	if !strings.Contains(data, "\r\n.leading dot line\r\n") {
+		t.Fatalf("dot-unstuffing failed: %q", data)
+	}
+	if !strings.Contains(data, "\r\n..double\r\n") {
+		t.Fatalf("double dot mangled: %q", data)
+	}
+}
+
+func TestMessageSizeLimit(t *testing.T) {
+	srv := NewServer("mx.test", nil)
+	srv.MaxMessageBytes = 64
+	r, send, cleanup := pipeSession(t, srv)
+	defer cleanup()
+	expectCode(t, r, "220")
+	send("MAIL FROM:<a@b.c>")
+	expectCode(t, r, "250")
+	send("RCPT TO:<d@e.f>")
+	expectCode(t, r, "250")
+	send("DATA")
+	expectCode(t, r, "354")
+	for i := 0; i < 10; i++ {
+		send(strings.Repeat("x", 40))
+	}
+	send(".")
+	expectCode(t, r, "552")
+	if srv.Received() != 0 {
+		t.Fatal("oversized message accepted")
+	}
+}
+
+func TestRecipientLimit(t *testing.T) {
+	srv := NewServer("mx.test", nil)
+	srv.MaxRecipients = 2
+	r, send, cleanup := pipeSession(t, srv)
+	defer cleanup()
+	expectCode(t, r, "220")
+	send("MAIL FROM:<a@b.c>")
+	expectCode(t, r, "250")
+	send("RCPT TO:<r1@e.f>")
+	expectCode(t, r, "250")
+	send("RCPT TO:<r2@e.f>")
+	expectCode(t, r, "250")
+	send("RCPT TO:<r3@e.f>")
+	expectCode(t, r, "452")
+}
+
+func TestEHLOAdvertisesExtensions(t *testing.T) {
+	srv := NewServer("mx.test", nil)
+	r, send, cleanup := pipeSession(t, srv)
+	defer cleanup()
+	expectCode(t, r, "220")
+	send("EHLO client.example")
+	sawSize := false
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(line, "SIZE") {
+			sawSize = true
+		}
+		if len(line) > 3 && line[3] == ' ' {
+			break
+		}
+	}
+	if !sawSize {
+		t.Fatal("EHLO reply missing SIZE")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	h, got := collect()
+	srv := NewServer("mx.test", h)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const clients = 8
+	const perClient = 10
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr.String())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			if err := c.Hello("bot"); err != nil {
+				t.Errorf("hello: %v", err)
+				return
+			}
+			for j := 0; j < perClient; j++ {
+				data := fmt.Sprintf("Subject: s\r\n\r\nhttp://d%d-%d.com/\r\n", i, j)
+				if err := c.Send("a@b.c", []string{"x@mx.test"}, []byte(data)); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+			c.Quit() //nolint:errcheck
+		}(i)
+	}
+	wg.Wait()
+	if n := len(got()); n != clients*perClient {
+		t.Fatalf("received %d, want %d", n, clients*perClient)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	srv := NewServer("mx.test", nil)
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Fatal("Listen after Close should fail")
+	}
+}
+
+func TestParsePath(t *testing.T) {
+	cases := []struct {
+		args, prefix, want string
+		ok                 bool
+	}{
+		{"FROM:<a@b.c>", "FROM:", "a@b.c", true},
+		{"from:<a@b.c>", "FROM:", "a@b.c", true},
+		{"FROM:<>", "FROM:", "", true},
+		{"FROM:<a@b.c> SIZE=100", "FROM:", "a@b.c", true},
+		{"FROM:a@b.c", "FROM:", "", false},
+		{"TO:<x@y.z>", "TO:", "x@y.z", true},
+		{"", "FROM:", "", false},
+	}
+	for _, c := range cases {
+		got, ok := parsePath(c.args, c.prefix)
+		if got != c.want || ok != c.ok {
+			t.Errorf("parsePath(%q, %q) = %q,%v want %q,%v",
+				c.args, c.prefix, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestReadTimeoutClosesIdleSession(t *testing.T) {
+	srv := NewServer("mx.test", nil)
+	srv.ReadTimeout = 100 * time.Millisecond
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	if _, err := r.ReadString('\n'); err != nil {
+		t.Fatalf("greeting: %v", err)
+	}
+	// Say nothing; the server must hang up once the read deadline
+	// passes rather than holding the connection forever.
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second)) //nolint:errcheck
+	if _, err := r.ReadString('\n'); err == nil {
+		t.Fatal("expected connection close after idle timeout")
+	}
+}
+
+func TestMaxConnsRefusesExcess(t *testing.T) {
+	srv := NewServer("mx.test", nil)
+	srv.MaxConns = 1
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	first, err := Dial(addr.String()) // occupies the only slot
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second)) //nolint:errcheck
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatalf("no busy reply: %v", err)
+	}
+	if !strings.HasPrefix(line, "421") {
+		t.Fatalf("reply %q, want 421", line)
+	}
+}

@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchDists(n int) (Dist, Dist) {
+	p := make(Dist, n)
+	q := make(Dist, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("domain%06d.com", i)
+		p[k] = 1 / float64(i+1)
+		if i%3 != 0 {
+			q[k] = 1 / float64(n-i)
+		}
+	}
+	return p, q
+}
+
+func BenchmarkVariationDistance(b *testing.B) {
+	p, q := benchDists(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = VariationDistance(p, q)
+	}
+}
+
+func BenchmarkKendallTauB(b *testing.B) {
+	p, q := benchDists(800) // O(n^2): keep the pair count bounded
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = KendallTauB(p, q)
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = float64(i * 7 % 1000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Summarize(vals)
+	}
+}
+
+func BenchmarkKendallTauBNaive(b *testing.B) {
+	p, q := benchDists(800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = kendallTauBNaive(p, q)
+	}
+}

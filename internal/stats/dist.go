@@ -1,0 +1,139 @@
+// Package stats implements the statistical machinery of the paper's
+// proportionality and timing analyses: empirical domain-volume
+// distributions, variation distance, the tie-adjusted Kendall rank
+// correlation coefficient (τ-b), and quantile/boxplot summaries.
+package stats
+
+import (
+	"math"
+)
+
+// Dist is an empirical probability distribution over string-keyed
+// items (domains). Probabilities sum to 1 unless the distribution is
+// empty.
+type Dist map[string]float64
+
+// NewDistFromCounts normalizes a count map into an empirical
+// distribution. Zero and negative counts are dropped. It returns an
+// empty distribution if no positive counts exist.
+func NewDistFromCounts(counts map[string]int64) Dist {
+	var total int64
+	for _, c := range counts {
+		if c > 0 {
+			total += c
+		}
+	}
+	d := make(Dist, len(counts))
+	if total == 0 {
+		return d
+	}
+	for k, c := range counts {
+		if c > 0 {
+			d[k] = float64(c) / float64(total)
+		}
+	}
+	return d
+}
+
+// Restrict returns the distribution renormalized over only the keys in
+// the given support set. Keys outside the support are discarded. If no
+// mass remains, the result is empty.
+func (d Dist) Restrict(support map[string]bool) Dist {
+	total := 0.0
+	for k, p := range d {
+		if support[k] {
+			total += p
+		}
+	}
+	out := make(Dist)
+	if total == 0 {
+		return out
+	}
+	for k, p := range d {
+		if support[k] {
+			out[k] = p / total
+		}
+	}
+	return out
+}
+
+// Support returns the set of keys with positive probability.
+func (d Dist) Support() map[string]bool {
+	s := make(map[string]bool, len(d))
+	for k, p := range d {
+		if p > 0 {
+			s[k] = true
+		}
+	}
+	return s
+}
+
+// Total returns the probability mass (1 for a proper distribution, 0
+// for an empty one); useful for sanity checks.
+func (d Dist) Total() float64 {
+	t := 0.0
+	for _, p := range d {
+		t += p
+	}
+	return t
+}
+
+// VariationDistance computes δ(P, Q) = ½ Σ |p_i − q_i| over the union
+// of both supports. A key absent from a distribution has probability 0,
+// as in the paper. The result is in [0, 1]: 0 iff P = Q, 1 iff their
+// supports are disjoint.
+func VariationDistance(p, q Dist) float64 {
+	sum := 0.0
+	for k, pv := range p {
+		sum += math.Abs(pv - q[k])
+	}
+	for k, qv := range q {
+		if _, ok := p[k]; !ok {
+			sum += qv
+		}
+	}
+	return sum / 2
+}
+
+// kendallTauBNaive is the direct O(n^2) τ-b computation. It is kept as
+// the executable specification the O(n log n) KendallTauB is
+// cross-validated against (see TestKendallFastMatchesNaive).
+func kendallTauBNaive(p, q Dist) (tau float64, n int, ok bool) {
+	type pair struct{ x, y float64 }
+	var pairs []pair
+	for k, pv := range p {
+		if qv, shared := q[k]; shared {
+			pairs = append(pairs, pair{pv, qv})
+		}
+	}
+	n = len(pairs)
+	if n < 2 {
+		return 0, n, false
+	}
+	var concordant, discordant, tiesX, tiesY int64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := pairs[i].x - pairs[j].x
+			dy := pairs[i].y - pairs[j].y
+			switch {
+			case dx == 0 && dy == 0:
+				tiesX++
+				tiesY++
+			case dx == 0:
+				tiesX++
+			case dy == 0:
+				tiesY++
+			case (dx > 0) == (dy > 0):
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	n0 := int64(n) * int64(n-1) / 2
+	denom := math.Sqrt(float64(n0-tiesX)) * math.Sqrt(float64(n0-tiesY))
+	if denom == 0 {
+		return 0, n, false
+	}
+	return float64(concordant-discordant) / denom, n, true
+}

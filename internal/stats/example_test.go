@@ -1,0 +1,26 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"tasterschoice/internal/stats"
+)
+
+func ExampleVariationDistance() {
+	feedA := stats.NewDistFromCounts(map[string]int64{
+		"cheappills.com": 80, "replicas.net": 20,
+	})
+	feedB := stats.NewDistFromCounts(map[string]int64{
+		"cheappills.com": 20, "replicas.net": 80,
+	})
+	fmt.Printf("%.2f\n", stats.VariationDistance(feedA, feedB))
+	// Output: 0.60
+}
+
+func ExampleKendallTauB() {
+	feed := stats.Dist{"a.com": 0.5, "b.com": 0.3, "c.com": 0.2}
+	mail := stats.Dist{"a.com": 0.6, "b.com": 0.1, "c.com": 0.3}
+	tau, n, ok := stats.KendallTauB(feed, mail)
+	fmt.Printf("tau=%.2f n=%d ok=%v\n", tau, n, ok)
+	// Output: tau=0.33 n=3 ok=true
+}

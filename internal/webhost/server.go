@@ -1,0 +1,229 @@
+// Package webhost serves the simulated spam web over real HTTP: every
+// storefront, landing page, redirector and benign site in a generated
+// world is reachable through one net/http server that routes on the
+// Host header, and a matching crawler fetches pages over TCP, follows
+// genuine 302 redirects, and tags storefronts from page content —
+// including the embedded RX affiliate identifier, exactly as the
+// paper's full-fidelity crawler extracted it from RX-Promotion page
+// source.
+//
+// Name resolution is simulated in the crawler's dialer: every hostname
+// resolves to the webhost server, and domains the world never
+// registered (or whose sites died) fail to connect, like NXDOMAIN or a
+// dead host would.
+package webhost
+
+import (
+	"fmt"
+	"html"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/ecosystem"
+)
+
+// programHostSuffix is the synthetic host space where affiliate
+// programs host their storefront backends (bulletproof hosting, in the
+// fiction). Landing pages and redirectors 302 here.
+const programHostSuffix = ".storefront-backend.example"
+
+// ProgramHost returns the backend host for a program's storefront,
+// carrying the campaign id so the page can credit the right affiliate.
+func ProgramHost(programID int) string {
+	return fmt.Sprintf("p%d%s", programID, programHostSuffix)
+}
+
+// parseProgramHost inverts ProgramHost.
+func parseProgramHost(host string) (int, bool) {
+	if !strings.HasSuffix(host, programHostSuffix) {
+		return 0, false
+	}
+	var id int
+	if _, err := fmt.Sscanf(strings.TrimSuffix(host, programHostSuffix), "p%d", &id); err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// Server serves the world's web.
+type Server struct {
+	World *ecosystem.World
+
+	srv      *http.Server
+	listener net.Listener
+	requests atomic.Int64
+}
+
+// NewServer builds the HTTP front for a world.
+func NewServer(w *ecosystem.World) *Server {
+	s := &Server{World: w}
+	s.srv = &http.Server{Handler: http.HandlerFunc(s.handle)}
+	return s
+}
+
+// Listen binds addr ("127.0.0.1:0" for tests) and serves in the
+// background, returning the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.listener = l
+	go s.srv.Serve(l) //nolint:errcheck // terminated by Close
+	return l.Addr(), nil
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Requests returns the number of HTTP requests served.
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// Resolvable reports whether a hostname should resolve at all — the
+// crawler's dialer consults this to simulate DNS. Program backends
+// always resolve; world domains resolve if their site is alive (a dead
+// site behaves like a dead host).
+func (s *Server) Resolvable(host string) bool {
+	if _, ok := parseProgramHost(host); ok {
+		return true
+	}
+	d, err := domain.DefaultRules.Registered(host)
+	if err != nil {
+		return false
+	}
+	info, known := s.World.Info(d)
+	if !known {
+		return false
+	}
+	return info.Alive
+}
+
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	host := r.Host
+	if h, _, err := net.SplitHostPort(host); err == nil {
+		host = h
+	}
+	host = strings.ToLower(host)
+
+	// Program storefront backends.
+	if programID, ok := parseProgramHost(host); ok {
+		s.serveStorefront(w, r, programID, campaignFromQuery(r))
+		return
+	}
+
+	d, err := domain.DefaultRules.Registered(host)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	info, known := s.World.Info(d)
+	if !known || !info.Alive {
+		// The dialer should have refused already; behave like a
+		// misconfigured parked host.
+		http.NotFound(w, r)
+		return
+	}
+	switch info.Kind {
+	case ecosystem.KindBenign:
+		if info.Redirector {
+			if id, redirect, ok := ecosystem.DecodeCampaignToken(r.URL.Path); ok && redirect {
+				s.redirectToCampaign(w, r, id)
+				return
+			}
+		}
+		s.serveBenign(w, d, info)
+	case ecosystem.KindObscure, ecosystem.KindWebOnly:
+		if info.Kind == ecosystem.KindWebOnly && info.Program >= 0 {
+			s.serveStorefront(w, r, info.Program, info.Campaign)
+			return
+		}
+		s.servePlain(w, d)
+	case ecosystem.KindStorefront:
+		if info.Program < 0 {
+			// Unbranded goods: a live shop with no known signature.
+			s.servePlain(w, d)
+			return
+		}
+		s.serveStorefront(w, r, info.Program, info.Campaign)
+	case ecosystem.KindLanding:
+		s.redirectToCampaign(w, r, info.Campaign)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// campaignFromQuery extracts the campaign id forwarded by a redirect.
+func campaignFromQuery(r *http.Request) int {
+	var id int
+	if _, err := fmt.Sscanf(r.URL.Query().Get("c"), "%d", &id); err != nil {
+		return -1
+	}
+	return id
+}
+
+// redirectToCampaign 302s to the campaign's program backend.
+func (s *Server) redirectToCampaign(w http.ResponseWriter, r *http.Request, campaignID int) {
+	if campaignID < 0 || campaignID >= len(s.World.Campaigns) {
+		http.NotFound(w, r)
+		return
+	}
+	c := &s.World.Campaigns[campaignID]
+	if c.Program < 0 {
+		// Unbranded goods site, hosted directly.
+		s.servePlain(w, domain.Name("goods"))
+		return
+	}
+	target := fmt.Sprintf("http://%s/?c=%d", ProgramHost(c.Program), campaignID)
+	http.Redirect(w, r, target, http.StatusFound)
+}
+
+// serveStorefront renders a storefront page with the program signature
+// and, for RX, the affiliate identifier embedded in the page source.
+func (s *Server) serveStorefront(w http.ResponseWriter, r *http.Request, programID, campaignID int) {
+	if programID < 0 || programID >= len(s.World.Programs) {
+		http.NotFound(w, r)
+		return
+	}
+	prog := &s.World.Programs[programID]
+	if !prog.Category.Tagged() {
+		s.servePlain(w, domain.Name(prog.Name))
+		return
+	}
+	affKey := ""
+	if prog.RX && campaignID >= 0 && campaignID < len(s.World.Campaigns) {
+		if aff := s.World.Campaigns[campaignID].Affiliate; aff >= 0 {
+			affKey = s.World.Affiliates[aff].Key
+		}
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, `<!doctype html>
+<html><head><title>%s</title></head>
+<body data-program=%q data-category=%q>
+<h1>%s</h1>
+<p>Best prices, discreet worldwide shipping.</p>
+`, html.EscapeString(prog.Name), prog.Name, prog.Category.String(), html.EscapeString(prog.Name))
+	if affKey != "" {
+		fmt.Fprintf(w, "<span class=\"aff-id\">%s</span>\n", html.EscapeString(affKey))
+	}
+	fmt.Fprint(w, "</body></html>\n")
+}
+
+// serveBenign renders a legitimate page.
+func (s *Server) serveBenign(w http.ResponseWriter, d domain.Name, info *ecosystem.DomainInfo) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, `<!doctype html>
+<html><head><title>%s</title></head>
+<body><h1>%s</h1><p>Welcome to our website (popularity rank %d).</p></body></html>
+`, html.EscapeString(string(d)), html.EscapeString(string(d)), info.BenignRank)
+}
+
+// servePlain renders a generic live page with no storefront signature.
+func (s *Server) servePlain(w http.ResponseWriter, d domain.Name) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, "<!doctype html>\n<html><body><h1>%s</h1></body></html>\n",
+		html.EscapeString(string(d)))
+}
