@@ -8,13 +8,31 @@ import (
 
 	"tasterschoice/internal/domain"
 	"tasterschoice/internal/randutil"
+	"tasterschoice/internal/resilient"
 )
 
 // ErrServFail is returned when the server answered but with a failure
 // code.
 var ErrServFail = errors.New("dnsbl: server failure")
 
-// Client queries a DNSBL server over UDP.
+// ErrTimeout classifies an attempt that died waiting on the network —
+// the retryable case (UDP drop, slow server) — as opposed to hard
+// failures like a refused connection or a malformed zone. Errors
+// wrapping it also satisfy net.Error with Timeout() == true.
+var ErrTimeout = errors.New("dnsbl: timeout")
+
+// timeoutError wraps an underlying net.Error timeout so callers can
+// match either the ErrTimeout sentinel or the original error.
+type timeoutError struct{ err error }
+
+func (e *timeoutError) Error() string   { return "dnsbl: timeout: " + e.err.Error() }
+func (e *timeoutError) Timeout() bool   { return true }
+func (e *timeoutError) Temporary() bool { return true }
+func (e *timeoutError) Unwrap() []error { return []error{ErrTimeout, e.err} }
+
+// Client queries a DNSBL server over UDP. It is safe for concurrent
+// use once configured: the MTA shares one client across all of its
+// connection goroutines.
 type Client struct {
 	// Addr is the server's UDP address.
 	Addr string
@@ -27,19 +45,29 @@ type Client struct {
 	// additional attempts) — UDP drops are normal.
 	Timeout time.Duration
 	Retries int
+	// Dial overrides the dialer (default net.Dial); chaos tests and
+	// multi-homed deployments plug in here.
+	Dial resilient.DialFunc
+	// Backoff spaces the retry attempts so a congested or flapping
+	// server is not hammered back-to-back. The zero value applies
+	// resilient defaults (50ms base, doubling, 5s cap); jitter is
+	// drawn from the client's seeded stream.
+	Backoff resilient.Backoff
 
-	rng *randutil.RNG
+	rng *randutil.Locked
 }
 
 // NewClient creates a client for a DNSBL zone at addr.
 func NewClient(addr, suffix string, seed uint64) *Client {
-	return &Client{
+	c := &Client{
 		Addr:    addr,
 		Suffix:  suffix,
 		Timeout: 2 * time.Second,
 		Retries: 2,
-		rng:     randutil.NewNamed(seed, "dnsbl-client"),
+		rng:     randutil.NewLocked(randutil.NewNamed(seed, "dnsbl-client")),
 	}
+	c.Backoff = resilient.Backoff{Jitter: 0.5, Rand: c.rng.Float64}
+	return c
 }
 
 // Listed queries whether d is on the blacklist.
@@ -89,12 +117,14 @@ func (c *Client) Reason(d domain.Name) (string, error) {
 	return "", nil
 }
 
-// query performs one lookup with retries, verifying the response ID.
+// query performs one lookup with retries and backoff, verifying the
+// response ID. One response buffer is shared across all attempts.
 func (c *Client) query(d domain.Name, qtype uint16) (*Message, error) {
 	qname := string(d) + "." + c.Suffix
-	var lastErr error
-	attempts := c.Retries + 1
-	for i := 0; i < attempts; i++ {
+	buf := make([]byte, 4096)
+	var resp *Message
+	r := resilient.Retrier{Attempts: c.Retries + 1, Backoff: c.Backoff}
+	err := r.Do(func(int) error {
 		id := uint16(c.rng.Uint64())
 		req := &Message{
 			Header:    Header{ID: id, RecursionDesired: false},
@@ -102,20 +132,23 @@ func (c *Client) query(d domain.Name, qtype uint16) (*Message, error) {
 		}
 		raw, err := req.Pack()
 		if err != nil {
-			return nil, err
+			return resilient.Permanent(err)
 		}
-		resp, err := c.exchange(raw, id)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		return resp, nil
+		resp, err = c.exchange(raw, id, buf)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	return nil, lastErr
+	return resp, nil
 }
 
-func (c *Client) exchange(raw []byte, wantID uint16) (*Message, error) {
-	conn, err := net.Dial("udp", c.Addr)
+func (c *Client) exchange(raw []byte, wantID uint16, buf []byte) (*Message, error) {
+	dial := c.Dial
+	if dial == nil {
+		dial = net.Dial
+	}
+	conn, err := dial("udp", c.Addr)
 	if err != nil {
 		return nil, err
 	}
@@ -125,13 +158,12 @@ func (c *Client) exchange(raw []byte, wantID uint16) (*Message, error) {
 		return nil, err
 	}
 	if _, err := conn.Write(raw); err != nil {
-		return nil, err
+		return nil, classify(err)
 	}
-	buf := make([]byte, 4096)
 	for {
 		n, err := conn.Read(buf)
 		if err != nil {
-			return nil, err
+			return nil, classify(err)
 		}
 		resp, err := Unpack(buf[:n])
 		if err != nil {
@@ -142,4 +174,14 @@ func (c *Client) exchange(raw []byte, wantID uint16) (*Message, error) {
 		}
 		return resp, nil
 	}
+}
+
+// classify surfaces deadline expiry as the typed ErrTimeout so callers
+// can distinguish drop-retry from hard failure.
+func classify(err error) error {
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return &timeoutError{err: err}
+	}
+	return err
 }

@@ -1,0 +1,312 @@
+// Package faultnet injects deterministic, seeded network faults at the
+// net.Conn / net.Listener / dialer layer, so the feed-collection
+// pipeline's resilience can be proven rather than assumed.
+//
+// The paper's feeds are collected over channels that fail constantly in
+// practice: UDP blacklist lookups drop datagrams, "by subscription"
+// feed streams reset mid-tail, SMTP peers stall. An Injector wraps real
+// connections with configurable datagram drop, added latency/jitter,
+// connection resets, partial (split) writes, and accept-time failures.
+// All randomness flows through internal/randutil from a single seed, so
+// a chaos run — which faults fired, on which connection, after how many
+// bytes — replays bit-for-bit.
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tasterschoice/internal/randutil"
+)
+
+// ErrInjected is the sentinel wrapped by every fault this package
+// injects; errors.Is(err, ErrInjected) distinguishes chaos from real
+// network failures in test assertions.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// injectedError is the concrete error returned for injected resets. It
+// implements net.Error so production code paths treat it exactly like a
+// kernel-reported reset.
+type injectedError struct{ kind string }
+
+func (e *injectedError) Error() string   { return fmt.Sprintf("faultnet: injected %s", e.kind) }
+func (e *injectedError) Timeout() bool   { return false }
+func (e *injectedError) Temporary() bool { return true }
+func (e *injectedError) Unwrap() error   { return ErrInjected }
+
+// Faults configures an Injector. The zero value injects nothing;
+// probabilities are per-operation in [0, 1].
+type Faults struct {
+	// Seed drives every random decision (via randutil).
+	Seed uint64
+
+	// DropProb drops UDP datagrams: writes are silently swallowed
+	// (claimed sent) and received datagrams are discarded, each with
+	// this probability. Ignored for stream connections.
+	DropProb float64
+
+	// Latency is added to every read and write.
+	Latency time.Duration
+	// Jitter adds a further uniform delay in [0, Jitter).
+	Jitter time.Duration
+
+	// ResetProb resets a stream connection on a write with this
+	// probability: the underlying conn is closed and an injected
+	// net.Error returned. Ignored for datagram connections.
+	ResetProb float64
+	// ResetAfterBytes resets a stream connection once it has written
+	// roughly this many bytes (the per-connection threshold is drawn
+	// uniformly from [½·n, 1½·n), so parallel connections do not all
+	// die in lockstep). 0 disables.
+	ResetAfterBytes int64
+
+	// PartialWriteProb splits a stream write into two underlying
+	// writes with the injected latency between them, exercising
+	// partial-flush handling without violating the io.Writer contract.
+	PartialWriteProb float64
+
+	// AcceptFailProb makes a wrapped listener reset an accepted
+	// connection immediately (the peer sees a connect-then-close).
+	AcceptFailProb float64
+}
+
+// Injector wraps connections, listeners and dialers with the configured
+// faults. It is safe for concurrent use; each wrapped connection draws
+// its own independent random stream so per-connection fault sequences
+// are deterministic regardless of goroutine interleaving.
+type Injector struct {
+	faults Faults
+	rng    *randutil.Locked
+
+	mu       sync.Mutex
+	injected int64 // total faults fired, for test diagnostics
+}
+
+// New creates an injector for the given fault plan.
+func New(f Faults) *Injector {
+	return &Injector{
+		faults: f,
+		rng:    randutil.NewLocked(randutil.NewNamed(f.Seed, "faultnet")),
+	}
+}
+
+// Injected returns how many faults have fired so far (drops, resets,
+// split writes, accept failures). Chaos tests assert it is non-zero,
+// guarding against a silently misconfigured run "passing" with no
+// chaos at all.
+func (in *Injector) Injected() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+func (in *Injector) fired() {
+	in.mu.Lock()
+	in.injected++
+	in.mu.Unlock()
+}
+
+// WrapConn applies the fault plan to an established connection.
+func (in *Injector) WrapConn(c net.Conn) net.Conn {
+	_, datagram := c.(net.PacketConn)
+	fc := &conn{
+		Conn:     c,
+		in:       in,
+		rng:      randutil.NewLocked(in.rng.Split()),
+		datagram: datagram,
+		resetAt:  -1,
+	}
+	if !datagram && in.faults.ResetAfterBytes > 0 {
+		half := in.faults.ResetAfterBytes / 2
+		if half < 1 {
+			half = 1
+		}
+		fc.resetAt = half + int64(fc.rng.Intn(int(2*half)))
+	}
+	return fc
+}
+
+// Dial dials through net.Dial and wraps the result. It matches
+// resilient.DialFunc, so clients with a pluggable dialer take it
+// directly.
+func (in *Injector) Dial(network, addr string) (net.Conn, error) {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return in.WrapConn(c), nil
+}
+
+// DialContext is Dial for HTTP transports (resilient.ContextDialFunc).
+func (in *Injector) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	var d net.Dialer
+	c, err := d.DialContext(ctx, network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return in.WrapConn(c), nil
+}
+
+// WrapListener applies accept-time failures and per-connection faults
+// to an accepting side.
+func (in *Injector) WrapListener(l net.Listener) net.Listener {
+	return &listener{Listener: l, in: in}
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+// Accept waits for a connection; with AcceptFailProb it resets the
+// freshly accepted conn and keeps waiting, so the dialer experiences a
+// connect-then-reset rather than the listener dying.
+func (l *listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.in.rng.Bool(l.in.faults.AcceptFailProb) {
+			l.in.fired()
+			c.Close()
+			continue
+		}
+		return l.in.WrapConn(c), nil
+	}
+}
+
+// conn is a net.Conn with faults. Reads and writes may be concurrent
+// with each other (feedsync tails read while a closer writes), so all
+// mutable state sits behind its own locked RNG and the written counter
+// is mutex-guarded.
+type conn struct {
+	net.Conn
+	in       *Injector
+	rng      *randutil.Locked
+	datagram bool
+
+	mu      sync.Mutex
+	written int64
+	resetAt int64 // byte threshold for injected reset; -1 = disabled
+	broken  bool
+}
+
+// delay sleeps the configured latency plus jitter.
+func (c *conn) delay() {
+	f := &c.in.faults
+	if f.Latency <= 0 && f.Jitter <= 0 {
+		return
+	}
+	d := f.Latency
+	if f.Jitter > 0 {
+		d += time.Duration(c.rng.Float64() * float64(f.Jitter))
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// breakConn marks the connection reset and closes the underlying conn
+// so the peer observes the failure too.
+func (c *conn) breakConn(kind string) error {
+	c.mu.Lock()
+	already := c.broken
+	c.broken = true
+	c.mu.Unlock()
+	if !already {
+		c.in.fired()
+		c.Conn.Close()
+	}
+	return &injectedError{kind: kind}
+}
+
+func (c *conn) isBroken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
+// Read injects latency and — for datagram sockets — inbound loss: a
+// dropped datagram is read from the socket and discarded, exactly as if
+// the network had eaten it, and the read blocks for the next one (or
+// the deadline).
+func (c *conn) Read(b []byte) (int, error) {
+	if c.isBroken() {
+		return 0, &injectedError{kind: "reset"}
+	}
+	for {
+		n, err := c.Conn.Read(b)
+		if err != nil {
+			return n, err
+		}
+		if c.datagram && c.rng.Bool(c.in.faults.DropProb) {
+			c.in.fired()
+			continue
+		}
+		c.delay()
+		return n, nil
+	}
+}
+
+// Write injects latency, outbound datagram loss, split writes, and
+// connection resets (probabilistic and byte-budget).
+func (c *conn) Write(b []byte) (int, error) {
+	if c.isBroken() {
+		return 0, &injectedError{kind: "reset"}
+	}
+	c.delay()
+	f := &c.in.faults
+
+	if c.datagram {
+		if c.rng.Bool(f.DropProb) {
+			c.in.fired()
+			return len(b), nil // swallowed by the network
+		}
+		return c.Conn.Write(b)
+	}
+
+	if c.rng.Bool(f.ResetProb) {
+		return 0, c.breakConn("reset")
+	}
+	c.mu.Lock()
+	resetAt := c.resetAt
+	written := c.written
+	c.mu.Unlock()
+	if resetAt >= 0 && written+int64(len(b)) > resetAt {
+		// Deliver the bytes up to the threshold, then kill the conn:
+		// the peer sees a partial record followed by a reset.
+		head := int(resetAt - written)
+		if head > 0 {
+			c.Conn.Write(b[:head]) //nolint:errcheck // conn is dying anyway
+		}
+		return head, c.breakConn("reset")
+	}
+
+	n, err := c.writeMaybeSplit(b)
+	c.mu.Lock()
+	c.written += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+// writeMaybeSplit writes b, possibly as two underlying writes with
+// latency in between.
+func (c *conn) writeMaybeSplit(b []byte) (int, error) {
+	if len(b) > 1 && c.rng.Bool(c.in.faults.PartialWriteProb) {
+		c.in.fired()
+		cut := 1 + c.rng.Intn(len(b)-1)
+		n, err := c.Conn.Write(b[:cut])
+		if err != nil {
+			return n, err
+		}
+		c.delay()
+		m, err := c.Conn.Write(b[cut:])
+		return n + m, err
+	}
+	return c.Conn.Write(b)
+}

@@ -1,0 +1,237 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpPair returns a wrapped client conn and the raw server side of one
+// accepted TCP connection.
+func tcpPair(t *testing.T, in *Injector) (client net.Conn, server net.Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := in.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-accepted
+	t.Cleanup(func() { c.Close(); srv.Close() })
+	return c, srv
+}
+
+func TestNoFaultsIsTransparent(t *testing.T) {
+	in := New(Faults{Seed: 1})
+	c, srv := tcpPair(t, in)
+	go func() {
+		io.Copy(srv, srv) //nolint:errcheck // echo
+	}()
+	msg := []byte("hello through the wrapper")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echoed %q", got)
+	}
+	if in.Injected() != 0 {
+		t.Fatalf("faults fired with zero config: %d", in.Injected())
+	}
+}
+
+func TestUDPDropSwallowsWrites(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	received := make(chan struct{}, 64)
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			if _, _, err := pc.ReadFrom(buf); err != nil {
+				return
+			}
+			received <- struct{}{}
+		}
+	}()
+
+	in := New(Faults{Seed: 7, DropProb: 1})
+	c, err := in.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		// Every datagram must be swallowed yet claimed sent.
+		if n, err := c.Write([]byte("ping")); err != nil || n != 4 {
+			t.Fatalf("drop leaked error: n=%d err=%v", n, err)
+		}
+	}
+	select {
+	case <-received:
+		t.Fatal("datagram arrived despite DropProb=1")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if in.Injected() != 10 {
+		t.Fatalf("injected = %d, want 10", in.Injected())
+	}
+}
+
+func TestResetAfterBytes(t *testing.T) {
+	const budget = 4096
+	in := New(Faults{Seed: 3, ResetAfterBytes: budget})
+	c, srv := tcpPair(t, in)
+	go io.Copy(io.Discard, srv) //nolint:errcheck
+
+	chunk := make([]byte, 100)
+	var written int
+	var resetErr error
+	for i := 0; i < 1000; i++ {
+		n, err := c.Write(chunk)
+		written += n
+		if err != nil {
+			resetErr = err
+			break
+		}
+	}
+	if resetErr == nil {
+		t.Fatal("connection never reset")
+	}
+	if !errors.Is(resetErr, ErrInjected) {
+		t.Fatalf("reset error %v does not wrap ErrInjected", resetErr)
+	}
+	var nerr net.Error
+	if !errors.As(resetErr, &nerr) {
+		t.Fatalf("injected reset is not a net.Error: %v", resetErr)
+	}
+	if written < budget/2 || written > budget*3/2 {
+		t.Fatalf("reset after %d bytes, want within [%d, %d)", written, budget/2, budget*3/2)
+	}
+	// The conn stays broken for subsequent writes and reads.
+	if _, err := c.Write(chunk); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after reset: %v", err)
+	}
+	if _, err := c.Read(chunk); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read after reset: %v", err)
+	}
+}
+
+func TestResetThresholdDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) int {
+		in := New(Faults{Seed: seed, ResetAfterBytes: 2048})
+		c, srv := tcpPair(t, in)
+		go io.Copy(io.Discard, srv) //nolint:errcheck
+		var written int
+		for i := 0; i < 1000; i++ {
+			n, err := c.Write(make([]byte, 33))
+			written += n
+			if err != nil {
+				break
+			}
+		}
+		return written
+	}
+	if a, b := run(11), run(11); a != b {
+		t.Fatalf("same seed, different reset points: %d vs %d", a, b)
+	}
+	// Different seeds should (for these two) pick different thresholds.
+	if a, b := run(11), run(12); a == b {
+		t.Logf("note: seeds 11/12 coincide at %d bytes", a)
+	}
+}
+
+func TestPartialWriteStillDeliversEverything(t *testing.T) {
+	in := New(Faults{Seed: 9, PartialWriteProb: 1})
+	c, srv := tcpPair(t, in)
+	msg := bytes.Repeat([]byte("0123456789"), 100)
+	done := make(chan []byte, 1)
+	go func() {
+		got := make([]byte, len(msg))
+		if _, err := io.ReadFull(srv, got); err != nil {
+			done <- nil
+			return
+		}
+		done <- got
+	}()
+	n, err := c.Write(msg)
+	if err != nil || n != len(msg) {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	if got := <-done; !bytes.Equal(got, msg) {
+		t.Fatal("split write corrupted the stream")
+	}
+}
+
+func TestAcceptFailResetsFreshConns(t *testing.T) {
+	in := New(Faults{Seed: 21, AcceptFailProb: 0.5})
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := in.WrapListener(raw)
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c) //nolint:errcheck // echo the survivors
+		}
+	}()
+
+	survived := 0
+	for i := 0; i < 20; i++ {
+		c, err := net.Dial("tcp", raw.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+		buf := make([]byte, 4)
+		if _, err := c.Write([]byte("ping")); err == nil {
+			if _, err := io.ReadFull(c, buf); err == nil {
+				survived++
+			}
+		}
+		c.Close()
+	}
+	if survived == 0 {
+		t.Fatal("every connection was killed at p=0.5")
+	}
+	if in.Injected() == 0 {
+		t.Fatal("no accept failures fired at p=0.5 over 20 conns")
+	}
+}
+
+func TestLatencyIsAdded(t *testing.T) {
+	in := New(Faults{Seed: 2, Latency: 20 * time.Millisecond})
+	c, srv := tcpPair(t, in)
+	go io.Copy(io.Discard, srv) //nolint:errcheck
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("3 writes took %v, want >= 60ms of injected latency", elapsed)
+	}
+}

@@ -1,0 +1,380 @@
+package feedsync
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/faultnet"
+	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/resilient"
+	"tasterschoice/internal/simclock"
+)
+
+// mkRecords builds a deterministic record sequence.
+func mkRecords(n, from int) []feeds.RawRecord {
+	recs := make([]feeds.RawRecord, 0, n)
+	for i := from; i < from+n; i++ {
+		recs = append(recs, feeds.RawRecord{
+			Time:   simclock.PaperStart.Add(time.Duration(i) * time.Second),
+			Domain: fmt.Sprintf("spam%04d.example", i),
+			URL:    fmt.Sprintf("http://spam%04d.example/p/%d", i, i),
+		})
+	}
+	return recs
+}
+
+// recorder collects the records a tail applies, concurrency-safely.
+type recorder struct {
+	mu   sync.Mutex
+	recs []feeds.RawRecord
+}
+
+func (r *recorder) add(rec feeds.RawRecord) {
+	r.mu.Lock()
+	r.recs = append(r.recs, rec)
+	r.mu.Unlock()
+}
+
+func (r *recorder) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.recs)
+}
+
+func (r *recorder) snapshot() []feeds.RawRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]feeds.RawRecord(nil), r.recs...)
+}
+
+// waitFor polls cond until true or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// assertSameRecords fails unless got is exactly want: same length, same
+// order, same contents — no duplicated and no missing records.
+func assertSameRecords(t *testing.T, want, got []feeds.RawRecord) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("record count: got %d, want %d (duplication or loss)", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Domain != want[i].Domain || got[i].URL != want[i].URL ||
+			!got[i].Time.Equal(want[i].Time) {
+			t.Fatalf("record %d differs: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestChaosTailConvergesUnderResets subjects a live tail to seeded TCP
+// resets (byte-budgeted and accept-time), partial writes, and latency
+// on the server side. The resilient client must still converge to a
+// byte-identical copy of the feed log — the exact record sequence, no
+// duplicates, no gaps — across three seeds.
+func TestChaosTailConvergesUnderResets(t *testing.T) {
+	const total = 300
+	for _, seed := range []uint64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			inj := faultnet.New(faultnet.Faults{
+				Seed:             seed,
+				ResetAfterBytes:  2500,
+				AcceptFailProb:   0.10,
+				PartialWriteProb: 0.25,
+			})
+			srv := NewServer()
+			srv.WriteTimeout = 2 * time.Second
+			if err := srv.Register("mx1", feeds.KindMXHoneypot, true, true); err != nil {
+				t.Fatal(err)
+			}
+			raw, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			addr := srv.Serve(inj.WrapListener(raw))
+			defer srv.Close()
+
+			want := mkRecords(total, 0)
+			// Publish the first half up front (exercises catch-up through
+			// resets), the rest live while the client is tailing.
+			for _, rec := range want[:total/2] {
+				if err := srv.Publish("mx1", rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			c := NewClient(addr.String())
+			c.DialTimeout = 2 * time.Second
+			c.Backoff = resilient.Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond}
+			c.MaxReconnects = 64
+
+			rec := &recorder{}
+			dst := feeds.New("mx1", feeds.KindMXHoneypot, true, true)
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			var offset int64
+			var tailErr error
+			go func() {
+				defer close(done)
+				offset, tailErr = c.TailResilient("mx1", 0, dst, stop, rec.add)
+			}()
+
+			for _, r := range want[total/2:] {
+				if err := srv.Publish("mx1", r); err != nil {
+					t.Fatal(err)
+				}
+				time.Sleep(time.Millisecond)
+			}
+
+			waitFor(t, 30*time.Second, func() bool { return rec.len() >= total },
+				fmt.Sprintf("tail to apply %d records (have %d)", total, rec.len()))
+			close(stop)
+			<-done
+			if tailErr != nil {
+				t.Fatalf("resilient tail failed: %v", tailErr)
+			}
+			if offset != int64(srv.Len("mx1")) {
+				t.Fatalf("final offset %d != server log length %d", offset, srv.Len("mx1"))
+			}
+			assertSameRecords(t, want, rec.snapshot())
+			if inj.Injected() == 0 {
+				t.Fatal("no faults fired: the chaos run tested nothing")
+			}
+		})
+	}
+}
+
+// TestRestartResume kills the server mid-tail, brings a replacement up
+// on the same address with the same log, and requires the resilient
+// client to resume at the exact offset: the final record sequence has
+// no gaps and no duplicates.
+func TestRestartResume(t *testing.T) {
+	const phase1, phase2 = 100, 50
+	want := mkRecords(phase1+phase2, 0)
+
+	srv1 := NewServer()
+	if err := srv1.Register("Hu", feeds.KindHuman, false, false); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range want[:phase1] {
+		if err := srv1.Publish("Hu", rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c := NewClient(addr.String())
+	c.DialTimeout = time.Second
+	c.Backoff = resilient.Backoff{Base: 10 * time.Millisecond, Max: 100 * time.Millisecond}
+	c.MaxReconnects = 100
+
+	rec := &recorder{}
+	dst := feeds.New("Hu", feeds.KindHuman, false, false)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var offset int64
+	var tailErr error
+	go func() {
+		defer close(done)
+		offset, tailErr = c.TailResilient("Hu", 0, dst, stop, rec.add)
+	}()
+
+	waitFor(t, 10*time.Second, func() bool { return rec.len() >= phase1 },
+		"phase-1 catch-up")
+	srv1.Close()
+
+	// Replacement server: same address, same durable log plus new
+	// records published while the consumer was reconnecting.
+	srv2 := NewServer()
+	if err := srv2.Register("Hu", feeds.KindHuman, false, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range want {
+		if err := srv2.Publish("Hu", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var rebindErr error
+	rebound := false
+	for i := 0; i < 100; i++ {
+		if _, rebindErr = srv2.Listen(addr.String()); rebindErr == nil {
+			rebound = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !rebound {
+		t.Fatalf("could not rebind %s: %v", addr, rebindErr)
+	}
+	defer srv2.Close()
+
+	waitFor(t, 10*time.Second, func() bool { return rec.len() >= phase1+phase2 },
+		"resume after restart")
+	close(stop)
+	<-done
+	if tailErr != nil {
+		t.Fatalf("resilient tail failed: %v", tailErr)
+	}
+	if offset != int64(phase1+phase2) {
+		t.Fatalf("final offset %d, want %d", offset, phase1+phase2)
+	}
+	assertSameRecords(t, want, rec.snapshot())
+}
+
+// TestTailIdleTimeoutUnwedgesHungServer points a resilient tail at a
+// server that accepts, answers the handshake, then hangs forever. With
+// ReadIdleTimeout set the client must give up in bounded time instead
+// of wedging.
+func TestTailIdleTimeoutUnwedgesHungServer(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				r := bufio.NewReader(conn)
+				if _, err := r.ReadString('\n'); err != nil {
+					return
+				}
+				fmt.Fprintf(conn, "OK Hu 0 false false\n")
+				// ... and now hang: never publish, never close.
+			}(conn)
+		}
+	}()
+
+	c := NewClient(l.Addr().String())
+	c.DialTimeout = time.Second
+	c.ReadIdleTimeout = 50 * time.Millisecond
+	c.Backoff = resilient.Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond}
+	c.MaxReconnects = 3
+
+	dst := feeds.New("Hu", feeds.KindHuman, false, false)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.TailResilient("Hu", 0, dst, nil, nil)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("tail of a hung server reported success")
+		}
+		if !strings.Contains(err.Error(), "without progress") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("tail wedged on a hung server despite ReadIdleTimeout")
+	}
+}
+
+// TestSlowSubscriberSurvivesDeadlines: the write deadline must be
+// refreshed per successful write, not set once for the stream — a
+// subscriber that keeps draining, but whose total session runs far
+// longer than WriteTimeout, gets the complete log.
+func TestSlowSubscriberSurvivesDeadlines(t *testing.T) {
+	srv := NewServer()
+	srv.WriteTimeout = 150 * time.Millisecond
+	if err := srv.Register("Hu", feeds.KindHuman, false, false); err != nil {
+		t.Fatal(err)
+	}
+	const n = 30
+	want := mkRecords(n, 0)
+
+	client, server := net.Pipe()
+	defer client.Close()
+	go func() {
+		srv.handle(server)
+		server.Close()
+	}()
+
+	if _, err := fmt.Fprintf(client, "SUB Hu 0 tail\n"); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(client)
+	header, err := r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(header, "OK ") {
+		t.Fatalf("header %q err %v", header, err)
+	}
+	if marker, err := r.ReadString('\n'); err != nil || strings.TrimSpace(marker) != "." {
+		t.Fatalf("marker %q err %v", marker, err)
+	}
+
+	start := time.Now()
+	for i, rec := range want {
+		if err := srv.Publish("Hu", rec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.ReadString('\n'); err != nil {
+			t.Fatalf("stream died at record %d (%v elapsed): %v",
+				i, time.Since(start), err)
+		}
+		time.Sleep(20 * time.Millisecond) // 30 × 20ms ≫ WriteTimeout
+	}
+	if elapsed := time.Since(start); elapsed < 3*srv.WriteTimeout {
+		t.Fatalf("test invalid: stream finished in %v, not slower than WriteTimeout", elapsed)
+	}
+}
+
+// TestDeadSubscriberIsDropped: a peer that stops reading entirely must
+// be disconnected within roughly one WriteTimeout instead of pinning
+// the handler goroutine forever. net.Pipe has no buffering, so the
+// first flush to a non-reading peer blocks immediately.
+func TestDeadSubscriberIsDropped(t *testing.T) {
+	srv := NewServer()
+	srv.WriteTimeout = 80 * time.Millisecond
+	if err := srv.Register("Hu", feeds.KindHuman, false, false); err != nil {
+		t.Fatal(err)
+	}
+
+	client, server := net.Pipe()
+	defer client.Close()
+	handlerDone := make(chan struct{})
+	go func() {
+		srv.handle(server)
+		close(handlerDone)
+	}()
+
+	if _, err := fmt.Fprintf(client, "SUB Hu 0 tail\n"); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(client)
+	if header, err := r.ReadString('\n'); err != nil || !strings.HasPrefix(header, "OK ") {
+		t.Fatalf("header %q err %v", header, err)
+	}
+	if marker, err := r.ReadString('\n'); err != nil || strings.TrimSpace(marker) != "." {
+		t.Fatalf("marker %q err %v", marker, err)
+	}
+	// Now play dead: publish a record so the handler tries to write,
+	// and never read again.
+	if err := srv.Publish("Hu", mkRecords(1, 0)[0]); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-handlerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler still pinned by a dead subscriber")
+	}
+}

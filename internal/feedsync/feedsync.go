@@ -31,6 +31,7 @@ import (
 
 	"tasterschoice/internal/domain"
 	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/resilient"
 )
 
 // ErrUnknownFeed is returned for subscriptions to unregistered feeds.
@@ -50,6 +51,13 @@ type feedLog struct {
 
 // Server publishes feed logs to subscribers.
 type Server struct {
+	// HandshakeTimeout bounds reading the SUB line (default 30s).
+	HandshakeTimeout time.Duration
+	// WriteTimeout bounds each flush to a subscriber, refreshed per
+	// successful write, so a dead peer cannot pin a handler goroutine
+	// while a merely slow catch-up subscriber survives (default 30s).
+	WriteTimeout time.Duration
+
 	mu   sync.Mutex
 	logs map[string]*feedLog
 
@@ -121,11 +129,18 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.Serve(l), nil
+}
+
+// Serve publishes over an already-bound listener in the background:
+// chaos tests wrap one with faultnet, deployments can hand over an
+// inherited socket. The server owns the listener from here on.
+func (s *Server) Serve(l net.Listener) net.Addr {
 	s.mu.Lock()
 	s.listener = l
 	s.mu.Unlock()
 	go s.serve(l)
-	return l.Addr(), nil
+	return l.Addr()
 }
 
 func (s *Server) serve(l net.Listener) {
@@ -157,8 +172,8 @@ func (s *Server) serve(l net.Listener) {
 // Close stops the listener and disconnects subscribers.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
@@ -169,18 +184,50 @@ func (s *Server) Close() error {
 	for c := range s.conns {
 		c.Close()
 	}
+	logs := make([]*feedLog, 0, len(s.logs))
+	for _, log := range s.logs {
+		logs = append(logs, log)
+	}
+	s.mu.Unlock()
+	// Wake parked tailers so their handler goroutines exit instead of
+	// waiting forever on a publish that will never come.
+	for _, log := range logs {
+		log.mu.Lock()
+		close(log.changed)
+		log.changed = make(chan struct{})
+		log.mu.Unlock()
+	}
 	return err
+}
+
+// isClosed reports whether Close has run.
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// timeoutOr returns d when positive, else def.
+func timeoutOr(d, def time.Duration) time.Duration {
+	if d > 0 {
+		return d
+	}
+	return def
 }
 
 // handle serves one subscription.
 func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
-	conn.SetReadDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
+	conn.SetReadDeadline(time.Now().Add(timeoutOr(s.HandshakeTimeout, 30*time.Second))) //nolint:errcheck
 	line, err := r.ReadString('\n')
 	if err != nil {
 		return
 	}
+	// The handshake is done; from here the server only writes. Clear
+	// the read deadline — a fixed one would kill a slow catch-up
+	// subscriber mid-stream — and instead bound each write below.
+	conn.SetReadDeadline(time.Time{}) //nolint:errcheck
 	fields := strings.Fields(strings.TrimSpace(line))
 	if len(fields) != 4 || fields[0] != "SUB" {
 		fmt.Fprintf(w, "ERR bad request\n")
@@ -207,6 +254,12 @@ func (s *Server) handle(conn net.Conn) {
 	fmt.Fprintf(w, "OK %s %d %t %t\n", name, log.kind, log.hasVolume, log.urls)
 
 	enc := json.NewEncoder(w)
+	writeTimeout := timeoutOr(s.WriteTimeout, 30*time.Second)
+	// extend grants the next write(s) a fresh deadline. It is refreshed
+	// after every successful write, so total stream duration is
+	// unbounded (a slow catch-up subscriber drains gigabytes fine) but
+	// a peer that stops reading is dropped within one timeout.
+	extend := func() { conn.SetWriteDeadline(time.Now().Add(writeTimeout)) } //nolint:errcheck
 	pos := offset
 	caughtUp := false
 	for {
@@ -220,6 +273,7 @@ func (s *Server) handle(conn net.Conn) {
 		log.mu.Unlock()
 
 		for _, rec := range batch {
+			extend()
 			if err := enc.Encode(rec); err != nil {
 				return
 			}
@@ -230,17 +284,23 @@ func (s *Server) handle(conn net.Conn) {
 			caughtUp = true
 			fmt.Fprintf(w, ".\n")
 			if !tail {
+				extend()
 				w.Flush() //nolint:errcheck
 				return
 			}
 		}
+		extend()
 		if err := w.Flush(); err != nil {
 			return
 		}
 		if caughtUp {
 			// Wait for new records; the connection dying wakes us
-			// through the write error on the next flush.
+			// through the write error on the next flush, and Close
+			// broadcasts on changed so we notice shutdown.
 			<-changed
+			if s.isClosed() {
+				return
+			}
 		}
 	}
 }
@@ -249,8 +309,25 @@ func (s *Server) handle(conn net.Conn) {
 type Client struct {
 	// Addr is the server address.
 	Addr string
-	// DialTimeout bounds connection establishment (default 10s).
+	// DialTimeout bounds connection establishment and the subscription
+	// handshake (default 10s).
 	DialTimeout time.Duration
+	// Dial overrides the dialer (default net.DialTimeout with
+	// DialTimeout); chaos tests inject faults here.
+	Dial resilient.DialFunc
+	// ReadIdleTimeout bounds each read while streaming. In tail mode a
+	// server that hangs — neither publishing nor closing — would
+	// otherwise wedge the consumer forever; when the deadline fires
+	// the tail returns (TailResilient then reconnects and resumes).
+	// 0 means no deadline (the seed behaviour).
+	ReadIdleTimeout time.Duration
+	// Backoff shapes TailResilient's reconnect delays (zero value →
+	// resilient defaults).
+	Backoff resilient.Backoff
+	// MaxReconnects caps consecutive reconnect attempts that make no
+	// progress before TailResilient gives up (default 8). Progress —
+	// any record applied — resets the budget.
+	MaxReconnects int
 }
 
 // NewClient returns a client for the server at addr.
@@ -258,11 +335,23 @@ func NewClient(addr string) *Client {
 	return &Client{Addr: addr, DialTimeout: 10 * time.Second}
 }
 
+// dial opens a connection to the server.
+func (c *Client) dial() (net.Conn, error) {
+	if c.Dial != nil {
+		return c.Dial("tcp", c.Addr)
+	}
+	timeout := c.DialTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return net.DialTimeout("tcp", c.Addr, timeout)
+}
+
 // Sync catches up feed `name` from offset, applying every record to
 // dst, and returns the new offset. The server closes the connection
 // after the catch-up marker.
 func (c *Client) Sync(name string, offset int64, dst *feeds.Feed) (int64, error) {
-	conn, err := net.DialTimeout("tcp", c.Addr, c.DialTimeout)
+	conn, err := c.dial()
 	if err != nil {
 		return offset, err
 	}
@@ -276,7 +365,7 @@ func (c *Client) Sync(name string, offset int64, dst *feeds.Feed) (int64, error)
 // when non-nil. It returns the final offset.
 func (c *Client) Tail(name string, offset int64, dst *feeds.Feed,
 	stop <-chan struct{}, onRecord func(feeds.RawRecord)) (int64, error) {
-	conn, err := net.DialTimeout("tcp", c.Addr, c.DialTimeout)
+	conn, err := c.dial()
 	if err != nil {
 		return offset, err
 	}
@@ -295,6 +384,13 @@ func (c *Client) Tail(name string, offset int64, dst *feeds.Feed,
 // number of records applied.
 func (c *Client) stream(conn net.Conn, name string, offset int64, mode string,
 	dst *feeds.Feed, onRecord func(feeds.RawRecord)) (int64, error) {
+	// The handshake gets its own deadline: a server that accepts but
+	// never answers must not wedge the subscriber.
+	handshake := c.DialTimeout
+	if handshake <= 0 {
+		handshake = 10 * time.Second
+	}
+	conn.SetDeadline(time.Now().Add(handshake)) //nolint:errcheck
 	if _, err := fmt.Fprintf(conn, "SUB %s %d %s\n", name, offset, mode); err != nil {
 		return 0, err
 	}
@@ -303,6 +399,7 @@ func (c *Client) stream(conn net.Conn, name string, offset int64, mode string,
 	if err != nil {
 		return 0, err
 	}
+	conn.SetDeadline(time.Time{}) //nolint:errcheck
 	header = strings.TrimSpace(header)
 	if strings.HasPrefix(header, "ERR") {
 		if strings.Contains(header, "unknown feed") {
@@ -315,6 +412,9 @@ func (c *Client) stream(conn net.Conn, name string, offset int64, mode string,
 	}
 	var applied int64
 	for {
+		if c.ReadIdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(c.ReadIdleTimeout)) //nolint:errcheck
+		}
 		line, err := r.ReadString('\n')
 		if err != nil {
 			if mode == "tail" {

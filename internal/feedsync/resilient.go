@@ -1,0 +1,130 @@
+package feedsync
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tasterschoice/internal/feeds"
+)
+
+// TailResilient streams records from offset into dst like Tail, but
+// survives the failures a subscription feed sees in practice: server
+// restarts, connection resets mid-record, and hung peers (via
+// ReadIdleTimeout). On any disconnect it redials with backoff and
+// resumes from the last applied offset — the wire protocol replays the
+// log from any offset, and a record only counts as applied once its
+// full line arrived, so the rebuilt feed is byte-identical to the
+// server's log: no duplicated and no missing records.
+//
+// It returns when stop closes (nil error), when the subscription is
+// permanently broken (ErrUnknownFeed), or after MaxReconnects
+// consecutive attempts that applied nothing. The returned offset is
+// always the exact resume point for a future call.
+func (c *Client) TailResilient(name string, offset int64, dst *feeds.Feed,
+	stop <-chan struct{}, onRecord func(feeds.RawRecord)) (int64, error) {
+	maxReconnects := c.MaxReconnects
+	if maxReconnects <= 0 {
+		maxReconnects = 8
+	}
+	consecutive := 0
+	var lastErr error
+	for {
+		if stopped(stop) {
+			return offset, nil
+		}
+		next, err := c.Tail(name, offset, dst, stop, onRecord)
+		progress := next > offset
+		offset = next
+		if stopped(stop) {
+			return offset, nil
+		}
+		if err != nil {
+			if errors.Is(err, ErrUnknownFeed) {
+				return offset, err
+			}
+			lastErr = err
+		}
+		// err == nil here means the connection dropped (server restart,
+		// reset, idle timeout) — tail streams never end on their own.
+		if progress {
+			consecutive = 0
+		} else {
+			consecutive++
+			if consecutive > maxReconnects {
+				if lastErr == nil {
+					lastErr = errors.New("connection kept dropping")
+				}
+				return offset, fmt.Errorf(
+					"feedsync: tail %q gave up after %d reconnects without progress: %w",
+					name, maxReconnects, lastErr)
+			}
+		}
+		if !sleepOrStop(c.Backoff.Delay(max(consecutive-1, 0)), stop) {
+			return offset, nil
+		}
+	}
+}
+
+// SyncResilient catches up like Sync but retries transient failures,
+// resuming from wherever the previous attempt got to.
+func (c *Client) SyncResilient(name string, offset int64, dst *feeds.Feed) (int64, error) {
+	maxReconnects := c.MaxReconnects
+	if maxReconnects <= 0 {
+		maxReconnects = 8
+	}
+	consecutive := 0
+	for {
+		next, err := c.Sync(name, offset, dst)
+		if err == nil {
+			return next, nil
+		}
+		if errors.Is(err, ErrUnknownFeed) {
+			return next, err
+		}
+		if next > offset {
+			consecutive = 0
+		} else {
+			consecutive++
+			if consecutive > maxReconnects {
+				return next, fmt.Errorf(
+					"feedsync: sync %q gave up after %d retries without progress: %w",
+					name, maxReconnects, err)
+			}
+		}
+		offset = next
+		sleepOrStop(c.Backoff.Delay(max(consecutive-1, 0)), nil)
+	}
+}
+
+// stopped reports whether stop is closed, without blocking.
+func stopped(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleepOrStop pauses for d, returning false early if stop closes.
+func sleepOrStop(d time.Duration, stop <-chan struct{}) bool {
+	if d <= 0 {
+		return !stopped(stop)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	if stop == nil {
+		<-t.C
+		return true
+	}
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}

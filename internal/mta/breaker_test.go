@@ -1,0 +1,181 @@
+package mta
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/mailfilter"
+	"tasterschoice/internal/resilient"
+)
+
+// flakyLister fails while broken is set — a blacklist whose lookups
+// time out — and otherwise consults the real feed.
+type flakyLister struct {
+	broken atomic.Bool
+	real   mailfilter.Lister
+	calls  atomic.Int64
+}
+
+func (l *flakyLister) Listed(d domain.Name) (bool, error) {
+	l.calls.Add(1)
+	if l.broken.Load() {
+		return false, errors.New("lookup timed out")
+	}
+	return l.real.Listed(d)
+}
+
+// TestMTAFailOpenRecordsDecision pins the satellite contract: a Lister
+// that errors must still deliver the message, increment Stats.Errors,
+// and record FilterErr on the delivered decision.
+func TestMTAFailOpenRecordsDecision(t *testing.T) {
+	var mu sync.Mutex
+	var delivered []Decision
+	srv := NewServer("mta.test", brokenLister{}, func(d Decision) {
+		mu.Lock()
+		delivered = append(delivered, d)
+		mu.Unlock()
+	})
+	srv.RejectSpam = true // even in reject mode, errors must fail open
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Only messages with URLs reach the lister; the no-link message
+	// would be delivered cleanly without a lookup.
+	msgs := messages()[:3]
+	if err := SendAll(addr.String(), msgs); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.WaitReceived(int64(len(msgs)), 5*time.Second) {
+		t.Fatal("messages not processed")
+	}
+	st := srv.Stats()
+	if st.Errors != int64(len(msgs)) || st.Delivered != int64(len(msgs)) || st.Rejected != 0 {
+		t.Fatalf("fail-open stats: %+v", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(delivered) != len(msgs) {
+		t.Fatalf("delivered %d of %d despite fail-open", len(delivered), len(msgs))
+	}
+	for i, d := range delivered {
+		if d.FilterErr == nil {
+			t.Errorf("decision %d lost its FilterErr", i)
+		}
+		if d.Spam {
+			t.Errorf("decision %d marked spam with no working filter", i)
+		}
+	}
+}
+
+// TestMTABreakerTripsToPassThrough: with the breaker wired in, a
+// flapping blacklist stops being consulted after Threshold consecutive
+// failures; messages pass through with FilterErr = resilient.ErrOpen
+// instead of each paying a lookup timeout.
+func TestMTABreakerTripsToPassThrough(t *testing.T) {
+	lister := &flakyLister{real: mailfilter.FeedLister{Feed: blacklist()}}
+	lister.broken.Store(true)
+
+	var mu sync.Mutex
+	var delivered []Decision
+	srv := NewServer("mta.test", lister, func(d Decision) {
+		mu.Lock()
+		delivered = append(delivered, d)
+		mu.Unlock()
+	})
+	srv.Breaker = &resilient.Breaker{Threshold: 3, Cooldown: time.Minute}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// 10 identical messages down one connection: handled sequentially.
+	var batch = messages()[:1]
+	for i := 0; i < 10; i++ {
+		if err := SendAll(addr.String(), batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !srv.WaitReceived(10, 5*time.Second) {
+		t.Fatal("messages not processed")
+	}
+
+	st := srv.Stats()
+	if st.Delivered != 10 || st.Errors != 10 {
+		t.Fatalf("fail-open stats with breaker: %+v", st)
+	}
+	// Threshold failures hit the lister; everything after short-circuits.
+	if got := lister.calls.Load(); got != 3 {
+		t.Fatalf("lister consulted %d times, want exactly 3 (threshold)", got)
+	}
+	if st.ShortCircuited != 7 {
+		t.Fatalf("short-circuited %d, want 7", st.ShortCircuited)
+	}
+	mu.Lock()
+	opens := 0
+	for _, d := range delivered {
+		if errors.Is(d.FilterErr, resilient.ErrOpen) {
+			opens++
+		}
+	}
+	mu.Unlock()
+	if opens != 7 {
+		t.Fatalf("%d decisions carry ErrOpen, want 7", opens)
+	}
+}
+
+// TestMTABreakerRecovers: once the blacklist heals and the cooldown
+// passes, the half-open probe closes the breaker and filtering resumes.
+func TestMTABreakerRecovers(t *testing.T) {
+	lister := &flakyLister{real: mailfilter.FeedLister{Feed: blacklist()}}
+	lister.broken.Store(true)
+
+	srv := NewServer("mta.test", lister, nil)
+	srv.RejectSpam = true
+	srv.Breaker = &resilient.Breaker{Threshold: 2, Cooldown: 30 * time.Millisecond}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	spam := messages()[:1] // cheappills.com: listed
+	for i := 0; i < 4; i++ {
+		if err := SendAll(addr.String(), spam); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !srv.WaitReceived(4, 5*time.Second) {
+		t.Fatal("trip phase not processed")
+	}
+	if st := srv.Stats(); st.ShortCircuited != 2 || st.Rejected != 0 {
+		t.Fatalf("trip phase stats: %+v", st)
+	}
+
+	// Heal the blacklist and let the cooldown elapse.
+	lister.broken.Store(false)
+	time.Sleep(50 * time.Millisecond)
+
+	for i := 0; i < 3; i++ {
+		if err := SendAll(addr.String(), spam); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !srv.WaitReceived(7, 5*time.Second) {
+		t.Fatal("recovery phase not processed")
+	}
+	st := srv.Stats()
+	if st.Rejected != 3 {
+		t.Fatalf("filtering did not resume after recovery: %+v", st)
+	}
+	if srv.Breaker.State() != resilient.BreakerClosed {
+		t.Fatalf("breaker state %v after recovery", srv.Breaker.State())
+	}
+}

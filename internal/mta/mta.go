@@ -17,6 +17,7 @@ import (
 
 	"tasterschoice/internal/mailfilter"
 	"tasterschoice/internal/mailmsg"
+	"tasterschoice/internal/resilient"
 	"tasterschoice/internal/smtpd"
 )
 
@@ -45,16 +46,25 @@ type Server struct {
 	// delivering; the sender still sees 250 (honeypot-quiet mode) to
 	// avoid tipping off spammers.
 	RejectSpam bool
+	// Breaker, when set, guards the Lister: consecutive lookup
+	// failures trip it and the MTA degrades to pass-through (fail
+	// open, FilterErr = resilient.ErrOpen) instead of paying a lookup
+	// timeout on every message while the blacklist flaps. Half-open
+	// probes re-enable filtering automatically once lookups recover.
+	Breaker *resilient.Breaker
 
 	smtp *smtpd.Server
 	mu   sync.Mutex
 	// counters
-	received, delivered, rejected, errors int64
+	received, delivered, rejected, errors, shortCircuited int64
 }
 
 // Stats reports the server's counters.
 type Stats struct {
 	Received, Delivered, Rejected, Errors int64
+	// ShortCircuited counts messages delivered unfiltered because the
+	// breaker was open.
+	ShortCircuited int64
 }
 
 // NewServer builds an MTA filtering against the lister.
@@ -75,10 +85,11 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Received:  s.received,
-		Delivered: s.delivered,
-		Rejected:  s.rejected,
-		Errors:    s.errors,
+		Received:       s.received,
+		Delivered:      s.delivered,
+		Rejected:       s.rejected,
+		Errors:         s.errors,
+		ShortCircuited: s.shortCircuited,
 	}
 }
 
@@ -87,15 +98,27 @@ func (s *Server) Stats() Stats {
 // (feeds snapshots and DNSBL clients are).
 func (s *Server) handle(env smtpd.Envelope) {
 	dec := Decision{Envelope: env}
+	shortCircuited := false
 	m, err := mailmsg.Parse(strings.NewReader(string(env.Data)))
 	if err == nil {
-		filter := mailfilter.New(s.Lister)
-		verdict, ferr := filter.Classify(m)
-		if ferr != nil {
-			dec.FilterErr = ferr
+		if s.Breaker != nil && !s.Breaker.Allow() {
+			// The blacklist is flapping: pass the message through
+			// unfiltered rather than eating a lookup timeout per
+			// message. FilterErr records the degradation.
+			dec.FilterErr = resilient.ErrOpen
+			shortCircuited = true
 		} else {
-			dec.Spam = verdict.Spam
-			dec.Matched = string(verdict.Matched)
+			filter := mailfilter.New(s.Lister)
+			verdict, ferr := filter.Classify(m)
+			if s.Breaker != nil {
+				s.Breaker.Record(ferr)
+			}
+			if ferr != nil {
+				dec.FilterErr = ferr
+			} else {
+				dec.Spam = verdict.Spam
+				dec.Matched = string(verdict.Matched)
+			}
 		}
 	}
 
@@ -105,6 +128,9 @@ func (s *Server) handle(env smtpd.Envelope) {
 	case dec.FilterErr != nil:
 		s.errors++
 		s.delivered++ // fail open
+		if shortCircuited {
+			s.shortCircuited++
+		}
 	case dec.Spam && s.RejectSpam:
 		s.rejected++
 	default:

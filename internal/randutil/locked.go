@@ -1,0 +1,53 @@
+package randutil
+
+import "sync"
+
+// Locked wraps an RNG behind a mutex so concurrent consumers (a DNSBL
+// client shared by per-connection MTA goroutines, a fault injector
+// wrapping many conns) can draw from one deterministic stream. The
+// sequence of values is still fully determined by the seed; only the
+// interleaving across goroutines varies.
+type Locked struct {
+	mu  sync.Mutex
+	rng *RNG
+}
+
+// NewLocked wraps rng. The caller must not keep using rng directly.
+func NewLocked(rng *RNG) *Locked {
+	return &Locked{rng: rng}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (l *Locked) Uint64() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Uint64()
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (l *Locked) Float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64()
+}
+
+// Bool returns true with probability p.
+func (l *Locked) Bool(p float64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Bool(p)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (l *Locked) Intn(n int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Intn(n)
+}
+
+// Split derives an independent child generator (see RNG.Split).
+func (l *Locked) Split() *RNG {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Split()
+}

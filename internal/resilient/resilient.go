@@ -1,0 +1,311 @@
+// Package resilient provides the shared fault-tolerance primitives the
+// feed-collection pipeline builds on: retry with exponential backoff and
+// jitter, per-attempt deadlines, and a circuit breaker with half-open
+// probing.
+//
+// The paper's feeds arrive over unreliable channels — UDP blacklist
+// lookups drop datagrams, subscription streams reset mid-tail, honeypot
+// peers hang — and every networked substrate used to hand-roll (or skip)
+// its own recovery logic. This package centralizes the policy so that
+// dnsbl, feedsync, smtpd, webhost and mta all degrade the same way, and
+// so chaos tests can reason about retry budgets precisely.
+//
+// Determinism: nothing here consumes ambient randomness. Backoff jitter
+// is drawn from a caller-supplied source (typically a
+// randutil.Locked), so a seeded chaos run reproduces its exact retry
+// schedule.
+package resilient
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// DialFunc is the pluggable dialer shared by the pipeline's clients.
+// net.Dial satisfies it; faultnet's Injector.Dial wraps it with seeded
+// faults.
+type DialFunc func(network, addr string) (net.Conn, error)
+
+// ContextDialFunc is the context-aware variant used by HTTP transports.
+type ContextDialFunc func(ctx context.Context, network, addr string) (net.Conn, error)
+
+// Backoff computes exponentially growing, jittered delays between retry
+// attempts. The zero value is usable and applies the defaults noted on
+// each field.
+type Backoff struct {
+	// Base is the delay before the first retry (default 50ms).
+	Base time.Duration
+	// Max caps the delay (default 5s).
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier (default 2).
+	Factor float64
+	// Jitter is the fraction of the computed delay added as uniform
+	// random extra, in [0, 1]. It only applies when Rand is set.
+	Jitter float64
+	// Rand supplies uniform variates in [0, 1) for jitter. Leave nil
+	// for deterministic, jitter-free delays; pass a seeded source
+	// (e.g. (*randutil.Locked).Float64) for reproducible jitter.
+	Rand func() float64
+}
+
+// Delay returns the pause before retry number attempt (0-based: the
+// delay between the first failure and the second try).
+func (b Backoff) Delay(attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	factor := b.Factor
+	if factor < 1 {
+		factor = 2
+	}
+	d := float64(base)
+	for i := 0; i < attempt; i++ {
+		d *= factor
+		if d >= float64(max) {
+			break
+		}
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	if b.Jitter > 0 && b.Rand != nil {
+		d += d * b.Jitter * b.Rand()
+		if d > float64(max) {
+			d = float64(max)
+		}
+	}
+	return time.Duration(d)
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Retry stops immediately instead of burning the
+// remaining attempts (e.g. "unknown feed": no amount of reconnecting
+// fixes a bad subscription).
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err}
+}
+
+// IsPermanent reports whether err was marked with Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// Retrier runs an operation up to Attempts times with Backoff pauses in
+// between. The zero value retries 3 times with default backoff.
+type Retrier struct {
+	// Attempts is the total number of tries (default 3).
+	Attempts int
+	// Backoff shapes the inter-attempt delays.
+	Backoff Backoff
+	// Sleep is called with each delay (default time.Sleep); tests
+	// substitute a recorder.
+	Sleep func(time.Duration)
+}
+
+// Do invokes op until it succeeds, returns a Permanent error, or the
+// attempt budget is exhausted; the last error is returned. op receives
+// the 0-based attempt number.
+func (r Retrier) Do(op func(attempt int) error) error {
+	attempts := r.Attempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			sleep(r.Backoff.Delay(i - 1))
+		}
+		err := op(i)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if IsPermanent(err) {
+			break
+		}
+	}
+	return lastErr
+}
+
+// ErrOpen is returned (or recorded) when a circuit breaker refuses an
+// operation because the downstream dependency is tripping.
+var ErrOpen = errors.New("resilient: circuit open")
+
+// BreakerState enumerates the breaker's three states.
+type BreakerState int
+
+const (
+	// BreakerClosed: operations flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: operations are refused until Cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe is in flight; its outcome decides
+	// whether the breaker closes again or re-opens.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker with half-open
+// probing. It is safe for concurrent use; the zero value is a working
+// breaker with the defaults noted on each field.
+type Breaker struct {
+	// Threshold is the number of consecutive failures that trips the
+	// breaker (default 5).
+	Threshold int
+	// Cooldown is how long the breaker stays open before allowing a
+	// half-open probe (default 10s).
+	Cooldown time.Duration
+	// Now substitutes the clock in tests (default time.Now).
+	Now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+
+	trips int64
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Now != nil {
+		return b.Now()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold <= 0 {
+		return 5
+	}
+	return b.Threshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return 10 * time.Second
+	}
+	return b.Cooldown
+}
+
+// Allow reports whether an operation may proceed. In the open state it
+// returns false until Cooldown has elapsed, then lets exactly one probe
+// through (half-open); concurrent callers keep getting false until that
+// probe reports its outcome.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown() {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Success records a successful operation, closing the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// Failure records a failed operation. In the closed state it counts
+// toward Threshold; in the half-open state it re-opens immediately.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold() {
+			b.trip()
+		}
+	case BreakerOpen:
+		// Late failure from an operation that started before the trip;
+		// nothing to update.
+	}
+}
+
+// trip moves to open. Callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.probing = false
+	b.trips++
+}
+
+// Record maps an operation outcome onto Success/Failure.
+func (b *Breaker) Record(err error) {
+	if err != nil {
+		b.Failure()
+	} else {
+		b.Success()
+	}
+}
+
+// State returns the current state (open may lazily report half-open
+// only after an Allow crosses the cooldown).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,186 @@
+package resilient
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/randutil"
+)
+
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	want := []time.Duration{
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if got := b.Delay(30); got != 5*time.Second {
+		t.Errorf("Delay(30) = %v, want capped 5s", got)
+	}
+}
+
+func TestBackoffJitterDeterministic(t *testing.T) {
+	mk := func() Backoff {
+		rng := randutil.NewLocked(randutil.New(99))
+		return Backoff{Base: 10 * time.Millisecond, Jitter: 1, Rand: rng.Float64}
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 10; i++ {
+		da, db := a.Delay(i), b.Delay(i)
+		if da != db {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, da, db)
+		}
+		if da < 10*time.Millisecond {
+			t.Fatalf("jitter reduced the delay: %v", da)
+		}
+	}
+}
+
+func TestBackoffJitterNeverExceedsMax(t *testing.T) {
+	rng := randutil.NewLocked(randutil.New(5))
+	b := Backoff{Base: 1 * time.Second, Max: 2 * time.Second, Jitter: 1, Rand: rng.Float64}
+	for i := 0; i < 20; i++ {
+		if got := b.Delay(i); got > 2*time.Second {
+			t.Fatalf("Delay(%d) = %v exceeds Max", i, got)
+		}
+	}
+}
+
+func TestRetrierStopsOnSuccess(t *testing.T) {
+	calls := 0
+	var slept []time.Duration
+	r := Retrier{Attempts: 5, Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	err := r.Do(func(attempt int) error {
+		calls++
+		if attempt < 2 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if len(slept) != 2 || slept[0] != 50*time.Millisecond || slept[1] != 100*time.Millisecond {
+		t.Fatalf("sleeps = %v", slept)
+	}
+}
+
+func TestRetrierExhaustsBudget(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	r := Retrier{Attempts: 4, Sleep: func(time.Duration) {}}
+	err := r.Do(func(int) error { calls++; return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+}
+
+func TestRetrierPermanentShortCircuits(t *testing.T) {
+	fatal := errors.New("unknown feed")
+	calls := 0
+	r := Retrier{Attempts: 10, Sleep: func(time.Duration) {}}
+	err := r.Do(func(int) error { calls++; return Permanent(fatal) })
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no retry of permanent error)", calls)
+	}
+	if !errors.Is(err, fatal) {
+		t.Fatalf("err = %v, want to unwrap to the original", err)
+	}
+	if !IsPermanent(err) {
+		t.Fatal("permanence lost through return")
+	}
+}
+
+// fakeClock drives a Breaker through time without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := &Breaker{Threshold: 3, Cooldown: time.Minute, Now: clk.now}
+
+	// Closed: everything flows; failures below threshold do not trip.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker refused")
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v before threshold", b.State())
+	}
+	b.Failure() // third consecutive failure trips
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after threshold", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed during cooldown")
+	}
+
+	// After cooldown: exactly one half-open probe at a time.
+	clk.advance(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("no half-open probe after cooldown")
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe allowed")
+	}
+	// Probe fails: re-open, full cooldown again.
+	b.Failure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("failed probe did not re-open")
+	}
+
+	// Next probe succeeds: closed again.
+	clk.advance(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("no probe after second cooldown")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after successful probe", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused after recovery")
+	}
+	if got := b.Trips(); got != 2 {
+		t.Fatalf("trips = %d, want 2", got)
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := &Breaker{Threshold: 3}
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+}
+
+func TestBreakerZeroValueDefaults(t *testing.T) {
+	b := &Breaker{}
+	for i := 0; i < 5; i++ {
+		b.Failure()
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("default threshold (5) did not trip")
+	}
+}

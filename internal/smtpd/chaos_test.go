@@ -1,0 +1,66 @@
+package smtpd
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/faultnet"
+	"tasterschoice/internal/mailmsg"
+)
+
+// TestDeliveryThroughFaultyDialer pushes a full SMTP session through
+// the shared fault-injecting dialer: latency jitter and split writes
+// must not corrupt the dialogue or the DATA payload.
+func TestDeliveryThroughFaultyDialer(t *testing.T) {
+	h, got := collect()
+	srv := NewServer("mx.honeypot.test", h)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	inj := faultnet.New(faultnet.Faults{
+		Seed:             47,
+		Latency:          time.Millisecond,
+		Jitter:           2 * time.Millisecond,
+		PartialWriteProb: 0.5,
+	})
+	c, err := DialWith(addr.String(), inj.Dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Hello("bot.example"); err != nil {
+		t.Fatal(err)
+	}
+	msg := &mailmsg.Message{
+		From:    "spammer@bot.example",
+		To:      "victim@honeypot.test",
+		Subject: "Cheap meds",
+		Date:    time.Date(2010, 8, 10, 0, 0, 0, 0, time.UTC),
+		Body:    "Visit http://cheappills7.com/p/c12 today",
+	}
+	if err := c.Send("spammer@bot.example", []string{"victim@honeypot.test"}, msg.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quit(); err != nil {
+		t.Fatal(err)
+	}
+
+	envs := got()
+	if len(envs) != 1 {
+		t.Fatalf("received %d envelopes through faulty dialer", len(envs))
+	}
+	parsed, err := mailmsg.Parse(strings.NewReader(string(envs[0].Data)))
+	if err != nil {
+		t.Fatalf("DATA payload corrupted by split writes: %v", err)
+	}
+	urls := mailmsg.ExtractURLs(parsed.Body)
+	if parsed.Subject != msg.Subject || len(urls) != 1 || urls[0] != "http://cheappills7.com/p/c12" {
+		t.Fatalf("message mangled in transit: subject=%q urls=%v", parsed.Subject, urls)
+	}
+	if inj.Injected() == 0 {
+		t.Fatal("no faults fired: the chaos run tested nothing")
+	}
+}

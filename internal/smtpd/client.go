@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"tasterschoice/internal/resilient"
 )
 
 // Client is a minimal SMTP sender, used by the bot-delivery example and
@@ -22,6 +24,24 @@ type Client struct {
 // Dial connects to an SMTP server and consumes the greeting.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClient(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// DialWith connects through the shared pipeline dialer (fault
+// injection, custom routing) and consumes the greeting.
+func DialWith(addr string, dial resilient.DialFunc) (*Client, error) {
+	if dial == nil {
+		return Dial(addr)
+	}
+	conn, err := dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 
 	"tasterschoice/internal/domain"
 	"tasterschoice/internal/ecosystem"
+	"tasterschoice/internal/resilient"
 	"tasterschoice/internal/webcrawl"
 )
 
@@ -32,7 +33,19 @@ type Crawler struct {
 // the given server address — the simulation's DNS — and refuses
 // connections for dead or unknown domains.
 func NewCrawler(w *ecosystem.World, srv *Server, serverAddr string) *Crawler {
-	dialer := &net.Dialer{Timeout: 5 * time.Second}
+	return NewCrawlerWithDialer(w, srv, serverAddr, nil)
+}
+
+// NewCrawlerWithDialer is NewCrawler with the shared pipeline dialer
+// plugged under the HTTP transport (nil dial → plain net.Dialer), so
+// chaos tests can subject crawls to the same faults as every other
+// substrate.
+func NewCrawlerWithDialer(w *ecosystem.World, srv *Server, serverAddr string,
+	dial resilient.ContextDialFunc) *Crawler {
+	if dial == nil {
+		dialer := &net.Dialer{Timeout: 5 * time.Second}
+		dial = dialer.DialContext
+	}
 	transport := &http.Transport{
 		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
 			host, _, err := net.SplitHostPort(addr)
@@ -42,7 +55,7 @@ func NewCrawler(w *ecosystem.World, srv *Server, serverAddr string) *Crawler {
 			if !srv.Resolvable(host) {
 				return nil, fmt.Errorf("webhost: NXDOMAIN or dead host %q", host)
 			}
-			return dialer.DialContext(ctx, network, serverAddr)
+			return dial(ctx, network, serverAddr)
 		},
 		// The simulated web is one server; keep connections modest.
 		MaxIdleConns:        16,
