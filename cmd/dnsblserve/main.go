@@ -12,14 +12,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"tasterschoice/internal/dnsbl"
 	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/lifecycle"
 )
 
 func main() {
@@ -53,11 +56,15 @@ func main() {
 		feed.Name, feed.Unique(), *zone, addr)
 	fmt.Printf("try: dig @%s somedomain.%s A\n", addr, *zone)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	// SIGTERM/SIGINT drain the server instead of cutting it off: the
+	// query being answered completes, then the sockets close. The drain
+	// deadline force-closes stragglers.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := lifecycle.Run(ctx, srv, 10*time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "dnsblserve: shutdown: %v\n", err)
+	}
 	fmt.Printf("\n%d queries served, %d listed\n", srv.Queries(), srv.Hits())
-	srv.Close()
 }
 
 func fail(err error) {

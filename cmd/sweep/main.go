@@ -3,19 +3,31 @@
 // headline metric, so "the shape holds" is a measured claim rather
 // than a single lucky seed (EXPERIMENTS.md cites this).
 //
+// With -checkpoint the sweep is resumable: each finished seed's
+// metrics are saved through the crash-safe checkpoint store, and a
+// restarted sweep re-runs only the seeds that are missing — the final
+// table is identical to an uninterrupted run.
+//
 // Usage:
 //
-//	sweep [-seeds N] [-small] [-workers K]
+//	sweep [-seeds N] [-small] [-workers K] [-checkpoint PATH]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
+	"os/signal"
+	"strconv"
 	"sync"
+	"syscall"
 
 	"tasterschoice/internal/analysis"
+	"tasterschoice/internal/checkpoint"
 	"tasterschoice/internal/core"
 	"tasterschoice/internal/report"
 	"tasterschoice/internal/simulate"
@@ -34,40 +46,164 @@ var metricNames = []string{
 	"mx1 median onset (h)",
 }
 
+// stateVersion is the sweep checkpoint payload version.
+const stateVersion = 1
+
+// config parameterises one sweep.
+type config struct {
+	Seeds          int
+	Small          bool
+	Workers        int
+	CheckpointPath string
+}
+
+// sweepState is the checkpointed progress: the parameters (so a resume
+// against different flags starts fresh) and each finished seed's
+// metrics, keyed by seed index.
+type sweepState struct {
+	Seeds   int                           `json:"seeds"`
+	Small   bool                          `json:"small"`
+	Results map[string]map[string]float64 `json:"results"`
+}
+
+// seedRunner produces one seed's metrics; tests inject a fake.
+type seedRunner func(seedIndex int, seed uint64) (map[string]float64, error)
+
+// scenarioRunner runs the real simulation.
+func scenarioRunner(small bool) seedRunner {
+	return func(_ int, seed uint64) (map[string]float64, error) {
+		scen := simulate.Default(seed)
+		if small {
+			scen = simulate.Small(seed)
+		}
+		ds, err := scen.Run()
+		if err != nil {
+			return nil, err
+		}
+		return metrics(core.NewStudy(ds)), nil
+	}
+}
+
+// seedFor maps a seed index to its scenario seed.
+func seedFor(i int) uint64 { return uint64(1000 + i*7919) }
+
 func main() {
 	seeds := flag.Int("seeds", 10, "number of seeds to run")
 	small := flag.Bool("small", true, "use the reduced scenario (default; full scale is slower)")
 	workers := flag.Int("workers", 4, "concurrent scenario runs")
+	ckpt := flag.String("checkpoint", "", "checkpoint file: finished seeds persist and a rerun resumes")
 	flag.Parse()
 
-	results := make([]map[string]float64, *seeds)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := config{Seeds: *seeds, Small: *small, Workers: *workers, CheckpointPath: *ckpt}
+	failed, err := runSweep(ctx, cfg, scenarioRunner(*small), os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "failed seeds: %d\n", failed)
+		os.Exit(1)
+	}
+}
+
+// runSweep executes the sweep, resuming from the checkpoint when one
+// is configured and present, and writes the metrics table to out. It
+// returns the number of seeds whose runs failed; a non-nil error means
+// the sweep itself was interrupted (finished seeds are checkpointed).
+func runSweep(ctx context.Context, cfg config, run seedRunner, out io.Writer) (int, error) {
+	state := sweepState{Seeds: cfg.Seeds, Small: cfg.Small, Results: map[string]map[string]float64{}}
+	var store *checkpoint.Store
+	if cfg.CheckpointPath != "" {
+		store = checkpoint.NewStore(cfg.CheckpointPath)
+		var prev sweepState
+		_, err := store.LoadJSON(&prev)
+		switch {
+		case err == nil:
+			if prev.Seeds == cfg.Seeds && prev.Small == cfg.Small && prev.Results != nil {
+				state = prev
+			}
+			// Parameter mismatch: the checkpoint belongs to a different
+			// sweep; start fresh (the first save overwrites it).
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			// First run (or both generations corrupt and quarantined):
+			// nothing to resume.
+		default:
+			return 0, fmt.Errorf("loading checkpoint: %w", err)
+		}
+	}
+
+	var mu sync.Mutex // guards state and failed
+	failed := 0
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, *workers)
-	for i := 0; i < *seeds; i++ {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	for i := 0; i < cfg.Seeds; i++ {
+		key := strconv.Itoa(i)
+		mu.Lock()
+		_, done := state.Results[key]
+		mu.Unlock()
+		if done {
+			continue
+		}
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
-		go func(i int) {
+		go func(i int, key string) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			seed := uint64(1000 + i*7919)
-			scen := simulate.Default(seed)
-			if *small {
-				scen = simulate.Small(seed)
-			}
-			ds, err := scen.Run()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "sweep: seed %d: %v\n", seed, err)
+			if ctx.Err() != nil {
 				return
 			}
-			results[i] = metrics(core.NewStudy(ds))
-		}(i)
+			seed := seedFor(i)
+			m, err := run(i, seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: seed %d: %v\n", seed, err)
+				mu.Lock()
+				failed++
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			state.Results[key] = m
+			if store != nil {
+				if serr := store.SaveJSON(stateVersion, state); serr != nil {
+					fmt.Fprintf(os.Stderr, "sweep: checkpoint: %v\n", serr)
+				}
+			}
+			mu.Unlock()
+		}(i, key)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return failed, err
+	}
 
+	// Seeds that were attempted but produced nothing (and were not
+	// counted above because the run predates this process) stay absent
+	// from Results; only this process's failures are counted.
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Fprintf(out, "headline metrics across %d seeds:\n\n", cfg.Seeds)
+	fmt.Fprintln(out, report.Table([]string{"Metric", "Mean", "StdDev", "Min", "Max", "N"}, tableRows(cfg.Seeds, state.Results)))
+	return failed, nil
+}
+
+// tableRows folds per-seed metrics into the stats table, iterating
+// seeds in index order so the output is deterministic.
+func tableRows(seeds int, results map[string]map[string]float64) [][]string {
 	rows := make([][]string, 0, len(metricNames))
 	for _, name := range metricNames {
 		var vals []float64
-		for _, r := range results {
+		for i := 0; i < seeds; i++ {
+			r := results[strconv.Itoa(i)]
 			if r == nil {
 				continue
 			}
@@ -89,8 +225,7 @@ func main() {
 			fmt.Sprintf("%d", len(vals)),
 		})
 	}
-	fmt.Printf("headline metrics across %d seeds:\n\n", *seeds)
-	fmt.Println(report.Table([]string{"Metric", "Mean", "StdDev", "Min", "Max", "N"}, rows))
+	return rows
 }
 
 // metrics extracts the headline numbers from one run.

@@ -1,0 +1,110 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"tasterschoice/internal/randutil"
+)
+
+// TestChaosPartialWriteRecovers kills a checkpoint writer mid-write at
+// seeded offsets: the current-generation file is replaced by a prefix
+// of the real snapshot bytes — exactly what a SIGKILL during a
+// non-atomic write (or a torn sector) leaves behind. Load must detect
+// the damage by checksum, quarantine the bad file, and recover the
+// previous generation — never error, never return the damaged payload.
+func TestChaosPartialWriteRecovers(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := randutil.NewNamed(seed, "checkpoint-chaos")
+			s := newTestStore(t)
+			goodPayload := []byte("generation-1 state: offsets 0..99")
+			if err := s.Save(1, goodPayload); err != nil {
+				t.Fatal(err)
+			}
+			nextPayload := []byte("generation-2 state: offsets 0..149")
+			if err := s.Save(1, nextPayload); err != nil {
+				t.Fatal(err)
+			}
+			// The writer of generation 3 is killed mid-write: the old
+			// current was already demoted to prev, and the bytes that
+			// made it to the current path are a prefix of the real
+			// snapshot (a torn write on a platform whose rename is not
+			// atomic, or an in-place writer). Cut anywhere from 0 bytes
+			// to one short of complete.
+			full := Encode(1, []byte("generation-3 state: offsets 0..199"))
+			cut := rng.Intn(len(full))
+			if err := os.Rename(s.Path, s.prevPath()); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(s.Path, full[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			payload, version, err := s.Load()
+			if err != nil {
+				t.Fatalf("recovery errored instead of degrading: %v", err)
+			}
+			if version != 1 || !bytes.Equal(payload, nextPayload) {
+				t.Fatalf("recovered %q, want previous generation %q", payload, nextPayload)
+			}
+			if s.Quarantined() != 1 {
+				t.Fatalf("quarantined %d, want exactly 1 (silent repair is not recovery)",
+					s.Quarantined())
+			}
+			q, err := os.ReadFile(s.corruptPath())
+			if err != nil {
+				t.Fatalf("quarantine file missing: %v", err)
+			}
+			if !bytes.Equal(q, full[:cut]) {
+				t.Fatal("quarantine does not preserve the damaged bytes")
+			}
+			// The run continues: the next Save re-establishes a clean
+			// current generation readable without fallback.
+			if err := s.Save(2, []byte("post-recovery")); err != nil {
+				t.Fatal(err)
+			}
+			payload, version, err = s.Load()
+			if err != nil || version != 2 || string(payload) != "post-recovery" {
+				t.Fatalf("after recovery: %q v%d err %v", payload, version, err)
+			}
+			if s.Quarantined() != 1 {
+				t.Fatalf("post-recovery load quarantined more: %d", s.Quarantined())
+			}
+		})
+	}
+}
+
+// TestChaosBothGenerationsCorrupt: when current and prev are both
+// damaged, Load quarantines what it inspected and reports
+// ErrNoCheckpoint — a fresh start, not a crash and not a fabricated
+// snapshot.
+func TestChaosBothGenerationsCorrupt(t *testing.T) {
+	rng := randutil.NewNamed(99, "checkpoint-chaos")
+	s := newTestStore(t)
+	if err := s.Save(1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(1, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{s.Path, s.prevPath()} {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[rng.Intn(len(b))] ^= 1 << rng.Intn(8)
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := s.Load(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+	if s.Quarantined() == 0 {
+		t.Fatal("nothing quarantined")
+	}
+}

@@ -1,0 +1,198 @@
+// Package checkpoint provides crash-safe durable state for the
+// collection pipeline: small snapshots that survive being killed at any
+// instant — including mid-write — and that never turn a corrupt file
+// into a corrupt run.
+//
+// The paper's feeds are three-month collections; a collector that loses
+// its cursor on restart silently re-counts or skips records and biases
+// every downstream number. A Store therefore writes snapshots with the
+// classic write-temp → fsync → rename protocol, prefixes each with a
+// checksummed, versioned header, and keeps the previous generation
+// around. Load verifies the checksum; a truncated or corrupt current
+// generation is quarantined (renamed aside, for the operator to
+// inspect) and the previous generation is returned instead — recovery
+// degrades by one snapshot, it does not error the run.
+//
+// On-disk layout for a Store at path P:
+//
+//	P          current generation
+//	P.prev     previous generation (fallback)
+//	P.tmp      in-flight write (ignored by Load; a crash leaves it behind
+//	           harmlessly and the next Save overwrites it)
+//	P.corrupt  most recent quarantined snapshot, if any ever failed
+//	           verification
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Magic identifies a checkpoint file ("TCKP": tasterschoice checkpoint).
+var magic = [4]byte{'T', 'C', 'K', 'P'}
+
+// containerVersion is the version of the header layout itself; payload
+// versioning is the caller's (see Save/Load version parameter).
+const containerVersion = 1
+
+// headerSize is magic + container version + payload version + payload
+// length + CRC32C of the payload.
+const headerSize = 4 + 4 + 4 + 4 + 4
+
+// castagnoli is the CRC32C table (the polynomial used by modern storage
+// systems; hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrNoCheckpoint is returned by Load when neither generation holds a
+// verifiable snapshot — the caller starts from scratch.
+var ErrNoCheckpoint = errors.New("checkpoint: no usable checkpoint")
+
+// ErrCorrupt is wrapped by decode failures: bad magic, truncated
+// header or payload, checksum mismatch, or an unknown container
+// version.
+var ErrCorrupt = errors.New("checkpoint: corrupt snapshot")
+
+// Encode serializes a payload with the checksummed header. Exposed so
+// tests (and fault injectors) can construct exact on-disk bytes and
+// truncate or flip them at chosen offsets.
+func Encode(version uint32, payload []byte) []byte {
+	b := make([]byte, headerSize+len(payload))
+	copy(b[0:4], magic[:])
+	binary.LittleEndian.PutUint32(b[4:8], containerVersion)
+	binary.LittleEndian.PutUint32(b[8:12], version)
+	binary.LittleEndian.PutUint32(b[12:16], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[16:20], crc32.Checksum(payload, castagnoli))
+	copy(b[headerSize:], payload)
+	return b
+}
+
+// Decode verifies and unwraps Encode's output. Any failure wraps
+// ErrCorrupt.
+func Decode(b []byte) (version uint32, payload []byte, err error) {
+	if len(b) < headerSize {
+		return 0, nil, fmt.Errorf("%w: %d bytes, want at least %d (truncated header)",
+			ErrCorrupt, len(b), headerSize)
+	}
+	if [4]byte(b[0:4]) != magic {
+		return 0, nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, b[0:4])
+	}
+	if cv := binary.LittleEndian.Uint32(b[4:8]); cv != containerVersion {
+		return 0, nil, fmt.Errorf("%w: unknown container version %d", ErrCorrupt, cv)
+	}
+	version = binary.LittleEndian.Uint32(b[8:12])
+	n := binary.LittleEndian.Uint32(b[12:16])
+	want := binary.LittleEndian.Uint32(b[16:20])
+	if uint32(len(b)-headerSize) != n {
+		return 0, nil, fmt.Errorf("%w: payload %d bytes, header says %d (truncated)",
+			ErrCorrupt, len(b)-headerSize, n)
+	}
+	payload = b[headerSize:]
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return 0, nil, fmt.Errorf("%w: checksum %08x, want %08x", ErrCorrupt, got, want)
+	}
+	return version, payload, nil
+}
+
+// Store is a two-generation checkpoint file. It is not safe for
+// concurrent use; serialize Save/Load externally (one owner per path).
+type Store struct {
+	// Path is the current-generation file; siblings derive from it.
+	Path string
+
+	// quarantined counts snapshots that failed verification and were
+	// moved aside — a recovery that silently repaired something is a
+	// recovery tests cannot trust.
+	quarantined int
+}
+
+// NewStore returns a store writing to path.
+func NewStore(path string) *Store { return &Store{Path: path} }
+
+func (s *Store) prevPath() string    { return s.Path + ".prev" }
+func (s *Store) tmpPath() string     { return s.Path + ".tmp" }
+func (s *Store) corruptPath() string { return s.Path + ".corrupt" }
+
+// Quarantined reports how many corrupt snapshots this store has moved
+// aside since creation.
+func (s *Store) Quarantined() int { return s.quarantined }
+
+// Save atomically writes a new current generation, demoting the old
+// current to the previous generation. A crash at any point leaves at
+// least one verifiable generation on disk:
+//
+//	during the tmp write   → tmp is garbage, current+prev untouched
+//	between the renames    → current missing, prev is the old current
+//	after the final rename → new current, old current as prev
+func (s *Store) Save(version uint32, payload []byte) error {
+	if err := os.MkdirAll(filepath.Dir(s.Path), 0o755); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	f, err := os.OpenFile(s.tmpPath(), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := f.Write(Encode(version, payload)); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	// Demote current → prev. A missing current (first save, or a crash
+	// between renames last time) is fine.
+	if err := os.Rename(s.Path, s.prevPath()); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("checkpoint: demote: %w", err)
+	}
+	if err := os.Rename(s.tmpPath(), s.Path); err != nil {
+		return fmt.Errorf("checkpoint: promote: %w", err)
+	}
+	syncDir(filepath.Dir(s.Path))
+	return nil
+}
+
+// Load returns the newest verifiable snapshot. A corrupt or truncated
+// current generation is quarantined to P.corrupt and the previous
+// generation is tried; only when no generation verifies does it return
+// ErrNoCheckpoint (a fresh start, not a crash).
+func (s *Store) Load() (payload []byte, version uint32, err error) {
+	for _, path := range []string{s.Path, s.prevPath()} {
+		b, rerr := os.ReadFile(path)
+		if rerr != nil {
+			if errors.Is(rerr, os.ErrNotExist) {
+				continue
+			}
+			return nil, 0, fmt.Errorf("checkpoint: %w", rerr)
+		}
+		v, p, derr := Decode(b)
+		if derr == nil {
+			return p, v, nil
+		}
+		// Corrupt: move it aside (never silently delete evidence) and
+		// fall through to the older generation.
+		s.quarantined++
+		if qerr := os.Rename(path, s.corruptPath()); qerr != nil {
+			return nil, 0, fmt.Errorf("checkpoint: quarantine %s: %w", path, qerr)
+		}
+	}
+	return nil, 0, ErrNoCheckpoint
+}
+
+// syncDir best-effort fsyncs a directory so the renames are durable;
+// not all platforms support it, and a failed dir sync only widens the
+// crash window, it does not corrupt anything.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync() //nolint:errcheck
+	d.Close()
+}

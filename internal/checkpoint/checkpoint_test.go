@@ -1,0 +1,139 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	return NewStore(filepath.Join(t.TempDir(), "state.ckpt"))
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.Save(3, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	payload, version, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 3 || string(payload) != "hello" {
+		t.Fatalf("got version %d payload %q", version, payload)
+	}
+}
+
+func TestLoadEmptyStore(t *testing.T) {
+	s := newTestStore(t)
+	if _, _, err := s.Load(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestGenerations(t *testing.T) {
+	s := newTestStore(t)
+	for i, p := range []string{"gen1", "gen2", "gen3"} {
+		if err := s.Save(uint32(i), []byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	payload, _, err := s.Load()
+	if err != nil || string(payload) != "gen3" {
+		t.Fatalf("current = %q err %v, want gen3", payload, err)
+	}
+	prev, err := os.ReadFile(s.prevPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, p, err := Decode(prev); err != nil || string(p) != "gen2" {
+		t.Fatalf("prev = %q err %v, want gen2", p, err)
+	}
+}
+
+// TestCrashBetweenRenames: a kill after current→prev but before
+// tmp→current leaves no current file; Load must fall back to prev
+// without quarantining anything (nothing is corrupt).
+func TestCrashBetweenRenames(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.Save(1, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash window: demote current, never promote tmp.
+	if err := os.Rename(s.Path, s.prevPath()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.tmpPath(), []byte("partial garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	payload, _, err := s.Load()
+	if err != nil || string(payload) != "old" {
+		t.Fatalf("payload %q err %v, want old", payload, err)
+	}
+	if s.Quarantined() != 0 {
+		t.Fatalf("quarantined %d snapshots, want 0", s.Quarantined())
+	}
+	// And the next Save recovers the normal layout.
+	if err := s.Save(2, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if payload, _, err := s.Load(); err != nil || string(payload) != "new" {
+		t.Fatalf("after save: payload %q err %v", payload, err)
+	}
+}
+
+func TestDecodeRejectsTampering(t *testing.T) {
+	good := Encode(1, []byte("payload bytes"))
+	cases := map[string][]byte{
+		"truncated header":  good[:10],
+		"truncated payload": good[:len(good)-3],
+		"bad magic":         append([]byte("XXXX"), good[4:]...),
+		"flipped byte": func() []byte {
+			b := bytes.Clone(good)
+			b[len(b)-1] ^= 0x40
+			return b
+		}(),
+	}
+	for name, b := range cases {
+		if _, _, err := Decode(b); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	if _, p, err := Decode(good); err != nil || string(p) != "payload bytes" {
+		t.Fatalf("control: %q %v", p, err)
+	}
+}
+
+func TestJSONCodec(t *testing.T) {
+	type state struct {
+		Seeds   int             `json:"seeds"`
+		Results map[uint64]bool `json:"results"`
+	}
+	s := newTestStore(t)
+	in := state{Seeds: 4, Results: map[uint64]bool{7919: true}}
+	if err := s.SaveJSON(2, in); err != nil {
+		t.Fatal(err)
+	}
+	var out state
+	version, err := s.LoadJSON(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 2 || out.Seeds != 4 || !out.Results[7919] {
+		t.Fatalf("got version %d state %+v", version, out)
+	}
+}
+
+func TestInt64Codec(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.SaveInt64(1, 123456789); err != nil {
+		t.Fatal(err)
+	}
+	v, version, err := s.LoadInt64()
+	if err != nil || v != 123456789 || version != 1 {
+		t.Fatalf("got %d version %d err %v", v, version, err)
+	}
+}

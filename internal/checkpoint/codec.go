@@ -1,0 +1,53 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+)
+
+// The small versioned codecs the pipeline checkpoints with: JSON for
+// structured state (sweep results), fixed-width integers for cursors
+// (feedsync offsets). The version travels in the snapshot header, so a
+// loader can migrate or reject formats it predates.
+
+// SaveJSON marshals v and saves it as the new current generation.
+func (s *Store) SaveJSON(version uint32, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal: %w", err)
+	}
+	return s.Save(version, b)
+}
+
+// LoadJSON loads the newest verifiable snapshot into out, returning
+// the payload version stored with it. ErrNoCheckpoint passes through.
+func (s *Store) LoadJSON(out any) (uint32, error) {
+	payload, version, err := s.Load()
+	if err != nil {
+		return 0, err
+	}
+	if err := json.Unmarshal(payload, out); err != nil {
+		return 0, fmt.Errorf("checkpoint: unmarshal: %w", err)
+	}
+	return version, nil
+}
+
+// SaveInt64 saves a single cursor value (e.g. a subscription offset).
+func (s *Store) SaveInt64(version uint32, v int64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return s.Save(version, b[:])
+}
+
+// LoadInt64 loads a cursor saved with SaveInt64.
+func (s *Store) LoadInt64() (v int64, version uint32, err error) {
+	payload, version, err := s.Load()
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(payload) != 8 {
+		return 0, 0, fmt.Errorf("%w: cursor payload %d bytes, want 8", ErrCorrupt, len(payload))
+	}
+	return int64(binary.LittleEndian.Uint64(payload)), version, nil
+}

@@ -1,6 +1,7 @@
 package dnsbl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -72,7 +73,14 @@ func NewClient(addr, suffix string, seed uint64) *Client {
 
 // Listed queries whether d is on the blacklist.
 func (c *Client) Listed(d domain.Name) (bool, error) {
-	resp, err := c.query(d, TypeA)
+	return c.ListedContext(context.Background(), d)
+}
+
+// ListedContext is Listed bounded by ctx: cancellation interrupts the
+// in-flight exchange and stops further retries, and a ctx deadline
+// earlier than the per-attempt timeout wins.
+func (c *Client) ListedContext(ctx context.Context, d domain.Name) (bool, error) {
+	resp, err := c.query(ctx, d, TypeA)
 	if err != nil {
 		return false, err
 	}
@@ -93,7 +101,12 @@ func (c *Client) Listed(d domain.Name) (bool, error) {
 
 // Reason returns the TXT listing reason for d ("" when unlisted).
 func (c *Client) Reason(d domain.Name) (string, error) {
-	resp, err := c.query(d, TypeTXT)
+	return c.ReasonContext(context.Background(), d)
+}
+
+// ReasonContext is Reason bounded by ctx (see ListedContext).
+func (c *Client) ReasonContext(ctx context.Context, d domain.Name) (string, error) {
+	resp, err := c.query(ctx, d, TypeTXT)
 	if err != nil {
 		return "", err
 	}
@@ -119,12 +132,21 @@ func (c *Client) Reason(d domain.Name) (string, error) {
 
 // query performs one lookup with retries and backoff, verifying the
 // response ID. One response buffer is shared across all attempts.
-func (c *Client) query(d domain.Name, qtype uint16) (*Message, error) {
+// Retry sleeps are interruptible by ctx, and ctx expiry inside an
+// attempt is surfaced as a permanent error so the retrier stops.
+func (c *Client) query(ctx context.Context, d domain.Name, qtype uint16) (*Message, error) {
 	qname := string(d) + "." + c.Suffix
 	buf := make([]byte, 4096)
 	var resp *Message
-	r := resilient.Retrier{Attempts: c.Retries + 1, Backoff: c.Backoff}
+	r := resilient.Retrier{
+		Attempts: c.Retries + 1,
+		Backoff:  c.Backoff,
+		Sleep:    func(d time.Duration) { sleepCtx(ctx, d) },
+	}
 	err := r.Do(func(int) error {
+		if err := ctx.Err(); err != nil {
+			return resilient.Permanent(err)
+		}
 		id := uint16(c.rng.Uint64())
 		req := &Message{
 			Header:    Header{ID: id, RecursionDesired: false},
@@ -134,7 +156,10 @@ func (c *Client) query(d domain.Name, qtype uint16) (*Message, error) {
 		if err != nil {
 			return resilient.Permanent(err)
 		}
-		resp, err = c.exchange(raw, id, buf)
+		resp, err = c.exchange(ctx, raw, id, buf)
+		if cerr := ctx.Err(); cerr != nil && err != nil {
+			return resilient.Permanent(cerr)
+		}
 		return err
 	})
 	if err != nil {
@@ -143,7 +168,20 @@ func (c *Client) query(d domain.Name, qtype uint16) (*Message, error) {
 	return resp, nil
 }
 
-func (c *Client) exchange(raw []byte, wantID uint16, buf []byte) (*Message, error) {
+// sleepCtx pauses for d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 || ctx.Err() != nil {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+func (c *Client) exchange(ctx context.Context, raw []byte, wantID uint16, buf []byte) (*Message, error) {
 	dial := c.Dial
 	if dial == nil {
 		dial = net.Dial
@@ -153,7 +191,16 @@ func (c *Client) exchange(raw []byte, wantID uint16, buf []byte) (*Message, erro
 		return nil, err
 	}
 	defer conn.Close()
+	// Cancellation interrupts the blocking read by expiring the
+	// connection deadline.
+	stop := context.AfterFunc(ctx, func() {
+		conn.SetDeadline(time.Now()) //nolint:errcheck
+	})
+	defer stop()
 	deadline := time.Now().Add(c.Timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
 	if err := conn.SetDeadline(deadline); err != nil {
 		return nil, err
 	}

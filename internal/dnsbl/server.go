@@ -1,6 +1,8 @@
 package dnsbl
 
 import (
+	"context"
+	"errors"
 	"net"
 	"strings"
 	"sync"
@@ -62,7 +64,12 @@ type Server struct {
 	mu           sync.Mutex
 	conn         net.PacketConn
 	tcpListeners map[net.Listener]struct{}
+	tcpConns     map[net.Conn]struct{}
 	closed       bool
+	draining     bool
+	// serving counts live serve loops and TCP sessions, so Shutdown can
+	// wait for in-flight queries to be answered.
+	serving sync.WaitGroup
 
 	queries atomic.Int64
 	hits    atomic.Int64
@@ -88,13 +95,21 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 		return nil, err
 	}
 	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		conn.Close()
+		return nil, errors.New("dnsbl: server closed")
+	}
 	s.conn = conn
+	s.serving.Add(1)
 	s.mu.Unlock()
 	go s.serve(conn)
 	return conn.LocalAddr(), nil
 }
 
-// Close stops the server.
+// Close force-closes the sockets and every active TCP session. It is
+// idempotent and safe to call concurrently — with other Close calls,
+// with Shutdown, and with queries in flight.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -109,10 +124,65 @@ func (s *Server) Close() error {
 	for l := range s.tcpListeners {
 		l.Close()
 	}
+	for c := range s.tcpConns {
+		c.Close()
+	}
 	return err
 }
 
+// Shutdown drains the server: listeners close (new TCP connections are
+// refused), the UDP loop finishes the datagram it is answering, and
+// each TCP session completes its current query before its connection
+// is closed. When ctx expires remaining work is force-closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	if !s.draining {
+		s.draining = true
+		for l := range s.tcpListeners {
+			l.Close()
+		}
+		// Nudge the UDP loop out of its blocking read without closing
+		// the socket under an in-flight reply.
+		if s.conn != nil {
+			s.conn.SetReadDeadline(time.Now()) //nolint:errcheck
+		}
+		// Parked TCP sessions (waiting for the next pipelined query)
+		// wake the same way; mid-read partial queries are abandoned,
+		// which is correct: a query whose bytes have not all arrived is
+		// not yet in flight.
+		for c := range s.tcpConns {
+			c.SetReadDeadline(time.Now()) //nolint:errcheck
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.serving.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return s.Close()
+	case <-ctx.Done():
+		s.Close()
+		return ctx.Err()
+	}
+}
+
+// isStopping reports whether Close or Shutdown has begun.
+func (s *Server) isStopping() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed || s.draining
+}
+
 func (s *Server) serve(conn net.PacketConn) {
+	defer s.serving.Done()
 	buf := make([]byte, 4096)
 	for {
 		n, addr, err := conn.ReadFrom(buf)
@@ -122,6 +192,9 @@ func (s *Server) serve(conn net.PacketConn) {
 		resp := s.Handle(buf[:n])
 		if resp != nil {
 			conn.WriteTo(resp, addr) //nolint:errcheck // best-effort UDP reply
+		}
+		if s.isStopping() {
+			return
 		}
 	}
 }

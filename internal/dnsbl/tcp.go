@@ -3,10 +3,10 @@ package dnsbl
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
-	"sync"
 	"time"
 
 	"tasterschoice/internal/domain"
@@ -55,31 +55,52 @@ func (s *Server) ListenTCP(addr string) (net.Addr, error) {
 		return nil, err
 	}
 	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		l.Close()
+		return nil, errors.New("dnsbl: server closed")
+	}
 	if s.tcpListeners == nil {
 		s.tcpListeners = make(map[net.Listener]struct{})
 	}
 	s.tcpListeners[l] = struct{}{}
+	s.serving.Add(1)
 	s.mu.Unlock()
 	go s.serveTCP(l)
 	return l.Addr(), nil
 }
 
 func (s *Server) serveTCP(l net.Listener) {
-	var wg sync.WaitGroup
-	defer wg.Wait()
+	defer s.serving.Done()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return
 		}
-		wg.Add(1)
+		s.mu.Lock()
+		if s.closed || s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		if s.tcpConns == nil {
+			s.tcpConns = make(map[net.Conn]struct{})
+		}
+		s.tcpConns[conn] = struct{}{}
+		s.serving.Add(1)
+		s.mu.Unlock()
 		go func() {
-			defer wg.Done()
-			defer conn.Close()
+			defer s.serving.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.tcpConns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
 			r := bufio.NewReader(conn)
 			w := bufio.NewWriter(conn)
 			for {
-				conn.SetReadDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
+				s.armRead(conn)
 				raw, err := ReadTCPMessage(r)
 				if err != nil {
 					return
@@ -94,8 +115,28 @@ func (s *Server) serveTCP(l net.Listener) {
 				if err := w.Flush(); err != nil {
 					return
 				}
+				if s.isStopping() {
+					// Drain: the current query was answered; end the
+					// session instead of waiting for more pipelining.
+					return
+				}
 			}
 		}()
+	}
+}
+
+// armRead sets the read deadline for the next pipelined query. It runs
+// under the server lock so it orders against Shutdown's expired-
+// deadline nudge: whichever runs second wins, and under drain the
+// deadline is already expired — the read returns immediately instead
+// of parking for the full idle timeout.
+func (s *Server) armRead(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.draining {
+		conn.SetReadDeadline(time.Now()) //nolint:errcheck
+	} else {
+		conn.SetReadDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
 	}
 }
 

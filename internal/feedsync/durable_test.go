@@ -1,0 +1,144 @@
+package feedsync
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/feeds"
+)
+
+// TestTailDurableResumesAcrossRestart kills a durable tail mid-stream
+// (context cancel — the graceful half of the contract), starts a fresh
+// client and store over the same checkpoint path, and verifies the
+// second incarnation resumes at the exact offset: the combined record
+// sequence equals the server's log with no gaps and no duplicates.
+func TestTailDurableResumesAcrossRestart(t *testing.T) {
+	srv, addr := startServer(t)
+	const total = 40
+	for i := 0; i < total; i++ {
+		if err := srv.Publish("uribl", mkRecords(1, i)[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "uribl.offset")
+	rec := &recorder{}
+
+	// First incarnation: cancel after 17 records — "the process dies".
+	const killAfter = 17
+	ctx, cancel := context.WithCancel(context.Background())
+	store := NewOffsetStore(path)
+	dst := feeds.New("uribl", feeds.KindBlacklist, false, false)
+	n := 0
+	off1, err := NewClient(addr).TailDurable(ctx, "uribl", store, dst, func(r feeds.RawRecord) {
+		rec.add(r)
+		if n++; n == killAfter {
+			cancel()
+		}
+	})
+	cancel()
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("first tail: err = %v, want context.Canceled", err)
+	}
+	if off1 < killAfter {
+		t.Fatalf("first tail applied %d records but offset is %d", killAfter, off1)
+	}
+
+	// Second incarnation: brand-new store and feed, same path.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	store2 := NewOffsetStore(path)
+	dst2 := feeds.New("uribl", feeds.KindBlacklist, false, false)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		NewClient(addr).TailDurable(ctx2, "uribl", store2, dst2, func(r feeds.RawRecord) { //nolint:errcheck
+			rec.add(r)
+		})
+	}()
+	waitFor(t, 10*time.Second, func() bool { return rec.len() >= total },
+		"resumed tail did not deliver the remaining records")
+	cancel2()
+	<-done
+
+	got := rec.snapshot()
+	if len(got) != total {
+		t.Fatalf("got %d records across restart, want exactly %d (duplicates or gaps)", len(got), total)
+	}
+	want := mkRecords(total, 0)
+	for i := range want {
+		if got[i].Domain != want[i].Domain {
+			t.Fatalf("record %d: got %s want %s", i, got[i].Domain, want[i].Domain)
+		}
+	}
+}
+
+// TestTailDurableSurvivesTornCheckpoint truncates the current offset
+// checkpoint — a torn write at the instant of a hard kill — and
+// verifies the next incarnation falls back to the previous generation
+// and replays forward rather than failing or skipping.
+func TestTailDurableSurvivesTornCheckpoint(t *testing.T) {
+	srv, addr := startServer(t)
+	const total = 10
+	for i := 0; i < total; i++ {
+		if err := srv.Publish("uribl", mkRecords(1, i)[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "uribl.offset")
+	store := NewOffsetStore(path)
+	// Two checkpoints so both generations exist.
+	if err := store.Flush(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Flush(7); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the current generation.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store2 := NewOffsetStore(path)
+	off, err := store2.Load()
+	if err != nil {
+		t.Fatalf("torn checkpoint errored the restart: %v", err)
+	}
+	if off != 4 {
+		t.Fatalf("resume offset %d, want previous generation 4", off)
+	}
+
+	// And the tail picks up from there: records 4..9 replay.
+	rec := &recorder{}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		dst := feeds.New("uribl", feeds.KindBlacklist, false, false)
+		NewClient(addr).TailDurable(ctx, "uribl", store2, dst, func(r feeds.RawRecord) { //nolint:errcheck
+			rec.add(r)
+		})
+	}()
+	waitFor(t, 10*time.Second, func() bool { return rec.len() >= total-4 },
+		"tail did not replay from the recovered offset")
+	cancel()
+	<-done
+	got := rec.snapshot()
+	want := mkRecords(total-4, 4)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Domain != want[i].Domain {
+			t.Fatalf("record %d: got %s want %s", i, got[i].Domain, want[i].Domain)
+		}
+	}
+}

@@ -21,6 +21,7 @@ package feedsync
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -64,6 +65,10 @@ type Server struct {
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
+	draining bool
+	// drained is closed when the last subscriber disconnects while
+	// draining; created by Shutdown.
+	drained chan struct{}
 }
 
 // NewServer creates an empty publisher.
@@ -150,7 +155,7 @@ func (s *Server) serve(l net.Listener) {
 			return
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			conn.Close()
 			return
@@ -158,18 +163,45 @@ func (s *Server) serve(l net.Listener) {
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		go func() {
-			defer func() {
-				s.mu.Lock()
-				delete(s.conns, conn)
-				s.mu.Unlock()
-				conn.Close()
-			}()
+			defer s.release(conn)
 			s.handle(conn)
 		}()
 	}
 }
 
-// Close stops the listener and disconnects subscribers.
+// release removes a finished subscriber and, when draining, reports
+// the last one leaving.
+func (s *Server) release(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	if len(s.conns) == 0 && s.drained != nil {
+		close(s.drained)
+		s.drained = nil
+	}
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// wakeTailers broadcasts on every feed log's changed channel so parked
+// tailers re-check the stopping flag and exit.
+func (s *Server) wakeTailers() {
+	s.mu.Lock()
+	logs := make([]*feedLog, 0, len(s.logs))
+	for _, log := range s.logs {
+		logs = append(logs, log)
+	}
+	s.mu.Unlock()
+	for _, log := range logs {
+		log.mu.Lock()
+		close(log.changed)
+		log.changed = make(chan struct{})
+		log.mu.Unlock()
+	}
+}
+
+// Close force-closes the listener and disconnects subscribers. It is
+// idempotent and safe to call concurrently with Shutdown and with
+// active subscriptions.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -184,27 +216,65 @@ func (s *Server) Close() error {
 	for c := range s.conns {
 		c.Close()
 	}
-	logs := make([]*feedLog, 0, len(s.logs))
-	for _, log := range s.logs {
-		logs = append(logs, log)
-	}
 	s.mu.Unlock()
 	// Wake parked tailers so their handler goroutines exit instead of
 	// waiting forever on a publish that will never come.
-	for _, log := range logs {
-		log.mu.Lock()
-		close(log.changed)
-		log.changed = make(chan struct{})
-		log.mu.Unlock()
-	}
+	s.wakeTailers()
 	return err
 }
 
-// isClosed reports whether Close has run.
-func (s *Server) isClosed() bool {
+// Shutdown drains the server: the listener closes (new subscriptions
+// are refused), catch-up streams run to completion, and parked tailers
+// are woken to finish cleanly — each subscriber sees its full stream
+// flushed and then EOF, never a cut mid-record. When ctx expires,
+// stragglers are force-closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	var lerr error
+	if !s.draining {
+		s.draining = true
+		if s.listener != nil {
+			lerr = s.listener.Close()
+		}
+	}
+	if len(s.conns) == 0 {
+		s.closed = true
+		s.mu.Unlock()
+		return lerr
+	}
+	if s.drained == nil {
+		s.drained = make(chan struct{})
+	}
+	drained := s.drained
+	s.mu.Unlock()
+
+	// The stopping flag is set; now broadcast. A tailer that captured
+	// its wait channel before this broadcast is woken by it, and one
+	// that captures after will see the flag before parking — no lost
+	// wakeups either way.
+	s.wakeTailers()
+
+	select {
+	case <-drained:
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		return lerr
+	case <-ctx.Done():
+		s.Close()
+		return ctx.Err()
+	}
+}
+
+// stopping reports whether Close or Shutdown has begun.
+func (s *Server) stopping() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.closed
+	return s.closed || s.draining
 }
 
 // timeoutOr returns d when positive, else def.
@@ -294,11 +364,18 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		if caughtUp {
+			// Check the stopping flag both before and after parking:
+			// Shutdown sets the flag, then broadcasts. A handler that
+			// captured `changed` before the broadcast is woken by it; one
+			// arriving here after the broadcast sees the flag and never
+			// parks. Either way no tailer sleeps through shutdown.
+			if s.stopping() {
+				return
+			}
 			// Wait for new records; the connection dying wakes us
-			// through the write error on the next flush, and Close
-			// broadcasts on changed so we notice shutdown.
+			// through the write error on the next flush.
 			<-changed
-			if s.isClosed() {
+			if s.stopping() {
 				return
 			}
 		}

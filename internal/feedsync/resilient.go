@@ -1,6 +1,7 @@
 package feedsync
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -64,6 +65,19 @@ func (c *Client) TailResilient(name string, offset int64, dst *feeds.Feed,
 			return offset, nil
 		}
 	}
+}
+
+// TailResilientContext is TailResilient driven by a context instead of
+// a stop channel: cancelling ctx ends the tail and the context's error
+// is returned alongside the exact resume offset. A clean internal stop
+// (which cannot happen here — only ctx ends it) would return nil.
+func (c *Client) TailResilientContext(ctx context.Context, name string, offset int64,
+	dst *feeds.Feed, onRecord func(feeds.RawRecord)) (int64, error) {
+	next, err := c.TailResilient(name, offset, dst, ctx.Done(), onRecord)
+	if err == nil && ctx.Err() != nil {
+		return next, ctx.Err()
+	}
+	return next, err
 }
 
 // SyncResilient catches up like Sync but retries transient failures,

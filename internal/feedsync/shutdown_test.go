@@ -1,0 +1,92 @@
+package feedsync
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/feeds"
+)
+
+// TestShutdownUnparksTailers parks several tail subscribers (caught up,
+// waiting on the changed channel), then shuts the server down. Every
+// tailer must unblock promptly with a clean end-of-stream — Tail
+// returns the records applied and a nil error when the server closes
+// the connection — and none may hang.
+func TestShutdownUnparksTailers(t *testing.T) {
+	srv, addr := startServer(t)
+	const preload = 5
+	for i := 0; i < preload; i++ {
+		if err := srv.Publish("uribl", rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const tailers = 4
+	type result struct {
+		offset int64
+		err    error
+	}
+	results := make(chan result, tailers)
+	var caughtUp sync.WaitGroup
+	caughtUp.Add(tailers)
+	for i := 0; i < tailers; i++ {
+		go func() {
+			dst := feeds.New("uribl", feeds.KindBlacklist, false, false)
+			var once sync.Once
+			applied := 0
+			offset, err := NewClient(addr).Tail("uribl", 0, dst, nil,
+				func(feeds.RawRecord) {
+					applied++
+					if applied == preload {
+						once.Do(caughtUp.Done)
+					}
+				})
+			once.Do(caughtUp.Done) // error before catch-up still counts down
+			results <- result{offset, err}
+		}()
+	}
+	caughtUp.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Shutdown took %v with parked tailers", elapsed)
+	}
+
+	for i := 0; i < tailers; i++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				t.Fatalf("tailer %d: unclean end: %v", i, r.err)
+			}
+			if r.offset != preload {
+				t.Fatalf("tailer %d: offset %d, want %d", i, r.offset, preload)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("tailer %d still parked after Shutdown", i)
+		}
+	}
+}
+
+// TestShutdownRefusesNewSubscriptions verifies the listener is closed
+// as soon as the drain begins.
+func TestShutdownRefusesNewSubscriptions(t *testing.T) {
+	srv, addr := startServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	dst := feeds.New("uribl", feeds.KindBlacklist, false, false)
+	c := NewClient(addr)
+	c.DialTimeout = time.Second
+	if _, err := c.Sync("uribl", 0, dst); err == nil {
+		t.Fatal("subscription accepted after Shutdown")
+	}
+}

@@ -1,0 +1,165 @@
+package lifecycle
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"tasterschoice/internal/resilient"
+)
+
+// PanicError is what a supervised goroutine's panic becomes: a value
+// the supervisor can log, count and return instead of a dead process.
+type PanicError struct {
+	// Name is the supervised task that panicked.
+	Name string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at the point of the panic.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("lifecycle: task %q panicked: %v", e.Name, e.Value)
+}
+
+// Restart is a supervised task's restart policy.
+type Restart struct {
+	// Max is the number of restarts after failures before the task is
+	// abandoned and its last error reported (0 = never restart).
+	Max int
+	// Backoff spaces restarts; consecutive failures grow the delay, any
+	// clean exit resets it. The zero value uses resilient defaults
+	// (50ms base, doubling, 5s cap).
+	Backoff resilient.Backoff
+}
+
+// Group supervises goroutines under one context: panics are captured
+// as errors, failed tasks restart per policy, and Wait joins everything
+// with the first failure. The zero value is not usable; call NewGroup.
+type Group struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	firstErr error
+	restarts int64
+	panics   int64
+}
+
+// NewGroup creates a group whose tasks observe ctx (and are cancelled
+// together when any task fails terminally).
+func NewGroup(ctx context.Context) *Group {
+	g := &Group{}
+	g.ctx, g.cancel = context.WithCancel(ctx)
+	return g
+}
+
+// Go runs fn once, capturing a panic as a *PanicError. A non-nil
+// result (error or panic) records the failure and cancels the group.
+func (g *Group) Go(name string, fn func(ctx context.Context) error) {
+	g.Supervise(name, Restart{}, fn)
+}
+
+// Supervise runs fn, restarting it per policy when it fails (returns a
+// non-nil error or panics). A nil return is a clean exit and ends the
+// task. When the restart budget is exhausted the last error is
+// recorded and the group cancelled.
+func (g *Group) Supervise(name string, policy Restart, fn func(ctx context.Context) error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		consecutive := 0
+		for {
+			err := g.runOnce(name, fn)
+			if err == nil {
+				return
+			}
+			if g.ctx.Err() != nil {
+				// Shutting down: failures during teardown are noise.
+				return
+			}
+			if consecutive >= policy.Max {
+				g.fail(err)
+				return
+			}
+			consecutive++
+			g.mu.Lock()
+			g.restarts++
+			g.mu.Unlock()
+			if !sleepCtx(g.ctx, policy.Backoff.Delay(consecutive-1)) {
+				return
+			}
+		}
+	}()
+}
+
+// runOnce invokes fn converting a panic into a *PanicError.
+func (g *Group) runOnce(name string, fn func(ctx context.Context) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g.mu.Lock()
+			g.panics++
+			g.mu.Unlock()
+			err = &PanicError{Name: name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(g.ctx)
+}
+
+// fail records the group's first terminal error and cancels everyone.
+func (g *Group) fail(err error) {
+	g.mu.Lock()
+	if g.firstErr == nil {
+		g.firstErr = err
+	}
+	g.mu.Unlock()
+	g.cancel()
+}
+
+// Cancel asks every task to stop (their ctx is done).
+func (g *Group) Cancel() { g.cancel() }
+
+// Wait blocks until every task has exited and returns the first
+// terminal failure, if any.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.cancel() // release the context even on all-clean exits
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.firstErr
+}
+
+// Restarts returns how many times tasks have been restarted; Panics how
+// many panics were captured. Both are diagnostics for tests and probes.
+func (g *Group) Restarts() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.restarts
+}
+
+// Panics returns the number of captured panics.
+func (g *Group) Panics() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.panics
+}
+
+// sleepCtx pauses for d, returning false early when ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

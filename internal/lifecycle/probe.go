@@ -1,0 +1,115 @@
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// CheckFunc reports the health of one component; nil means healthy.
+type CheckFunc func(ctx context.Context) error
+
+// ErrNotReady is wrapped by Ready when a component has not (or no
+// longer) declared itself ready.
+var ErrNotReady = errors.New("lifecycle: not ready")
+
+// Probes is a health/readiness registry in the Kubernetes sense:
+// liveness ("is the process wedged") runs registered checks; readiness
+// ("should traffic be routed here") is a set of named gates flipped by
+// the components themselves — down during startup and drain, up while
+// serving. The zero value is ready to use.
+type Probes struct {
+	mu     sync.Mutex
+	checks map[string]CheckFunc
+	ready  map[string]bool
+}
+
+// Register adds a named liveness check.
+func (p *Probes) Register(name string, c CheckFunc) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.checks == nil {
+		p.checks = make(map[string]CheckFunc)
+	}
+	p.checks[name] = c
+}
+
+// SetReady flips a named readiness gate. Gates default to not-ready,
+// so a component is invisible to traffic until it declares itself.
+func (p *Probes) SetReady(name string, ready bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ready == nil {
+		p.ready = make(map[string]bool)
+	}
+	p.ready[name] = ready
+}
+
+// Healthy runs every registered check and returns the first failure
+// (by name order, so reports are deterministic); nil means all passed.
+func (p *Probes) Healthy(ctx context.Context) error {
+	p.mu.Lock()
+	names := make([]string, 0, len(p.checks))
+	for name := range p.checks {
+		names = append(names, name)
+	}
+	checks := make([]CheckFunc, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		checks = append(checks, p.checks[name])
+	}
+	p.mu.Unlock()
+	for i, c := range checks {
+		if err := c(ctx); err != nil {
+			return fmt.Errorf("lifecycle: check %q: %w", names[i], err)
+		}
+	}
+	return nil
+}
+
+// Ready reports whether every readiness gate is up; with no gates
+// registered it is not ready (nothing has declared itself serving).
+func (p *Probes) Ready() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.ready) == 0 {
+		return fmt.Errorf("%w: no component has declared readiness", ErrNotReady)
+	}
+	names := make([]string, 0, len(p.ready))
+	for name := range p.ready {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !p.ready[name] {
+			return fmt.Errorf("%w: %s", ErrNotReady, name)
+		}
+	}
+	return nil
+}
+
+// Handler exposes the probes over HTTP: GET /healthz runs the liveness
+// checks, GET /readyz the readiness gates; 200 on pass, 503 with the
+// failure text otherwise — the contract load balancers and init
+// systems expect.
+func (p *Probes) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if err := p.Healthy(r.Context()); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if err := p.Ready(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}

@@ -26,14 +26,36 @@ type Result struct {
 	HumanReports int64
 }
 
-// Feed returns the named feed, panicking on unknown names (programmer
-// error).
+// UnknownFeedError reports a lookup of a feed name the result does not
+// hold — a misconfigured mnemonic, or a hook that removed a feed.
+type UnknownFeedError struct {
+	Name string
+}
+
+func (e *UnknownFeedError) Error() string {
+	return fmt.Sprintf("mailflow: unknown feed %q", e.Name)
+}
+
+// Feed returns the named feed. Unknown names panic with an
+// *UnknownFeedError; Engine.Run recovers that panic and returns it as
+// an ordinary error, so a configuration-reachable bad name fails the
+// run instead of crashing the process. Callers outside a run can use
+// Lookup for a non-panicking variant.
 func (r *Result) Feed(name string) *feeds.Feed {
-	f, ok := r.Feeds[name]
-	if !ok {
-		panic(fmt.Sprintf("mailflow: unknown feed %q", name))
+	f, err := r.Lookup(name)
+	if err != nil {
+		panic(err)
 	}
 	return f
+}
+
+// Lookup returns the named feed or an *UnknownFeedError.
+func (r *Result) Lookup(name string) (*feeds.Feed, error) {
+	f, ok := r.Feeds[name]
+	if !ok {
+		return nil, &UnknownFeedError{Name: name}
+	}
+	return f, nil
 }
 
 // BaseOrder returns the non-blacklist ("base") feeds in canonical
@@ -76,7 +98,21 @@ func New(w *ecosystem.World, cfg Config) *Engine {
 // Run performs the whole collection: campaign observation at every
 // collection point, typo and chaff pollution, poisoning, blacklist
 // aggregation, and the oracle's benign-mail baseline.
-func (e *Engine) Run() (*Result, error) {
+//
+// A feed lookup that fails during the run — possible when an OnFeeds
+// hook tampers with the feed map, or a config names a feed that does
+// not exist — is returned as an *UnknownFeedError rather than left to
+// crash the process. Other panics propagate unchanged.
+func (e *Engine) Run() (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if ufe, ok := p.(*UnknownFeedError); ok {
+				res, err = nil, ufe
+				return
+			}
+			panic(p)
+		}
+	}()
 	if err := e.Cfg.Validate(); err != nil {
 		return nil, err
 	}

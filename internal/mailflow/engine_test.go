@@ -1,6 +1,7 @@
 package mailflow
 
 import (
+	"errors"
 	"testing"
 
 	"tasterschoice/internal/domain"
@@ -199,5 +200,37 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	cfg.ReportProb = 1.5
 	if _, err := New(testWorld(1), cfg).Run(); err == nil {
 		t.Fatal("invalid config accepted")
+	}
+}
+
+// TestRunReturnsUnknownFeedError removes a feed through the OnFeeds
+// hook — a configuration-reachable path — and verifies the run fails
+// with the typed error instead of crashing the process.
+func TestRunReturnsUnknownFeedError(t *testing.T) {
+	eng := New(testWorld(3), testConfig(1003))
+	eng.OnFeeds = func(fs map[string]*feeds.Feed) {
+		delete(fs, "mx2")
+	}
+	res, err := eng.Run()
+	if res != nil {
+		t.Fatal("Run returned a result alongside a missing feed")
+	}
+	var ufe *UnknownFeedError
+	if !errors.As(err, &ufe) {
+		t.Fatalf("err = %v (%T), want *UnknownFeedError", err, err)
+	}
+	if ufe.Name != "mx2" {
+		t.Fatalf("UnknownFeedError.Name = %q, want mx2", ufe.Name)
+	}
+}
+
+// TestLookupUnknownFeed pins the non-panicking accessor.
+func TestLookupUnknownFeed(t *testing.T) {
+	res := runSmall(t, 4)
+	if _, err := res.Lookup("Hu"); err != nil {
+		t.Fatalf("Lookup(Hu): %v", err)
+	}
+	if _, err := res.Lookup("nope"); err == nil {
+		t.Fatal("Lookup of unknown feed succeeded")
 	}
 }

@@ -10,6 +10,7 @@
 package mta
 
 import (
+	"context"
 	"net"
 	"strings"
 	"sync"
@@ -77,8 +78,15 @@ func NewServer(hostname string, lister mailfilter.Lister, deliver func(Decision)
 // Listen starts the SMTP listener.
 func (s *Server) Listen(addr string) (net.Addr, error) { return s.smtp.Listen(addr) }
 
-// Close stops the listener.
+// Close force-closes the listener and active sessions. Idempotent and
+// safe to call concurrently.
 func (s *Server) Close() error { return s.smtp.Close() }
+
+// Shutdown drains the underlying SMTP server: new connections are
+// refused, in-flight sessions complete (and their envelopes are
+// classified and delivered), and stragglers are force-closed when ctx
+// expires.
+func (s *Server) Shutdown(ctx context.Context) error { return s.smtp.Shutdown(ctx) }
 
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {

@@ -12,6 +12,7 @@ package smtpd
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -61,6 +62,10 @@ type Server struct {
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
+	draining bool
+	// drained is closed when the last in-flight session ends while
+	// draining; created by Shutdown.
+	drained chan struct{}
 
 	// Received counts accepted envelopes (atomic).
 	received atomic.Int64
@@ -90,7 +95,7 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 		return nil, err
 	}
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
 		l.Close()
 		return nil, errors.New("smtpd: server closed")
@@ -109,7 +114,7 @@ func (s *Server) serve(l net.Listener) {
 			return
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			conn.Close()
 			return
@@ -124,18 +129,28 @@ func (s *Server) serve(l net.Listener) {
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		go func() {
-			defer func() {
-				s.mu.Lock()
-				delete(s.conns, conn)
-				s.mu.Unlock()
-				conn.Close()
-			}()
+			defer s.release(conn)
 			s.ServeConn(conn)
 		}()
 	}
 }
 
-// Close stops the listener and closes active connections.
+// release removes a finished session's connection and, when the server
+// is draining, reports the last one leaving.
+func (s *Server) release(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	if len(s.conns) == 0 && s.drained != nil {
+		close(s.drained)
+		s.drained = nil
+	}
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// Close force-closes the listener and every active connection. It is
+// idempotent and safe to call concurrently — with other Close calls,
+// with Shutdown, and with active sessions.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -151,6 +166,47 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	return err
+}
+
+// Shutdown drains the server: the listener closes immediately (new
+// connections are refused), in-flight sessions run to completion —
+// every session is bounded by ReadTimeout per command, so an idle peer
+// cannot pin the drain — and when ctx expires any stragglers are
+// force-closed. Idempotent; concurrent calls all wait for the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	var lerr error
+	if !s.draining {
+		s.draining = true
+		if s.listener != nil {
+			lerr = s.listener.Close()
+		}
+	}
+	if len(s.conns) == 0 {
+		s.closed = true
+		s.mu.Unlock()
+		return lerr
+	}
+	if s.drained == nil {
+		s.drained = make(chan struct{})
+	}
+	drained := s.drained
+	s.mu.Unlock()
+
+	select {
+	case <-drained:
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		return lerr
+	case <-ctx.Done():
+		s.Close()
+		return ctx.Err()
+	}
 }
 
 // session state per connection.

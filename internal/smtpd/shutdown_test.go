@@ -1,0 +1,179 @@
+package smtpd
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCloseIdempotentConcurrent hammers Close from many goroutines
+// while sessions are live; every call must return without panicking and
+// the server must end up closed. Run with -race.
+func TestCloseIdempotentConcurrent(t *testing.T) {
+	h, _ := collect()
+	srv := NewServer("mx.test", h)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A few live sessions for Close to tear down.
+	var conns []net.Conn
+	for i := 0; i < 3; i++ {
+		c, err := net.Dial("tcp", addr.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.Close() //nolint:errcheck
+		}()
+	}
+	wg.Wait()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close after Close: %v", err)
+	}
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Fatal("Listen succeeded on a closed server")
+	}
+}
+
+// TestCloseDuringSession closes the server while a client is mid-
+// transaction; the session must end and the client must observe the
+// drop rather than hang.
+func TestCloseDuringSession(t *testing.T) {
+	h, _ := collect()
+	srv := NewServer("mx.test", h)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Hello("bot.example"); err != nil {
+		t.Fatal(err)
+	}
+	// Close races the live session.
+	done := make(chan struct{})
+	go func() {
+		srv.Close() //nolint:errcheck
+		close(done)
+	}()
+	<-done
+	// The session's connection is closed; subsequent commands fail.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := c.Send("a@b", []string{"x@y"}, []byte("hi\r\n")); err != nil {
+			return
+		}
+	}
+	t.Fatal("session survived server Close")
+}
+
+// TestShutdownDrainsInFlightSession starts a transaction, shuts the
+// server down mid-way, and verifies the in-flight message is still
+// accepted (zero lost sessions) while new connections are refused.
+func TestShutdownDrainsInFlightSession(t *testing.T) {
+	h, got := collect()
+	srv := NewServer("mx.test", h)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Hello("bot.example"); err != nil {
+		t.Fatal(err)
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+
+	// New connections must be refused once the drain begins (the
+	// listener closes; allow a moment for Shutdown to start).
+	waitRefused := func() bool {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			conn, err := net.DialTimeout("tcp", addr.String(), time.Second)
+			if err != nil {
+				return true
+			}
+			conn.Close()
+			time.Sleep(time.Millisecond)
+		}
+		return false
+	}
+	if !waitRefused() {
+		t.Fatal("listener still accepting during drain")
+	}
+
+	// The in-flight session completes its transaction.
+	if err := c.Send("spammer@bot.example", []string{"v@h.test"}, []byte("body\r\n")); err != nil {
+		t.Fatalf("in-flight send failed during drain: %v", err)
+	}
+	if err := c.Quit(); err != nil {
+		t.Fatalf("quit during drain: %v", err)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if n := len(got()); n != 1 {
+		t.Fatalf("drained server lost envelopes: got %d, want 1", n)
+	}
+}
+
+// TestShutdownDeadlineForceCloses verifies a session that never quits
+// cannot pin Shutdown past its context deadline.
+func TestShutdownDeadlineForceCloses(t *testing.T) {
+	h, _ := collect()
+	srv := NewServer("mx.test", h)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Read the greeting so the session is live, then go silent.
+	buf := make([]byte, 128)
+	conn.Read(buf) //nolint:errcheck
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = srv.Shutdown(ctx)
+	if err == nil {
+		t.Fatal("Shutdown returned nil with a stalled session")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Shutdown took %v, deadline ignored", elapsed)
+	}
+	// The force-close must have landed: Shutdown again is a no-op nil.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown after force-close: %v", err)
+	}
+}

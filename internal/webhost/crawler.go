@@ -80,17 +80,33 @@ func (c *Crawler) VisitDomain(d domain.Name) webcrawl.Result {
 	return c.Visit("http://" + string(d) + "/")
 }
 
+// VisitDomainContext is VisitDomain bounded by ctx.
+func (c *Crawler) VisitDomainContext(ctx context.Context, d domain.Name) webcrawl.Result {
+	return c.VisitContext(ctx, "http://"+string(d)+"/")
+}
+
 // Visit fetches the URL over HTTP and classifies the final page.
 func (c *Crawler) Visit(rawURL string) webcrawl.Result {
+	return c.VisitContext(context.Background(), rawURL)
+}
+
+// VisitContext is Visit bounded by ctx: cancellation aborts the fetch
+// (including mid-redirect and mid-body) and the result reports the page
+// as unreachable, the same as a dead host.
+func (c *Crawler) VisitContext(ctx context.Context, rawURL string) webcrawl.Result {
 	res := webcrawl.Result{URL: rawURL, Program: -1, Affiliate: -1}
 	if d, err := domain.DefaultRules.FromURL(rawURL); err == nil {
 		res.Domain = d
 		res.Final = d
 	}
 	c.Fetches++
-	resp, err := c.client.Get(rawURL)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
 	if err != nil {
-		return res // dead host / NXDOMAIN
+		return res
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return res // dead host / NXDOMAIN / cancelled
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {

@@ -14,6 +14,7 @@
 package webhost
 
 import (
+	"context"
 	"fmt"
 	"html"
 	"net"
@@ -76,8 +77,19 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	return l.Addr(), nil
 }
 
-// Close shuts the server down.
+// Close force-closes the server and every active connection.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown gracefully drains the server: the listener closes and
+// in-flight requests finish. When ctx expires before the drain
+// completes, stragglers are force-closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		s.srv.Close() //nolint:errcheck // drain deadline hit; force the rest
+	}
+	return err
+}
 
 // Requests returns the number of HTTP requests served.
 func (s *Server) Requests() int64 { return s.requests.Load() }
