@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"tasterschoice/internal/analysis"
+	"tasterschoice/internal/benchref"
 	"tasterschoice/internal/core"
 	"tasterschoice/internal/ecosystem"
 	"tasterschoice/internal/mailflow"
@@ -225,6 +226,63 @@ func BenchmarkFigure12Duration(b *testing.B) {
 func BenchmarkPipelineEndToEnd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		simulate.Small(uint64(i)).MustRun()
+	}
+}
+
+// --- Parallel vs pinned serial references --------------------------
+//
+// The *SerialRef benchmarks run the frozen serial implementations
+// (analysis/serialref.go, internal/benchref) against the same inputs
+// as their parallel counterparts above, so `-bench 'Table3|SerialRef'`
+// shows the speedup inline. cmd/bench automates the comparison and
+// tracks it against BENCH_baseline.json.
+
+func BenchmarkTable3CoverageSerialRef(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.CoverageSerial(ds, analysis.ClassAll)
+		analysis.CoverageSerial(ds, analysis.ClassLive)
+		analysis.CoverageSerial(ds, analysis.ClassTagged)
+	}
+}
+
+func BenchmarkTable2PuritySerialRef(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.PuritySerial(ds)
+	}
+}
+
+func BenchmarkFigure2PairwiseIntersectionSerialRef(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.IntersectionsSerial(ds, analysis.ClassLive)
+		analysis.IntersectionsSerial(ds, analysis.ClassTagged)
+	}
+}
+
+func BenchmarkCollectionEngine(b *testing.B) {
+	ds := benchDataset(b)
+	cfg := simulate.Default(2010).Collection
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mailflow.New(ds.World, cfg).Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCollectionEngineSerialRef(b *testing.B) {
+	ds := benchDataset(b)
+	cfg := simulate.Default(2010).Collection
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := benchref.New(ds.World, cfg).Run(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,278 @@
+// Command bench measures the hot analysis and simulation paths against
+// their pinned serial references and emits a machine-readable
+// BENCH_<rev>.json next to a human-readable table.
+//
+// Usage:
+//
+//	go run ./cmd/bench                      # measure, write BENCH_<rev>.json
+//	go run ./cmd/bench -scenario small      # quicker, reduced-scale run
+//	go run ./cmd/bench -check BENCH_baseline.json
+//
+// With -check, the freshly measured results are compared against the
+// committed baseline and the command exits non-zero if any tracked
+// benchmark regresses by more than 25%. Benchmarks that carry a serial
+// reference are compared on their speedup ratio (parallel vs pinned
+// serial, measured in the same process on the same machine), which is
+// stable across hardware; reference-free benchmarks fall back to raw
+// ns/op, so their baseline must be regenerated when the CI hardware
+// changes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+
+	"tasterschoice/internal/analysis"
+	"tasterschoice/internal/benchref"
+	"tasterschoice/internal/ecosystem"
+	"tasterschoice/internal/mailflow"
+	"tasterschoice/internal/simulate"
+)
+
+// Report is the BENCH_<rev>.json document.
+type Report struct {
+	Rev        string  `json:"rev"`
+	GoVersion  string  `json:"go"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Scenario   string  `json:"scenario"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// Bench is one tracked benchmark. SerialNsPerOp and Speedup are only
+// present for cases with a pinned serial reference.
+type Bench struct {
+	Name          string  `json:"name"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	SerialNsPerOp int64   `json:"serial_ns_per_op,omitempty"`
+	Speedup       float64 `json:"speedup,omitempty"`
+}
+
+// maxRegression is the tolerated slowdown before -check fails: 25%.
+const maxRegression = 1.25
+
+func main() {
+	rev := flag.String("rev", "", "revision tag for the output filename (default: git short hash)")
+	out := flag.String("o", "", "output path (default BENCH_<rev>.json)")
+	check := flag.String("check", "", "baseline BENCH_*.json to compare against; exit 1 on >25% regression")
+	scenario := flag.String("scenario", "default", "scenario scale: default or small")
+	flag.Parse()
+
+	if *rev == "" {
+		*rev = gitRev()
+	}
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_%s.json", *rev)
+	}
+
+	rep := measure(*scenario, *rev)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("marshal report: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Printf("wrote %s\n\n%s", *out, table(rep))
+
+	if *check != "" {
+		base, err := loadReport(*check)
+		if err != nil {
+			fatalf("load baseline %s: %v", *check, err)
+		}
+		regs := findRegressions(base, rep)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "\nREGRESSIONS vs %s (rev %s):\n", *check, base.Rev)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("\nno regressions vs %s (rev %s)\n", *check, base.Rev)
+	}
+}
+
+// measure runs every tracked benchmark and assembles the report.
+func measure(scenario, rev string) *Report {
+	var sc simulate.Scenario
+	switch scenario {
+	case "default":
+		sc = simulate.Default(2010)
+	case "small":
+		sc = simulate.Small(2010)
+	default:
+		fatalf("unknown scenario %q (want default or small)", scenario)
+	}
+
+	fmt.Fprintf(os.Stderr, "generating %s-scale world...\n", scenario)
+	world, err := ecosystem.Generate(sc.Ecosystem)
+	if err != nil {
+		fatalf("generate world: %v", err)
+	}
+	res, err := mailflow.New(world, sc.Collection).Run()
+	if err != nil {
+		fatalf("collection run: %v", err)
+	}
+	ds := analysis.NewDataset(world, res)
+
+	rep := &Report{
+		Rev:        rev,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Scenario:   scenario,
+	}
+
+	run := func(name string, par, serial func()) {
+		fmt.Fprintf(os.Stderr, "bench %s...\n", name)
+		pr := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				par()
+			}
+		})
+		bench := Bench{
+			Name:        name,
+			NsPerOp:     pr.NsPerOp(),
+			AllocsPerOp: pr.AllocsPerOp(),
+			BytesPerOp:  pr.AllocedBytesPerOp(),
+		}
+		if serial != nil {
+			sr := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					serial()
+				}
+			})
+			bench.SerialNsPerOp = sr.NsPerOp()
+			if bench.NsPerOp > 0 {
+				bench.Speedup = float64(sr.NsPerOp()) / float64(bench.NsPerOp)
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, bench)
+	}
+
+	// Feed collection: the parallel chunked engine vs the pre-parallel
+	// engine pinned in internal/benchref.
+	run("dataset_build",
+		func() {
+			if _, err := mailflow.New(world, sc.Collection).Run(); err != nil {
+				fatalf("parallel engine: %v", err)
+			}
+		},
+		func() {
+			if _, err := benchref.New(world, sc.Collection).Run(); err != nil {
+				fatalf("benchref engine: %v", err)
+			}
+		})
+
+	// Crawl labeling: concurrent vs one worker.
+	run("labeling",
+		func() { analysis.BuildLabelsConcurrent(world, res, 0) },
+		func() { analysis.BuildLabelsConcurrent(world, res, 1) })
+
+	// Analysis rows vs the serial references in analysis/serialref.go.
+	run("coverage_table3",
+		func() { analysis.Coverage(ds, analysis.ClassAll) },
+		func() { analysis.CoverageSerial(ds, analysis.ClassAll) })
+	run("intersections_fig2",
+		func() { analysis.Intersections(ds, analysis.ClassAll) },
+		func() { analysis.IntersectionsSerial(ds, analysis.ClassAll) })
+	run("purity_table2",
+		func() { analysis.Purity(ds) },
+		func() { analysis.PuritySerial(ds) })
+
+	// Reference-free rows, tracked on raw ns/op only.
+	run("proportion_fig7", func() { analysis.VariationDistances(ds) }, nil)
+	fig9 := analysis.Fig9Feeds(ds)
+	run("timing_fig9", func() { analysis.FirstAppearance(ds, fig9) }, nil)
+
+	return rep
+}
+
+// findRegressions compares cur against base and describes every
+// benchmark that regressed beyond maxRegression. Benchmarks present in
+// only one report are ignored (new or retired cases).
+func findRegressions(base, cur *Report) []string {
+	baseline := make(map[string]Bench, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	var regs []string
+	for _, c := range cur.Benchmarks {
+		b, ok := baseline[c.Name]
+		if !ok {
+			continue
+		}
+		if b.Speedup > 0 && c.Speedup > 0 {
+			// Speedup is measured against the in-process serial
+			// reference, so it transfers across machines.
+			if c.Speedup < b.Speedup/maxRegression {
+				regs = append(regs, fmt.Sprintf(
+					"%s: speedup %.2fx, baseline %.2fx (>25%% drop)",
+					c.Name, c.Speedup, b.Speedup))
+			}
+			continue
+		}
+		if b.NsPerOp > 0 && float64(c.NsPerOp) > float64(b.NsPerOp)*maxRegression {
+			regs = append(regs, fmt.Sprintf(
+				"%s: %d ns/op, baseline %d ns/op (>25%% slower)",
+				c.Name, c.NsPerOp, b.NsPerOp))
+		}
+	}
+	return regs
+}
+
+// table renders the human-readable summary.
+func table(rep *Report) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "rev %s  %s  GOMAXPROCS=%d  cpus=%d  scenario=%s\n\n",
+		rep.Rev, rep.GoVersion, rep.GOMAXPROCS, rep.NumCPU, rep.Scenario)
+	fmt.Fprintf(&sb, "%-22s %14s %12s %14s %8s\n",
+		"benchmark", "ns/op", "allocs/op", "serial ns/op", "speedup")
+	for _, b := range rep.Benchmarks {
+		serial, speedup := "-", "-"
+		if b.SerialNsPerOp > 0 {
+			serial = fmt.Sprintf("%d", b.SerialNsPerOp)
+			speedup = fmt.Sprintf("%.2fx", b.Speedup)
+		}
+		fmt.Fprintf(&sb, "%-22s %14d %12d %14s %8s\n",
+			b.Name, b.NsPerOp, b.AllocsPerOp, serial, speedup)
+	}
+	return sb.String()
+}
+
+func loadReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(buf, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// gitRev returns the short HEAD hash, or "dev" outside a checkout.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short=8", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rep(benches ...Bench) *Report {
+	return &Report{Rev: "test", Benchmarks: benches}
+}
+
+func TestFindRegressionsSpeedupDrop(t *testing.T) {
+	base := rep(Bench{Name: "coverage", NsPerOp: 100, SerialNsPerOp: 400, Speedup: 4.0})
+
+	// A 25% speedup drop is still tolerated.
+	ok := rep(Bench{Name: "coverage", NsPerOp: 500, SerialNsPerOp: 1650, Speedup: 3.3})
+	if regs := findRegressions(base, ok); len(regs) != 0 {
+		t.Fatalf("within-tolerance speedup flagged: %v", regs)
+	}
+
+	// Below baseline/1.25 fails — even though raw ns/op improved,
+	// meaning the check is machine-independent.
+	bad := rep(Bench{Name: "coverage", NsPerOp: 50, SerialNsPerOp: 100, Speedup: 2.0})
+	regs := findRegressions(base, bad)
+	if len(regs) != 1 || !strings.Contains(regs[0], "coverage") {
+		t.Fatalf("speedup regression not flagged: %v", regs)
+	}
+}
+
+func TestFindRegressionsNsPerOp(t *testing.T) {
+	base := rep(Bench{Name: "timing", NsPerOp: 1000})
+
+	if regs := findRegressions(base, rep(Bench{Name: "timing", NsPerOp: 1200})); len(regs) != 0 {
+		t.Fatalf("within-tolerance ns/op flagged: %v", regs)
+	}
+	regs := findRegressions(base, rep(Bench{Name: "timing", NsPerOp: 1300}))
+	if len(regs) != 1 || !strings.Contains(regs[0], "timing") {
+		t.Fatalf("ns/op regression not flagged: %v", regs)
+	}
+}
+
+func TestFindRegressionsIgnoresUnmatched(t *testing.T) {
+	base := rep(Bench{Name: "retired", NsPerOp: 1})
+	cur := rep(Bench{Name: "brand-new", NsPerOp: 1 << 40})
+	if regs := findRegressions(base, cur); len(regs) != 0 {
+		t.Fatalf("unmatched benchmarks flagged: %v", regs)
+	}
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"tasterschoice/internal/domain"
 	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/parallel"
 	"tasterschoice/internal/stats"
 )
 
@@ -51,7 +52,7 @@ func (c DomainClass) member(l *Label) bool {
 // set of plain strings.
 func FeedDomains(ds *Dataset, name string, class DomainClass) map[string]bool {
 	out := make(map[string]bool)
-	ds.Feed(name).Each(func(d domain.Name, _ feeds.DomainStat) {
+	ds.Feed(name).EachUnordered(func(d domain.Name, _ feeds.DomainStat) {
 		if class.member(ds.Labels.Get(d)) {
 			out[string(d)] = true
 		}
@@ -69,28 +70,26 @@ type CoverageRow struct {
 
 // Coverage computes Table 3 for one domain class. Exclusive counts
 // domains occurring in exactly one feed.
+//
+// The computation runs over the dataset's interned-domain bitsets
+// (see Index): Total is a popcount of the feed's class-filtered set
+// and Exclusive a popcount of that set minus the ids the once/multi
+// accumulators saw in two or more feeds. Rows are computed one feed
+// per worker; CoverageSerial is the pinned reference implementation
+// the golden test compares against.
 func Coverage(ds *Dataset, class DomainClass) []CoverageRow {
 	order := ds.Result.Order
-	sets := make([]map[string]bool, len(order))
-	for i, name := range order {
-		sets[i] = FeedDomains(ds, name, class)
-	}
-	occurrences := make(map[string]int)
-	for _, set := range sets {
-		for d := range set {
-			occurrences[d]++
-		}
-	}
+	cv := ds.Index().class(class)
+	nw := len(cv.multi.Words())
 	out := make([]CoverageRow, len(order))
-	for i, name := range order {
-		row := CoverageRow{Name: name, Total: len(sets[i])}
-		for d := range sets[i] {
-			if occurrences[d] == 1 {
-				row.Exclusive++
-			}
+	parallel.ForEach(0, len(order), func(i int) {
+		f := cv.feed[i]
+		out[i] = CoverageRow{
+			Name:      order[i],
+			Total:     f.Count(),
+			Exclusive: f.AndNotCountRange(f, cv.multi, 0, nw),
 		}
-		out[i] = row
-	}
+	})
 	return out
 }
 
@@ -112,7 +111,8 @@ type Matrix struct {
 	UnionSize int
 }
 
-// NewMatrix builds a pairwise matrix from named sets.
+// NewMatrix builds a pairwise matrix from named sets, computing one
+// row per worker.
 func NewMatrix(names []string, sets []map[string]bool) *Matrix {
 	n := len(names)
 	union := make(map[string]bool)
@@ -131,7 +131,7 @@ func NewMatrix(names []string, sets []map[string]bool) *Matrix {
 	for i := range sets {
 		m.SetSizes[i] = len(sets[i])
 	}
-	for i := 0; i < n; i++ {
+	parallel.ForEach(0, n, func(i int) {
 		m.Count[i] = make([]int, n+1)
 		m.Frac[i] = make([]float64, n+1)
 		for j := 0; j < n; j++ {
@@ -151,17 +151,40 @@ func NewMatrix(names []string, sets []map[string]bool) *Matrix {
 		// All column: the row's share of the union.
 		m.Count[i][n] = len(sets[i])
 		m.Frac[i][n] = stats.Fraction(len(sets[i]), len(union))
-	}
+	})
 	return m
 }
 
 // Intersections computes the pairwise domain-intersection matrix
-// (Figure 2) for a domain class.
+// (Figure 2) for a domain class. Pairwise counts run over the interned
+// bitsets, sharded one row per worker; IntersectionsSerial is the
+// pinned reference implementation.
 func Intersections(ds *Dataset, class DomainClass) *Matrix {
 	order := ds.Result.Order
-	sets := make([]map[string]bool, len(order))
-	for i, name := range order {
-		sets[i] = FeedDomains(ds, name, class)
+	cv := ds.Index().class(class)
+	n := len(order)
+	m := &Matrix{
+		Names:     append([]string(nil), order...),
+		Count:     make([][]int, n),
+		Frac:      make([][]float64, n),
+		SetSizes:  make([]int, n),
+		UnionSize: cv.unionSize,
 	}
-	return NewMatrix(order, sets)
+	sizes := make([]int, n)
+	parallel.ForEach(0, n, func(i int) {
+		sizes[i] = cv.feed[i].Count()
+	})
+	copy(m.SetSizes, sizes)
+	parallel.ForEach(0, n, func(i int) {
+		m.Count[i] = make([]int, n+1)
+		m.Frac[i] = make([]float64, n+1)
+		for j := 0; j < n; j++ {
+			c := cv.feed[i].AndCount(cv.feed[j])
+			m.Count[i][j] = c
+			m.Frac[i][j] = stats.Fraction(c, sizes[j])
+		}
+		m.Count[i][n] = sizes[i]
+		m.Frac[i][n] = stats.Fraction(sizes[i], cv.unionSize)
+	})
+	return m
 }

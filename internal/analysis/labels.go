@@ -71,11 +71,16 @@ func (ls *Labels) Get(d domain.Name) *Label { return ls.m[d] }
 // Len returns the number of labeled domains.
 func (ls *Labels) Len() int { return len(ls.m) }
 
-// Dataset bundles everything the analyses consume.
+// Dataset bundles everything the analyses consume. It is treated as
+// immutable once built; the analyses lazily attach an interned-domain
+// Index (see index.go) that the parallel table computations share.
 type Dataset struct {
 	World  *ecosystem.World
 	Result *mailflow.Result
 	Labels *Labels
+
+	idxOnce sync.Once
+	idx     *Index
 }
 
 // Union returns all labeled domains in sorted order.

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"tasterschoice/internal/parallel"
 	"tasterschoice/internal/stats"
 )
 
@@ -65,14 +66,14 @@ func VariationDistances(ds *Dataset) *PairwiseDist {
 	names, dists := proportionInputs(ds)
 	n := len(names)
 	out := &PairwiseDist{Names: names, Value: make([][]float64, n), OK: make([][]bool, n)}
-	for i := 0; i < n; i++ {
+	parallel.ForEach(0, n, func(i int) {
 		out.Value[i] = make([]float64, n)
 		out.OK[i] = make([]bool, n)
 		for j := 0; j < n; j++ {
 			out.Value[i][j] = stats.VariationDistance(dists[i], dists[j])
 			out.OK[i][j] = true
 		}
-	}
+	})
 	return out
 }
 
@@ -82,7 +83,7 @@ func KendallTaus(ds *Dataset) *PairwiseDist {
 	names, dists := proportionInputs(ds)
 	n := len(names)
 	out := &PairwiseDist{Names: names, Value: make([][]float64, n), OK: make([][]bool, n)}
-	for i := 0; i < n; i++ {
+	parallel.ForEach(0, n, func(i int) {
 		out.Value[i] = make([]float64, n)
 		out.OK[i] = make([]bool, n)
 		for j := 0; j < n; j++ {
@@ -90,20 +91,24 @@ func KendallTaus(ds *Dataset) *PairwiseDist {
 			out.Value[i][j] = tau
 			out.OK[i][j] = ok
 		}
-	}
+	})
 	return out
 }
 
 // proportionInputs assembles the Mail oracle distribution plus each
-// volume feed's tagged distribution.
+// volume feed's tagged distribution, one input per worker.
 func proportionInputs(ds *Dataset) ([]string, []stats.Dist) {
 	names := append([]string{MailColumn}, VolumeFeeds(ds)...)
 	dists := make([]stats.Dist, len(names))
-	// The Mail distribution covers tagged domains appearing in at
-	// least one feed (pi = 0 outside the union, per the paper).
-	dists[0] = ds.Result.Oracle.Dist(taggedUnion(ds))
-	for i, name := range names[1:] {
-		dists[i+1] = feedTaggedDist(ds, name)
-	}
+	parallel.ForEach(0, len(names), func(i int) {
+		if i == 0 {
+			// The Mail distribution covers tagged domains appearing in
+			// at least one feed (pi = 0 outside the union, per the
+			// paper).
+			dists[0] = ds.Result.Oracle.Dist(taggedUnion(ds))
+			return
+		}
+		dists[i] = feedTaggedDist(ds, names[i])
+	})
 	return names, dists
 }

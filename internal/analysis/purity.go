@@ -3,6 +3,7 @@ package analysis
 import (
 	"tasterschoice/internal/domain"
 	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/parallel"
 	"tasterschoice/internal/stats"
 )
 
@@ -26,16 +27,20 @@ type PurityRow struct {
 	Alexa float64
 }
 
-// Purity computes Table 2.
+// Purity computes Table 2, one feed row per worker. The per-feed
+// indicator sums walk the interned index's label array instead of
+// hashing domain strings; PuritySerial is the pinned reference.
 func Purity(ds *Dataset) []PurityRow {
-	out := make([]PurityRow, 0, len(ds.Result.Order))
-	for _, name := range ds.Result.Order {
-		f := ds.Feed(name)
+	order := ds.Result.Order
+	ix := ds.Index()
+	out := make([]PurityRow, len(order))
+	parallel.ForEach(0, len(order), func(i int) {
+		name := order[i]
 		var covered, dns, http, tagged, odp, alexa, total int
-		f.Each(func(d domain.Name, _ feeds.DomainStat) {
-			l := ds.Labels.Get(d)
+		for _, id := range ix.FeedIDs(name) {
+			l := ix.Label(id)
 			if l == nil {
-				return
+				continue
 			}
 			total++
 			if l.InZoneTLD {
@@ -56,8 +61,8 @@ func Purity(ds *Dataset) []PurityRow {
 			if l.Alexa {
 				alexa++
 			}
-		})
-		out = append(out, PurityRow{
+		}
+		out[i] = PurityRow{
 			Name:    name,
 			DNS:     stats.Fraction(dns, covered),
 			Covered: stats.Fraction(covered, total),
@@ -65,7 +70,49 @@ func Purity(ds *Dataset) []PurityRow {
 			Tagged:  stats.Fraction(tagged, total),
 			ODP:     stats.Fraction(odp, total),
 			Alexa:   stats.Fraction(alexa, total),
-		})
-	}
+		}
+	})
 	return out
+}
+
+// purityRow computes one feed's Table 2 row the original way — a
+// sorted walk with per-domain label lookups — for the serial
+// reference.
+func purityRow(ds *Dataset, name string) PurityRow {
+	f := ds.Feed(name)
+	var covered, dns, http, tagged, odp, alexa, total int
+	f.Each(func(d domain.Name, _ feeds.DomainStat) {
+		l := ds.Labels.Get(d)
+		if l == nil {
+			return
+		}
+		total++
+		if l.InZoneTLD {
+			covered++
+			if l.DNS {
+				dns++
+			}
+		}
+		if l.HTTP {
+			http++
+		}
+		if l.Tagged {
+			tagged++
+		}
+		if l.ODP {
+			odp++
+		}
+		if l.Alexa {
+			alexa++
+		}
+	})
+	return PurityRow{
+		Name:    name,
+		DNS:     stats.Fraction(dns, covered),
+		Covered: stats.Fraction(covered, total),
+		HTTP:    stats.Fraction(http, total),
+		Tagged:  stats.Fraction(tagged, total),
+		ODP:     stats.Fraction(odp, total),
+		Alexa:   stats.Fraction(alexa, total),
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"tasterschoice/internal/domain"
+	"tasterschoice/internal/parallel"
 	"tasterschoice/internal/stats"
 )
 
@@ -59,8 +60,9 @@ candidates:
 // intersection.
 func FirstAppearance(ds *Dataset, feedNames []string) []TimingRow {
 	domains := timingDomains(ds, feedNames)
-	rows := make([]TimingRow, 0, len(feedNames))
-	for _, name := range feedNames {
+	rows := make([]TimingRow, len(feedNames))
+	parallel.ForEach(0, len(feedNames), func(i int) {
+		name := feedNames[i]
 		var deltas []time.Duration
 		for _, d := range domains {
 			start, ok := campaignStart(ds, feedNames, d)
@@ -73,8 +75,8 @@ func FirstAppearance(ds *Dataset, feedNames []string) []TimingRow {
 			}
 			deltas = append(deltas, s.First.Sub(start))
 		}
-		rows = append(rows, TimingRow{Name: name, Summary: stats.SummarizeDurations(deltas)})
-	}
+		rows[i] = TimingRow{Name: name, Summary: stats.SummarizeDurations(deltas)}
+	})
 	return rows
 }
 
@@ -83,8 +85,9 @@ func FirstAppearance(ds *Dataset, feedNames []string) []TimingRow {
 // campaign end is the latest appearance across those same feeds.
 func LastAppearance(ds *Dataset, feedNames []string) []TimingRow {
 	domains := timingDomains(ds, feedNames)
-	rows := make([]TimingRow, 0, len(feedNames))
-	for _, name := range feedNames {
+	rows := make([]TimingRow, len(feedNames))
+	parallel.ForEach(0, len(feedNames), func(i int) {
+		name := feedNames[i]
 		var deltas []time.Duration
 		for _, d := range domains {
 			end, ok := campaignEnd(ds, feedNames, d)
@@ -97,8 +100,8 @@ func LastAppearance(ds *Dataset, feedNames []string) []TimingRow {
 			}
 			deltas = append(deltas, end.Sub(s.Last))
 		}
-		rows = append(rows, TimingRow{Name: name, Summary: stats.SummarizeDurations(deltas)})
-	}
+		rows[i] = TimingRow{Name: name, Summary: stats.SummarizeDurations(deltas)}
+	})
 	return rows
 }
 
@@ -109,8 +112,9 @@ func LastAppearance(ds *Dataset, feedNames []string) []TimingRow {
 // differences are non-negative.
 func Duration(ds *Dataset, feedNames []string) []TimingRow {
 	domains := timingDomains(ds, feedNames)
-	rows := make([]TimingRow, 0, len(feedNames))
-	for _, name := range feedNames {
+	rows := make([]TimingRow, len(feedNames))
+	parallel.ForEach(0, len(feedNames), func(i int) {
+		name := feedNames[i]
 		var deltas []time.Duration
 		for _, d := range domains {
 			start, ok1 := campaignStart(ds, feedNames, d)
@@ -126,8 +130,8 @@ func Duration(ds *Dataset, feedNames []string) []TimingRow {
 			lifetime := s.Last.Sub(s.First)
 			deltas = append(deltas, campaign-lifetime)
 		}
-		rows = append(rows, TimingRow{Name: name, Summary: stats.SummarizeDurations(deltas)})
-	}
+		rows[i] = TimingRow{Name: name, Summary: stats.SummarizeDurations(deltas)}
+	})
 	return rows
 }
 

@@ -1,0 +1,477 @@
+// Package benchref pins the pre-parallel mailflow engine as a frozen
+// serial baseline. cmd/bench runs it next to the current engine to
+// report an honest dataset-build speedup: the baseline never picks up
+// later optimizations, so the ratio measures real progress rather than
+// drift. Nothing outside benchmarks should import this package.
+//
+// The code is a verbatim snapshot of internal/mailflow's engine and
+// webmail at the revision that introduced the parallel engine, edited
+// only to borrow mailflow's exported types (Config, Result, FeedNames,
+// PoisonSource). Do not "fix" or optimize it; its value is standing
+// still.
+package benchref
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/ecosystem"
+	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/mailflow"
+	"tasterschoice/internal/oracle"
+	"tasterschoice/internal/randutil"
+	"tasterschoice/internal/simclock"
+)
+
+// Engine runs collection over a generated world with the frozen serial
+// algorithm.
+type Engine struct {
+	World *ecosystem.World
+	Cfg   mailflow.Config
+
+	window simclock.Window
+	res    *mailflow.Result
+	wm     *webmail
+
+	// mxExp[i][b] is honeypot i's arrivals-per-volume for botnet b.
+	mxExp [3][]float64
+
+	chaffRng  *randutil.RNG
+	chaffZipf *randutil.Zipf
+}
+
+// New creates an engine; Run may be called once.
+func New(w *ecosystem.World, cfg mailflow.Config) *Engine {
+	return &Engine{World: w, Cfg: cfg, window: w.Config.Window}
+}
+
+// Run performs the whole collection with the frozen serial algorithm.
+func (e *Engine) Run() (*mailflow.Result, error) {
+	if err := e.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e.res = &mailflow.Result{
+		Feeds: map[string]*feeds.Feed{
+			"Hu":    feeds.New("Hu", feeds.KindHuman, false, false),
+			"dbl":   feeds.New("dbl", feeds.KindBlacklist, false, false),
+			"uribl": feeds.New("uribl", feeds.KindBlacklist, false, false),
+			"mx1":   feeds.New("mx1", feeds.KindMXHoneypot, true, true),
+			"mx2":   feeds.New("mx2", feeds.KindMXHoneypot, true, true),
+			"mx3":   feeds.New("mx3", feeds.KindMXHoneypot, true, true),
+			"Ac1":   feeds.New("Ac1", feeds.KindHoneyAccount, true, true),
+			"Ac2":   feeds.New("Ac2", feeds.KindHoneyAccount, true, true),
+			"Bot":   feeds.New("Bot", feeds.KindBotnet, true, true),
+			"Hyb":   feeds.New("Hyb", feeds.KindHybrid, false, true),
+		},
+		Order:  append([]string(nil), mailflow.FeedNames...),
+		Oracle: oracle.New(oracle.PaperOracleWindow(e.window)),
+	}
+	e.wm = newWebmail(&e.Cfg, e.window, e.res.Feed("Hu"), e.res.Oracle)
+
+	root := randutil.New(e.Cfg.Seed)
+	e.chaffRng = root.SplitNamed("chaff")
+	chaffN := e.Cfg.ChaffTopN
+	if chaffN <= 0 || chaffN > len(e.World.Benign) {
+		chaffN = len(e.World.Benign)
+	}
+	if chaffN > 0 {
+		e.chaffZipf = randutil.NewZipf(e.chaffRng, e.Cfg.ChaffZipfS, chaffN)
+	}
+	e.initExposures(root.SplitNamed("exposures"))
+
+	for i := range e.World.Campaigns {
+		e.observeCampaign(&e.World.Campaigns[i])
+	}
+	e.typoTraffic(root.SplitNamed("typos"))
+	e.honeypotJunk(root.SplitNamed("hpjunk"))
+	e.poison(root.SplitNamed("poison"))
+	e.huJunk(root.SplitNamed("hujunk"))
+	e.blacklistJunk(root.SplitNamed("bljunk"))
+	e.benignBaseline()
+	e.restrictBlacklists()
+
+	e.res.HumanReports = e.wm.reports
+	return e.res, nil
+}
+
+// initExposures draws the per-(honeypot, botnet) list-presence
+// multipliers.
+func (e *Engine) initExposures(rng *randutil.RNG) {
+	for i := 0; i < 3; i++ {
+		sigma := e.Cfg.MXSpreadSigma[i]
+		e.mxExp[i] = make([]float64, len(e.World.Botnets))
+		for b := range e.World.Botnets {
+			mult := rng.LogNormal(-sigma*sigma/2, sigma)
+			if i == 2 && e.World.Botnets[b].Monitored {
+				mult *= e.Cfg.MX3MonitoredBoost
+			}
+			e.mxExp[i][b] = e.Cfg.MXExposure[i] * mult
+		}
+	}
+}
+
+// chaffDomain picks a benign domain weighted toward the popular ones.
+func (e *Engine) chaffDomain() (domain.Name, bool) {
+	if e.chaffZipf == nil {
+		return "", false
+	}
+	return e.World.Benign[e.chaffZipf.Next()].Name, true
+}
+
+// uniformTimes returns n times uniform over w.
+func uniformTimes(rng *randutil.RNG, w simclock.Window, n int) []time.Time {
+	out := make([]time.Time, n)
+	span := float64(w.Duration())
+	for i := range out {
+		out[i] = w.Start.Add(time.Duration(rng.Float64() * span))
+	}
+	return out
+}
+
+// observe records n arrivals of a URL-reporting feed, with chaff.
+func (e *Engine) observe(rng *randutil.RNG, f *feeds.Feed, w simclock.Window,
+	n int, d domain.Name, url string) {
+	if !w.End.After(w.Start) {
+		return
+	}
+	for _, t := range uniformTimes(rng, w, n) {
+		f.Observe(t, d, url)
+		if e.Cfg.ChaffProb > 0 && rng.Bool(e.Cfg.ChaffProb) {
+			if cd, ok := e.chaffDomain(); ok {
+				f.Observe(t, cd, ecosystem.ChaffURL(cd))
+			}
+		}
+	}
+}
+
+// slotWindow clips an ad slot to the measurement window.
+func (e *Engine) slotWindow(d *ecosystem.AdDomain) (simclock.Window, float64) {
+	start, end := d.Start, d.End
+	if start.Before(e.window.Start) {
+		start = e.window.Start
+	}
+	if end.After(e.window.End) {
+		end = e.window.End
+	}
+	if !end.After(start) {
+		return simclock.Window{}, 0
+	}
+	frac := float64(end.Sub(start)) / float64(d.End.Sub(d.Start))
+	return simclock.Window{Start: start, End: end}, frac
+}
+
+// observeCampaign routes one campaign's output to every collection
+// point that can see it.
+func (e *Engine) observeCampaign(c *ecosystem.Campaign) {
+	if c.Class == ecosystem.ClassWebOnly {
+		e.observeWebOnly(c)
+		return
+	}
+	rng := randutil.NewNamed(e.Cfg.Seed, fmt.Sprintf("campaign-%d", c.ID))
+
+	var acIncl [2]bool
+	var acMult [2]float64
+	for i := 0; i < 2; i++ {
+		acIncl[i] = rng.Bool(e.Cfg.AcInclusionProb[i])
+		sigma := e.Cfg.AcSpreadSigma[i]
+		acMult[i] = rng.LogNormal(-sigma*sigma/2, sigma)
+	}
+	hybIncluded := rng.Bool(e.hybInclusion(c))
+
+	for si := range c.Domains {
+		slot := &c.Domains[si]
+		w, frac := e.slotWindow(slot)
+		if frac == 0 {
+			continue
+		}
+		v := c.Volume * slot.Weight * frac
+		url := ecosystem.AdURL(c, *slot)
+		e.observeSlot(rng, c, slot, w, v, url, acIncl, acMult, hybIncluded)
+	}
+}
+
+func (e *Engine) observeSlot(rng *randutil.RNG, c *ecosystem.Campaign,
+	slot *ecosystem.AdDomain, w simclock.Window, v float64, url string,
+	acIncl [2]bool, acMult [2]float64, hybIncluded bool) {
+	cfg := &e.Cfg
+	d := slot.Name
+
+	if c.Class == ecosystem.ClassLoud {
+		b := &e.World.Botnets[c.Botnet]
+		lead, blast := e.stealthSplit(rng, slot, w)
+		prefiltered := v > cfg.HuPrefilterVolume && rng.Bool(cfg.HuPrefilterProb)
+		for i, name := range []string{"mx1", "mx2", "mx3"} {
+			if !rng.Bool(e.Cfg.MXInclusionProb[i]) {
+				continue
+			}
+			n := rng.Poisson(v * e.mxExp[i][c.Botnet] * b.BruteForceFrac)
+			e.observe(rng, e.res.Feed(name), blast, n, d, url)
+		}
+		for i, name := range []string{"Ac1", "Ac2"} {
+			if !acIncl[i] {
+				continue
+			}
+			n := rng.Poisson(v * cfg.AcExposure[i] * acMult[i] * b.HarvestedFrac)
+			e.observe(rng, e.res.Feed(name), blast, n, d, url)
+		}
+		if b.Monitored {
+			n := rng.Poisson(v * cfg.BotCaptureRate)
+			e.observe(rng, e.res.Feed("Bot"), blast, n, d, url)
+		}
+		if hybIncluded {
+			n := rng.Poisson(v * cfg.HybExposure)
+			e.observe(rng, e.res.Feed("Hyb"), blast, n, d, url)
+		}
+		webmailRate := v * cfg.WebmailExposure * b.WebmailFrac
+		if lead.End.After(lead.Start) {
+			nt := rng.Poisson(webmailRate * cfg.StealthTrickle)
+			times := uniformTimes(rng, lead, nt)
+			if prefiltered {
+				e.wm.recordOnly(times, d)
+			} else {
+				e.wm.deliver(rng, times, d, ecosystem.ClassQuiet, e.chaffDomain)
+			}
+		}
+		if blast.End.After(blast.Start) {
+			nb := rng.Poisson(webmailRate)
+			times := uniformTimes(rng, blast, nb)
+			if prefiltered {
+				e.wm.recordOnly(times, d)
+			} else {
+				e.wm.deliver(rng, times, d, c.Class, e.chaffDomain)
+			}
+		}
+	} else {
+		exposure := cfg.QuietWebmailExposure
+		switch {
+		case c.Class == ecosystem.ClassTiny:
+			exposure = cfg.TinyWebmailExposure
+		case c.Program < 0:
+			exposure = cfg.OtherQuietWebmailExposure
+		}
+		n := rng.Poisson(v * exposure)
+		e.wm.deliver(rng, uniformTimes(rng, w, n), d, c.Class, e.chaffDomain)
+		if hybIncluded {
+			k := rng.Poisson(cfg.HybQuietObs)
+			e.observe(rng, e.res.Feed("Hyb"), w, k, d, url)
+		}
+	}
+
+	e.blacklist(rng, "dbl", &cfg.DBL, c, slot, w)
+	e.blacklist(rng, "uribl", &cfg.URIBL, c, slot, w)
+}
+
+// stealthSplit divides a loud ad slot's clipped window into the
+// stealth lead-in and the blast phase.
+func (e *Engine) stealthSplit(rng *randutil.RNG, slot *ecosystem.AdDomain,
+	w simclock.Window) (lead, blast simclock.Window) {
+	cfg := &e.Cfg
+	leadDays := cfg.StealthLeadMinDays +
+		rng.Float64()*(cfg.StealthLeadMaxDays-cfg.StealthLeadMinDays)
+	leadDur := time.Duration(leadDays * 24 * float64(time.Hour))
+	if max := slot.End.Sub(slot.Start) / 2; leadDur > max {
+		leadDur = max
+	}
+	leadEnd := slot.Start.Add(leadDur)
+	if leadEnd.Before(w.Start) {
+		leadEnd = w.Start
+	}
+	if leadEnd.After(w.End) {
+		leadEnd = w.End
+	}
+	return simclock.Window{Start: w.Start, End: leadEnd},
+		simclock.Window{Start: leadEnd, End: w.End}
+}
+
+// hybInclusion returns the probability the hybrid feed's sources pick
+// up a campaign.
+func (e *Engine) hybInclusion(c *ecosystem.Campaign) float64 {
+	cfg := &e.Cfg
+	switch c.Class {
+	case ecosystem.ClassLoud:
+		const vLo, vHi = 5e3, 3e5
+		t := (math.Log(math.Max(c.Volume, vLo)) - math.Log(vLo)) /
+			(math.Log(vHi) - math.Log(vLo))
+		if t > 1 {
+			t = 1
+		}
+		return cfg.HybLoudInclusionLow + t*(cfg.HybLoudInclusionHigh-cfg.HybLoudInclusionLow)
+	case ecosystem.ClassTiny:
+		return cfg.HybTinyInclusion
+	default:
+		return cfg.HybQuietInclusion
+	}
+}
+
+// observeWebOnly records the hybrid feed's web-spam discoveries.
+func (e *Engine) observeWebOnly(c *ecosystem.Campaign) {
+	rng := randutil.NewNamed(e.Cfg.Seed, fmt.Sprintf("campaign-%d", c.ID))
+	for si := range c.Domains {
+		slot := &c.Domains[si]
+		w, frac := e.slotWindow(slot)
+		if frac == 0 {
+			continue
+		}
+		days := w.Duration().Hours() / 24
+		n := rng.Poisson(e.Cfg.HybWebObsPerDay * days)
+		if n == 0 && rng.Bool(0.7) {
+			n = 1
+		}
+		e.observe(rng, e.res.Feed("Hyb"), w, n, slot.Name, ecosystem.AdURL(c, *slot))
+	}
+}
+
+// blacklistClassProb returns the listing probability for a slot.
+func blacklistClassProb(bc *mailflow.BlacklistConfig, c *ecosystem.Campaign, slot *ecosystem.AdDomain) float64 {
+	var p float64
+	switch {
+	case c.Class == ecosystem.ClassLoud && c.Program >= 0:
+		p = bc.ListProbLoud
+	case c.Class == ecosystem.ClassLoud:
+		p = bc.ListProbOtherLoud
+	case c.Class == ecosystem.ClassTiny:
+		p = bc.ListProbTiny
+	case c.Program >= 0:
+		p = bc.ListProbQuiet
+	default:
+		p = bc.ListProbOtherQuiet
+	}
+	if slot.Redirector {
+		p *= 0.08
+	}
+	return p
+}
+
+// blacklist decides whether and when a blacklist lists a slot's domain.
+func (e *Engine) blacklist(rng *randutil.RNG, name string, bc *mailflow.BlacklistConfig,
+	c *ecosystem.Campaign, slot *ecosystem.AdDomain, w simclock.Window) {
+	if !rng.Bool(blacklistClassProb(bc, c, slot)) {
+		return
+	}
+	latency := rng.LogNormal(0, bc.LatencySigma) * bc.LatencyMedianHours
+	at := w.Start.Add(time.Duration(latency * float64(time.Hour)))
+	if at.Before(e.window.Start) {
+		at = e.window.Start
+	}
+	if !at.Before(e.window.End) {
+		return
+	}
+	e.res.Feed(name).ObserveOnce(at, slot.Name)
+}
+
+// typoTraffic delivers stray legitimate mail to the MX honeypots.
+func (e *Engine) typoTraffic(rng *randutil.RNG) {
+	days := e.window.Duration().Hours() / 24
+	for _, name := range []string{"mx1", "mx2", "mx3"} {
+		n := rng.Poisson(e.Cfg.MXTypoRate * days)
+		f := e.res.Feed(name)
+		for _, t := range uniformTimes(rng, e.window, n) {
+			if cd, ok := e.chaffDomain(); ok {
+				f.Observe(t, cd, ecosystem.ChaffURL(cd))
+			}
+		}
+	}
+}
+
+// honeypotJunk adds each honeypot-style feed's trickle of one-off
+// junk domains.
+func (e *Engine) honeypotJunk(rng *randutil.RNG) {
+	days := e.window.Duration().Hours() / 24
+	for _, name := range []string{"mx1", "mx2", "mx3", "Ac1", "Ac2"} {
+		n := rng.Poisson(e.Cfg.HoneypotJunkPerDay * days)
+		f := e.res.Feed(name)
+		for _, t := range uniformTimes(rng, e.window, n) {
+			var d domain.Name
+			if len(e.World.Obscure) > 0 && rng.Bool(0.15) {
+				d = e.World.Obscure[rng.Intn(len(e.World.Obscure))]
+			} else {
+				d = domain.Name(rng.AlphaNum(6+rng.Intn(10)) + ".com")
+			}
+			f.Observe(t, d, "http://"+string(d)+"/")
+		}
+	}
+}
+
+// poison injects the Rustock episode into the Bot and mx2 feeds.
+func (e *Engine) poison(rng *randutil.RNG) {
+	if e.World.Poisoner() == nil {
+		return
+	}
+	pw := e.World.PoisonWindow()
+	if !pw.End.After(pw.Start) {
+		return
+	}
+	inject := func(feed string, arrivals int, fresh float64, stream string) {
+		src := mailflow.NewPoisonSource(rng.SplitNamed(stream), fresh, e.Cfg.PoisonLiveHitProb, e.World.Obscure)
+		f := e.res.Feed(feed)
+		tRng := rng.SplitNamed(stream + "-times")
+		for _, t := range uniformTimes(tRng, pw, arrivals) {
+			d := src.Next()
+			f.Observe(t, d, "http://"+string(d)+"/")
+		}
+	}
+	inject("Bot", e.Cfg.PoisonBotArrivals, e.Cfg.PoisonFreshProbBot, "bot")
+	inject("mx2", e.Cfg.PoisonMX2Arrivals, e.Cfg.PoisonFreshProbMX2, "mx2")
+}
+
+// huJunk adds bogus human reports to Hu.
+func (e *Engine) huJunk(rng *randutil.RNG) {
+	n := rng.Poisson(e.Cfg.HuJunkReports)
+	f := e.res.Feed("Hu")
+	for _, t := range uniformTimes(rng, e.window, n) {
+		d := domain.Name(rng.AlphaNum(5+rng.Intn(9)) + ".com")
+		f.Observe(t, d, "")
+	}
+}
+
+// blacklistJunk adds each blacklist's rare benign-domain mistakes.
+func (e *Engine) blacklistJunk(rng *randutil.RNG) {
+	benign := e.World.Benign
+	if len(benign) == 0 {
+		return
+	}
+	hi := e.Cfg.ChaffTopN
+	if hi <= 0 || hi > len(benign) {
+		hi = len(benign)
+	}
+	lo := hi / 5
+	lists := []struct {
+		name string
+		bc   *mailflow.BlacklistConfig
+	}{{"dbl", &e.Cfg.DBL}, {"uribl", &e.Cfg.URIBL}}
+	for _, l := range lists {
+		f := e.res.Feed(l.name)
+		n := rng.Poisson(l.bc.JunkBenign)
+		for _, t := range uniformTimes(rng, e.window, n) {
+			d := benign[lo+rng.Intn(hi-lo)].Name
+			f.ObserveOnce(t, d)
+		}
+	}
+}
+
+// benignBaseline adds legitimate-mail volume for benign domains.
+func (e *Engine) benignBaseline() {
+	for i := range e.World.Benign {
+		b := &e.World.Benign[i]
+		n := int64(e.Cfg.BenignMailTop / math.Pow(float64(b.Rank+1), e.Cfg.BenignMailZipfS))
+		e.res.Oracle.AddBulk(b.Name, n)
+	}
+}
+
+// restrictBlacklists drops blacklist entries never seen in a base feed.
+func (e *Engine) restrictBlacklists() {
+	base := e.res.BaseOrder()
+	keep := func(d domain.Name) bool {
+		for _, name := range base {
+			if e.res.Feed(name).Has(d) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, bl := range []string{"dbl", "uribl"} {
+		e.res.Feed(bl).Retain(keep)
+	}
+}

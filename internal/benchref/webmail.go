@@ -1,0 +1,102 @@
+package benchref
+
+import (
+	"sort"
+	"time"
+
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/ecosystem"
+	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/mailflow"
+	"tasterschoice/internal/oracle"
+	"tasterschoice/internal/randutil"
+	"tasterschoice/internal/simclock"
+)
+
+// webmail is the frozen single-map webmail model; see the package
+// comment. Every incoming message is counted by the oracle, the filter
+// drops most loud spam, surviving messages sometimes earn a "this is
+// spam" click, and each report feeds the filter.
+type webmail struct {
+	cfg    *mailflow.Config
+	window simclock.Window
+	hu     *feeds.Feed
+	oracle *oracle.Oracle
+	// firstReport records the earliest report time per domain.
+	firstReport map[domain.Name]time.Time
+	// reports counts total human reports.
+	reports int64
+}
+
+func newWebmail(cfg *mailflow.Config, window simclock.Window, hu *feeds.Feed, o *oracle.Oracle) *webmail {
+	return &webmail{
+		cfg:         cfg,
+		window:      window,
+		hu:          hu,
+		oracle:      o,
+		firstReport: make(map[domain.Name]time.Time),
+	}
+}
+
+// evasion returns the filter-evasion probability for a campaign class.
+func (wm *webmail) evasion(class ecosystem.CampaignClass) float64 {
+	switch class {
+	case ecosystem.ClassLoud:
+		return wm.cfg.InboxEvasionLoud
+	case ecosystem.ClassTiny:
+		return wm.cfg.InboxEvasionTiny
+	default:
+		return wm.cfg.InboxEvasionQuiet
+	}
+}
+
+// deliver processes a batch of incoming messages naming d.
+func (wm *webmail) deliver(rng *randutil.RNG, times []time.Time, d domain.Name,
+	class ecosystem.CampaignClass, chaff func() (domain.Name, bool)) {
+	if len(times) == 0 {
+		return
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+	evade := wm.evasion(class)
+	for _, t := range times {
+		wm.oracle.Record(t, d)
+		inbox := false
+		if rt, reported := wm.firstReport[d]; reported && t.After(rt) {
+			inbox = !rng.Bool(wm.cfg.FilterAfterReport)
+		} else {
+			inbox = rng.Bool(evade)
+		}
+		if !inbox || !rng.Bool(wm.cfg.ReportProb) {
+			continue
+		}
+		delay := rng.LogNormal(0, wm.cfg.ReportDelaySigma) * wm.cfg.ReportDelayMedianHours
+		rt := t.Add(time.Duration(delay * float64(time.Hour)))
+		if !rt.Before(wm.window.End) {
+			continue
+		}
+		wm.report(rng, rt, d, chaff)
+	}
+}
+
+// report records a human spam report at time rt.
+func (wm *webmail) report(rng *randutil.RNG, rt time.Time, d domain.Name,
+	chaff func() (domain.Name, bool)) {
+	wm.reports++
+	wm.hu.Observe(rt, d, "")
+	if prev, ok := wm.firstReport[d]; !ok || rt.Before(prev) {
+		wm.firstReport[d] = rt
+	}
+	if chaff != nil && rng.Bool(wm.cfg.HuChaffProb) {
+		if cd, ok := chaff(); ok {
+			wm.hu.Observe(rt, cd, "")
+		}
+	}
+}
+
+// recordOnly counts incoming messages for the oracle without any
+// chance of inbox delivery.
+func (wm *webmail) recordOnly(times []time.Time, d domain.Name) {
+	for _, t := range times {
+		wm.oracle.Record(t, d)
+	}
+}

@@ -233,6 +233,15 @@ func (f *Feed) Each(fn func(d domain.Name, s DomainStat)) {
 	}
 }
 
+// EachUnordered calls fn for every domain in unspecified order. Hot
+// paths that aggregate order-independent values (sets, sums, min/max)
+// use it to skip Each's per-call sort.
+func (f *Feed) EachUnordered(fn func(d domain.Name, s DomainStat)) {
+	for d, s := range f.stats {
+		fn(d, *s)
+	}
+}
+
 // Retain drops every domain for which keep returns false, returning the
 // number removed. The paper applies this to blacklist feeds, keeping
 // only entries that co-occur in a base feed (blacklist-only domains

@@ -29,6 +29,12 @@ type Config struct {
 	// ecosystem seed so the same world can be observed repeatedly.
 	Seed uint64
 
+	// Workers bounds the engine's worker count for campaign planning
+	// and webmail-chain draining; 0 or negative selects GOMAXPROCS.
+	// The output is byte-identical for every value — parallelism only
+	// changes wall-clock time, never results (see the golden tests).
+	Workers int
+
 	// --- MX honeypots --------------------------------------------
 	// MXExposure is the base exposure of each of the three MX
 	// honeypots to loud botnet mail (brute-force lists cover their

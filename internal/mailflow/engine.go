@@ -9,6 +9,7 @@ import (
 	"tasterschoice/internal/ecosystem"
 	"tasterschoice/internal/feeds"
 	"tasterschoice/internal/oracle"
+	"tasterschoice/internal/parallel"
 	"tasterschoice/internal/randutil"
 	"tasterschoice/internal/simclock"
 )
@@ -70,7 +71,23 @@ func (r *Result) BaseOrder() []string {
 	return out
 }
 
+// planChunkSize is how many campaigns are planned in parallel before
+// their buffered output is merged and the webmail chains drained. It
+// bounds peak buffered-event memory without affecting results: chunk
+// boundaries only group work, never reorder it.
+const planChunkSize = 1024
+
 // Engine runs collection over a generated world.
+//
+// The run is a chunked plan/merge pipeline. Workers plan disjoint
+// campaigns concurrently (see plan.go), each drawing only from its
+// campaign's private RNG stream; the engine replays the buffered feed
+// observations serially in campaign ID order, then drains the queued
+// webmail batches through per-domain chains sharded across workers
+// (see webmail.go). Because work is assigned by campaign ID and domain
+// hash — pure functions of the input, never of timing — the output is
+// byte-identical for every Config.Workers value and GOMAXPROCS
+// setting; the golden tests pin this down.
 type Engine struct {
 	World *ecosystem.World
 	Cfg   Config
@@ -82,6 +99,8 @@ type Engine struct {
 	window simclock.Window
 	res    *Result
 	wm     *webmail
+	// feedArr holds the feeds in FeedNames order for indexed replay.
+	feedArr [fHyb + 1]*feeds.Feed
 
 	// mxExp[i][b] is honeypot i's arrivals-per-volume for botnet b.
 	mxExp [3][]float64
@@ -135,7 +154,11 @@ func (e *Engine) Run() (res *Result, err error) {
 	if e.OnFeeds != nil {
 		e.OnFeeds(e.res.Feeds)
 	}
+	for i, name := range FeedNames {
+		e.feedArr[i] = e.res.Feed(name)
+	}
 	e.wm = newWebmail(&e.Cfg, e.window, e.res.Feed("Hu"), e.res.Oracle)
+	e.wm.chaffWith = e.chaffDomainWith
 
 	root := randutil.New(e.Cfg.Seed)
 	e.chaffRng = root.SplitNamed("chaff")
@@ -148,9 +171,8 @@ func (e *Engine) Run() (res *Result, err error) {
 	}
 	e.initExposures(root.SplitNamed("exposures"))
 
-	for i := range e.World.Campaigns {
-		e.observeCampaign(&e.World.Campaigns[i])
-	}
+	e.observeCampaigns(parallel.Workers(e.Cfg.Workers))
+
 	e.typoTraffic(root.SplitNamed("typos"))
 	e.honeypotJunk(root.SplitNamed("hpjunk"))
 	e.poison(root.SplitNamed("poison"))
@@ -161,6 +183,40 @@ func (e *Engine) Run() (res *Result, err error) {
 
 	e.res.HumanReports = e.wm.reports
 	return e.res, nil
+}
+
+// observeCampaigns runs the chunked plan/merge pipeline over every
+// campaign: plan a chunk in parallel, replay its feed observations in
+// campaign order, queue its webmail batches, drain the chains.
+func (e *Engine) observeCampaigns(workers int) {
+	camps := e.World.Campaigns
+	plans := make([]*campaignPlan, 0, planChunkSize)
+	for lo := 0; lo < len(camps); lo += planChunkSize {
+		hi := lo + planChunkSize
+		if hi > len(camps) {
+			hi = len(camps)
+		}
+		plans = plans[:hi-lo]
+		parallel.ForEach(workers, hi-lo, func(i int) {
+			plans[i] = e.planCampaign(&camps[lo+i])
+		})
+		for i, p := range plans {
+			for j := range p.obs {
+				o := &p.obs[j]
+				f := e.feedArr[o.feed]
+				if o.once {
+					f.ObserveOnce(o.t, o.d)
+				} else {
+					f.Observe(o.t, o.d, o.url)
+				}
+			}
+			for _, b := range p.batches {
+				e.wm.enqueue(b)
+			}
+			plans[i] = nil
+		}
+		e.wm.flush(workers)
+	}
 }
 
 // initExposures draws the per-(honeypot, botnet) list-presence
@@ -181,12 +237,20 @@ func (e *Engine) initExposures(rng *randutil.RNG) {
 }
 
 // chaffDomain picks a benign domain weighted toward the popular ones,
-// from the bounded chaff vocabulary.
+// from the bounded chaff vocabulary, consuming the engine's serial
+// chaff stream. Only the serial post-phases may call it.
 func (e *Engine) chaffDomain() (domain.Name, bool) {
+	return e.chaffDomainWith(e.chaffRng)
+}
+
+// chaffDomainWith draws a chaff domain using the caller's RNG; the
+// Zipf table is read-only, so concurrent callers with distinct RNGs
+// are safe.
+func (e *Engine) chaffDomainWith(rng *randutil.RNG) (domain.Name, bool) {
 	if e.chaffZipf == nil {
 		return "", false
 	}
-	return e.World.Benign[e.chaffZipf.Next()].Name, true
+	return e.World.Benign[e.chaffZipf.NextWith(rng)].Name, true
 }
 
 // uniformTimes returns n times uniform over w.
@@ -199,21 +263,28 @@ func uniformTimes(rng *randutil.RNG, w simclock.Window, n int) []time.Time {
 	return out
 }
 
-// observe records n arrivals of a URL-reporting feed, with chaff.
-// Empty windows observe nothing.
-func (e *Engine) observe(rng *randutil.RNG, f *feeds.Feed, w simclock.Window,
-	n int, d domain.Name, url string) {
-	if !w.End.After(w.Start) {
-		return
+// uniformTimesSorted returns n times uniform over w in ascending
+// order, in O(n) without sorting: with E_1..E_{n+1} i.i.d. Exp(1) and
+// S_i their prefix sums, (S_1/S_{n+1}, ..., S_n/S_{n+1}) has exactly
+// the distribution of n sorted uniforms. This replaces the
+// reflection-based sort.Slice that used to dominate the webmail path.
+func uniformTimesSorted(rng *randutil.RNG, w simclock.Window, n int) []time.Time {
+	if n <= 0 {
+		return nil
 	}
-	for _, t := range uniformTimes(rng, w, n) {
-		f.Observe(t, d, url)
-		if e.Cfg.ChaffProb > 0 && rng.Bool(e.Cfg.ChaffProb) {
-			if cd, ok := e.chaffDomain(); ok {
-				f.Observe(t, cd, ecosystem.ChaffURL(cd))
-			}
-		}
+	cum := make([]float64, n)
+	acc := 0.0
+	for i := range cum {
+		acc += rng.ExpFloat64()
+		cum[i] = acc
 	}
+	acc += rng.ExpFloat64()
+	out := make([]time.Time, n)
+	span := float64(w.Duration())
+	for i, c := range cum {
+		out[i] = w.Start.Add(time.Duration(c / acc * span))
+	}
+	return out
 }
 
 // slotWindow clips an ad slot to the measurement window, returning the
@@ -231,124 +302,6 @@ func (e *Engine) slotWindow(d *ecosystem.AdDomain) (simclock.Window, float64) {
 	}
 	frac := float64(end.Sub(start)) / float64(d.End.Sub(d.Start))
 	return simclock.Window{Start: start, End: end}, frac
-}
-
-// observeCampaign routes one campaign's output to every collection
-// point that can see it.
-func (e *Engine) observeCampaign(c *ecosystem.Campaign) {
-	if c.Class == ecosystem.ClassWebOnly {
-		e.observeWebOnly(c)
-		return
-	}
-	rng := randutil.NewNamed(e.Cfg.Seed, fmt.Sprintf("campaign-%d", c.ID))
-
-	// Per-campaign visibility draws: whether each honeypot's or
-	// account feed's addresses made it onto this campaign's lists.
-	var acIncl [2]bool
-	var acMult [2]float64
-	for i := 0; i < 2; i++ {
-		acIncl[i] = rng.Bool(e.Cfg.AcInclusionProb[i])
-		sigma := e.Cfg.AcSpreadSigma[i]
-		acMult[i] = rng.LogNormal(-sigma*sigma/2, sigma)
-	}
-	hybIncluded := rng.Bool(e.hybInclusion(c))
-
-	for si := range c.Domains {
-		slot := &c.Domains[si]
-		w, frac := e.slotWindow(slot)
-		if frac == 0 {
-			continue
-		}
-		v := c.Volume * slot.Weight * frac
-		url := ecosystem.AdURL(c, *slot)
-		e.observeSlot(rng, c, slot, w, v, url, acIncl, acMult, hybIncluded)
-	}
-}
-
-func (e *Engine) observeSlot(rng *randutil.RNG, c *ecosystem.Campaign,
-	slot *ecosystem.AdDomain, w simclock.Window, v float64, url string,
-	acIncl [2]bool, acMult [2]float64, hybIncluded bool) {
-	cfg := &e.Cfg
-	d := slot.Name
-
-	if c.Class == ecosystem.ClassLoud {
-		b := &e.World.Botnets[c.Botnet]
-		lead, blast := e.stealthSplit(rng, slot, w)
-		// The very largest blasts are signatured outright by the
-		// webmail provider; their mail is counted (the oracle sees
-		// incoming volume) but never reaches an inbox.
-		prefiltered := v > cfg.HuPrefilterVolume && rng.Bool(cfg.HuPrefilterProb)
-		// MX honeypots: brute-force list coverage, blast phase only.
-		// Inclusion is drawn per ad slot: spammers refresh their
-		// finite target lists with each domain rotation, so a
-		// honeypot can miss one rotation and catch the next.
-		for i, name := range []string{"mx1", "mx2", "mx3"} {
-			if !rng.Bool(e.Cfg.MXInclusionProb[i]) {
-				continue
-			}
-			n := rng.Poisson(v * e.mxExp[i][c.Botnet] * b.BruteForceFrac)
-			e.observe(rng, e.res.Feed(name), blast, n, d, url)
-		}
-		// Honey accounts: harvested-list coverage, blast phase only.
-		for i, name := range []string{"Ac1", "Ac2"} {
-			if !acIncl[i] {
-				continue
-			}
-			n := rng.Poisson(v * cfg.AcExposure[i] * acMult[i] * b.HarvestedFrac)
-			e.observe(rng, e.res.Feed(name), blast, n, d, url)
-		}
-		// Bot monitor: captured output of monitored botnets.
-		if b.Monitored {
-			n := rng.Poisson(v * cfg.BotCaptureRate)
-			e.observe(rng, e.res.Feed("Bot"), blast, n, d, url)
-		}
-		// Hybrid mail sink.
-		if hybIncluded {
-			n := rng.Poisson(v * cfg.HybExposure)
-			e.observe(rng, e.res.Feed("Hyb"), blast, n, d, url)
-		}
-		// Webmail: the stealth trickle during the lead-in — which
-		// evades filters like quiet spam, since the domain is not yet
-		// known to them — then the blast's webmail share.
-		webmailRate := v * cfg.WebmailExposure * b.WebmailFrac
-		if lead.End.After(lead.Start) {
-			nt := rng.Poisson(webmailRate * cfg.StealthTrickle)
-			times := uniformTimes(rng, lead, nt)
-			if prefiltered {
-				e.wm.recordOnly(times, d)
-			} else {
-				e.wm.deliver(rng, times, d, ecosystem.ClassQuiet, e.chaffDomain)
-			}
-		}
-		if blast.End.After(blast.Start) {
-			nb := rng.Poisson(webmailRate)
-			times := uniformTimes(rng, blast, nb)
-			if prefiltered {
-				e.wm.recordOnly(times, d)
-			} else {
-				e.wm.deliver(rng, times, d, c.Class, e.chaffDomain)
-			}
-		}
-	} else {
-		// Quiet and tiny campaigns: targeted lists are nearly all
-		// webmail users; honeypots effectively never see them.
-		exposure := cfg.QuietWebmailExposure
-		switch {
-		case c.Class == ecosystem.ClassTiny:
-			exposure = cfg.TinyWebmailExposure
-		case c.Program < 0:
-			exposure = cfg.OtherQuietWebmailExposure
-		}
-		n := rng.Poisson(v * exposure)
-		e.wm.deliver(rng, uniformTimes(rng, w, n), d, c.Class, e.chaffDomain)
-		if hybIncluded {
-			k := rng.Poisson(cfg.HybQuietObs)
-			e.observe(rng, e.res.Feed("Hyb"), w, k, d, url)
-		}
-	}
-
-	e.blacklist(rng, "dbl", &cfg.DBL, c, slot, w)
-	e.blacklist(rng, "uribl", &cfg.URIBL, c, slot, w)
 }
 
 // stealthSplit divides a loud ad slot's clipped window into the
@@ -395,24 +348,6 @@ func (e *Engine) hybInclusion(c *ecosystem.Campaign) float64 {
 	}
 }
 
-// observeWebOnly records the hybrid feed's web-spam discoveries.
-func (e *Engine) observeWebOnly(c *ecosystem.Campaign) {
-	rng := randutil.NewNamed(e.Cfg.Seed, fmt.Sprintf("campaign-%d", c.ID))
-	for si := range c.Domains {
-		slot := &c.Domains[si]
-		w, frac := e.slotWindow(slot)
-		if frac == 0 {
-			continue
-		}
-		days := w.Duration().Hours() / 24
-		n := rng.Poisson(e.Cfg.HybWebObsPerDay * days)
-		if n == 0 && rng.Bool(0.7) {
-			n = 1 // a crawler that found the domain at all logs it once
-		}
-		e.observe(rng, e.res.Feed("Hyb"), w, n, slot.Name, ecosystem.AdURL(c, *slot))
-	}
-}
-
 // blacklistClassProb returns the listing probability for a slot.
 func blacklistClassProb(bc *BlacklistConfig, c *ecosystem.Campaign, slot *ecosystem.AdDomain) float64 {
 	var p float64
@@ -434,23 +369,6 @@ func blacklistClassProb(bc *BlacklistConfig, c *ecosystem.Campaign, slot *ecosys
 		p *= 0.08
 	}
 	return p
-}
-
-// blacklist decides whether and when a blacklist lists a slot's domain.
-func (e *Engine) blacklist(rng *randutil.RNG, name string, bc *BlacklistConfig,
-	c *ecosystem.Campaign, slot *ecosystem.AdDomain, w simclock.Window) {
-	if !rng.Bool(blacklistClassProb(bc, c, slot)) {
-		return
-	}
-	latency := rng.LogNormal(0, bc.LatencySigma) * bc.LatencyMedianHours
-	at := w.Start.Add(time.Duration(latency * float64(time.Hour)))
-	if at.Before(e.window.Start) {
-		at = e.window.Start
-	}
-	if !at.Before(e.window.End) {
-		return
-	}
-	e.res.Feed(name).ObserveOnce(at, slot.Name)
 }
 
 // typoTraffic delivers stray legitimate mail to the MX honeypots

@@ -8,6 +8,7 @@ import (
 	"tasterschoice/internal/ecosystem"
 	"tasterschoice/internal/feeds"
 	"tasterschoice/internal/oracle"
+	"tasterschoice/internal/parallel"
 	"tasterschoice/internal/randutil"
 	"tasterschoice/internal/simclock"
 )
@@ -19,26 +20,117 @@ import (
 // provider's filter so later messages naming the same domain rarely get
 // through again. That feedback loop is the mechanism behind the Hu
 // feed's paradoxical profile: tiny volume, enormous coverage.
+//
+// The filter state is per domain, so the provider is modeled as a set
+// of independent per-domain chains. Each chain owns its own RNG stream
+// (derived from the seed and the domain name) and its own filter
+// state, which is what lets the engine process chains concurrently:
+// batches naming a domain are queued in canonical campaign order via
+// enqueue, and flush walks every chain sequentially while running
+// different chains on different workers. Side effects that touch state
+// shared across chains (the Hu feed, the oracle, the report counter)
+// are buffered per shard during flush and merged serially in fixed
+// shard order, so the result is identical for every worker count.
 type webmail struct {
 	cfg    *Config
 	window simclock.Window
 	hu     *feeds.Feed
 	oracle *oracle.Oracle
-	// firstReport records the earliest report time per domain; the
-	// filter acts on messages arriving after it.
-	firstReport map[domain.Name]time.Time
+	// seed derives per-domain chain RNG streams ("webmail/<domain>").
+	seed uint64
+	// chaffWith draws a benign chaff domain using the given RNG; set
+	// by the engine (nil disables chaff co-reports).
+	chaffWith func(*randutil.RNG) (domain.Name, bool)
 	// reports counts total human reports (diagnostics).
+	reports int64
+
+	shards [wmShardCount]wmShard
+}
+
+// wmShardCount is the fixed chain-shard fan-out. It is independent of
+// the worker count — chains are assigned to shards by domain hash, and
+// workers pick up whole shards — so the shard a chain lands in, and
+// therefore every result, never depends on parallelism.
+const wmShardCount = 64
+
+// wmShard owns the chains whose domain hashes to it, plus the queued
+// batches and buffered side effects of the chunk in flight. Exactly one
+// worker touches a shard during flush.
+type wmShard struct {
+	chains map[domain.Name]*wmChain
+
+	// Per-chunk queue, in canonical (campaign, slot) order per domain.
+	pending map[domain.Name][]wmBatch
+	order   []domain.Name
+
+	// Per-chunk buffered side effects, merged serially after the
+	// parallel phase.
+	hu      []huEvent
+	oracle  map[domain.Name]int64
 	reports int64
 }
 
+// wmChain is one domain's persistent filter state.
+type wmChain struct {
+	// rng is the chain's private stream, created on first batch.
+	rng *randutil.RNG
+	// firstReport is the earliest report time; the filter acts on
+	// messages arriving after it. Valid only when reported is true.
+	firstReport time.Time
+	reported    bool
+}
+
+// wmBatch is one slot's webmail delivery: times are ascending.
+type wmBatch struct {
+	d     domain.Name
+	class ecosystem.CampaignClass
+	times []time.Time
+	// prefiltered batches are blocked outright by the provider's
+	// signatures: the oracle counts them but no message reaches an
+	// inbox and no RNG draw is consumed.
+	prefiltered bool
+}
+
+type huEvent struct {
+	t time.Time
+	d domain.Name
+}
+
 func newWebmail(cfg *Config, window simclock.Window, hu *feeds.Feed, o *oracle.Oracle) *webmail {
-	return &webmail{
-		cfg:         cfg,
-		window:      window,
-		hu:          hu,
-		oracle:      o,
-		firstReport: make(map[domain.Name]time.Time),
+	wm := &webmail{
+		cfg:    cfg,
+		window: window,
+		hu:     hu,
+		oracle: o,
+		seed:   cfg.Seed,
 	}
+	for i := range wm.shards {
+		wm.shards[i].chains = make(map[domain.Name]*wmChain)
+		wm.shards[i].pending = make(map[domain.Name][]wmBatch)
+		wm.shards[i].oracle = make(map[domain.Name]int64)
+	}
+	return wm
+}
+
+// shardOf assigns a domain to its chain shard (FNV-1a).
+func shardOf(d domain.Name) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(d); i++ {
+		h ^= uint64(d[i])
+		h *= 1099511628211
+	}
+	return int(h % wmShardCount)
+}
+
+// chain returns d's persistent chain, creating it (with its private
+// RNG stream) on first use.
+func (s *wmShard) chain(seed uint64, d domain.Name) *wmChain {
+	ch := s.chains[d]
+	if ch == nil {
+		ch = &wmChain{rng: randutil.NewNamed(seed, "webmail/"+string(d))}
+		s.chains[d] = ch
+	}
+	return ch
 }
 
 // evasion returns the filter-evasion probability for a campaign class.
@@ -53,20 +145,55 @@ func (wm *webmail) evasion(class ecosystem.CampaignClass) float64 {
 	}
 }
 
-// deliver processes a batch of incoming messages naming d. times need
-// not be sorted; chaff, if non-nil, supplies an additional benign
-// domain some reports name.
-func (wm *webmail) deliver(rng *randutil.RNG, times []time.Time, d domain.Name,
-	class ecosystem.CampaignClass, chaff func() (domain.Name, bool)) {
-	if len(times) == 0 {
-		return
+// wmSink receives a chain's side effects. The direct sink applies them
+// immediately (single-threaded callers); the shard sink buffers them
+// for the post-flush serial merge.
+type wmSink interface {
+	// record counts one incoming message at the oracle.
+	record(t time.Time, d domain.Name)
+	// report records a counted human report naming d.
+	report(rt time.Time, d domain.Name)
+	// coReport records the chaff domain a report also named.
+	coReport(rt time.Time, d domain.Name)
+}
+
+type directSink struct{ wm *webmail }
+
+func (s directSink) record(t time.Time, d domain.Name) { s.wm.oracle.Record(t, d) }
+func (s directSink) report(rt time.Time, d domain.Name) {
+	s.wm.reports++
+	s.wm.hu.Observe(rt, d, "")
+}
+func (s directSink) coReport(rt time.Time, d domain.Name) { s.wm.hu.Observe(rt, d, "") }
+
+type shardSink struct {
+	s   *wmShard
+	win simclock.Window
+}
+
+func (k shardSink) record(t time.Time, d domain.Name) {
+	if k.win.Contains(t) {
+		k.s.oracle[d]++
 	}
-	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+}
+func (k shardSink) report(rt time.Time, d domain.Name) {
+	k.s.reports++
+	k.s.hu = append(k.s.hu, huEvent{rt, d})
+}
+func (k shardSink) coReport(rt time.Time, d domain.Name) {
+	k.s.hu = append(k.s.hu, huEvent{rt, d})
+}
+
+// run processes one batch of messages (times ascending) through d's
+// chain: oracle count, filter, report draw, feedback update.
+func (wm *webmail) run(ch *wmChain, rng *randutil.RNG, times []time.Time,
+	d domain.Name, class ecosystem.CampaignClass,
+	chaff func() (domain.Name, bool), sink wmSink) {
 	evade := wm.evasion(class)
 	for _, t := range times {
-		wm.oracle.Record(t, d)
-		inbox := false
-		if rt, reported := wm.firstReport[d]; reported && t.After(rt) {
+		sink.record(t, d)
+		var inbox bool
+		if ch.reported && t.After(ch.firstReport) {
 			// The domain is in the provider's filter now.
 			inbox = !rng.Bool(wm.cfg.FilterAfterReport)
 		} else {
@@ -80,23 +207,32 @@ func (wm *webmail) deliver(rng *randutil.RNG, times []time.Time, d domain.Name,
 		if !rt.Before(wm.window.End) {
 			continue
 		}
-		wm.report(rng, rt, d, chaff)
+		sink.report(rt, d)
+		if !ch.reported || rt.Before(ch.firstReport) {
+			ch.firstReport = rt
+			ch.reported = true
+		}
+		if chaff != nil && rng.Bool(wm.cfg.HuChaffProb) {
+			if cd, ok := chaff(); ok {
+				sink.coReport(rt, cd)
+			}
+		}
 	}
 }
 
-// report records a human spam report at time rt.
-func (wm *webmail) report(rng *randutil.RNG, rt time.Time, d domain.Name,
-	chaff func() (domain.Name, bool)) {
-	wm.reports++
-	wm.hu.Observe(rt, d, "")
-	if prev, ok := wm.firstReport[d]; !ok || rt.Before(prev) {
-		wm.firstReport[d] = rt
+// deliver processes a batch of incoming messages naming d with the
+// caller's RNG, applying side effects immediately. times need not be
+// sorted; chaff, if non-nil, supplies an additional benign domain some
+// reports name. It is the single-threaded entry point (tests, ad-hoc
+// callers); the engine queues batches with enqueue/flush instead.
+func (wm *webmail) deliver(rng *randutil.RNG, times []time.Time, d domain.Name,
+	class ecosystem.CampaignClass, chaff func() (domain.Name, bool)) {
+	if len(times) == 0 {
+		return
 	}
-	if chaff != nil && rng.Bool(wm.cfg.HuChaffProb) {
-		if cd, ok := chaff(); ok {
-			wm.hu.Observe(rt, cd, "")
-		}
-	}
+	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+	ch := wm.shards[shardOf(d)].chain(wm.seed, d)
+	wm.run(ch, rng, times, d, class, chaff, directSink{wm})
 }
 
 // recordOnly counts incoming messages for the oracle without any
@@ -108,9 +244,65 @@ func (wm *webmail) recordOnly(times []time.Time, d domain.Name) {
 	}
 }
 
+// enqueue appends one batch to its domain's chain queue. Callers must
+// enqueue in canonical (campaign ID, slot) order — that order, not
+// arrival timing, defines the chain semantics.
+func (wm *webmail) enqueue(b wmBatch) {
+	s := &wm.shards[shardOf(b.d)]
+	if _, ok := s.pending[b.d]; !ok {
+		s.order = append(s.order, b.d)
+	}
+	s.pending[b.d] = append(s.pending[b.d], b)
+}
+
+// flush drains every queued chain, running shards concurrently, then
+// merges the buffered side effects serially in fixed shard order.
+func (wm *webmail) flush(workers int) {
+	parallel.ForEach(workers, wmShardCount, func(si int) {
+		s := &wm.shards[si]
+		sink := shardSink{s: s, win: wm.oracle.Window}
+		for _, d := range s.order {
+			ch := s.chain(wm.seed, d)
+			chaff := func() (domain.Name, bool) {
+				if wm.chaffWith == nil {
+					return "", false
+				}
+				return wm.chaffWith(ch.rng)
+			}
+			for _, b := range s.pending[d] {
+				if b.prefiltered {
+					for _, t := range b.times {
+						sink.record(t, b.d)
+					}
+					continue
+				}
+				wm.run(ch, ch.rng, b.times, d, b.class, chaff, sink)
+			}
+			delete(s.pending, d)
+		}
+		s.order = s.order[:0]
+	})
+	for si := range wm.shards {
+		s := &wm.shards[si]
+		for _, ev := range s.hu {
+			wm.hu.Observe(ev.t, ev.d, "")
+		}
+		s.hu = s.hu[:0]
+		// Map iteration order is random, but integer addition into the
+		// oracle is exact and commutative, so the merged counts do not
+		// depend on it.
+		for d, n := range s.oracle {
+			wm.oracle.AddBulk(d, n)
+		}
+		clear(s.oracle)
+		wm.reports += s.reports
+		s.reports = 0
+	}
+}
+
 // Reported reports whether d has been human-reported (used by tests and
 // the ablation benches).
 func (wm *webmail) Reported(d domain.Name) bool {
-	_, ok := wm.firstReport[d]
-	return ok
+	ch := wm.shards[shardOf(d)].chains[d]
+	return ch != nil && ch.reported
 }

@@ -1,0 +1,120 @@
+// Package parallel provides the small deterministic worker-pool
+// primitives shared by the analysis and simulation hot paths.
+//
+// Every helper here follows the same sharded pattern already proven in
+// analysis.BuildLabelsWith: work is divided statically (round-robin by
+// index or by contiguous range), each shard is owned by exactly one
+// worker, and workers never share mutable state. Because the assignment
+// of work to shards is a pure function of the input size — never of
+// timing — any code built on these helpers produces identical results
+// for every worker count, which is the determinism contract the golden
+// tests pin down.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers clamps a requested worker count: n <= 0 selects
+// runtime.GOMAXPROCS(0), and the result is never less than 1.
+func Workers(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n), striped across the given
+// number of workers (worker w handles i = w, w+workers, ...). It
+// returns when all calls have completed. fn must not mutate state
+// shared with other indexes unless that state is its own shard.
+// workers <= 0 selects GOMAXPROCS; a single worker runs inline with no
+// goroutine overhead.
+func ForEach(workers, n int, fn func(i int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(shard int) {
+			defer wg.Done()
+			for i := shard; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Shards invokes fn(shard, of) once per shard with of == effective
+// worker count, concurrently. It is the primitive behind sharded-map
+// patterns: the callee strides over its own data (i = shard; i < n;
+// i += of) or owns the shard'th bucket of a fixed partition.
+func Shards(workers int, fn func(shard, of int)) {
+	workers = Workers(workers)
+	if workers <= 1 {
+		fn(0, 1)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(shard int) {
+			defer wg.Done()
+			fn(shard, workers)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Ranges splits [0, n) into at most `workers` contiguous ranges of
+// near-equal size and invokes fn(lo, hi) for each concurrently. Use it
+// when cache locality matters more than balance (e.g. word-wise bitset
+// scans).
+func Ranges(workers, n int, fn func(lo, hi int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		go func(lo, hi int) {
+			defer wg.Done()
+			if hi > lo {
+				fn(lo, hi)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every element of in across workers and returns the
+// results in input order.
+func Map[T, R any](workers int, in []T, fn func(T) R) []R {
+	out := make([]R, len(in))
+	ForEach(workers, len(in), func(i int) {
+		out[i] = fn(in[i])
+	})
+	return out
+}

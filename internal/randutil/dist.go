@@ -45,6 +45,15 @@ func (z *Zipf) Next() int {
 	return sort.SearchFloat64s(z.cum, u)
 }
 
+// NextWith draws from the distribution using an external generator,
+// leaving the sampler's own stream untouched. The precomputed weight
+// table is read-only, so one sampler may serve many worker-owned
+// generators concurrently.
+func (z *Zipf) NextWith(rng *RNG) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cum, u)
+}
+
 // Prob returns the probability of value k under the distribution.
 func (z *Zipf) Prob(k int) float64 {
 	if k < 0 || k >= len(z.cum) {

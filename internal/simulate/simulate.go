@@ -1,6 +1,10 @@
 // Package simulate wires the full reproduction pipeline together:
 // ecosystem generation → feed collection → crawl labeling, producing
 // the analysis.Dataset everything downstream consumes.
+//
+// Collection runs on all CPUs by default (Collection.Workers: 0 means
+// GOMAXPROCS) but the result is byte-identical for every worker
+// count — a Scenario is fully determined by its seeds.
 package simulate
 
 import (

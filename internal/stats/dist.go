@@ -6,6 +6,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 )
 
 // Dist is an empirical probability distribution over string-keyed
@@ -39,22 +40,37 @@ func NewDistFromCounts(counts map[string]int64) Dist {
 // the given support set. Keys outside the support are discarded. If no
 // mass remains, the result is empty.
 func (d Dist) Restrict(support map[string]bool) Dist {
+	// Sum in sorted key order: float addition is not associative, so
+	// map-order summation would make the normalizer (and every output
+	// probability) vary between runs in the last ulp.
+	keys := d.sortedKeys()
 	total := 0.0
-	for k, p := range d {
+	for _, k := range keys {
 		if support[k] {
-			total += p
+			total += d[k]
 		}
 	}
 	out := make(Dist)
 	if total == 0 {
 		return out
 	}
-	for k, p := range d {
+	for _, k := range keys {
 		if support[k] {
-			out[k] = p / total
+			out[k] = d[k] / total
 		}
 	}
 	return out
+}
+
+// sortedKeys returns the distribution's keys in lexicographic order,
+// the canonical iteration order for float accumulation.
+func (d Dist) sortedKeys() []string {
+	keys := make([]string, 0, len(d))
+	for k := range d {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Support returns the set of keys with positive probability.
@@ -72,8 +88,8 @@ func (d Dist) Support() map[string]bool {
 // for an empty one); useful for sanity checks.
 func (d Dist) Total() float64 {
 	t := 0.0
-	for _, p := range d {
-		t += p
+	for _, k := range d.sortedKeys() {
+		t += d[k]
 	}
 	return t
 }
@@ -83,13 +99,15 @@ func (d Dist) Total() float64 {
 // as in the paper. The result is in [0, 1]: 0 iff P = Q, 1 iff their
 // supports are disjoint.
 func VariationDistance(p, q Dist) float64 {
+	// Accumulate in sorted key order so the result is bit-identical
+	// across runs (see Restrict).
 	sum := 0.0
-	for k, pv := range p {
-		sum += math.Abs(pv - q[k])
+	for _, k := range p.sortedKeys() {
+		sum += math.Abs(p[k] - q[k])
 	}
-	for k, qv := range q {
+	for _, k := range q.sortedKeys() {
 		if _, ok := p[k]; !ok {
-			sum += qv
+			sum += q[k]
 		}
 	}
 	return sum / 2

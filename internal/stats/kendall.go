@@ -131,11 +131,13 @@ func countInversions(xs, buf []float64) int64 {
 // analysis. ok is false for fewer than 2 common keys or a constant
 // ranking.
 func SpearmanRho(p, q Dist) (rho float64, n int, ok bool) {
+	// Walk the common keys in sorted order so the rank-vector float
+	// sums below accumulate in a fixed order across runs.
 	type pair struct{ x, y float64 }
 	var pairs []pair
-	for k, pv := range p {
+	for _, k := range p.sortedKeys() {
 		if qv, shared := q[k]; shared {
-			pairs = append(pairs, pair{pv, qv})
+			pairs = append(pairs, pair{p[k], qv})
 		}
 	}
 	n = len(pairs)
