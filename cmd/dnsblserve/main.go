@@ -9,12 +9,17 @@
 //	dig @127.0.0.1 -p 5353 somespamdomain.com.uribl.example A
 //
 // An A answer of 127.0.0.2 means listed; NXDOMAIN means clean.
+//
+// With -metrics ADDR the process also serves its observability
+// surface — /metrics (Prometheus text), /debug/vars (expvar),
+// /debug/pprof/ and /debug/trace — on a second HTTP listener.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -23,38 +28,66 @@ import (
 	"tasterschoice/internal/dnsbl"
 	"tasterschoice/internal/feeds"
 	"tasterschoice/internal/lifecycle"
+	"tasterschoice/internal/obs"
 )
+
+// setup loads the feed and wires the DNS server plus, when metricsAddr
+// is non-empty, an instrumented exposition endpoint. The server is
+// listening (on possibly-":0"-resolved addr) when setup returns.
+func setup(feedPath, zone, listen string, ttl uint32, metricsAddr string) (
+	srv *dnsbl.Server, addr net.Addr, ms *obs.MetricsServer, err error) {
+	f, err := os.Open(feedPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	feed, err := feeds.ReadTSV(f)
+	f.Close()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	srv = dnsbl.NewServer(zone, dnsbl.FeedZone{Feed: feed})
+	srv.TTL = ttl
+	if metricsAddr != "" {
+		reg := obs.NewRegistry()
+		srv.Metrics = dnsbl.NewServerMetrics(reg, zone)
+		ms, err = obs.Serve(metricsAddr, reg, obs.NewTracer(0, nil))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	addr, err = srv.Listen(listen)
+	if err != nil {
+		if ms != nil {
+			ms.Close()
+		}
+		return nil, nil, nil, err
+	}
+	return srv, addr, ms, nil
+}
 
 func main() {
 	feedPath := flag.String("feed", "", "feed TSV file to serve (required)")
 	zone := flag.String("zone", "dnsbl.example", "zone suffix to answer under")
 	listen := flag.String("listen", "127.0.0.1:5353", "UDP address to listen on")
 	ttl := flag.Uint("ttl", 300, "TTL for positive answers, seconds")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this HTTP address (empty: disabled)")
 	flag.Parse()
 	if *feedPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*feedPath)
+	srv, addr, ms, err := setup(*feedPath, *zone, *listen, uint32(*ttl), *metricsAddr)
 	if err != nil {
 		fail(err)
 	}
-	feed, err := feeds.ReadTSV(f)
-	f.Close()
-	if err != nil {
-		fail(err)
-	}
-
-	srv := dnsbl.NewServer(*zone, dnsbl.FeedZone{Feed: feed})
-	srv.TTL = uint32(*ttl)
-	addr, err := srv.Listen(*listen)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("serving %s (%d domains) as zone %s on %s\n",
-		feed.Name, feed.Unique(), *zone, addr)
+	fmt.Printf("serving zone %s on %s\n", *zone, addr)
 	fmt.Printf("try: dig @%s somedomain.%s A\n", addr, *zone)
+	if ms != nil {
+		defer ms.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", ms.Addr())
+	}
 
 	// SIGTERM/SIGINT drain the server instead of cutting it off: the
 	// query being answered completes, then the sockets close. The drain

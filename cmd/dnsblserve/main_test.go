@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/dnsbl"
+	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/simclock"
+)
+
+// writeTestFeed writes a two-domain blacklist TSV and returns its path.
+func writeTestFeed(t *testing.T) string {
+	t.Helper()
+	f := feeds.New("dbl", feeds.KindBlacklist, false, false)
+	f.ObserveOnce(simclock.PaperStart, "cheappills.com")
+	f.ObserveOnce(simclock.PaperStart, "replicas.net")
+	path := filepath.Join(t.TempDir(), "dbl.tsv")
+	out, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteTSV(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// scrapeCounters GETs a /metrics endpoint and returns every non-histogram
+// sample line parsed into name{labels} -> value.
+func scrapeCounters(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestMetricsEndpoint is the acceptance test for the -metrics flag:
+// setup with a ":0" metrics address must serve /metrics, /debug/vars
+// and /debug/pprof/, and the scraped counters must reflect queries the
+// DNS server actually answered.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, addr, ms, err := setup(writeTestFeed(t), "dbl.example", "127.0.0.1:0", 300, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer ms.Close()
+
+	c := dnsbl.NewClient(addr.String(), "dbl.example", 1)
+	c.Timeout = 3 * time.Second
+	if listed, err := c.Listed("cheappills.com"); err != nil || !listed {
+		t.Fatalf("Listed = %v, %v", listed, err)
+	}
+	if listed, err := c.Listed("innocent.org"); err != nil || listed {
+		t.Fatalf("Listed(unlisted) = %v, %v", listed, err)
+	}
+
+	base := "http://" + ms.Addr().String()
+	got := scrapeCounters(t, base+"/metrics")
+	queriesKey := `dnsbl_server_queries_total{zone="dbl.example"}`
+	hitsKey := `dnsbl_server_hits_total{zone="dbl.example"}`
+	if got[queriesKey] != 2 {
+		t.Errorf("%s = %v, want 2 (scrape: %v)", queriesKey, got[queriesKey], got)
+	}
+	if got[hitsKey] != 1 {
+		t.Errorf("%s = %v, want 1", hitsKey, got[hitsKey])
+	}
+
+	// /debug/vars must be valid JSON carrying the "metrics" mirror.
+	resp, err := http.Get(base + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&vars)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/debug/vars JSON: %v", err)
+	}
+	mirror, ok := vars["metrics"].(map[string]any)
+	if !ok {
+		t.Fatalf("/debug/vars missing metrics mirror: %v", vars["metrics"])
+	}
+	// The expvar mirror keys series as name{label=value} (unquoted).
+	expvarKey := "dnsbl_server_queries_total{zone=dbl.example}"
+	if v, _ := mirror[expvarKey].(float64); v != 2 {
+		t.Errorf("expvar %s = %v, want 2", expvarKey, mirror[expvarKey])
+	}
+
+	// pprof index must answer.
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: %s", path, resp.Status)
+		}
+	}
+}
+
+// TestSetupWithoutMetrics pins the flag's default-off behavior.
+func TestSetupWithoutMetrics(t *testing.T) {
+	srv, addr, ms, err := setup(writeTestFeed(t), "dbl.example", "127.0.0.1:0", 300, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if ms != nil {
+		t.Fatal("metrics server started without -metrics")
+	}
+	c := dnsbl.NewClient(addr.String(), "dbl.example", 1)
+	c.Timeout = 3 * time.Second
+	if listed, err := c.Listed("replicas.net"); err != nil || !listed {
+		t.Fatalf("Listed = %v, %v", listed, err)
+	}
+}

@@ -29,6 +29,8 @@ import (
 	"tasterschoice/internal/analysis"
 	"tasterschoice/internal/checkpoint"
 	"tasterschoice/internal/core"
+	"tasterschoice/internal/mailflow"
+	"tasterschoice/internal/obs"
 	"tasterschoice/internal/report"
 	"tasterschoice/internal/simulate"
 )
@@ -69,13 +71,17 @@ type sweepState struct {
 // seedRunner produces one seed's metrics; tests inject a fake.
 type seedRunner func(seedIndex int, seed uint64) (map[string]float64, error)
 
-// scenarioRunner runs the real simulation.
-func scenarioRunner(small bool) seedRunner {
+// scenarioRunner runs the real simulation. The metrics aggregate over
+// every seed the process runs; the tracer (which may be nil) collects
+// engine-phase spans across all concurrent runs.
+func scenarioRunner(small bool, m mailflow.Metrics, tr *obs.Tracer) seedRunner {
 	return func(_ int, seed uint64) (map[string]float64, error) {
 		scen := simulate.Default(seed)
 		if small {
 			scen = simulate.Small(seed)
 		}
+		scen.Metrics = m
+		scen.Tracer = tr
 		ds, err := scen.Run()
 		if err != nil {
 			return nil, err
@@ -92,13 +98,32 @@ func main() {
 	small := flag.Bool("small", true, "use the reduced scenario (default; full scale is slower)")
 	workers := flag.Int("workers", 4, "concurrent scenario runs")
 	ckpt := flag.String("checkpoint", "", "checkpoint file: finished seeds persist and a rerun resumes")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this HTTP address while the sweep runs (empty: disabled)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Seeds run concurrently, so spans from different simulated windows
+	// would interleave on a simclock-anchored timeline; the wall clock
+	// keeps the sweep's trace readable.
+	var m mailflow.Metrics
+	var tracer *obs.Tracer
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		m = mailflow.NewMetrics(reg)
+		tracer = obs.NewTracer(4096, nil)
+		ms, err := obs.Serve(*metricsAddr, reg, tracer)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", ms.Addr())
+	}
+
 	cfg := config{Seeds: *seeds, Small: *small, Workers: *workers, CheckpointPath: *ckpt}
-	failed, err := runSweep(ctx, cfg, scenarioRunner(*small), os.Stdout)
+	failed, err := runSweep(ctx, cfg, scenarioRunner(*small, m, tracer), os.Stdout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)

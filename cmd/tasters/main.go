@@ -15,6 +15,9 @@ import (
 	"time"
 
 	"tasterschoice/internal/core"
+	"tasterschoice/internal/mailflow"
+	"tasterschoice/internal/obs"
+	"tasterschoice/internal/simclock"
 	"tasterschoice/internal/simulate"
 )
 
@@ -25,6 +28,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write every table/figure as CSV into this directory")
 	scale := flag.Float64("scale", 0, "override the ecosystem scale factor (0 = scenario default)")
 	ablate := flag.String("ablate", "", "run an ablation instead of the report: poison, feedback, stealth, mega, bl-latency")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this HTTP address for the run's duration (empty: disabled)")
 	flag.Parse()
 
 	scen := simulate.Default(*seed)
@@ -33,6 +37,25 @@ func main() {
 	}
 	if *scale > 0 {
 		scen.Ecosystem.Scale = *scale
+	}
+
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		scen.Metrics = mailflow.NewMetrics(reg)
+		// Simulation spans run on a simclock-anchored clock: timestamps
+		// start at the paper window's origin and advance in real time,
+		// so a trace dump reads on the simulated timeline.
+		begin := time.Now()
+		scen.Tracer = obs.NewTracer(0, func() time.Time {
+			return simclock.PaperStart.Add(time.Since(begin))
+		})
+		ms, err := obs.Serve(*metricsAddr, reg, scen.Tracer)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tasters: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", ms.Addr())
 	}
 
 	if *ablate != "" {

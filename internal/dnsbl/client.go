@@ -54,6 +54,9 @@ type Client struct {
 	// resilient defaults (50ms base, doubling, 5s cap); jitter is
 	// drawn from the client's seeded stream.
 	Backoff resilient.Backoff
+	// Metrics observes lookups; the zero value is inert. Set before
+	// the client is shared across goroutines.
+	Metrics ClientMetrics
 
 	rng *randutil.Locked
 }
@@ -137,11 +140,16 @@ func (c *Client) ReasonContext(ctx context.Context, d domain.Name) (string, erro
 func (c *Client) query(ctx context.Context, d domain.Name, qtype uint16) (*Message, error) {
 	qname := string(d) + "." + c.Suffix
 	buf := make([]byte, 4096)
+	var start time.Time
+	if c.Metrics.QuerySeconds != nil {
+		start = time.Now()
+	}
 	var resp *Message
 	r := resilient.Retrier{
 		Attempts: c.Retries + 1,
 		Backoff:  c.Backoff,
 		Sleep:    func(d time.Duration) { sleepCtx(ctx, d) },
+		Metrics:  c.Metrics.Retry,
 	}
 	err := r.Do(func(int) error {
 		if err := ctx.Err(); err != nil {
@@ -157,12 +165,20 @@ func (c *Client) query(ctx context.Context, d domain.Name, qtype uint16) (*Messa
 			return resilient.Permanent(err)
 		}
 		resp, err = c.exchange(ctx, raw, id, buf)
+		if err != nil && errors.Is(err, ErrTimeout) {
+			c.Metrics.Timeouts.Inc()
+		}
 		if cerr := ctx.Err(); cerr != nil && err != nil {
 			return resilient.Permanent(cerr)
 		}
 		return err
 	})
+	c.Metrics.Queries.Inc()
+	if c.Metrics.QuerySeconds != nil {
+		c.Metrics.QuerySeconds.Observe(time.Since(start).Seconds())
+	}
 	if err != nil {
+		c.Metrics.Errors.Inc()
 		return nil, err
 	}
 	return resp, nil

@@ -60,6 +60,9 @@ type Server struct {
 	Zone Zone
 	// TTL for positive answers (default 300s).
 	TTL uint32
+	// Metrics mirrors the Queries/Hits atomics into an obs registry;
+	// the zero value is inert. Set before Listen.
+	Metrics ServerMetrics
 
 	mu           sync.Mutex
 	conn         net.PacketConn
@@ -203,6 +206,7 @@ func (s *Server) serve(conn net.PacketConn) {
 // (nil to drop). Exported for in-memory use and tests.
 func (s *Server) Handle(raw []byte) []byte {
 	s.queries.Add(1)
+	s.Metrics.Queries.Inc()
 	query, err := Unpack(raw)
 	if err != nil || query.Header.Response {
 		return nil // not a query we can answer; drop
@@ -239,6 +243,7 @@ func (s *Server) Handle(raw []byte) []byte {
 		return mustPack(resp)
 	}
 	s.hits.Add(1)
+	s.Metrics.Hits.Inc()
 	switch q.Type {
 	case TypeA:
 		resp.Answers = append(resp.Answers, ARecord(q.Name, s.TTL,

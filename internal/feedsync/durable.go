@@ -21,6 +21,9 @@ type OffsetStore struct {
 	// every record). Larger values trade replay work on crash for fewer
 	// fsyncs; a graceful stop always checkpoints the exact position.
 	SaveEvery int
+	// Metrics observes checkpoint writes; the zero value is inert. Set
+	// before first use.
+	Metrics StoreMetrics
 
 	mu      sync.Mutex
 	store   *checkpoint.Store
@@ -67,6 +70,7 @@ func (o *OffsetStore) Mark(offset int64) error {
 		return nil
 	}
 	o.pending = 0
+	o.Metrics.CheckpointWrites.Inc()
 	return o.store.SaveInt64(offsetVersion, offset)
 }
 
@@ -75,6 +79,7 @@ func (o *OffsetStore) Flush(offset int64) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.pending = 0
+	o.Metrics.CheckpointWrites.Inc()
 	return o.store.SaveInt64(offsetVersion, offset)
 }
 

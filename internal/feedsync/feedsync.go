@@ -405,6 +405,9 @@ type Client struct {
 	// progress before TailResilient gives up (default 8). Progress —
 	// any record applied — resets the budget.
 	MaxReconnects int
+	// Metrics observes the subscription; the zero value is inert. Set
+	// before the first Sync/Tail.
+	Metrics ClientMetrics
 }
 
 // NewClient returns a client for the server at addr.
@@ -515,6 +518,10 @@ func (c *Client) stream(conn net.Conn, name string, offset int64, mode string,
 			}
 			dst.Observe(rec.Time, domain.Name(rec.Domain), rec.URL)
 			applied++
+			c.Metrics.Records.Inc()
+			if c.Metrics.LastRecordUnix != nil {
+				c.Metrics.LastRecordUnix.Set(time.Now().Unix())
+			}
 			if onRecord != nil {
 				onRecord(rec)
 			}

@@ -1,0 +1,48 @@
+package feedsync
+
+import "tasterschoice/internal/obs"
+
+// ClientMetrics observes a subscription consumer. The zero value is
+// inert; populate with NewClientMetrics to collect. Instruments only
+// count — the rebuilt feed stays byte-identical to the server's log.
+type ClientMetrics struct {
+	// Records counts records applied to the destination feed.
+	Records *obs.Counter
+	// Reconnects counts TailResilient redials after a dropped stream.
+	Reconnects *obs.Counter
+	// LastRecordUnix holds the wall-clock unix time of the most
+	// recently applied record; tail lag is "now minus this value"
+	// (the standard freshness-timestamp pattern, computed by the
+	// scraper so the hot path stays a single atomic store).
+	LastRecordUnix *obs.Gauge
+}
+
+// NewClientMetrics wires a ClientMetrics to r, labeling series by feed
+// name. Safe with a nil registry.
+func NewClientMetrics(r *obs.Registry, feed string) ClientMetrics {
+	m := ClientMetrics{
+		Records:        r.Counter("feedsync_records_total", "feed", feed),
+		Reconnects:     r.Counter("feedsync_reconnects_total", "feed", feed),
+		LastRecordUnix: r.Gauge("feedsync_tail_last_record_unix_seconds", "feed", feed),
+	}
+	r.Describe("feedsync_records_total", "Subscription records applied.")
+	r.Describe("feedsync_reconnects_total", "Tail redials after a dropped stream.")
+	r.Describe("feedsync_tail_last_record_unix_seconds", "Wall time of the last applied record; lag = now - value.")
+	return m
+}
+
+// StoreMetrics observes an OffsetStore. The zero value is inert.
+type StoreMetrics struct {
+	// CheckpointWrites counts durable offset saves (Mark saves that
+	// reached the SaveEvery threshold, plus every Flush).
+	CheckpointWrites *obs.Counter
+}
+
+// NewStoreMetrics wires a StoreMetrics to r. Safe with a nil registry.
+func NewStoreMetrics(r *obs.Registry, feed string) StoreMetrics {
+	m := StoreMetrics{
+		CheckpointWrites: r.Counter("feedsync_checkpoint_writes_total", "feed", feed),
+	}
+	r.Describe("feedsync_checkpoint_writes_total", "Durable offset checkpoints written.")
+	return m
+}

@@ -29,11 +29,16 @@ func (c *Client) TailResilient(name string, offset int64, dst *feeds.Feed,
 		maxReconnects = 8
 	}
 	consecutive := 0
+	first := true
 	var lastErr error
 	for {
 		if stopped(stop) {
 			return offset, nil
 		}
+		if !first {
+			c.Metrics.Reconnects.Inc()
+		}
+		first = false
 		next, err := c.Tail(name, offset, dst, stop, onRecord)
 		progress := next > offset
 		offset = next

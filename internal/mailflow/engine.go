@@ -8,6 +8,7 @@ import (
 	"tasterschoice/internal/domain"
 	"tasterschoice/internal/ecosystem"
 	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/obs"
 	"tasterschoice/internal/oracle"
 	"tasterschoice/internal/parallel"
 	"tasterschoice/internal/randutil"
@@ -95,6 +96,13 @@ type Engine struct {
 	// before any observation is recorded — the hook for attaching
 	// feeds.Tap subscription streams (see internal/feedsync).
 	OnFeeds func(map[string]*feeds.Feed)
+	// Metrics observes the run; the zero value is inert. Instruments
+	// only count, so enabling them cannot change the output.
+	Metrics Metrics
+	// Tracer records a span per run phase when set. Simulations should
+	// construct it with a simclock-derived clock so spans line up with
+	// simulated time; nil disables tracing entirely.
+	Tracer *obs.Tracer
 
 	window simclock.Window
 	res    *Result
@@ -171,18 +179,25 @@ func (e *Engine) Run() (res *Result, err error) {
 	}
 	e.initExposures(root.SplitNamed("exposures"))
 
-	e.observeCampaigns(parallel.Workers(e.Cfg.Workers))
+	e.phase("observeCampaigns", func() { e.observeCampaigns(parallel.Workers(e.Cfg.Workers)) })
 
-	e.typoTraffic(root.SplitNamed("typos"))
-	e.honeypotJunk(root.SplitNamed("hpjunk"))
-	e.poison(root.SplitNamed("poison"))
-	e.huJunk(root.SplitNamed("hujunk"))
-	e.blacklistJunk(root.SplitNamed("bljunk"))
-	e.benignBaseline()
-	e.restrictBlacklists()
+	e.phase("typoTraffic", func() { e.typoTraffic(root.SplitNamed("typos")) })
+	e.phase("honeypotJunk", func() { e.honeypotJunk(root.SplitNamed("hpjunk")) })
+	e.phase("poison", func() { e.poison(root.SplitNamed("poison")) })
+	e.phase("huJunk", func() { e.huJunk(root.SplitNamed("hujunk")) })
+	e.phase("blacklistJunk", func() { e.blacklistJunk(root.SplitNamed("bljunk")) })
+	e.phase("benignBaseline", e.benignBaseline)
+	e.phase("restrictBlacklists", e.restrictBlacklists)
 
 	e.res.HumanReports = e.wm.reports
 	return e.res, nil
+}
+
+// phase runs fn under a tracer span; free when Tracer is nil.
+func (e *Engine) phase(name string, fn func()) {
+	sp := e.Tracer.Start(name)
+	fn()
+	sp.End()
 }
 
 // observeCampaigns runs the chunked plan/merge pipeline over every
@@ -200,7 +215,10 @@ func (e *Engine) observeCampaigns(workers int) {
 		parallel.ForEach(workers, hi-lo, func(i int) {
 			plans[i] = e.planCampaign(&camps[lo+i])
 		})
+		e.Metrics.CampaignsPlanned.Add(int64(hi - lo))
+		var batches int64
 		for i, p := range plans {
+			e.Metrics.Observations.Add(int64(len(p.obs)))
 			for j := range p.obs {
 				o := &p.obs[j]
 				f := e.feedArr[o.feed]
@@ -210,11 +228,14 @@ func (e *Engine) observeCampaigns(workers int) {
 					f.Observe(o.t, o.d, o.url)
 				}
 			}
+			batches += int64(len(p.batches))
 			for _, b := range p.batches {
 				e.wm.enqueue(b)
 			}
 			plans[i] = nil
 		}
+		e.Metrics.WebmailBatches.Add(batches)
+		e.Metrics.DrainDepth.Observe(float64(batches))
 		e.wm.flush(workers)
 	}
 }

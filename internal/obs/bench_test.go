@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkNoopHotPath pins the determinism-contract cost claim: an
+// uninstrumented (nil) counter+gauge+histogram+span on the hot path
+// must cost ~0 allocations. CI asserts the 0 allocs/op via
+// TestNoopHotPathZeroAllocs below; the benchmark reports the
+// per-operation time.
+func BenchmarkNoopHotPath(b *testing.B) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		c.Add(3)
+		g.Set(int64(i))
+		h.Observe(1.5)
+		sp := tr.Start("op")
+		sp.End()
+	}
+}
+
+// BenchmarkEnabledHotPath is the comparison point: live instruments on
+// the same path, still allocation-free (atomics only).
+func BenchmarkEnabledHotPath(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total")
+	g := r.Gauge("bench_gauge")
+	h := r.Histogram("bench_seconds", DefSecondsBuckets)
+	tr := NewTracer(1024, func() time.Time { return time.Unix(0, 0) })
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		c.Add(3)
+		g.Set(int64(i))
+		h.Observe(0.01)
+		sp := tr.Start("op")
+		sp.End()
+	}
+}
+
+// TestNoopHotPathZeroAllocs enforces the noop cost contract in the
+// regular test run, so a regression fails CI rather than just shifting
+// a benchmark number.
+func TestNoopHotPathZeroAllocs(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(7)
+		h.Observe(1.5)
+		sp := tr.Start("op")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("noop hot path allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestEnabledHotPathZeroAllocs: live instruments stay allocation-free
+// too — the only costs are atomics and the tracer's ring slot.
+func TestEnabledHotPathZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_probe_total")
+	h := r.Histogram("alloc_probe_seconds", DefSecondsBuckets)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(0.01)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled hot path allocates %v per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// WritePrometheus writes the registry's current state in the
+// Prometheus text exposition format (version 0.0.4). Output is fully
+// deterministic: families sorted by name, series by label values,
+// histogram buckets cumulative with an explicit +Inf bound. Safe on a
+// nil registry (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Snapshot()
+	lastFamily := ""
+	for i := range samples {
+		s := &samples[i]
+		if s.Name != lastFamily {
+			lastFamily = s.Name
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, escapeHelp(s.Help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch s.Kind {
+		case KindHistogram:
+			err = writeHistogram(w, s)
+		default:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", s.Name, labelBlock(s.Labels), formatFloat(s.Value))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram emits the cumulative _bucket/_sum/_count triple.
+func writeHistogram(w io.Writer, s *Sample) error {
+	cum := uint64(0)
+	for i, c := range s.Buckets {
+		cum += c
+		bound := "+Inf"
+		if i < len(s.Bounds) {
+			bound = formatFloat(s.Bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			s.Name, labelBlockLe(s.Labels, bound), cum); err != nil {
+			return err
+		}
+	}
+	if len(s.Buckets) == 0 {
+		// Bucketless histogram: still emit the +Inf bucket so parsers
+		// see a complete histogram.
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			s.Name, labelBlockLe(s.Labels, "+Inf"), s.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, labelBlock(s.Labels), formatFloat(s.Value)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, labelBlock(s.Labels), s.Count)
+	return err
+}
+
+// labelBlock renders {a="b",...}; empty labels render as "".
+func labelBlock(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labelBlockLe renders labels plus the le bucket bound.
+func labelBlockLe(labels []Label, le string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteString(`",`)
+	}
+	b.WriteString(`le="`)
+	b.WriteString(le)
+	b.WriteString(`"}`)
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a sample value the way Prometheus expects:
+// integers without an exponent, everything else via strconv 'g'.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry as Prometheus
+// text. Safe with a nil registry (serves an empty page).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //nolint:errcheck // client went away
+	})
+}
+
+// expvarReg is the registry mirrored under the "metrics" expvar; the
+// Once keeps the process-global expvar.Publish single-shot even when
+// several registries are created (last mounted wins).
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+func publishExpvar(r *Registry) {
+	if r == nil {
+		return
+	}
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("metrics", expvar.Func(func() any {
+			reg := expvarReg.Load()
+			out := map[string]any{}
+			for _, s := range reg.Snapshot() {
+				key := s.Name
+				if len(s.Labels) > 0 {
+					parts := make([]string, 0, len(s.Labels))
+					for _, l := range s.Labels {
+						parts = append(parts, l.Name+"="+l.Value)
+					}
+					sort.Strings(parts)
+					key += "{" + strings.Join(parts, ",") + "}"
+				}
+				if s.Kind == KindHistogram {
+					out[key] = map[string]any{"count": s.Count, "sum": s.Value}
+				} else {
+					out[key] = s.Value
+				}
+			}
+			return out
+		}))
+	})
+}
+
+// NewMux returns a mux with the full debug surface mounted:
+//
+//	/metrics      Prometheus text exposition of r
+//	/debug/vars   expvar JSON (stdlib vars plus a "metrics" mirror of r)
+//	/debug/pprof  the runtime profiler endpoints
+//	/debug/trace  text dump of t (404 when t is nil)
+//
+// r and t may each be nil; the corresponding surface degrades rather
+// than 500s.
+func NewMux(r *Registry, t *Tracer) *http.ServeMux {
+	publishExpvar(r)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		if t == nil {
+			http.NotFound(w, nil)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		t.Dump(w) //nolint:errcheck // client went away
+	})
+	return mux
+}
+
+// MetricsServer is a running exposition endpoint.
+type MetricsServer struct {
+	addr net.Addr
+	srv  *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *MetricsServer) Addr() net.Addr { return s.addr }
+
+// Close stops the server immediately.
+func (s *MetricsServer) Close() error { return s.srv.Close() }
+
+// Serve mounts NewMux(r, t) on a TCP listener at addr and serves in a
+// background goroutine. This is what the -metrics flag of the
+// long-running commands calls.
+func Serve(addr string, r *Registry, t *Tracer) (*MetricsServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewMux(r, t)}
+	ms := &MetricsServer{addr: lis.Addr(), srv: srv}
+	go srv.Serve(lis) //nolint:errcheck // ErrServerClosed on Close
+	return ms, nil
+}

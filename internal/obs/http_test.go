@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parsePrometheus parses text exposition into series -> value, keyed
+// by "name{labels}" exactly as emitted. It fails the test on any line
+// it cannot parse, so the exposition format itself is under test.
+func parsePrometheus(t *testing.T, r io.Reader) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable exposition line: %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func scrape(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	return parsePrometheus(t, resp.Body)
+}
+
+func TestExpositionScrapeParseAssert(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("smtpd_accepted_total").Add(42)
+	r.Counter("dnsbl_queries_total", "zone", "dbl").Add(7)
+	r.Gauge("feedsync_tail_last_record_unix_seconds").Set(1700000000)
+	h := r.Histogram("dnsbl_query_seconds", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	ts := httptest.NewServer(NewMux(r, NewTracer(8, nil)))
+	defer ts.Close()
+
+	got := scrape(t, ts.URL+"/metrics")
+	if got["smtpd_accepted_total"] != 42 {
+		t.Fatalf("accepted = %v", got["smtpd_accepted_total"])
+	}
+	if got[`dnsbl_queries_total{zone="dbl"}`] != 7 {
+		t.Fatalf("queries = %v", got[`dnsbl_queries_total{zone="dbl"}`])
+	}
+	if got["feedsync_tail_last_record_unix_seconds"] != 1700000000 {
+		t.Fatalf("gauge = %v", got["feedsync_tail_last_record_unix_seconds"])
+	}
+	// Histogram: cumulative buckets, sum, count.
+	if got[`dnsbl_query_seconds_bucket{le="0.01"}`] != 1 {
+		t.Fatalf("le=0.01 bucket = %v", got[`dnsbl_query_seconds_bucket{le="0.01"}`])
+	}
+	if got[`dnsbl_query_seconds_bucket{le="0.1"}`] != 2 {
+		t.Fatalf("le=0.1 bucket = %v", got[`dnsbl_query_seconds_bucket{le="0.1"}`])
+	}
+	if got[`dnsbl_query_seconds_bucket{le="+Inf"}`] != 3 {
+		t.Fatalf("+Inf bucket = %v", got[`dnsbl_query_seconds_bucket{le="+Inf"}`])
+	}
+	if got["dnsbl_query_seconds_count"] != 3 {
+		t.Fatalf("count = %v", got["dnsbl_query_seconds_count"])
+	}
+	if v := got["dnsbl_query_seconds_sum"]; v < 5.05 || v > 5.06 {
+		t.Fatalf("sum = %v", v)
+	}
+}
+
+func TestDebugVarsServesExpvarJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("vars_probe_total").Add(3)
+	ts := httptest.NewServer(NewMux(r, nil))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("expvar output not JSON: %v", err)
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Fatal("expvar memstats missing")
+	}
+	raw, ok := vars["metrics"]
+	if !ok {
+		t.Fatal("registry not mirrored into expvar")
+	}
+	var metrics map[string]float64
+	if err := json.Unmarshal(raw, &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics["vars_probe_total"] != 3 {
+		t.Fatalf("metrics mirror = %v", metrics)
+	}
+}
+
+func TestDebugPprofIndex(t *testing.T) {
+	ts := httptest.NewServer(NewMux(NewRegistry(), nil))
+	defer ts.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+	}
+}
+
+func TestDebugTraceDump(t *testing.T) {
+	tr := NewTracer(8, func() time.Time { return time.Unix(0, 0) })
+	tr.Start("phase").End()
+	ts := httptest.NewServer(NewMux(NewRegistry(), tr))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "phase") {
+		t.Fatalf("trace dump missing span:\n%s", body)
+	}
+}
+
+func TestServeBindsAndCloses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total").Inc()
+	ms, err := Serve("127.0.0.1:0", r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	got := scrape(t, fmt.Sprintf("http://%s/metrics", ms.Addr()))
+	if got["served_total"] != 1 {
+		t.Fatalf("scrape over real listener: %v", got)
+	}
+	if err := ms.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,376 @@
+// Package obs is the pipeline's zero-dependency observability layer:
+// a metrics registry of atomic counters, gauges and fixed-bucket
+// histograms with labeled families, lightweight span tracing with a
+// pluggable clock, and HTTP exposition (Prometheus text format,
+// expvar, pprof) for the long-running commands.
+//
+// Two properties shape the design:
+//
+//   - Noop by default. Every instrument is used through a pointer whose
+//     methods are nil-receiver safe, so uninstrumented code paths pay a
+//     single nil check and zero allocations (bench_test.go pins this
+//     down). A package exposes a Metrics value struct whose zero value
+//     is fully inert; callers that want telemetry populate it from a
+//     *Registry.
+//
+//   - Deterministically inert. Instruments only observe — they never
+//     feed back into control flow, consume randomness, or reorder
+//     work — so enabling metrics cannot change simulation output. The
+//     engine golden fingerprint tests run with instrumentation enabled
+//     to enforce this.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind enumerates instrument kinds.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String implements fmt.Stringer using Prometheus TYPE names.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Counter is a monotonically increasing value. The zero value is ready
+// to use; all methods are nil-receiver safe no-ops.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. The zero value is ready to
+// use; all methods are nil-receiver safe no-ops.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets. Buckets are upper
+// bounds in ascending order; an implicit +Inf bucket catches the rest.
+// The zero value (no buckets) still counts observations and sums
+// values. All methods are nil-receiver safe no-ops.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // float64 bits
+	count  atomic.Uint64
+}
+
+// DefSecondsBuckets is a general-purpose latency bucket layout in
+// seconds, from 100µs to 30s.
+var DefSecondsBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// DefCountBuckets is a general-purpose size/depth bucket layout.
+var DefCountBuckets = []float64{
+	1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket slices are short (≤ ~20) and the scan avoids
+	// sort.SearchFloat64s' closure allocation-free but branchier path.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	if len(h.counts) > 0 {
+		h.counts[i].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Label is one name=value pair attached to a series.
+type Label struct {
+	Name, Value string
+}
+
+// Sample is one series' state in a Snapshot.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Kind   Kind
+	Help   string
+	// Value holds the counter or gauge value; for histograms it is the
+	// sum of observations.
+	Value float64
+	// Count and Buckets are set for histograms only: Buckets holds
+	// non-cumulative per-bucket counts, Bounds the matching upper
+	// bounds (the final bucket is +Inf and has no bound).
+	Count   uint64
+	Bounds  []float64
+	Buckets []uint64
+}
+
+// series is one registered instrument.
+type series struct {
+	name   string
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups series sharing a name.
+type family struct {
+	kind Kind
+	help string
+}
+
+// Registry creates and holds instruments. A nil *Registry is valid:
+// every lookup returns a nil instrument, which no-ops. Instruments are
+// get-or-create — asking twice for the same name and labels returns
+// the same instrument — so wiring code can be naively re-run.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	series   map[string]*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		families: make(map[string]*family),
+		series:   make(map[string]*series),
+	}
+}
+
+// Describe attaches a help string to a metric family (shown as # HELP
+// in the Prometheus exposition). Safe on nil.
+func (r *Registry) Describe(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		return
+	}
+	f.help = help
+}
+
+// key builds the canonical series key; labels are alternating
+// name/value pairs sorted by name.
+func seriesKey(name string, labels []Label) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0)
+		b.WriteString(l.Name)
+		b.WriteByte(0)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// pairLabels converts alternating name/value strings into sorted
+// Labels, panicking on an odd count (a wiring bug, not a runtime
+// condition).
+func pairLabels(labels []string) []Label {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", labels))
+	}
+	out := make([]Label, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		out = append(out, Label{Name: labels[i], Value: labels[i+1]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// lookup returns the series for (name, labels), creating it with mk if
+// absent. It panics if the name is already registered with a different
+// kind — two packages fighting over a name is a wiring bug.
+func (r *Registry) lookup(name string, kind Kind, labels []string, mk func() *series) *series {
+	ls := pairLabels(labels)
+	key := seriesKey(name, ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok && f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, kind, f.kind))
+	} else if !ok {
+		r.families[name] = &family{kind: kind}
+	}
+	if s, ok := r.series[key]; ok {
+		return s
+	}
+	s := mk()
+	s.name = name
+	s.labels = ls
+	r.series[key] = s
+	return s
+}
+
+// Counter returns the counter for name and optional alternating
+// label name/value pairs, creating it on first use. Nil-safe: a nil
+// registry returns a nil (noop) counter.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, KindCounter, labels, func() *series {
+		return &series{c: &Counter{}}
+	}).c
+}
+
+// Gauge returns the gauge for name and labels (see Counter).
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, KindGauge, labels, func() *series {
+		return &series{g: &Gauge{}}
+	}).g
+}
+
+// Histogram returns the histogram for name and labels, with the given
+// upper bounds (ascending; nil buckets count+sum only). Buckets are
+// fixed at first creation; later callers get the existing instrument.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, KindHistogram, labels, func() *series {
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i] <= buckets[i-1] {
+				panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
+			}
+		}
+		h := &Histogram{bounds: append([]float64(nil), buckets...)}
+		h.counts = make([]atomic.Uint64, len(buckets)+1)
+		return &series{h: h}
+	}).h
+}
+
+// Snapshot returns every series' current state, sorted by name then
+// label values, so output is deterministic. Safe on nil (returns nil).
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.series))
+	for k := range r.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Sample, 0, len(keys))
+	for _, k := range keys {
+		s := r.series[k]
+		f := r.families[s.name]
+		sm := Sample{Name: s.name, Labels: s.labels, Kind: f.kind, Help: f.help}
+		switch {
+		case s.c != nil:
+			sm.Value = float64(s.c.Value())
+		case s.g != nil:
+			sm.Value = float64(s.g.Value())
+		case s.h != nil:
+			sm.Value = s.h.Sum()
+			sm.Count = s.h.Count()
+			sm.Bounds = s.h.bounds
+			sm.Buckets = make([]uint64, len(s.h.counts))
+			for i := range s.h.counts {
+				sm.Buckets[i] = s.h.counts[i].Load()
+			}
+		}
+		out = append(out, sm)
+	}
+	r.mu.Unlock()
+	return out
+}

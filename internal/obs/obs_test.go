@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilInstrumentsNoop(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(1.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", nil) != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+	r.Describe("x", "help") // must not panic
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters only go up
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("reqs_total") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits_total", "feed", "dbl")
+	b := r.Counter("hits_total", "feed", "uribl")
+	if a == b {
+		t.Fatal("distinct label values must be distinct series")
+	}
+	a.Add(2)
+	b.Inc()
+	// Label order must not matter for identity.
+	c := r.Counter("multi_total", "a", "1", "b", "2")
+	if r.Counter("multi_total", "b", "2", "a", "1") != c {
+		t.Fatal("label order must not create a new series")
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d series, want 3", len(snap))
+	}
+	// Deterministic ordering: by name then labels.
+	if snap[0].Name != "hits_total" || snap[0].Labels[0].Value != "dbl" {
+		t.Fatalf("snapshot order wrong: %+v", snap[0])
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as gauge must panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("sum = %v, want 56.05", h.Sum())
+	}
+	snap := r.Snapshot()
+	want := []uint64{1, 2, 1, 1}
+	for i, w := range want {
+		if snap[0].Buckets[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, snap[0].Buckets[i], w, snap[0].Buckets)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc", []float64{10})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || h.Sum() != 8000 {
+		t.Fatalf("count=%d sum=%v, want 8000/8000", h.Count(), h.Sum())
+	}
+}
+
+func TestDescribeShowsUpInSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("described_total")
+	r.Describe("described_total", "a helpful line")
+	snap := r.Snapshot()
+	if snap[0].Help != "a helpful line" {
+		t.Fatalf("help = %q", snap[0].Help)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "x", "2").Add(2)
+	r.Counter("b_total", "x", "1").Inc()
+	r.Gauge("a_gauge").Set(7)
+	var s1, s2 strings.Builder
+	if err := r.WritePrometheus(&s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&s2); err != nil {
+		t.Fatal(err)
+	}
+	if s1.String() != s2.String() {
+		t.Fatal("exposition must be deterministic")
+	}
+	out := s1.String()
+	if !strings.Contains(out, `b_total{x="1"} 1`) || !strings.Contains(out, `b_total{x="2"} 2`) {
+		t.Fatalf("missing series:\n%s", out)
+	}
+	if strings.Index(out, "a_gauge") > strings.Index(out, "b_total") {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+}

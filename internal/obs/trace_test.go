@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/simclock"
+)
+
+// tickClock is a deterministic clock advancing a fixed step per call,
+// anchored at the paper's measurement window the way a simulation
+// would drive the tracer.
+func tickClock(step time.Duration) func() time.Time {
+	t := simclock.PaperStart
+	return func() time.Time {
+		t = t.Add(step)
+		return t
+	}
+}
+
+func TestTracerNilInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("anything")
+	sp.End() // must not panic
+	if tr.Spans() != nil {
+		t.Fatal("nil tracer has no spans")
+	}
+	var b strings.Builder
+	if err := tr.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "disabled") {
+		t.Fatalf("dump: %q", b.String())
+	}
+}
+
+func TestTracerRecordsSimClockSpans(t *testing.T) {
+	tr := NewTracer(8, tickClock(time.Minute))
+	sp := tr.Start("plan")
+	tr.Start("flush").End()
+	sp.End()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	// flush ended first, so it is recorded first.
+	if spans[0].Name != "flush" || spans[1].Name != "plan" {
+		t.Fatalf("order: %v, %v", spans[0].Name, spans[1].Name)
+	}
+	// The clock ticked once per Start/End: plan spans 3 ticks.
+	if spans[1].Duration() != 3*time.Minute {
+		t.Fatalf("plan duration = %v, want 3m", spans[1].Duration())
+	}
+	if !spans[0].Start.After(simclock.PaperStart) {
+		t.Fatal("spans must carry the simulated timeline")
+	}
+}
+
+func TestTracerRingOverwrite(t *testing.T) {
+	tr := NewTracer(3, tickClock(time.Second))
+	for _, name := range []string{"a", "b", "c", "d", "e"} {
+		tr.Start(name).End()
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(spans))
+	}
+	if spans[0].Name != "c" || spans[2].Name != "e" {
+		t.Fatalf("oldest-first order wrong: %v", spans)
+	}
+	total, dropped := tr.Total()
+	if total != 5 || dropped != 2 {
+		t.Fatalf("total=%d dropped=%d, want 5/2", total, dropped)
+	}
+}
+
+func TestTracerDumpSummarizes(t *testing.T) {
+	tr := NewTracer(16, tickClock(time.Second))
+	tr.Start("chunk").End()
+	tr.Start("chunk").End()
+	tr.Start("drain").End()
+	var b strings.Builder
+	if err := tr.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "3 spans buffered") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "chunk") || !strings.Contains(out, "n=2") {
+		t.Fatalf("summary missing:\n%s", out)
+	}
+	// Summary lines are sorted by name: chunk before drain.
+	if strings.Index(out, "summary: chunk") > strings.Index(out, "summary: drain") {
+		t.Fatalf("summaries unsorted:\n%s", out)
+	}
+}

@@ -14,7 +14,77 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"time"
+
+	"tasterschoice/internal/obs"
 )
+
+// PoolMetrics observes every pool invocation in the process. The zero
+// value is inert; commands that expose metrics populate Metrics once
+// during startup (before any pool runs — the fields are read without
+// synchronization on the hot path).
+//
+// Observation never influences scheduling: work assignment stays a
+// pure function of (n, workers), so instrumented and uninstrumented
+// runs produce identical results — the determinism contract of this
+// package is unchanged.
+type PoolMetrics struct {
+	// Calls counts pool invocations (ForEach/Shards/Ranges/Map).
+	Calls *obs.Counter
+	// Tasks counts items dispatched across all invocations.
+	Tasks *obs.Counter
+	// InFlight tracks currently running workers.
+	InFlight *obs.Gauge
+	// ShardImbalanceNs records, per multi-worker invocation, the gap in
+	// wall nanoseconds between the slowest and fastest shard — the
+	// straggler signal. Only measured when non-nil (it costs two
+	// time.Now calls per shard).
+	ShardImbalanceNs *obs.Histogram
+}
+
+// Metrics is the process-wide pool instrumentation hook.
+var Metrics PoolMetrics
+
+// NewPoolMetrics wires a PoolMetrics to r. Safe with a nil registry.
+func NewPoolMetrics(r *obs.Registry) PoolMetrics {
+	m := PoolMetrics{
+		Calls:            r.Counter("parallel_calls_total"),
+		Tasks:            r.Counter("parallel_tasks_total"),
+		InFlight:         r.Gauge("parallel_workers_in_flight"),
+		ShardImbalanceNs: r.Histogram("parallel_shard_imbalance_ns", []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}),
+	}
+	r.Describe("parallel_calls_total", "Worker-pool invocations.")
+	r.Describe("parallel_tasks_total", "Items dispatched to worker pools.")
+	r.Describe("parallel_workers_in_flight", "Workers currently running.")
+	r.Describe("parallel_shard_imbalance_ns", "Slowest minus fastest shard wall time per invocation.")
+	return m
+}
+
+// imbalance tracks per-shard wall durations for the straggler
+// histogram; used only when Metrics.ShardImbalanceNs is set.
+type imbalance struct {
+	mu       sync.Mutex
+	min, max time.Duration
+	n        int
+}
+
+func (im *imbalance) add(d time.Duration) {
+	im.mu.Lock()
+	if im.n == 0 || d < im.min {
+		im.min = d
+	}
+	if d > im.max {
+		im.max = d
+	}
+	im.n++
+	im.mu.Unlock()
+}
+
+func (im *imbalance) record() {
+	if im.n > 1 {
+		Metrics.ShardImbalanceNs.Observe(float64(im.max - im.min))
+	}
+}
 
 // Workers clamps a requested worker count: n <= 0 selects
 // runtime.GOMAXPROCS(0), and the result is never less than 1.
@@ -39,23 +109,39 @@ func ForEach(workers, n int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	Metrics.Calls.Inc()
+	Metrics.Tasks.Add(int64(n))
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
+	measure := Metrics.ShardImbalanceNs != nil
+	var im imbalance
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(shard int) {
 			defer wg.Done()
+			Metrics.InFlight.Add(1)
+			defer Metrics.InFlight.Add(-1)
+			var start time.Time
+			if measure {
+				start = time.Now()
+			}
 			for i := shard; i < n; i += workers {
 				fn(i)
+			}
+			if measure {
+				im.add(time.Since(start))
 			}
 		}(w)
 	}
 	wg.Wait()
+	if measure {
+		im.record()
+	}
 }
 
 // Shards invokes fn(shard, of) once per shard with of == effective
@@ -64,19 +150,34 @@ func ForEach(workers, n int, fn func(i int)) {
 // i += of) or owns the shard'th bucket of a fixed partition.
 func Shards(workers int, fn func(shard, of int)) {
 	workers = Workers(workers)
+	Metrics.Calls.Inc()
 	if workers <= 1 {
 		fn(0, 1)
 		return
 	}
+	measure := Metrics.ShardImbalanceNs != nil
+	var im imbalance
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(shard int) {
 			defer wg.Done()
+			Metrics.InFlight.Add(1)
+			defer Metrics.InFlight.Add(-1)
+			var start time.Time
+			if measure {
+				start = time.Now()
+			}
 			fn(shard, workers)
+			if measure {
+				im.add(time.Since(start))
+			}
 		}(w)
 	}
 	wg.Wait()
+	if measure {
+		im.record()
+	}
 }
 
 // Ranges splits [0, n) into at most `workers` contiguous ranges of
@@ -88,12 +189,16 @@ func Ranges(workers, n int, fn func(lo, hi int)) {
 	if workers > n {
 		workers = n
 	}
+	Metrics.Calls.Inc()
+	Metrics.Tasks.Add(int64(n))
 	if workers <= 1 {
 		if n > 0 {
 			fn(0, n)
 		}
 		return
 	}
+	measure := Metrics.ShardImbalanceNs != nil
+	var im imbalance
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -101,12 +206,24 @@ func Ranges(workers, n int, fn func(lo, hi int)) {
 		hi := (w + 1) * n / workers
 		go func(lo, hi int) {
 			defer wg.Done()
+			Metrics.InFlight.Add(1)
+			defer Metrics.InFlight.Add(-1)
+			var start time.Time
+			if measure {
+				start = time.Now()
+			}
 			if hi > lo {
 				fn(lo, hi)
+			}
+			if measure {
+				im.add(time.Since(start))
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	if measure {
+		im.record()
+	}
 }
 
 // Map applies fn to every element of in across workers and returns the

@@ -1,0 +1,185 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tasterschoice/internal/analysis"
+	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/stats"
+)
+
+// Golden tests pin the exact bytes of every figure/table renderer and
+// CSV writer: formatting drift (column widths, percent rounding, CSV
+// quoting) shows up as a readable diff instead of passing silently.
+// Regenerate after an intentional change with:
+//
+//	go test ./internal/report/ -run TestGolden -update
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\n--- want\n%s\n--- got\n%s", name, want, got)
+	}
+}
+
+// Fixture data: small, hand-written rows that exercise the formatting
+// edge cases (n/a samples, <1% purities, empty timing rows, non-OK
+// pairwise cells, zero totals).
+
+func goldenSummary() []analysis.FeedSummary {
+	return []analysis.FeedSummary{
+		{Name: "Hu", Kind: feeds.KindHuman, Samples: 10733231, Unique: 1051211},
+		{Name: "dbl", Kind: feeds.KindBlacklist, SamplesNA: true, Unique: 413392},
+		{Name: "mx1", Kind: feeds.KindMXHoneypot, Samples: 32548304, Unique: 100631},
+	}
+}
+
+func goldenPurity() []analysis.PurityRow {
+	return []analysis.PurityRow{
+		{Name: "Hu", DNS: 0.977, Covered: 0.93, HTTP: 0.844, Tagged: 0.541, ODP: 0.0049, Alexa: 0.018},
+		{Name: "Bot", DNS: 0.004, Covered: 0.5, HTTP: 0.004, Tagged: 0.001, ODP: 0, Alexa: 0.002},
+	}
+}
+
+func goldenCoverage() (all, live, tagged []analysis.CoverageRow) {
+	all = []analysis.CoverageRow{
+		{Name: "Hu", Total: 1051211, Exclusive: 4521},
+		{Name: "Hyb", Total: 496893, Exclusive: 322215},
+	}
+	live = []analysis.CoverageRow{
+		{Name: "Hu", Total: 564946, Exclusive: 2300},
+		{Name: "Hyb", Total: 221253, Exclusive: 110000},
+	}
+	tagged = []analysis.CoverageRow{
+		{Name: "Hu", Total: 120000, Exclusive: 310},
+		{Name: "Hyb", Total: 60021, Exclusive: 0},
+	}
+	return
+}
+
+func goldenMatrix() *analysis.Matrix {
+	return analysis.NewMatrix([]string{"Hu", "mx1"}, []map[string]bool{
+		{"a.com": true, "b.com": true, "c.com": true},
+		{"b.com": true, "d.com": true},
+	})
+}
+
+func goldenVolume() []analysis.VolumeRow {
+	return []analysis.VolumeRow{
+		{Name: "Hu", LivePct: 0.42, LiveBenignPct: 0.31, TaggedPct: 0.856, TaggedBenignPct: 0.012},
+		{Name: "Bot", LivePct: 0.03, LiveBenignPct: 0.9, TaggedPct: 0.011, TaggedBenignPct: 0.002},
+	}
+}
+
+func goldenRevenue() ([]analysis.RevenueRow, float64) {
+	return []analysis.RevenueRow{
+		{Name: "Hu", Revenue: 6.21e6, Affiliates: 812},
+		{Name: "Ac1", Revenue: 1.02e6, Affiliates: 95},
+	}, 6.5e6
+}
+
+func goldenPairwise() *analysis.PairwiseDist {
+	return &analysis.PairwiseDist{
+		Names: []string{"Mail", "mx1", "Bot"},
+		Value: [][]float64{{0, 0.19, 0.55}, {0.19, 0, 0.61}, {0.55, 0.61, 0}},
+		OK:    [][]bool{{true, true, true}, {true, true, false}, {true, false, true}},
+	}
+}
+
+func goldenTiming() []analysis.TimingRow {
+	return []analysis.TimingRow{
+		{Name: "mx1", Summary: stats.Summarize([]float64{0.5, 1, 2, 3, 8, 50})},
+		{Name: "empty"},
+	}
+}
+
+func goldenCategories() []analysis.CategoryRow {
+	return []analysis.CategoryRow{
+		{Name: "Hu", Pharma: 104341, Replica: 30211, Software: 9120},
+		{Name: "Bot", Pharma: 211, Replica: 3, Software: 0},
+	}
+}
+
+func goldenReconstruction() []analysis.Reconstruction {
+	return []analysis.Reconstruction{
+		{Feed: "mx2", Domains: 5121, TrueCampaigns: 201, Clusters: 215,
+			PairPrecision: 0.91, PairRecall: 0.83},
+	}
+}
+
+func goldenShares() []analysis.ShareRow {
+	return []analysis.ShareRow{
+		{Name: "Hu", PharmaShare: 0.72, ReplicaShare: 0.21, SoftwareShare: 0.07},
+	}
+}
+
+func goldenSelection() []analysis.SelectionStep {
+	return []analysis.SelectionStep{
+		{Feed: "Hyb", Marginal: 496893, Cumulative: 496893, CumulativeFrac: 0.41},
+		{Feed: "Hu", Marginal: 402110, Cumulative: 899003, CumulativeFrac: 0.74},
+	}
+}
+
+func TestGoldenFigures(t *testing.T) {
+	all, live, tagged := goldenCoverage()
+	rev, revTotal := goldenRevenue()
+	for name, out := range map[string]string{
+		"feed_summary":   FeedSummaryTable(goldenSummary()),
+		"purity":         PurityTable(goldenPurity()),
+		"coverage":       CoverageTable(all, live, tagged),
+		"excl_scatter":   ExclusiveScatter(all),
+		"matrix":         MatrixTable(goldenMatrix()),
+		"volume_bars":    VolumeBars(goldenVolume()),
+		"revenue_bars":   RevenueBars(rev, revTotal),
+		"pairwise":       PairwiseTable(goldenPairwise()),
+		"timing":         TimingTable(goldenTiming()),
+		"categories":     CategoryTable(goldenCategories()),
+		"reconstruction": ReconstructionTable(goldenReconstruction()),
+		"shares":         SharesTable(goldenShares()),
+		"selection":      SelectionTable(goldenSelection()),
+	} {
+		checkGolden(t, name, []byte(out))
+	}
+}
+
+func TestGoldenCSV(t *testing.T) {
+	all, live, tagged := goldenCoverage()
+	rev, revTotal := goldenRevenue()
+	for name, write := range map[string]func(*bytes.Buffer) error{
+		"feed_summary": func(b *bytes.Buffer) error { return CSVFeedSummary(b, goldenSummary()) },
+		"purity":       func(b *bytes.Buffer) error { return CSVPurity(b, goldenPurity()) },
+		"coverage":     func(b *bytes.Buffer) error { return CSVCoverage(b, all, live, tagged) },
+		"matrix":       func(b *bytes.Buffer) error { return CSVMatrix(b, goldenMatrix()) },
+		"volume":       func(b *bytes.Buffer) error { return CSVVolume(b, goldenVolume()) },
+		"revenue":      func(b *bytes.Buffer) error { return CSVRevenue(b, rev, revTotal) },
+		"pairwise":     func(b *bytes.Buffer) error { return CSVPairwise(b, goldenPairwise()) },
+		"timing":       func(b *bytes.Buffer) error { return CSVTiming(b, goldenTiming()) },
+		"selection":    func(b *bytes.Buffer) error { return CSVSelection(b, goldenSelection()) },
+	} {
+		var b bytes.Buffer
+		if err := write(&b); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkGolden(t, "csv_"+name, b.Bytes())
+	}
+}

@@ -1,0 +1,83 @@
+package resilient
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/obs"
+)
+
+func TestRetrierMetricsCounts(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := Retrier{
+		Attempts: 3,
+		Sleep:    func(time.Duration) {},
+		Metrics:  NewRetryMetrics(reg, "test"),
+	}
+	fails := 0
+	err := r.Do(func(int) error {
+		fails++
+		if fails < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Metrics.Attempts.Value(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	if got := r.Metrics.Retries.Value(); got != 2 {
+		t.Fatalf("retries = %d, want 2", got)
+	}
+	if got := r.Metrics.Exhausted.Value(); got != 0 {
+		t.Fatalf("exhausted = %d, want 0", got)
+	}
+
+	if err := r.Do(func(int) error { return errors.New("always") }); err == nil {
+		t.Fatal("want failure")
+	}
+	if got := r.Metrics.Exhausted.Value(); got != 1 {
+		t.Fatalf("exhausted = %d, want 1", got)
+	}
+}
+
+func TestBreakerMetricsTransitions(t *testing.T) {
+	reg := obs.NewRegistry()
+	now := time.Unix(0, 0)
+	b := &Breaker{
+		Threshold: 2,
+		Cooldown:  time.Second,
+		Now:       func() time.Time { return now },
+		Metrics:   NewBreakerMetrics(reg, "test"),
+	}
+	b.Failure()
+	b.Failure() // trips: closed → open
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v", b.State())
+	}
+	if got := b.Metrics.Trips.Value(); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+	if got := b.Metrics.State.Value(); got != int64(BreakerOpen) {
+		t.Fatalf("state gauge = %d", got)
+	}
+	now = now.Add(2 * time.Second)
+	if !b.Allow() { // open → half-open probe
+		t.Fatal("probe should be allowed after cooldown")
+	}
+	b.Success() // half-open → closed
+	if got := b.Metrics.Transitions.Value(); got != 3 {
+		t.Fatalf("transitions = %d, want 3 (trip, half-open, close)", got)
+	}
+	if got := b.Metrics.State.Value(); got != int64(BreakerClosed) {
+		t.Fatalf("state gauge = %d", got)
+	}
+	// Repeated successes in the closed state are not transitions.
+	b.Success()
+	if got := b.Metrics.Transitions.Value(); got != 3 {
+		t.Fatalf("transitions after steady success = %d, want 3", got)
+	}
+}

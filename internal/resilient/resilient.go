@@ -22,6 +22,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"tasterschoice/internal/obs"
 )
 
 // DialFunc is the pluggable dialer shared by the pipeline's clients.
@@ -107,6 +109,32 @@ func IsPermanent(err error) bool {
 	return errors.As(err, &pe)
 }
 
+// RetryMetrics observes a Retrier. The zero value is inert (all
+// fields nil); populate from an obs.Registry to collect.
+type RetryMetrics struct {
+	// Attempts counts every operation invocation, first tries included.
+	Attempts *obs.Counter
+	// Retries counts invocations after the first (attempt > 0).
+	Retries *obs.Counter
+	// Exhausted counts Do calls that returned a non-nil error.
+	Exhausted *obs.Counter
+}
+
+// NewRetryMetrics wires a RetryMetrics to r under the given family
+// prefix ("dnsbl_client" → "dnsbl_client_retry_attempts_total", ...).
+// Safe with a nil registry (returns the inert zero value).
+func NewRetryMetrics(r *obs.Registry, prefix string) RetryMetrics {
+	m := RetryMetrics{
+		Attempts:  r.Counter(prefix + "_retry_attempts_total"),
+		Retries:   r.Counter(prefix + "_retries_total"),
+		Exhausted: r.Counter(prefix + "_retry_exhausted_total"),
+	}
+	r.Describe(prefix+"_retry_attempts_total", "Operation attempts, first tries included.")
+	r.Describe(prefix+"_retries_total", "Attempts after the first (retry storms show here).")
+	r.Describe(prefix+"_retry_exhausted_total", "Retry budgets that ended in failure.")
+	return m
+}
+
 // Retrier runs an operation up to Attempts times with Backoff pauses in
 // between. The zero value retries 3 times with default backoff.
 type Retrier struct {
@@ -117,6 +145,8 @@ type Retrier struct {
 	// Sleep is called with each delay (default time.Sleep); tests
 	// substitute a recorder.
 	Sleep func(time.Duration)
+	// Metrics observes the attempts; the zero value is inert.
+	Metrics RetryMetrics
 }
 
 // Do invokes op until it succeeds, returns a Permanent error, or the
@@ -135,7 +165,9 @@ func (r Retrier) Do(op func(attempt int) error) error {
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
 			sleep(r.Backoff.Delay(i - 1))
+			r.Metrics.Retries.Inc()
 		}
+		r.Metrics.Attempts.Inc()
 		err := op(i)
 		if err == nil {
 			return nil
@@ -144,6 +176,9 @@ func (r Retrier) Do(op func(attempt int) error) error {
 		if IsPermanent(err) {
 			break
 		}
+	}
+	if lastErr != nil {
+		r.Metrics.Exhausted.Inc()
 	}
 	return lastErr
 }
@@ -179,6 +214,32 @@ func (s BreakerState) String() string {
 	}
 }
 
+// BreakerMetrics observes a Breaker's state machine. The zero value is
+// inert; populate from an obs.Registry to collect.
+type BreakerMetrics struct {
+	// Transitions counts every state change.
+	Transitions *obs.Counter
+	// Trips counts closed/half-open → open transitions specifically.
+	Trips *obs.Counter
+	// State mirrors the current state as a gauge (0 closed, 1 open,
+	// 2 half-open), matching BreakerState's values.
+	State *obs.Gauge
+}
+
+// NewBreakerMetrics wires a BreakerMetrics to r under the given family
+// prefix. Safe with a nil registry.
+func NewBreakerMetrics(r *obs.Registry, prefix string) BreakerMetrics {
+	m := BreakerMetrics{
+		Transitions: r.Counter(prefix + "_breaker_transitions_total"),
+		Trips:       r.Counter(prefix + "_breaker_trips_total"),
+		State:       r.Gauge(prefix + "_breaker_state"),
+	}
+	r.Describe(prefix+"_breaker_transitions_total", "Breaker state changes.")
+	r.Describe(prefix+"_breaker_trips_total", "Times the breaker opened.")
+	r.Describe(prefix+"_breaker_state", "Current state: 0 closed, 1 open, 2 half-open.")
+	return m
+}
+
 // Breaker is a consecutive-failure circuit breaker with half-open
 // probing. It is safe for concurrent use; the zero value is a working
 // breaker with the defaults noted on each field.
@@ -191,6 +252,9 @@ type Breaker struct {
 	Cooldown time.Duration
 	// Now substitutes the clock in tests (default time.Now).
 	Now func() time.Time
+	// Metrics observes state transitions; the zero value is inert. Set
+	// before first use.
+	Metrics BreakerMetrics
 
 	mu       sync.Mutex
 	state    BreakerState
@@ -236,7 +300,7 @@ func (b *Breaker) Allow() bool {
 		if b.now().Sub(b.openedAt) < b.cooldown() {
 			return false
 		}
-		b.state = BreakerHalfOpen
+		b.setState(BreakerHalfOpen)
 		b.probing = true
 		return true
 	case BreakerHalfOpen:
@@ -253,7 +317,7 @@ func (b *Breaker) Allow() bool {
 func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.state = BreakerClosed
+	b.setState(BreakerClosed)
 	b.failures = 0
 	b.probing = false
 }
@@ -277,13 +341,25 @@ func (b *Breaker) Failure() {
 	}
 }
 
+// setState records a state change (and its metrics) exactly when the
+// state actually changes. Callers hold b.mu.
+func (b *Breaker) setState(s BreakerState) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	b.Metrics.Transitions.Inc()
+	b.Metrics.State.Set(int64(s))
+}
+
 // trip moves to open. Callers hold b.mu.
 func (b *Breaker) trip() {
-	b.state = BreakerOpen
+	b.setState(BreakerOpen)
 	b.openedAt = b.now()
 	b.failures = 0
 	b.probing = false
 	b.trips++
+	b.Metrics.Trips.Inc()
 }
 
 // Record maps an operation outcome onto Success/Failure.

@@ -13,6 +13,7 @@ import (
 	"tasterschoice/internal/analysis"
 	"tasterschoice/internal/ecosystem"
 	"tasterschoice/internal/mailflow"
+	"tasterschoice/internal/obs"
 )
 
 // Scenario is a complete, reproducible experiment configuration.
@@ -21,6 +22,11 @@ type Scenario struct {
 	// Ecosystem generates the world; Collection observes it.
 	Ecosystem  ecosystem.Config
 	Collection mailflow.Config
+	// Metrics, when populated, observes the collection engine. The
+	// zero value is inert and instrumentation never changes results.
+	Metrics mailflow.Metrics
+	// Tracer, when set, records a span per engine phase.
+	Tracer *obs.Tracer
 }
 
 // Default returns the paper-scale default scenario (~1:1000 in message
@@ -68,7 +74,10 @@ func (s Scenario) Run() (*analysis.Dataset, error) {
 	if err != nil {
 		return nil, fmt.Errorf("simulate %q: %w", s.Name, err)
 	}
-	res, err := mailflow.New(world, s.Collection).Run()
+	eng := mailflow.New(world, s.Collection)
+	eng.Metrics = s.Metrics
+	eng.Tracer = s.Tracer
+	res, err := eng.Run()
 	if err != nil {
 		return nil, fmt.Errorf("simulate %q: %w", s.Name, err)
 	}

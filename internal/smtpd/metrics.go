@@ -1,0 +1,35 @@
+package smtpd
+
+import "tasterschoice/internal/obs"
+
+// Metrics observes the honeypot's accept path. The zero value is
+// inert; populate with NewMetrics to collect. Instruments only count —
+// they never change a reply code or the envelope flow.
+type Metrics struct {
+	// Accepted counts completed envelopes (one per 250-after-DATA).
+	Accepted *obs.Counter
+	// Rejected counts messages and connections the server refused:
+	// 421 too-many-connections, 452 too-many-recipients, 552 oversize.
+	Rejected *obs.Counter
+	// Sessions counts connections served.
+	Sessions *obs.Counter
+	// SessionSeconds is the wall duration of each SMTP session. Only
+	// measured when non-nil (it costs two time.Now calls per session).
+	SessionSeconds *obs.Histogram
+}
+
+// NewMetrics wires a Metrics to r. Safe with a nil registry (returns
+// the inert zero value).
+func NewMetrics(r *obs.Registry) Metrics {
+	m := Metrics{
+		Accepted:       r.Counter("smtpd_accepted_total"),
+		Rejected:       r.Counter("smtpd_rejected_total"),
+		Sessions:       r.Counter("smtpd_sessions_total"),
+		SessionSeconds: r.Histogram("smtpd_session_seconds", obs.DefSecondsBuckets),
+	}
+	r.Describe("smtpd_accepted_total", "Envelopes accepted (250 after DATA).")
+	r.Describe("smtpd_rejected_total", "Messages/connections refused: 421 busy, 452 recipients, 552 oversize.")
+	r.Describe("smtpd_sessions_total", "SMTP sessions served.")
+	r.Describe("smtpd_session_seconds", "Wall duration of each SMTP session.")
+	return m
+}

@@ -57,6 +57,9 @@ type Server struct {
 	// MaxConns caps concurrent connections; excess connections get a
 	// 421 and are closed (default 256).
 	MaxConns int
+	// Metrics observes the accept path; the zero value is inert. Set
+	// before Listen.
+	Metrics Metrics
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -122,6 +125,7 @@ func (s *Server) serve(l net.Listener) {
 		if s.MaxConns > 0 && len(s.conns) >= s.MaxConns {
 			s.mu.Unlock()
 			// Too busy: refuse politely per RFC 5321 §3.8.
+			s.Metrics.Rejected.Inc()
 			conn.Write([]byte("421 " + s.Hostname + " too many connections, try later\r\n")) //nolint:errcheck
 			conn.Close()
 			continue
@@ -227,6 +231,13 @@ type session struct {
 // ServeConn runs one SMTP session on an arbitrary net.Conn (exported so
 // tests can drive it over net.Pipe).
 func (s *Server) ServeConn(conn net.Conn) {
+	s.Metrics.Sessions.Inc()
+	if s.Metrics.SessionSeconds != nil {
+		start := time.Now()
+		defer func() {
+			s.Metrics.SessionSeconds.Observe(time.Since(start).Seconds())
+		}()
+	}
 	sess := &session{
 		srv:  s,
 		conn: conn,
@@ -354,6 +365,7 @@ func (sess *session) cmdRcpt(args string) {
 		return
 	}
 	if len(sess.to) >= sess.srv.MaxRecipients {
+		sess.srv.Metrics.Rejected.Inc()
 		sess.reply(452, "too many recipients")
 		return
 	}
@@ -398,6 +410,7 @@ func (sess *session) cmdData() {
 		}
 	}
 	if tooBig {
+		sess.srv.Metrics.Rejected.Inc()
 		sess.reply(552, "message exceeds size limit")
 		sess.resetTransaction()
 		return
@@ -413,6 +426,7 @@ func (sess *session) cmdData() {
 		sess.srv.Handler(env)
 	}
 	sess.srv.received.Add(1)
+	sess.srv.Metrics.Accepted.Inc()
 	sess.resetTransaction()
 	sess.reply(250, "OK: message accepted")
 }
