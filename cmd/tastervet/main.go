@@ -1,0 +1,77 @@
+// Command tastervet is the project's custom static-analysis
+// multichecker: five analyzers (floatmaprange, wallclock, globalrand,
+// nilguard, ctxblocking) that mechanically enforce the determinism,
+// clock, RNG and observability contracts MECHANISMS.md documents.
+//
+// Two modes:
+//
+//	tastervet [-tags build-tags] [-tests] [-run names] [packages]
+//	    Standalone: list, parse and type-check the packages itself
+//	    (default ./...) and print findings. Exit status 1 when any
+//	    finding survives the //lint:allow allowlist.
+//
+//	go vet -vettool=$(which tastervet) ./...
+//	    Unit-checker: speak cmd/go's vet protocol (-V=full version
+//	    query, -flags enumeration, then one .cfg file per package),
+//	    so findings integrate with go vet's caching and output.
+//
+// Suppressions are explicit and reasoned:
+//
+//	conn.SetDeadline(...) //lint:allow wallclock -- socket deadline, not simulation time
+//
+// A malformed or unknown-analyzer directive is itself reported.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// cmd/go's vet protocol probes come before anything else: a
+	// version query (for its action cache key) and a flag listing.
+	for _, a := range args {
+		if a == "-V=full" || a == "-V" {
+			printVersion()
+			return
+		}
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// No analyzer flags are exposed through go vet.
+		fmt.Println("[]")
+		return
+	}
+	if n := len(args); n > 0 && strings.HasSuffix(args[n-1], ".cfg") {
+		os.Exit(runUnitchecker(args[n-1]))
+	}
+	os.Exit(runStandalone(args))
+}
+
+// printVersion replicates the output shape cmd/go expects from a
+// -V=full probe (the same minimal contract x/tools' unitchecker
+// implements): the executable path, the word "version", and a build
+// identifier derived from the binary's own content hash.
+func printVersion() {
+	progname, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f, err := os.Open(progname)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h.Sum(nil)))
+}

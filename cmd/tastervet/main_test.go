@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"tasterschoice/internal/lint"
+)
+
+// TestTreeClean is the gate the CI lint job enforces: the suite must
+// run clean on the repository's own packages. Test binaries run from
+// their package directory, so the module-wide pattern (not ./...) is
+// used.
+func TestTreeClean(t *testing.T) {
+	pkgs, err := lint.Load(".", []string{"tasterschoice/internal/..."}, "", false)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			t.Errorf("%s: type error: %v", p.ImportPath, terr)
+		}
+		diags, err := lint.RunAnalyzers(p.Fset, p.Files, p.Pkg, p.Info, lint.All())
+		if err != nil {
+			t.Fatalf("%s: %v", p.ImportPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: [%s] %s", p.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+}
+
+// TestVettoolEndToEnd builds the binary, fabricates a module with the
+// PR-3 map-order float-sum bug, and checks that `go vet -vettool`
+// fails on it with a floatmaprange finding.
+func TestVettoolEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet; skipped in -short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+
+	tmp := t.TempDir()
+	vettool := filepath.Join(tmp, "tastervet")
+	build := exec.Command(goTool, "build", "-o", vettool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building tastervet: %v\n%s", err, out)
+	}
+
+	// A scratch module that masquerades as this one, so the bad
+	// package classifies as deterministic.
+	mod := filepath.Join(tmp, "mod")
+	pkg := filepath.Join(mod, "internal", "report")
+	if err := os.MkdirAll(pkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(mod, "go.mod"), "module tasterschoice\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(pkg, "bad.go"), `package report
+
+// Sum reintroduces the map-iteration-order float accumulation bug.
+func Sum(d map[string]float64) float64 {
+	total := 0.0
+	for _, v := range d {
+		total += v
+	}
+	return total
+}
+`)
+
+	vet := exec.Command(goTool, "vet", "-vettool="+vettool, "./...")
+	vet.Dir = mod
+	var out bytes.Buffer
+	vet.Stdout = &out
+	vet.Stderr = &out
+	err = vet.Run()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed on the buggy module; output:\n%s", out.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("floatmaprange")) ||
+		!bytes.Contains(out.Bytes(), []byte("float accumulation into total")) {
+		t.Fatalf("go vet failed but without the expected floatmaprange finding; output:\n%s", out.String())
+	}
+}
+
+// TestVettoolCleanModule is the converse: the sorted-keys idiom passes
+// under go vet -vettool.
+func TestVettoolCleanModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet; skipped in -short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+
+	tmp := t.TempDir()
+	vettool := filepath.Join(tmp, "tastervet")
+	build := exec.Command(goTool, "build", "-o", vettool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building tastervet: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "mod")
+	pkg := filepath.Join(mod, "internal", "report")
+	if err := os.MkdirAll(pkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(mod, "go.mod"), "module tasterschoice\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(pkg, "good.go"), `package report
+
+import "sort"
+
+// Sum accumulates over sorted keys: bit-identical across runs.
+func Sum(d map[string]float64) float64 {
+	keys := make([]string, 0, len(d))
+	for k := range d {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += d[k]
+	}
+	return total
+}
+`)
+
+	vet := exec.Command(goTool, "vet", "-vettool="+vettool, "./...")
+	vet.Dir = mod
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool failed on the clean module: %v\n%s", err, out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

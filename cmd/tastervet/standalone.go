@@ -1,0 +1,90 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tasterschoice/internal/lint"
+)
+
+// runStandalone loads packages with the go command and runs the suite,
+// printing findings in the familiar file:line:col format. Returns the
+// process exit code.
+func runStandalone(args []string) int {
+	fs := flag.NewFlagSet("tastervet", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: tastervet [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintln(fs.Output(), "\nFlags:")
+		fs.PrintDefaults()
+	}
+	tags := fs.String("tags", "", "build tags to list packages with (e.g. chaos)")
+	tests := fs.Bool("tests", false, "also analyze _test.go files and external test packages")
+	runNames := fs.String("run", "", "comma-separated analyzer names to run (default all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers, err := selectAnalyzers(*runNames)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tastervet:", err)
+		return 2
+	}
+
+	pkgs, err := lint.Load(".", patterns, *tags, *tests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tastervet:", err)
+		return 2
+	}
+
+	findings := 0
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "tastervet: %s: type error (analysis may be incomplete): %v\n", p.ImportPath, terr)
+		}
+		diags, err := lint.RunAnalyzers(p.Fset, p.Files, p.Pkg, p.Info, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tastervet:", err)
+			return 2
+		}
+		for _, d := range diags {
+			findings++
+			fmt.Printf("%s: [%s] %s\n", p.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "tastervet: %d finding(s) across %d package(s)\n", findings, len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(names string) ([]*lint.Analyzer, error) {
+	all := lint.All()
+	if names == "" {
+		return all, nil
+	}
+	want := make(map[string]bool)
+	for _, n := range strings.Split(names, ",") {
+		want[strings.TrimSpace(n)] = true
+	}
+	var out []*lint.Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	for n := range want {
+		return nil, fmt.Errorf("unknown analyzer %q in -run", n)
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"tasterschoice/internal/lint"
+)
+
+// The go vet -vettool protocol: for each package unit, cmd/go writes a
+// JSON config describing the already-planned build (source files,
+// import map, export-data files of every dependency) and invokes the
+// tool with the config path as its sole argument. The tool
+// type-checks the unit, prints findings to stderr, writes its facts
+// file, and signals findings through a non-zero exit.
+//
+// This suite exports no cross-package facts, so dependency units
+// (VetxOnly: cmd/go wants facts, not diagnostics) are satisfied by an
+// empty facts file without even parsing the source — which also means
+// stdlib/cgo dependencies never need to be re-type-checked here.
+
+// vetConfig mirrors the fields of cmd/go's vet config (a stable
+// protocol; unknown fields are ignored by encoding/json).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnitchecker analyzes one vet unit. Returns the exit code: 0 clean,
+// 1 internal failure, 2 findings (any non-zero makes go vet report).
+func runUnitchecker(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tastervet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "tastervet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Facts first: always leave the output cmd/go expects, even on the
+	// fast path.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "tastervet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "tastervet:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	pkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
+	if typeErr != nil || pkg == nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "tastervet: %s: %v\n", cfg.ImportPath, typeErr)
+		return 1
+	}
+
+	diags, err := lint.RunAnalyzers(fset, files, pkg, info, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tastervet:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"sort"
 
 	"tasterschoice/internal/domain"
 	"tasterschoice/internal/feeds"
@@ -84,14 +85,27 @@ func RevenueCoverage(ds *Dataset) (rows []RevenueRow, totalRevenue float64) {
 	for _, name := range ds.Result.Order {
 		keys := feedAffiliateKeys(ds, name)
 		row := RevenueRow{Name: name, Affiliates: len(keys)}
-		for k := range keys {
+		// Sum in sorted key order: float addition is not associative,
+		// so map-order summation would vary in the last ulp per run.
+		for _, k := range sortedKeys(keys) {
 			row.Revenue += revenueOf[k]
 			union[k] = true
 		}
 		rows = append(rows, row)
 	}
-	for k := range union {
+	for _, k := range sortedKeys(union) {
 		totalRevenue += revenueOf[k]
 	}
 	return rows, totalRevenue
+}
+
+// sortedKeys returns the set's keys in lexicographic order, the
+// canonical iteration order for float accumulation.
+func sortedKeys(set map[string]bool) []string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

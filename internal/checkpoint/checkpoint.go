@@ -37,7 +37,7 @@ var magic = [4]byte{'T', 'C', 'K', 'P'}
 
 // containerVersion is the version of the header layout itself; payload
 // versioning is the caller's (see Save/Load version parameter).
-const containerVersion = 1
+const containerVersion = 2
 
 // headerSize is magic + container version + payload version + payload
 // length + CRC32C of the payload.
@@ -65,8 +65,13 @@ func Encode(version uint32, payload []byte) []byte {
 	binary.LittleEndian.PutUint32(b[4:8], containerVersion)
 	binary.LittleEndian.PutUint32(b[8:12], version)
 	binary.LittleEndian.PutUint32(b[12:16], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(b[16:20], crc32.Checksum(payload, castagnoli))
 	copy(b[headerSize:], payload)
+	// The checksum covers the payload version and length as well as the
+	// payload: a flipped header byte must not yield a clean decode with
+	// a wrong version (container version 2; v1 summed only the payload).
+	sum := crc32.Checksum(b[8:16], castagnoli)
+	sum = crc32.Update(sum, castagnoli, payload)
+	binary.LittleEndian.PutUint32(b[16:20], sum)
 	return b
 }
 
@@ -91,7 +96,9 @@ func Decode(b []byte) (version uint32, payload []byte, err error) {
 			ErrCorrupt, len(b)-headerSize, n)
 	}
 	payload = b[headerSize:]
-	if got := crc32.Checksum(payload, castagnoli); got != want {
+	got := crc32.Checksum(b[8:16], castagnoli)
+	got = crc32.Update(got, castagnoli, payload)
+	if got != want {
 		return 0, nil, fmt.Errorf("%w: checksum %08x, want %08x", ErrCorrupt, got, want)
 	}
 	return version, payload, nil

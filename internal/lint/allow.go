@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The allowlist: a finding is suppressed by an explicit, reasoned
+// directive in the source —
+//
+//	//lint:allow <analyzer> -- <reason>
+//
+// either trailing the flagged line or on the line directly above it.
+// The reason is mandatory and the analyzer name must exist: a
+// malformed directive is itself a diagnostic, never a silent
+// suppression, so a typo'd name cannot turn a check off.
+
+// directivePrefix is written without a space after // — the Go
+// convention for machine-read directives (like //go:build).
+const directivePrefix = "//lint:allow"
+
+// allowKey identifies one (file, line, analyzer) suppression.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// AllowSet records which lines each directive covers.
+type AllowSet map[allowKey]bool
+
+// Suppresses reports whether a diagnostic from analyzer at pos is
+// covered by a directive on the same line or the line above.
+func (s AllowSet) Suppresses(pos token.Position, analyzer string) bool {
+	return s[allowKey{pos.Filename, pos.Line, analyzer}] ||
+		s[allowKey{pos.Filename, pos.Line - 1, analyzer}]
+}
+
+// ParseDirective splits one comment's text into analyzer and reason.
+// It returns ok=false with a diagnostic message when the comment is a
+// lint:allow directive but malformed; directive=false when the comment
+// is not a lint:allow directive at all.
+func ParseDirective(text string) (analyzer, reason string, directive, ok bool, errMsg string) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", "", false, false, ""
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+		// e.g. //lint:allowable — some other word, not this directive.
+		return "", "", false, false, ""
+	}
+	// A subsequent // starts an ordinary comment (the fixture files use
+	// this for // want expectations); the directive ends there.
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	name, reason, found := strings.Cut(rest, "--")
+	name = strings.TrimSpace(name)
+	reason = strings.TrimSpace(reason)
+	if name == "" {
+		return "", "", true, false, "malformed //lint:allow: missing analyzer name (want `//lint:allow <analyzer> -- <reason>`)"
+	}
+	if strings.ContainsAny(name, " \t") {
+		return "", "", true, false, fmt.Sprintf("malformed //lint:allow: %q is not a single analyzer name (want `//lint:allow <analyzer> -- <reason>`)", name)
+	}
+	if !found || reason == "" {
+		return "", "", true, false, fmt.Sprintf("malformed //lint:allow %s: missing `-- <reason>` — suppressions must say why", name)
+	}
+	return name, reason, true, true, ""
+}
+
+// CollectDirectives scans every comment in the files, returning the
+// usable suppressions and a diagnostic (attributed to the
+// pseudo-analyzer "allowdirective") for each malformed or
+// unknown-analyzer directive.
+func CollectDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) (AllowSet, []Diagnostic) {
+	allows := make(AllowSet)
+	var bad []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Diagnostic{Pos: pos, Analyzer: "allowdirective", Message: msg})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, _, isDirective, ok, errMsg := ParseDirective(c.Text)
+				if !isDirective {
+					continue
+				}
+				if !ok {
+					report(c.Pos(), errMsg)
+					continue
+				}
+				if !known[name] {
+					report(c.Pos(), fmt.Sprintf("//lint:allow names unknown analyzer %q (have %s)", name, knownNames(known)))
+					continue
+				}
+				p := fset.Position(c.Pos())
+				allows[allowKey{p.Filename, p.Line, name}] = true
+			}
+		}
+	}
+	return allows, bad
+}
+
+func knownNames(known map[string]bool) string {
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	// Small fixed set; insertion-sort keeps this file dependency-light.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		name      string
+		text      string
+		analyzer  string
+		reason    string
+		directive bool
+		ok        bool
+		errSubstr string
+	}{
+		{
+			name:      "well formed",
+			text:      "//lint:allow wallclock -- tests inject a recorder",
+			analyzer:  "wallclock",
+			reason:    "tests inject a recorder",
+			directive: true,
+			ok:        true,
+		},
+		{
+			name:      "trailing comment cut",
+			text:      `//lint:allow globalrand -- seeded demo // unrelated trailer`,
+			analyzer:  "globalrand",
+			reason:    "seeded demo",
+			directive: true,
+			ok:        true,
+		},
+		{
+			name:      "not a directive",
+			text:      "// ordinary comment mentioning lint:allow elsewhere",
+			directive: false,
+		},
+		{
+			name:      "prefix of another word",
+			text:      "//lint:allowable x -- y",
+			directive: false,
+		},
+		{
+			name:      "missing analyzer name",
+			text:      "//lint:allow",
+			directive: true,
+			ok:        false,
+			errSubstr: "missing analyzer name",
+		},
+		{
+			name:      "missing name before reason",
+			text:      "//lint:allow -- because",
+			directive: true,
+			ok:        false,
+			errSubstr: "missing analyzer name",
+		},
+		{
+			name:      "multi-word name",
+			text:      "//lint:allow wallclock globalrand -- both",
+			directive: true,
+			ok:        false,
+			errSubstr: "not a single analyzer name",
+		},
+		{
+			name:      "missing reason",
+			text:      "//lint:allow wallclock",
+			directive: true,
+			ok:        false,
+			errSubstr: "missing `-- <reason>`",
+		},
+		{
+			name:      "separator without reason text",
+			text:      "//lint:allow wallclock --",
+			directive: true,
+			ok:        false,
+			errSubstr: "missing `-- <reason>`",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			analyzer, reason, directive, ok, errMsg := ParseDirective(tc.text)
+			if directive != tc.directive || ok != tc.ok {
+				t.Fatalf("ParseDirective(%q) = directive=%v ok=%v, want directive=%v ok=%v",
+					tc.text, directive, ok, tc.directive, tc.ok)
+			}
+			if analyzer != tc.analyzer || reason != tc.reason {
+				t.Errorf("ParseDirective(%q) = analyzer=%q reason=%q, want %q / %q",
+					tc.text, analyzer, reason, tc.analyzer, tc.reason)
+			}
+			if tc.errSubstr != "" && !strings.Contains(errMsg, tc.errSubstr) {
+				t.Errorf("ParseDirective(%q) errMsg = %q, want substring %q", tc.text, errMsg, tc.errSubstr)
+			}
+			if tc.errSubstr == "" && errMsg != "" {
+				t.Errorf("ParseDirective(%q) unexpected errMsg %q", tc.text, errMsg)
+			}
+		})
+	}
+}
+
+// parseOne parses src as a single file and returns its fileset and AST.
+func parseOne(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow_fixture.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, f
+}
+
+func TestCollectDirectivesReportsBadOnes(t *testing.T) {
+	const src = `package p
+
+func a() {
+	_ = 1 //lint:allow wallclock -- fine
+}
+
+func b() {
+	_ = 2 //lint:allow wallclock
+}
+
+func c() {
+	_ = 3 //lint:allow wallcluck -- typo'd name
+}
+`
+	fset, f := parseOne(t, src)
+	known := map[string]bool{"wallclock": true, "globalrand": true}
+	allows, bad := CollectDirectives(fset, []*ast.File{f}, known)
+
+	if len(allows) != 1 {
+		t.Fatalf("got %d usable suppressions, want 1: %v", len(allows), allows)
+	}
+	if !allows.Suppresses(token.Position{Filename: "allow_fixture.go", Line: 4}, "wallclock") {
+		t.Errorf("well-formed directive on line 4 not recorded")
+	}
+
+	if len(bad) != 2 {
+		t.Fatalf("got %d bad-directive diagnostics, want 2: %v", len(bad), bad)
+	}
+	for _, d := range bad {
+		if d.Analyzer != "allowdirective" {
+			t.Errorf("bad directive attributed to %q, want allowdirective", d.Analyzer)
+		}
+	}
+	if !strings.Contains(bad[0].Message, "missing `-- <reason>`") {
+		t.Errorf("missing-reason diagnostic = %q", bad[0].Message)
+	}
+	if !strings.Contains(bad[1].Message, `unknown analyzer "wallcluck"`) ||
+		!strings.Contains(bad[1].Message, "globalrand, wallclock") {
+		t.Errorf("unknown-analyzer diagnostic should name the typo and list known analyzers, got %q", bad[1].Message)
+	}
+}
+
+func TestSuppressesCoversSameLineAndLineAbove(t *testing.T) {
+	const src = `package p
+
+//lint:allow nilguard -- directive above the flagged line
+func f() {}
+`
+	fset, f := parseOne(t, src)
+	allows, bad := CollectDirectives(fset, []*ast.File{f}, map[string]bool{"nilguard": true})
+	if len(bad) != 0 {
+		t.Fatalf("unexpected bad directives: %v", bad)
+	}
+	pos := func(line int) token.Position {
+		return token.Position{Filename: "allow_fixture.go", Line: line}
+	}
+	if !allows.Suppresses(pos(3), "nilguard") {
+		t.Errorf("directive line itself not suppressed")
+	}
+	if !allows.Suppresses(pos(4), "nilguard") {
+		t.Errorf("line below directive not suppressed")
+	}
+	if allows.Suppresses(pos(5), "nilguard") {
+		t.Errorf("two lines below directive wrongly suppressed")
+	}
+	if allows.Suppresses(pos(4), "wallclock") {
+		t.Errorf("suppression leaked to a different analyzer")
+	}
+}

@@ -1,0 +1,121 @@
+// Package lint is tasterschoice's static-enforcement layer: a small
+// go/analysis-style framework plus the five project analyzers that
+// mechanically check the contracts MECHANISMS.md states in prose —
+// sorted-key float accumulation, the simclock seam instead of the wall
+// clock, randutil streams instead of global math/rand state, the
+// nil-receiver noop contract of internal/obs, and the Context-variant
+// convention on blocking edge-package APIs.
+//
+// The framework is deliberately a subset of golang.org/x/tools
+// go/analysis (the module is dependency-free, so it cannot import the
+// real thing): an Analyzer has a name, a doc string and a Run function
+// over a type-checked package; diagnostics suppressed by a well-formed
+// //lint:allow directive are dropped before they reach the caller.
+// cmd/tastervet compiles every analyzer into one multichecker that
+// runs standalone or as a `go vet -vettool`.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check. Run inspects a fully loaded package
+// through the Pass and reports findings via Pass.Report.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:allow
+	// directives. It must be a single lower-case word.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces
+	// and why, shown by `tastervet -help`.
+	Doc string
+	// Run performs the check. Diagnostics are reported through
+	// pass.Report; returning an error aborts the whole run (reserved
+	// for internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's parsed and type-checked state to an
+// analyzer, mirroring go/analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's syntax trees, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package. Its Path is the import path the
+	// classification table keys on.
+	Pkg *types.Package
+	// Info has Uses, Defs, Types and Selections filled in.
+	Info *types.Info
+	// Report records one diagnostic. The runner applies //lint:allow
+	// suppression, so analyzers report unconditionally.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// All returns the full tastervet analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		FloatMapRange,
+		WallClock,
+		GlobalRand,
+		NilGuard,
+		CtxBlocking,
+	}
+}
+
+// byName returns the analyzers from All keyed by name, for directive
+// validation.
+func byName() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range All() {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// RunAnalyzers applies each analyzer to the package and returns the
+// surviving diagnostics sorted by position. Well-formed //lint:allow
+// directives suppress matching diagnostics on their line; malformed or
+// unknown-analyzer directives are themselves reported (under the
+// pseudo-analyzer name "allowdirective") so a typo cannot silently
+// disable a check.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allows, bad := CollectDirectives(fset, files, byName())
+	diags := append([]Diagnostic(nil), bad...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+		}
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = a.Name
+			if d.Pos.IsValid() && allows.Suppresses(fset.Position(d.Pos), a.Name) {
+				return
+			}
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,37 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tasterschoice/internal/lint"
+	"tasterschoice/internal/lint/linttest"
+)
+
+// Each fixture is typechecked under a masquerade import path so the
+// classification table treats it as the real package it impersonates.
+
+func TestFloatMapRange(t *testing.T) {
+	linttest.Run(t, "testdata/src/floatmaprange", "tasterschoice/internal/report", lint.FloatMapRange)
+}
+
+func TestWallClock(t *testing.T) {
+	linttest.Run(t, "testdata/src/wallclock", "tasterschoice/internal/parallel", lint.WallClock)
+}
+
+// TestWallClockEdge proves the classification gate: the same calls
+// that fail in an engine package are legal in an edge package.
+func TestWallClockEdge(t *testing.T) {
+	linttest.Run(t, "testdata/src/wallclock_edge", "tasterschoice/internal/dnsbl", lint.WallClock)
+}
+
+func TestGlobalRand(t *testing.T) {
+	linttest.Run(t, "testdata/src/globalrand", "tasterschoice/internal/mailflow", lint.GlobalRand)
+}
+
+func TestNilGuard(t *testing.T) {
+	linttest.Run(t, "testdata/src/nilguard", "tasterschoice/internal/obs", lint.NilGuard)
+}
+
+func TestCtxBlocking(t *testing.T) {
+	linttest.Run(t, "testdata/src/ctxblocking", "tasterschoice/internal/smtpd", lint.CtxBlocking)
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatMapRange flags floating-point accumulation performed while
+// ranging over a map in a deterministic package. Map iteration order
+// is randomized per run and float addition is not associative, so
+//
+//	for _, v := range m { sum += v }
+//
+// produces a different last ulp on every execution — the exact bug
+// class the stats package fixed by summing over sortedKeys(). The
+// sorted idiom ranges over a key slice, which this analyzer never
+// flags.
+var FloatMapRange = &Analyzer{
+	Name: "floatmaprange",
+	Doc: "flag float accumulation in map-iteration order in deterministic packages; " +
+		"sum over sorted keys instead so output is bit-identical across runs",
+	Run: runFloatMapRange,
+}
+
+func runFloatMapRange(pass *Pass) error {
+	if Classify(pass.Pkg.Path()) != ClassDeterministic {
+		return nil
+	}
+	reported := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(pass.Info.TypeOf(rs.X)) {
+				return true
+			}
+			ast.Inspect(rs.Body, func(inner ast.Node) bool {
+				as, ok := inner.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				lhs, ok := floatAccumTarget(pass.Info, as)
+				if !ok || reported[as.Pos()] {
+					return true
+				}
+				// A target declared inside the range body is a fresh
+				// per-iteration value; only accumulators that outlive
+				// the map iteration carry order-dependent rounding.
+				if obj := rootObject(pass.Info, lhs); obj == nil || !obj.Pos().IsValid() ||
+					(obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()) {
+					return true
+				}
+				reported[as.Pos()] = true
+				pass.Report(Diagnostic{
+					Pos: as.Pos(),
+					Message: fmt.Sprintf(
+						"float accumulation into %s in map-iteration order; "+
+							"sum over sorted keys so the result is bit-identical across runs",
+						types.ExprString(lhs)),
+				})
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// isMapType reports whether t's core type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// floatAccumTarget returns the accumulated lvalue when the assignment
+// is a floating-point accumulation: `x += e`, `x -= e`, or the spelled
+// out `x = x + e` / `x = e + x`.
+func floatAccumTarget(info *types.Info, as *ast.AssignStmt) (ast.Expr, bool) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, false
+	}
+	lhs := as.Lhs[0]
+	if !isFloat(info.TypeOf(lhs)) {
+		return nil, false
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		return lhs, true
+	case token.ASSIGN:
+		be, ok := as.Rhs[0].(*ast.BinaryExpr)
+		if !ok || (be.Op != token.ADD && be.Op != token.SUB) {
+			return nil, false
+		}
+		ls := types.ExprString(lhs)
+		if types.ExprString(be.X) == ls || (be.Op == token.ADD && types.ExprString(be.Y) == ls) {
+			return lhs, true
+		}
+	}
+	return nil, false
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// rootObject resolves the base identifier of an lvalue (x, x.F,
+// x.F[i], *x ...) to its declaring object.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return info.ObjectOf(v)
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand forbids the process-global math/rand state anywhere in
+// the module's internal packages. The global generator is shared,
+// lock-contended and seeded once per process, so any draw from it is
+// ordering-dependent under concurrency — the replay engine's
+// per-campaign/per-domain streams come from internal/randutil instead.
+// Constructing an explicit generator (rand.New, rand.NewSource, the
+// v2 PCG/ChaCha8 sources) stays legal: the ban is on hidden shared
+// state, not on the package.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc: "forbid the global math/rand state (rand.Seed, rand.Intn, ...); " +
+		"draw from a randutil per-stream RNG or an explicit rand.New generator",
+	Run: runGlobalRand,
+}
+
+// globalRandConstructors are the package-level functions of math/rand
+// and math/rand/v2 that build explicit generators rather than touching
+// shared state.
+var globalRandConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runGlobalRand(pass *Pass) error {
+	if Classify(pass.Pkg.Path()) < ClassEdge {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			path := obj.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			fn, isFunc := obj.(*types.Func)
+			if !isFunc || fn.Type().(*types.Signature).Recv() != nil {
+				return true // types, methods on *rand.Rand, etc.
+			}
+			if globalRandConstructors[id.Name] {
+				return true
+			}
+			pass.Report(Diagnostic{
+				Pos: id.Pos(),
+				Message: fmt.Sprintf("%s.%s uses the process-global RNG; "+
+					"use a randutil per-stream RNG (or an explicit rand.New generator) "+
+					"so draws replay deterministically", path, id.Name),
+			})
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+// Package linttest is a small analysistest-style harness for the
+// tastervet analyzers: it loads a fixture directory from testdata,
+// type-checks it under a masquerade import path (classification is
+// path-keyed, so a fixture can pose as any package class), runs
+// analyzers, and checks the findings against // want "regexp" comments
+// in the fixture source.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"tasterschoice/internal/lint"
+)
+
+// wantRe extracts an expectation from a comment: the diagnostic
+// reported on the comment's line must match the quoted regexp.
+var wantRe = regexp.MustCompile(`want "([^"]*)"`)
+
+// Run analyzes the fixture directory (relative to the caller's
+// working directory, conventionally testdata/src/<name>) as a package
+// imported at importPath, and asserts the diagnostics exactly match
+// the fixture's // want comments.
+func Run(t *testing.T, dir, importPath string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files in %s (%v)", dir, err)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", stdlibExport),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	pkg, _ := conf.Check(importPath, fset, files, info)
+	if pkg == nil || len(typeErrs) > 0 {
+		t.Fatalf("fixture %s does not type-check: %v", dir, typeErrs)
+	}
+
+	diags, err := lint.RunAnalyzers(fset, files, pkg, info, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExpectations(t, fset, files, diags)
+}
+
+// expectation is one // want at a (file, line).
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := make(map[string]*expectation) // "file:line" -> expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", fset.Position(c.Pos()), m[1], err)
+				}
+				p := fset.Position(c.Pos())
+				wants[fmt.Sprintf("%s:%d", p.Filename, p.Line)] = &expectation{re: re, raw: m[1]}
+			}
+		}
+	}
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+		w := wants[key]
+		if w == nil {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", p, d.Analyzer, d.Message)
+			continue
+		}
+		if !w.re.MatchString(d.Message) {
+			t.Errorf("%s: diagnostic %q does not match want %q", p, d.Message, w.raw)
+			continue
+		}
+		w.matched = true
+	}
+	for key, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: expected diagnostic matching %q, got none", key, w.raw)
+		}
+	}
+}
+
+// stdlibExport resolves import paths to gc export data via
+// `go list -export`, cached process-wide (fixtures import only a
+// handful of stdlib packages).
+var (
+	exportMu    sync.Mutex
+	exportCache = map[string]string{}
+)
+
+func stdlibExport(path string) (io.ReadCloser, error) {
+	exportMu.Lock()
+	file, ok := exportCache[path]
+	exportMu.Unlock()
+	if !ok {
+		out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export %s: %w", path, err)
+		}
+		file = strings.TrimSpace(string(out))
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		exportMu.Lock()
+		exportCache[path] = file
+		exportMu.Unlock()
+	}
+	return os.Open(file)
+}

@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The standalone loader: `go list -export` enumerates packages and
+// compiles export data for every dependency (stdlib included — the
+// module itself has none), then each target package is parsed and
+// type-checked from source with the stock gc importer reading that
+// export data. This is what lets tastervet exist in a dependency-free
+// module: no golang.org/x/tools, just the go command and go/types.
+
+// LoadedPackage is one package ready for analysis.
+type LoadedPackage struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	// TypeErrors collects type-checking problems. Analysis still runs
+	// on the partial information, but callers should surface these:
+	// an unresolved identifier is an unanalyzed identifier.
+	TypeErrors []error
+}
+
+// listEntry is the subset of `go list -json` output the loader reads.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	ForTest    string
+	Standard   bool
+	Incomplete bool
+}
+
+// Load lists patterns in dir and returns the module's internal
+// packages parsed and type-checked. With includeTests, _test.go files
+// and external _test packages are analyzed too (the chaos CI step uses
+// this with -tags chaos so even fault-injection helpers obey the
+// contracts).
+func Load(dir string, patterns []string, tags string, includeTests bool) ([]*LoadedPackage, error) {
+	args := []string{"list", "-e", "-json", "-export", "-deps"}
+	if includeTests {
+		args = append(args, "-test")
+	}
+	if tags != "" {
+		args = append(args, "-tags", tags)
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+	entries, decodeErr := decodeList(out)
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
+	}
+	if decodeErr != nil {
+		return nil, decodeErr
+	}
+
+	exports := make(map[string]string)
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+
+	var targets []*listEntry
+	for _, e := range entries {
+		if !isAnalysisTarget(e, includeTests, entries) {
+			continue
+		}
+		targets = append(targets, e)
+	}
+
+	var pkgs []*LoadedPackage
+	for _, e := range targets {
+		p, err := typecheck(e, exports)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.ImportPath, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+func decodeList(r io.Reader) ([]*listEntry, error) {
+	dec := json.NewDecoder(r)
+	var entries []*listEntry
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			return entries, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		entries = append(entries, &e)
+	}
+}
+
+// isAnalysisTarget picks which list entries to analyze: the module's
+// internal packages (everything else classifies Exempt anyway), with
+// test variants replacing their plain package when tests are in scope
+// so files are analyzed exactly once.
+func isAnalysisTarget(e *listEntry, includeTests bool, all []*listEntry) bool {
+	if e.DepOnly || e.Standard || len(e.GoFiles) == 0 {
+		return false
+	}
+	if !strings.HasPrefix(canonicalPath(e.ImportPath), modulePrefix+"internal/") {
+		return false
+	}
+	if strings.HasSuffix(e.ImportPath, ".test") {
+		return false // generated test main
+	}
+	if !includeTests {
+		return e.ForTest == ""
+	}
+	if e.ForTest == "" {
+		// Skip the plain package when its test-augmented variant is in
+		// the listing; the variant carries a superset of the files.
+		for _, other := range all {
+			if other.ForTest == e.ImportPath && !strings.Contains(other.ImportPath, "_test [") {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// typecheck parses the entry's files and type-checks them against the
+// export data gathered for the whole dependency graph.
+func typecheck(e *listEntry, exports map[string]string) (*LoadedPackage, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range e.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(e.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		// Inside a test unit, a dependency under test resolves to its
+		// test-augmented build (this is how an external _test package
+		// sees identifiers exported via export_test.go).
+		if e.ForTest != "" {
+			if p, ok := exports[path+" ["+e.ForTest+".test]"]; ok {
+				return os.Open(p)
+			}
+		}
+		p, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(p)
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := newInfo()
+	pkg, _ := conf.Check(e.ImportPath, fset, files, info)
+	if pkg == nil {
+		return nil, fmt.Errorf("type-checking produced no package (%d errors)", len(typeErrs))
+	}
+	return &LoadedPackage{
+		ImportPath: e.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+		TypeErrors: typeErrs,
+	}, nil
+}
+
+// newInfo allocates the types.Info maps every analyzer relies on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// NilGuard enforces internal/obs's noop contract: every exported
+// pointer-receiver method must open with a nil-receiver guard, so an
+// uninstrumented code path (nil *Counter, nil *Registry, ...) pays one
+// branch and zero allocations. bench_test.go pins the 0 allocs/op
+// number; this analyzer pins the shape that makes it true, catching
+// the new method that forgets the guard before it panics in a
+// production noop path.
+//
+// Accepted guard: the method's first statement is an if whose
+// condition contains `recv == nil` (possibly ||-combined with other
+// cheap checks) and whose body returns. Methods with an unnamed or
+// blank receiver cannot dereference it and are trivially safe.
+var NilGuard = &Analyzer{
+	Name: "nilguard",
+	Doc: "require exported pointer-receiver methods in internal/obs to begin with " +
+		"`if recv == nil { return ... }`, keeping nil instruments free noops",
+	Run: runNilGuard,
+}
+
+func runNilGuard(pass *Pass) error {
+	if !NeedsNilGuard(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			recvName, isPointer := receiver(fd)
+			if !isPointer || recvName == "" || recvName == "_" {
+				continue
+			}
+			if hasNilGuard(fd.Body, recvName) {
+				continue
+			}
+			pass.Report(Diagnostic{
+				Pos: fd.Name.Pos(),
+				Message: fmt.Sprintf("exported method %s has a pointer receiver but no leading nil guard; "+
+					"obs instruments must be safe (and free) to call through a nil pointer",
+					fd.Name.Name),
+			})
+		}
+	}
+	return nil
+}
+
+// receiver returns the receiver's name and whether it is a pointer.
+func receiver(fd *ast.FuncDecl) (name string, pointer bool) {
+	if len(fd.Recv.List) != 1 {
+		return "", false
+	}
+	field := fd.Recv.List[0]
+	if _, ok := field.Type.(*ast.StarExpr); !ok {
+		return "", false
+	}
+	if len(field.Names) == 0 {
+		return "", true
+	}
+	return field.Names[0].Name, true
+}
+
+// hasNilGuard reports whether the body's first statement is
+// `if <cond involving recv == nil> { ... return }`.
+func hasNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return true // empty body dereferences nothing
+	}
+	ifStmt, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil || !condChecksNil(ifStmt.Cond, recv) {
+		return false
+	}
+	if n := len(ifStmt.Body.List); n == 0 {
+		return false
+	}
+	_, returns := ifStmt.Body.List[len(ifStmt.Body.List)-1].(*ast.ReturnStmt)
+	return returns
+}
+
+// condChecksNil walks ||-joined conditions looking for `recv == nil`
+// or `nil == recv`.
+func condChecksNil(e ast.Expr, recv string) bool {
+	switch v := e.(type) {
+	case *ast.ParenExpr:
+		return condChecksNil(v.X, recv)
+	case *ast.BinaryExpr:
+		if v.Op == token.LOR {
+			return condChecksNil(v.X, recv) || condChecksNil(v.Y, recv)
+		}
+		if v.Op != token.EQL {
+			return false
+		}
+		return (isIdent(v.X, recv) && isIdent(v.Y, "nil")) ||
+			(isIdent(v.X, "nil") && isIdent(v.Y, recv))
+	}
+	return false
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}

@@ -1,0 +1,94 @@
+// Fixture for the ctxblocking analyzer; the test runs it under the
+// import path tasterschoice/internal/smtpd.
+package fixture
+
+import (
+	"context"
+	"net"
+)
+
+// DialFeed blocks with no context and no DialFeedContext variant.
+func DialFeed(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want "blocks on net.Dial"
+}
+
+// Wait parks on a channel with no escape hatch.
+func Wait(done chan struct{}) {
+	<-done // want "blocks on a channel receive"
+}
+
+// Push blocks on a send.
+func Push(ch chan<- int, v int) {
+	ch <- v // want "blocks on a channel send"
+}
+
+// Consume blocks ranging over a channel.
+func Consume(ch <-chan int) (sum int) {
+	for v := range ch { // want "ranging over a channel"
+		sum += v
+	}
+	return sum
+}
+
+// TryPush uses select: cancellable/non-blocking by construction.
+func TryPush(ch chan<- int, v int) bool {
+	select {
+	case ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// Connect is fine: the ConnectContext sibling exists.
+func Connect(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}
+
+// ConnectContext is itself fine: it takes the context.
+func ConnectContext(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// Stream takes a context, so blocking is caller-boundable.
+func Stream(ctx context.Context, ch <-chan int) int {
+	return <-ch
+}
+
+type Server struct{ done chan struct{} }
+
+// Close may block: the Shutdown(ctx) sibling is its context variant
+// by convention.
+func (s *Server) Close() error {
+	<-s.done
+	return nil
+}
+
+func (s *Server) Shutdown(ctx context.Context) error { return nil }
+
+// Drain has no variant.
+func (s *Server) Drain() {
+	<-s.done // want "blocks on a channel receive"
+}
+
+// spawn is unexported: internal plumbing may block.
+func spawn(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}
+
+// Background only blocks inside a goroutine — the caller returns
+// immediately.
+func Background(addr string) {
+	go func() {
+		c, _ := net.Dial("tcp", addr)
+		if c != nil {
+			c.Close()
+		}
+	}()
+}
+
+// Allowed documents a deliberate exception.
+func Allowed(ch <-chan int) int {
+	return <-ch //lint:allow ctxblocking -- fixture: lifetime bounded by the caller closing ch
+}

@@ -1,0 +1,75 @@
+// Fixture for the floatmaprange analyzer; the test runs it under the
+// deterministic import path tasterschoice/internal/report.
+package fixture
+
+// dist mirrors stats.Dist — the map type whose unsorted summation was
+// the PR-3 nondeterminism bug.
+type dist map[string]float64
+
+// mapOrderSum is the PR-3 bug pattern verbatim: map-order float
+// accumulation.
+func mapOrderSum(d dist) float64 {
+	sum := 0.0
+	for _, v := range d {
+		sum += v // want "float accumulation into sum in map-iteration order"
+	}
+	return sum
+}
+
+// spelledOut catches the x = x + v spelling too.
+func spelledOut(d dist) float64 {
+	total := 0.0
+	for k := range d {
+		total = total + d[k] // want "float accumulation into total"
+	}
+	return total
+}
+
+// fieldTarget accumulates into a struct field declared outside the
+// loop.
+func fieldTarget(d dist) float64 {
+	var row struct{ Revenue float64 }
+	for _, v := range d {
+		row.Revenue += v // want "float accumulation into row.Revenue"
+	}
+	return row.Revenue
+}
+
+// sortedIdiom is the sanctioned fix: range over a sorted key slice.
+func sortedIdiom(d dist, sortedKeys []string) float64 {
+	sum := 0.0
+	for _, k := range sortedKeys {
+		sum += d[k]
+	}
+	return sum
+}
+
+// intAccumulation is exact arithmetic; order cannot change the result.
+func intAccumulation(counts map[string]int64) int64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// perIterationLocal's accumulator is fresh each iteration, so each
+// key's sum is order-independent.
+func perIterationLocal(m map[string][]float64, out map[string]float64) {
+	for k, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		out[k] = s
+	}
+}
+
+// allowed demonstrates a reasoned suppression.
+func allowed(d dist) float64 {
+	sum := 0.0
+	for _, v := range d {
+		sum += v //lint:allow floatmaprange -- fixture: values are exact powers of two, order-independent
+	}
+	return sum
+}

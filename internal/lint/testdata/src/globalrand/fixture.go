@@ -1,0 +1,37 @@
+// Fixture for the globalrand analyzer; the test runs it under the
+// import path tasterschoice/internal/mailflow.
+package fixture
+
+import "math/rand"
+
+func badDraw() int {
+	return rand.Intn(10) // want "process-global RNG"
+}
+
+func badSeed() {
+	rand.Seed(42) // want "process-global RNG"
+}
+
+func badFloat() float64 {
+	return rand.Float64() // want "process-global RNG"
+}
+
+// References count too: storing the global-state function forwards the
+// shared generator.
+var draw = rand.Int63 // want "process-global RNG"
+
+// okExplicit builds an explicit generator — the constructors stay
+// legal; the ban is on hidden shared state.
+func okExplicit() float64 {
+	r := rand.New(rand.NewSource(7))
+	return r.Float64()
+}
+
+// okType references the type, not the global state.
+func okType(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+func allowed() int {
+	return rand.Int() //lint:allow globalrand -- fixture: demonstrating the allowlist syntax
+}

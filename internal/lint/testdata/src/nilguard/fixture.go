@@ -1,0 +1,50 @@
+// Fixture for the nilguard analyzer; the test runs it under the
+// import path tasterschoice/internal/obs.
+package fixture
+
+type Counter struct{ n int64 }
+
+// Inc has the canonical guard.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+// Add's guard is ||-joined with a cheap argument check — accepted.
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.n += n
+}
+
+// Value forgets the guard.
+func (c *Counter) Value() int64 { // want "no leading nil guard"
+	return c.n
+}
+
+// Reset guards on the second statement — too late, the first
+// dereference has already happened.
+func (c *Counter) Reset() { // want "no leading nil guard"
+	c.n = 0
+	if c == nil {
+		return
+	}
+}
+
+// Snapshot has a value receiver: a nil pointer cannot reach it as a
+// method value through the instrument pattern.
+func (c Counter) Snapshot() int64 { return c.n }
+
+// reset is unexported: not part of the instrument API.
+func (c *Counter) reset() { c.n = 0 }
+
+// Kind never names its receiver, so it cannot dereference it.
+func (*Counter) Kind() string { return "counter" }
+
+//lint:allow nilguard -- fixture: handle type, never nil by construction
+func (c *Counter) MustValue() int64 {
+	return c.n
+}

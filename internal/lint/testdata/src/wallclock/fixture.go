@@ -1,0 +1,38 @@
+// Fixture for the wallclock analyzer; the test runs it under the
+// engine import path tasterschoice/internal/parallel.
+package fixture
+
+import "time"
+
+func bad() time.Time {
+	return time.Now() // want "time.Now in engine package"
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in engine package"
+}
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want "time.Sleep in engine package"
+}
+
+// References smuggle the clock as effectively as calls.
+var sleepSeam = time.Sleep // want "time.Sleep in engine package"
+
+// Constructing instants and durations is fine — only reading the wall
+// clock is banned.
+func okConstruct() time.Time {
+	return time.Date(2010, 8, 1, 0, 0, 0, 0, time.UTC).Add(3 * time.Hour)
+}
+
+// allowed documents why this path may read the wall clock.
+func allowed() time.Time {
+	return time.Now() //lint:allow wallclock -- fixture: measures real latency for an obs histogram only
+}
+
+// sneaky shows a malformed directive being reported instead of
+// honored: the finding on the next line survives.
+func sneaky() time.Time {
+	//lint:allow wallclock // want "missing `-- <reason>`"
+	return time.Now() // want "time.Now in engine package"
+}

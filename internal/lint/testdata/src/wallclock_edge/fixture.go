@@ -1,0 +1,15 @@
+// Fixture proving the classification gate: identical wall-clock usage
+// is legal when the package classifies as edge (the test runs this
+// under tasterschoice/internal/dnsbl). No // want comments: zero
+// diagnostics expected.
+package fixture
+
+import "time"
+
+func deadline(timeout time.Duration) time.Time {
+	return time.Now().Add(timeout)
+}
+
+func backoff() {
+	time.Sleep(time.Millisecond)
+}

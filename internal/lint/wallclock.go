@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// WallClock forbids direct wall-clock reads in engine and
+// deterministic packages. Simulation code takes time from
+// internal/simclock (or an injected func() time.Time); a stray
+// time.Now would make output depend on host scheduling. The few
+// legitimate uses — measuring real latency for an observability
+// histogram, the default branch of an injectable clock — carry a
+// //lint:allow wallclock directive stating exactly that.
+//
+// References are flagged, not just calls: `sleep = time.Sleep` smuggles
+// the wall clock through a variable just as effectively.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/time.Since/time.Sleep in engine packages; " +
+		"use the simclock seam (or annotate the measurement path with //lint:allow wallclock -- reason)",
+	Run: runWallClock,
+}
+
+// wallClockFuncs are the banned package-level functions of time.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Sleep": true,
+}
+
+func runWallClock(pass *Pass) error {
+	if Classify(pass.Pkg.Path()) < ClassEngine {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || !wallClockFuncs[id.Name] {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			pass.Report(Diagnostic{
+				Pos: id.Pos(),
+				Message: fmt.Sprintf("time.%s in %s package %s: engine code must take time from the simclock seam, "+
+					"not the wall clock", id.Name, Classify(pass.Pkg.Path()), pass.Pkg.Name()),
+			})
+			return true
+		})
+	}
+	return nil
+}

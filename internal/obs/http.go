@@ -20,6 +20,9 @@ import (
 // histogram buckets cumulative with an explicit +Inf bound. Safe on a
 // nil registry (writes nothing).
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
 	samples := r.Snapshot()
 	lastFamily := ""
 	for i := range samples {
@@ -217,11 +220,22 @@ type MetricsServer struct {
 	srv  *http.Server
 }
 
-// Addr returns the bound address (useful with ":0").
-func (s *MetricsServer) Addr() net.Addr { return s.addr }
+// Addr returns the bound address (useful with ":0"). Safe on a nil
+// server (a disabled -metrics flag).
+func (s *MetricsServer) Addr() net.Addr {
+	if s == nil {
+		return nil
+	}
+	return s.addr
+}
 
-// Close stops the server immediately.
-func (s *MetricsServer) Close() error { return s.srv.Close() }
+// Close stops the server immediately. Safe on a nil server.
+func (s *MetricsServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
 
 // Serve mounts NewMux(r, t) on a TCP listener at addr and serves in a
 // background goroutine. This is what the -metrics flag of the

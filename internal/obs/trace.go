@@ -45,7 +45,7 @@ func NewTracer(capacity int, now func() time.Time) *Tracer {
 		capacity = 1024
 	}
 	if now == nil {
-		now = time.Now
+		now = time.Now //lint:allow wallclock -- documented default for daemons; simulations inject a simclock-derived func
 	}
 	return &Tracer{now: now, ring: make([]SpanRecord, capacity)}
 }

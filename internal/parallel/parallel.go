@@ -60,6 +60,12 @@ func NewPoolMetrics(r *obs.Registry) PoolMetrics {
 	return m
 }
 
+// wallNow is the clock behind the shard-imbalance histogram. It is
+// deliberately the wall clock — the one sanctioned use in this
+// package: straggler gaps are a property of the real machine, and the
+// timings feed observability only, never work assignment.
+var wallNow = time.Now //lint:allow wallclock -- shard-latency measurement is observational; scheduling stays a pure function of (n, workers)
+
 // imbalance tracks per-shard wall durations for the straggler
 // histogram; used only when Metrics.ShardImbalanceNs is set.
 type imbalance struct {
@@ -128,13 +134,13 @@ func ForEach(workers, n int, fn func(i int)) {
 			defer Metrics.InFlight.Add(-1)
 			var start time.Time
 			if measure {
-				start = time.Now()
+				start = wallNow()
 			}
 			for i := shard; i < n; i += workers {
 				fn(i)
 			}
 			if measure {
-				im.add(time.Since(start))
+				im.add(wallNow().Sub(start))
 			}
 		}(w)
 	}
@@ -166,11 +172,11 @@ func Shards(workers int, fn func(shard, of int)) {
 			defer Metrics.InFlight.Add(-1)
 			var start time.Time
 			if measure {
-				start = time.Now()
+				start = wallNow()
 			}
 			fn(shard, workers)
 			if measure {
-				im.add(time.Since(start))
+				im.add(wallNow().Sub(start))
 			}
 		}(w)
 	}
@@ -210,13 +216,13 @@ func Ranges(workers, n int, fn func(lo, hi int)) {
 			defer Metrics.InFlight.Add(-1)
 			var start time.Time
 			if measure {
-				start = time.Now()
+				start = wallNow()
 			}
 			if hi > lo {
 				fn(lo, hi)
 			}
 			if measure {
-				im.add(time.Since(start))
+				im.add(wallNow().Sub(start))
 			}
 		}(lo, hi)
 	}

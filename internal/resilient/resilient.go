@@ -159,7 +159,7 @@ func (r Retrier) Do(op func(attempt int) error) error {
 	}
 	sleep := r.Sleep
 	if sleep == nil {
-		sleep = time.Sleep
+		sleep = time.Sleep //lint:allow wallclock -- documented default for real backoff; tests inject a recorder
 	}
 	var lastErr error
 	for i := 0; i < attempts; i++ {
@@ -269,7 +269,7 @@ func (b *Breaker) now() time.Time {
 	if b.Now != nil {
 		return b.Now()
 	}
-	return time.Now()
+	return time.Now() //lint:allow wallclock -- documented default for real cooldowns; tests inject Now
 }
 
 func (b *Breaker) threshold() int {

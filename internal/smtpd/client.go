@@ -2,6 +2,7 @@ package smtpd
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"strconv"
@@ -21,9 +22,28 @@ type Client struct {
 	Timeout time.Duration
 }
 
-// Dial connects to an SMTP server and consumes the greeting.
+// Dial connects to an SMTP server and consumes the greeting, with a
+// fixed 10s connect timeout. DialContext bounds the wait explicitly.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClient(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// DialContext connects to an SMTP server under the context's deadline
+// and cancellation, then consumes the greeting. Note the greeting read
+// itself is bounded by the client Timeout, not ctx, once the
+// connection is established.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}

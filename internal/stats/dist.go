@@ -99,16 +99,25 @@ func (d Dist) Total() float64 {
 // as in the paper. The result is in [0, 1]: 0 iff P = Q, 1 iff their
 // supports are disjoint.
 func VariationDistance(p, q Dist) float64 {
-	// Accumulate in sorted key order so the result is bit-identical
-	// across runs (see Restrict).
-	sum := 0.0
-	for _, k := range p.sortedKeys() {
-		sum += math.Abs(p[k] - q[k])
+	// Accumulate over the sorted union of both supports: one canonical
+	// order makes the result bit-identical across runs (see Restrict)
+	// AND bit-symmetric — δ(P, Q) == δ(Q, P) exactly, not just up to
+	// the last ulp, which the fuzz target asserts.
+	union := make(map[string]bool, len(p)+len(q))
+	for k := range p {
+		union[k] = true
 	}
-	for _, k := range q.sortedKeys() {
-		if _, ok := p[k]; !ok {
-			sum += q[k]
-		}
+	for k := range q {
+		union[k] = true
+	}
+	keys := make([]string, 0, len(union))
+	for k := range union {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += math.Abs(p[k] - q[k])
 	}
 	return sum / 2
 }

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+)
+
+// distFromBytes derives a deterministic count map from fuzz input: each
+// byte contributes mass to one of up to 16 keys. The same bytes always
+// yield the same counts, whatever order the map is later iterated in.
+func distFromBytes(data []byte) map[string]int64 {
+	counts := make(map[string]int64)
+	for i, b := range data {
+		key := fmt.Sprintf("dom%02d.example.com", b%16)
+		counts[key] += int64(b)%97 + int64(i%7)
+	}
+	return counts
+}
+
+// FuzzDistSortedSum checks the determinism contract the floatmaprange
+// analyzer enforces statically: every float reduction over a Dist must
+// be bit-identical to the explicit sorted-slice reference, regardless
+// of how the underlying map was populated.
+func FuzzDistSortedSum(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{7, 7, 7, 200, 3})
+	f.Add([]byte("taster's choice"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		counts := distFromBytes(data)
+		d := NewDistFromCounts(counts)
+
+		// Reference: sum the same values over an explicitly sorted
+		// slice, outside any map iteration.
+		keys := make([]string, 0, len(d))
+		for k := range d {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ref := 0.0
+		for _, k := range keys {
+			ref += d[k]
+		}
+		if got := d.Total(); got != ref {
+			t.Fatalf("Total() = %v not bit-identical to sorted reference %v", got, ref)
+		}
+		if len(d) > 0 && math.Abs(ref-1) > 1e-9 {
+			t.Fatalf("nonempty Dist total = %v, want ~1", ref)
+		}
+
+		// Rebuilding the map with keys inserted in a different order
+		// must not change a single bit of any reduction.
+		reversed := make(map[string]int64, len(counts))
+		for i := len(keys) - 1; i >= 0; i-- {
+			reversed[keys[i]] = counts[keys[i]]
+		}
+		d2 := NewDistFromCounts(reversed)
+		if d.Total() != d2.Total() {
+			t.Fatalf("Total depends on map insertion order: %v vs %v", d.Total(), d2.Total())
+		}
+
+		// Self-distance is exactly zero; split-input distances are
+		// symmetric and within [0, 1].
+		if vd := VariationDistance(d, d2); vd != 0 {
+			t.Fatalf("VariationDistance(d, d) = %v, want exactly 0", vd)
+		}
+		half := len(data) / 2
+		p := NewDistFromCounts(distFromBytes(data[:half]))
+		q := NewDistFromCounts(distFromBytes(data[half:]))
+		pq, qp := VariationDistance(p, q), VariationDistance(q, p)
+		if pq != qp {
+			t.Fatalf("VariationDistance not symmetric: %v vs %v", pq, qp)
+		}
+		if pq < 0 || pq > 1+1e-12 {
+			t.Fatalf("VariationDistance = %v outside [0, 1]", pq)
+		}
+	})
+}
