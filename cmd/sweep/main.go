@@ -6,98 +6,39 @@
 // With -checkpoint the sweep is resumable: each finished seed's
 // metrics are saved through the crash-safe checkpoint store, and a
 // restarted sweep re-runs only the seeds that are missing — the final
-// table is identical to an uninterrupted run.
+// table is identical to an uninterrupted run. With -retry-failed N,
+// transiently failed seeds are re-run up to N extra times (with
+// backoff) before being reported in the "failed seeds: N" non-zero
+// exit.
+//
+// The sweep core lives in internal/distsweep, shared with cmd/sweepd,
+// which scales the same sweep across worker processes.
 //
 // Usage:
 //
-//	sweep [-seeds N] [-small] [-workers K] [-checkpoint PATH]
+//	sweep [-seeds N] [-small] [-workers K] [-checkpoint PATH] [-retry-failed N]
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
-	"io"
-	"math"
 	"os"
 	"os/signal"
-	"strconv"
-	"sync"
 	"syscall"
 
-	"tasterschoice/internal/analysis"
 	"tasterschoice/internal/checkpoint"
-	"tasterschoice/internal/core"
+	"tasterschoice/internal/distsweep"
 	"tasterschoice/internal/mailflow"
 	"tasterschoice/internal/obs"
-	"tasterschoice/internal/report"
-	"tasterschoice/internal/simulate"
 )
-
-// metricNames is printed in this order.
-var metricNames = []string{
-	"Hu tagged coverage %",
-	"uribl tagged volume %",
-	"Bot DNS purity %",
-	"mx2 DNS purity %",
-	"Hu/mx1 sample ratio",
-	"Hyb exclusive live %",
-	"mx2-Mail variation distance",
-	"Hu median onset (h)",
-	"mx1 median onset (h)",
-}
-
-// stateVersion is the sweep checkpoint payload version.
-const stateVersion = 1
-
-// config parameterises one sweep.
-type config struct {
-	Seeds          int
-	Small          bool
-	Workers        int
-	CheckpointPath string
-}
-
-// sweepState is the checkpointed progress: the parameters (so a resume
-// against different flags starts fresh) and each finished seed's
-// metrics, keyed by seed index.
-type sweepState struct {
-	Seeds   int                           `json:"seeds"`
-	Small   bool                          `json:"small"`
-	Results map[string]map[string]float64 `json:"results"`
-}
-
-// seedRunner produces one seed's metrics; tests inject a fake.
-type seedRunner func(seedIndex int, seed uint64) (map[string]float64, error)
-
-// scenarioRunner runs the real simulation. The metrics aggregate over
-// every seed the process runs; the tracer (which may be nil) collects
-// engine-phase spans across all concurrent runs.
-func scenarioRunner(small bool, m mailflow.Metrics, tr *obs.Tracer) seedRunner {
-	return func(_ int, seed uint64) (map[string]float64, error) {
-		scen := simulate.Default(seed)
-		if small {
-			scen = simulate.Small(seed)
-		}
-		scen.Metrics = m
-		scen.Tracer = tr
-		ds, err := scen.Run()
-		if err != nil {
-			return nil, err
-		}
-		return metrics(core.NewStudy(ds)), nil
-	}
-}
-
-// seedFor maps a seed index to its scenario seed.
-func seedFor(i int) uint64 { return uint64(1000 + i*7919) }
 
 func main() {
 	seeds := flag.Int("seeds", 10, "number of seeds to run")
 	small := flag.Bool("small", true, "use the reduced scenario (default; full scale is slower)")
 	workers := flag.Int("workers", 4, "concurrent scenario runs")
 	ckpt := flag.String("checkpoint", "", "checkpoint file: finished seeds persist and a rerun resumes")
+	retryFailed := flag.Int("retry-failed", 0, "re-run a transiently failed seed up to N extra times before counting it failed")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this HTTP address while the sweep runs (empty: disabled)")
 	flag.Parse()
 
@@ -109,9 +50,11 @@ func main() {
 	// keeps the sweep's trace readable.
 	var m mailflow.Metrics
 	var tracer *obs.Tracer
+	var storeMetrics checkpoint.Metrics
 	if *metricsAddr != "" {
 		reg := obs.NewRegistry()
 		m = mailflow.NewMetrics(reg)
+		storeMetrics = checkpoint.NewMetrics(reg, "sweep")
 		tracer = obs.NewTracer(4096, nil)
 		ms, err := obs.Serve(*metricsAddr, reg, tracer)
 		if err != nil {
@@ -122,8 +65,16 @@ func main() {
 		fmt.Printf("metrics on http://%s/metrics\n", ms.Addr())
 	}
 
-	cfg := config{Seeds: *seeds, Small: *small, Workers: *workers, CheckpointPath: *ckpt}
-	failed, err := runSweep(ctx, cfg, scenarioRunner(*small, m, tracer), os.Stdout)
+	cfg := distsweep.Config{
+		Seeds:          *seeds,
+		Small:          *small,
+		Workers:        *workers,
+		CheckpointPath: *ckpt,
+		RetryFailed:    *retryFailed,
+		Errw:           os.Stderr,
+		StoreMetrics:   storeMetrics,
+	}
+	failed, err := distsweep.RunLocal(ctx, cfg, distsweep.ScenarioRunner(*small, m, tracer), os.Stdout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
@@ -132,219 +83,4 @@ func main() {
 		fmt.Fprintf(os.Stderr, "failed seeds: %d\n", failed)
 		os.Exit(1)
 	}
-}
-
-// runSweep executes the sweep, resuming from the checkpoint when one
-// is configured and present, and writes the metrics table to out. It
-// returns the number of seeds whose runs failed; a non-nil error means
-// the sweep itself was interrupted (finished seeds are checkpointed).
-func runSweep(ctx context.Context, cfg config, run seedRunner, out io.Writer) (int, error) {
-	state := sweepState{Seeds: cfg.Seeds, Small: cfg.Small, Results: map[string]map[string]float64{}}
-	var store *checkpoint.Store
-	if cfg.CheckpointPath != "" {
-		store = checkpoint.NewStore(cfg.CheckpointPath)
-		var prev sweepState
-		_, err := store.LoadJSON(&prev)
-		switch {
-		case err == nil:
-			if prev.Seeds == cfg.Seeds && prev.Small == cfg.Small && prev.Results != nil {
-				state = prev
-			}
-			// Parameter mismatch: the checkpoint belongs to a different
-			// sweep; start fresh (the first save overwrites it).
-		case errors.Is(err, checkpoint.ErrNoCheckpoint):
-			// First run (or both generations corrupt and quarantined):
-			// nothing to resume.
-		default:
-			return 0, fmt.Errorf("loading checkpoint: %w", err)
-		}
-	}
-
-	var mu sync.Mutex // guards state and failed
-	failed := 0
-	var wg sync.WaitGroup
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = 1
-	}
-	sem := make(chan struct{}, workers)
-	for i := 0; i < cfg.Seeds; i++ {
-		key := strconv.Itoa(i)
-		mu.Lock()
-		_, done := state.Results[key]
-		mu.Unlock()
-		if done {
-			continue
-		}
-		if ctx.Err() != nil {
-			break
-		}
-		wg.Add(1)
-		go func(i int, key string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if ctx.Err() != nil {
-				return
-			}
-			seed := seedFor(i)
-			m, err := run(i, seed)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "sweep: seed %d: %v\n", seed, err)
-				mu.Lock()
-				failed++
-				mu.Unlock()
-				return
-			}
-			mu.Lock()
-			state.Results[key] = m
-			if store != nil {
-				if serr := store.SaveJSON(stateVersion, state); serr != nil {
-					fmt.Fprintf(os.Stderr, "sweep: checkpoint: %v\n", serr)
-				}
-			}
-			mu.Unlock()
-		}(i, key)
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return failed, err
-	}
-
-	// Seeds that were attempted but produced nothing (and were not
-	// counted above because the run predates this process) stay absent
-	// from Results; only this process's failures are counted.
-	mu.Lock()
-	defer mu.Unlock()
-	fmt.Fprintf(out, "headline metrics across %d seeds:\n\n", cfg.Seeds)
-	fmt.Fprintln(out, report.Table([]string{"Metric", "Mean", "StdDev", "Min", "Max", "N"}, tableRows(cfg.Seeds, state.Results)))
-	return failed, nil
-}
-
-// tableRows folds per-seed metrics into the stats table, iterating
-// seeds in index order so the output is deterministic.
-func tableRows(seeds int, results map[string]map[string]float64) [][]string {
-	rows := make([][]string, 0, len(metricNames))
-	for _, name := range metricNames {
-		var vals []float64
-		for i := 0; i < seeds; i++ {
-			r := results[strconv.Itoa(i)]
-			if r == nil {
-				continue
-			}
-			if v, ok := r[name]; ok && !math.IsNaN(v) {
-				vals = append(vals, v)
-			}
-		}
-		if len(vals) == 0 {
-			continue
-		}
-		mean, sd := meanStd(vals)
-		lo, hi := minMax(vals)
-		rows = append(rows, []string{
-			name,
-			fmt.Sprintf("%.2f", mean),
-			fmt.Sprintf("%.2f", sd),
-			fmt.Sprintf("%.2f", lo),
-			fmt.Sprintf("%.2f", hi),
-			fmt.Sprintf("%d", len(vals)),
-		})
-	}
-	return rows
-}
-
-// metrics extracts the headline numbers from one run.
-func metrics(s *core.Study) map[string]float64 {
-	out := map[string]float64{}
-
-	// Coverage.
-	union := map[string]bool{}
-	for _, name := range s.DS.Result.Order {
-		for d := range analysis.FeedDomains(s.DS, name, analysis.ClassTagged) {
-			union[d] = true
-		}
-	}
-	for _, r := range analysis.Coverage(s.DS, analysis.ClassTagged) {
-		if r.Name == "Hu" && len(union) > 0 {
-			out["Hu tagged coverage %"] = 100 * float64(r.Total) / float64(len(union))
-		}
-	}
-	for _, r := range analysis.Coverage(s.DS, analysis.ClassLive) {
-		if r.Name == "Hyb" && r.Total > 0 {
-			out["Hyb exclusive live %"] = 100 * float64(r.Exclusive) / float64(r.Total)
-		}
-	}
-
-	// Purity.
-	for _, r := range s.Table2() {
-		switch r.Name {
-		case "Bot":
-			out["Bot DNS purity %"] = r.DNS * 100
-		case "mx2":
-			out["mx2 DNS purity %"] = r.DNS * 100
-		}
-	}
-
-	// Volume coverage.
-	for _, r := range s.Figure3() {
-		if r.Name == "uribl" {
-			out["uribl tagged volume %"] = r.TaggedPct * 100
-		}
-	}
-
-	// Sample ratio.
-	if mx1 := s.DS.Feed("mx1").Samples(); mx1 > 0 {
-		out["Hu/mx1 sample ratio"] = float64(s.DS.Feed("Hu").Samples()) / float64(mx1)
-	}
-
-	// Proportionality.
-	vd := s.Figure7()
-	for i, n := range vd.Names {
-		if n == "mx2" {
-			out["mx2-Mail variation distance"] = vd.Value[i][0]
-		}
-	}
-
-	// Timing.
-	rows := analysis.FirstAppearance(s.DS,
-		[]string{"Hu", "dbl", "uribl", "mx1", "mx2", "Ac1"})
-	for _, r := range rows {
-		if r.Summary.N == 0 {
-			continue
-		}
-		switch r.Name {
-		case "Hu":
-			out["Hu median onset (h)"] = r.Summary.Median
-		case "mx1":
-			out["mx1 median onset (h)"] = r.Summary.Median
-		}
-	}
-	return out
-}
-
-func meanStd(vals []float64) (mean, sd float64) {
-	for _, v := range vals {
-		mean += v
-	}
-	mean /= float64(len(vals))
-	if len(vals) > 1 {
-		for _, v := range vals {
-			sd += (v - mean) * (v - mean)
-		}
-		sd = math.Sqrt(sd / float64(len(vals)-1))
-	}
-	return mean, sd
-}
-
-func minMax(vals []float64) (lo, hi float64) {
-	lo, hi = vals[0], vals[0]
-	for _, v := range vals[1:] {
-		if v < lo {
-			lo = v
-		}
-		if v > hi {
-			hi = v
-		}
-	}
-	return lo, hi
 }

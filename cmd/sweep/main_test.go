@@ -4,180 +4,99 @@ import (
 	"bytes"
 	"context"
 	"errors"
-	"path/filepath"
 	"sync"
 	"testing"
+	"time"
+
+	"tasterschoice/internal/distsweep"
+	"tasterschoice/internal/resilient"
 )
 
-// fakeRunner produces deterministic metrics per seed index and counts
-// invocations, so tests can prove which seeds actually ran.
-type fakeRunner struct {
-	mu    sync.Mutex
-	calls map[int]int
-	fail  map[int]bool
-	// onCall, when set, runs after each invocation (under the lock).
-	onCall func(totalCalls int)
+// The sweep core's own tests live in internal/distsweep (resume
+// byte-identity, checkpoint parameter matching, failure counting).
+// Here we pin the -retry-failed flag's contract: a transiently
+// failing seed is re-run within the same sweep and only a seed that
+// exhausts its retry budget lands in the failed count.
+
+// flakySeed fails its first n attempts for one seed index, then
+// succeeds; all other seeds succeed immediately.
+type flakySeed struct {
+	mu       sync.Mutex
+	seed     int
+	fails    int
+	calls    map[int]int
+	permFail bool
 }
 
-func newFakeRunner() *fakeRunner {
-	return &fakeRunner{calls: map[int]int{}, fail: map[int]bool{}}
-}
-
-func (f *fakeRunner) run(i int, seed uint64) (map[string]float64, error) {
+func (f *flakySeed) run(i int, seed uint64) (map[string]float64, error) {
 	f.mu.Lock()
 	f.calls[i]++
-	total := 0
-	for _, n := range f.calls {
-		total += n
-	}
-	if f.onCall != nil {
-		f.onCall(total)
-	}
-	failing := f.fail[i]
+	n := f.calls[i]
 	f.mu.Unlock()
-	if failing {
-		return nil, errors.New("synthetic failure")
+	if i == f.seed && (f.permFail || n <= f.fails) {
+		return nil, errors.New("transient blip")
 	}
-	return map[string]float64{
-		"Hu tagged coverage %": 50 + float64(i),
-		"Bot DNS purity %":     90 + float64(i)/10,
-	}, nil
+	return map[string]float64{"Hu tagged coverage %": 50 + float64(i)}, nil
 }
 
-func (f *fakeRunner) total() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	total := 0
-	for _, n := range f.calls {
-		total += n
+func TestRetryFailedReRunsTransientSeeds(t *testing.T) {
+	var slept []time.Duration
+	flaky := &flakySeed{seed: 2, fails: 2, calls: map[int]int{}}
+	cfg := distsweep.Config{
+		Seeds:        4,
+		Small:        true,
+		Workers:      1,
+		RetryFailed:  2,
+		RetryBackoff: resilient.Backoff{Base: time.Millisecond, Max: time.Millisecond},
+		Sleep:        func(d time.Duration) { slept = append(slept, d) },
 	}
-	return total
-}
-
-// TestSweepResumeByteIdentical interrupts a checkpointed sweep partway,
-// resumes it, and verifies (a) the resumed run only executes the
-// missing seeds and (b) its output table is byte-identical to an
-// uninterrupted run.
-func TestSweepResumeByteIdentical(t *testing.T) {
-	const seeds = 8
-	// Baseline: uninterrupted, no checkpoint.
-	var baseline bytes.Buffer
-	failed, err := runSweep(context.Background(),
-		config{Seeds: seeds, Small: true, Workers: 1},
-		newFakeRunner().run, &baseline)
-	if err != nil || failed != 0 {
-		t.Fatalf("baseline: failed=%d err=%v", failed, err)
-	}
-
-	// Interrupted run: cancel after 3 seeds complete. Workers=1 keeps
-	// the cut deterministic.
-	path := filepath.Join(t.TempDir(), "sweep.ckpt")
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	interrupted := newFakeRunner()
-	interrupted.onCall = func(total int) {
-		if total >= 3 {
-			cancel()
-		}
-	}
-	var out1 bytes.Buffer
-	_, err = runSweep(ctx, config{Seeds: seeds, Small: true, Workers: 1, CheckpointPath: path},
-		interrupted.run, &out1)
-	if !errors.Is(err, context.Canceled) {
-		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
-	}
-	ran := interrupted.total()
-	if ran >= seeds {
-		t.Fatalf("interruption did not land: all %d seeds ran", ran)
-	}
-
-	// Resume: only the missing seeds run; output matches the baseline
-	// byte for byte.
-	resumed := newFakeRunner()
-	var out2 bytes.Buffer
-	failed, err = runSweep(context.Background(),
-		config{Seeds: seeds, Small: true, Workers: 1, CheckpointPath: path},
-		resumed.run, &out2)
-	if err != nil || failed != 0 {
-		t.Fatalf("resumed run: failed=%d err=%v", failed, err)
-	}
-	if got := resumed.total(); got != seeds-ran {
-		t.Fatalf("resumed run executed %d seeds, want only the %d missing", got, seeds-ran)
-	}
-	if !bytes.Equal(out2.Bytes(), baseline.Bytes()) {
-		t.Fatalf("resumed table differs from uninterrupted run:\n--- baseline ---\n%s\n--- resumed ---\n%s",
-			baseline.String(), out2.String())
-	}
-}
-
-// TestSweepParameterMismatchStartsFresh verifies a checkpoint written
-// for different sweep parameters is ignored rather than merged.
-func TestSweepParameterMismatchStartsFresh(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "sweep.ckpt")
-	first := newFakeRunner()
-	if _, err := runSweep(context.Background(),
-		config{Seeds: 4, Small: true, Workers: 1, CheckpointPath: path},
-		first.run, &bytes.Buffer{}); err != nil {
-		t.Fatal(err)
-	}
-	// Different seed count: every seed must run again.
-	second := newFakeRunner()
-	if _, err := runSweep(context.Background(),
-		config{Seeds: 6, Small: true, Workers: 1, CheckpointPath: path},
-		second.run, &bytes.Buffer{}); err != nil {
-		t.Fatal(err)
-	}
-	if got := second.total(); got != 6 {
-		t.Fatalf("mismatched checkpoint partially reused: %d seeds ran, want 6", got)
-	}
-}
-
-// TestSweepCountsFailedSeeds verifies failures are reported in the
-// return value (main turns this into a non-zero exit and the
-// "failed seeds: N" line) and that failed seeds are not checkpointed —
-// a rerun retries them.
-func TestSweepCountsFailedSeeds(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "sweep.ckpt")
-	flaky := newFakeRunner()
-	flaky.fail[2] = true
-	flaky.fail[5] = true
-	failed, err := runSweep(context.Background(),
-		config{Seeds: 6, Small: true, Workers: 2, CheckpointPath: path},
-		flaky.run, &bytes.Buffer{})
+	failed, err := distsweep.RunLocal(context.Background(), cfg, flaky.run, &bytes.Buffer{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if failed != 2 {
-		t.Fatalf("failed = %d, want 2", failed)
+	if failed != 0 {
+		t.Fatalf("failed = %d, want 0 (retries should have healed seed 2)", failed)
 	}
-	// Rerun with the failures healed: exactly the two failed seeds run.
-	healed := newFakeRunner()
-	failed, err = runSweep(context.Background(),
-		config{Seeds: 6, Small: true, Workers: 2, CheckpointPath: path},
-		healed.run, &bytes.Buffer{})
-	if err != nil || failed != 0 {
-		t.Fatalf("healed rerun: failed=%d err=%v", failed, err)
+	if got := flaky.calls[2]; got != 3 {
+		t.Fatalf("seed 2 ran %d times, want 3 (two failures + success)", got)
 	}
-	if got := healed.total(); got != 2 {
-		t.Fatalf("healed rerun executed %d seeds, want 2", got)
+	if len(slept) != 2 {
+		t.Fatalf("retry backoff slept %d times, want 2", len(slept))
 	}
 }
 
-// TestSweepTableStable pins the fake-metrics table so accidental
-// format drift in tableRows is visible.
-func TestSweepTableStable(t *testing.T) {
-	var a, b bytes.Buffer
-	for _, out := range []*bytes.Buffer{&a, &b} {
-		if _, err := runSweep(context.Background(),
-			config{Seeds: 3, Small: true, Workers: 3},
-			newFakeRunner().run, out); err != nil {
-			t.Fatal(err)
-		}
+func TestRetryFailedBudgetExhaustedCountsSeed(t *testing.T) {
+	flaky := &flakySeed{seed: 1, permFail: true, calls: map[int]int{}}
+	cfg := distsweep.Config{
+		Seeds:        3,
+		Small:        true,
+		Workers:      1,
+		RetryFailed:  2,
+		RetryBackoff: resilient.Backoff{Base: time.Millisecond, Max: time.Millisecond},
+		Sleep:        func(time.Duration) {},
 	}
-	if !bytes.Equal(a.Bytes(), b.Bytes()) {
-		t.Fatalf("same sweep, different tables:\n%s\nvs\n%s", a.String(), b.String())
+	failed, err := distsweep.RunLocal(context.Background(), cfg, flaky.run, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !bytes.Contains(a.Bytes(), []byte("Hu tagged coverage %")) {
-		t.Fatalf("table missing metrics:\n%s", a.String())
+	if failed != 1 {
+		t.Fatalf("failed = %d, want 1", failed)
+	}
+	if got := flaky.calls[1]; got != 3 {
+		t.Fatalf("seed 1 attempted %d times, want 3 (the full retry budget)", got)
+	}
+}
+
+// TestRetryDisabledByDefault pins the seed behaviour: without
+// -retry-failed a failing seed is tried exactly once.
+func TestRetryDisabledByDefault(t *testing.T) {
+	flaky := &flakySeed{seed: 0, permFail: true, calls: map[int]int{}}
+	failed, err := distsweep.RunLocal(context.Background(),
+		distsweep.Config{Seeds: 2, Small: true, Workers: 1}, flaky.run, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 1 || flaky.calls[0] != 1 {
+		t.Fatalf("failed=%d calls=%d, want 1 and 1", failed, flaky.calls[0])
 	}
 }

@@ -1,0 +1,208 @@
+// Command sweepd scales the seed sweep across processes. Run one
+// coordinator and any number of workers (on the same host or not):
+//
+//	sweepd -seeds 50 -listen 127.0.0.1:7077 -checkpoint sweep.ckpt
+//	sweepd -worker -addr 127.0.0.1:7077 -parallel 4   # repeat per host
+//
+// The coordinator farms seeds to workers under heartbeat-backed
+// leases, checkpoints every completed seed through the crash-safe
+// store, and prints the same metrics table a single-process
+// `sweep -seeds 50` would — byte for byte. Kill a worker and its seed
+// is re-dispatched; kill the coordinator and a restart with the same
+// flags resumes from the checkpoint without re-running or
+// double-counting finished seeds; a straggler's seed can be stolen
+// (-steal-after) with duplicate results reconciled byte-for-byte.
+// Status and progress go to stderr; stdout carries only the table.
+//
+// Workers are supervised: a worker connection that fails restarts
+// with backoff (-restarts bounds it), and -parallel runs several
+// protocol sessions so one process saturates several cores.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"tasterschoice/internal/checkpoint"
+	"tasterschoice/internal/distsweep"
+	"tasterschoice/internal/lifecycle"
+	"tasterschoice/internal/mailflow"
+	"tasterschoice/internal/obs"
+	"tasterschoice/internal/resilient"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so tests drive the full
+// flag-to-exit-code path in process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweepd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	worker := fs.Bool("worker", false, "run as a worker instead of the coordinator")
+	listen := fs.String("listen", "127.0.0.1:7077", "coordinator: address to serve workers on")
+	seeds := fs.Int("seeds", 10, "coordinator: number of seeds to run")
+	small := fs.Bool("small", true, "coordinator: use the reduced scenario (workers follow via the handshake)")
+	ckpt := fs.String("checkpoint", "", "coordinator: checkpoint file; a restart with the same flags resumes")
+	leaseTimeout := fs.Duration("lease-timeout", 10*time.Second, "coordinator: revoke a lease after this long without a heartbeat")
+	stealAfter := fs.Duration("steal-after", 0, "coordinator: duplicate-dispatch a straggler's seed after this long (0: never)")
+	grace := fs.Duration("grace", 5*time.Second, "coordinator: drain timeout once the sweep ends")
+	addr := fs.String("addr", "127.0.0.1:7077", "worker: coordinator address to dial")
+	id := fs.String("id", "", "worker: name used in leases and coordinator logs (default host-pid)")
+	parallel := fs.Int("parallel", 2, "worker: concurrent protocol sessions (seeds in flight)")
+	retryFailed := fs.Int("retry-failed", 0, "worker: re-run a transiently failed seed up to N extra times before reporting it failed")
+	restarts := fs.Int("restarts", 5, "worker: restart budget per session after failures")
+	metricsAddr := fs.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this HTTP address (empty: disabled)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(4096, nil)
+		ms, err := obs.Serve(*metricsAddr, reg, tracer)
+		if err != nil {
+			fmt.Fprintf(stderr, "sweepd: %v\n", err)
+			return 1
+		}
+		defer ms.Close()
+		fmt.Fprintf(stderr, "sweepd: metrics on http://%s/metrics\n", ms.Addr())
+	}
+
+	if *worker {
+		return runWorker(ctx, stderr, workerOpts{
+			addr: *addr, id: *id, parallel: *parallel,
+			retryFailed: *retryFailed, restarts: *restarts,
+			reg: reg, tracer: tracer,
+		})
+	}
+	return runCoordinator(ctx, stdout, stderr, coordOpts{
+		listen: *listen, seeds: *seeds, small: *small, ckpt: *ckpt,
+		leaseTimeout: *leaseTimeout, stealAfter: *stealAfter, grace: *grace,
+		reg: reg,
+	})
+}
+
+type coordOpts struct {
+	listen       string
+	seeds        int
+	small        bool
+	ckpt         string
+	leaseTimeout time.Duration
+	stealAfter   time.Duration
+	grace        time.Duration
+	reg          *obs.Registry
+}
+
+func runCoordinator(ctx context.Context, stdout, stderr io.Writer, o coordOpts) int {
+	cfg := distsweep.Config{
+		Seeds:          o.seeds,
+		Small:          o.small,
+		CheckpointPath: o.ckpt,
+		Errw:           stderr,
+	}
+	if o.reg != nil {
+		cfg.StoreMetrics = checkpoint.NewMetrics(o.reg, "sweepd")
+	}
+	coord, err := distsweep.NewCoordinator(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "sweepd: %v\n", err)
+		return 1
+	}
+	coord.LeaseTimeout = o.leaseTimeout
+	coord.StealAfter = o.stealAfter
+	if o.reg != nil {
+		coord.Metrics = distsweep.NewCoordinatorMetrics(o.reg)
+	}
+	laddr, err := coord.Listen(o.listen)
+	if err != nil {
+		fmt.Fprintf(stderr, "sweepd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "sweepd: coordinating %d seeds on %s\n", o.seeds, laddr)
+
+	if err := coord.WaitContext(ctx); err != nil {
+		fmt.Fprintf(stderr, "sweepd: %v\n", err)
+		coord.Close()
+		return 1
+	}
+	// Drain: late workers get DONE and exit cleanly.
+	dctx, cancel := context.WithTimeout(context.Background(), o.grace)
+	defer cancel()
+	if err := coord.Shutdown(dctx); err != nil {
+		fmt.Fprintf(stderr, "sweepd: drain: %v\n", err)
+	}
+	if err := coord.WriteReport(stdout); err != nil {
+		fmt.Fprintf(stderr, "sweepd: %v\n", err)
+		return 1
+	}
+	if failed := coord.Failed(); failed > 0 {
+		fmt.Fprintf(stderr, "failed seeds: %d\n", failed)
+		return 1
+	}
+	return 0
+}
+
+type workerOpts struct {
+	addr        string
+	id          string
+	parallel    int
+	retryFailed int
+	restarts    int
+	reg         *obs.Registry
+	tracer      *obs.Tracer
+}
+
+func runWorker(ctx context.Context, stderr io.Writer, o workerOpts) int {
+	id := o.id
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		id = host + "-" + strconv.Itoa(os.Getpid())
+	}
+	if o.parallel < 1 {
+		o.parallel = 1
+	}
+	// One mailflow metrics set is shared across sessions, matching how
+	// cmd/sweep aggregates across its in-process workers.
+	var m mailflow.Metrics
+	if o.reg != nil {
+		m = mailflow.NewMetrics(o.reg)
+	}
+	fmt.Fprintf(stderr, "sweepd: worker %s dialing %s (%d sessions)\n", id, o.addr, o.parallel)
+
+	g := lifecycle.NewGroup(ctx)
+	for i := 0; i < o.parallel; i++ {
+		sid := id + "/" + strconv.Itoa(i)
+		w := &distsweep.Worker{
+			Addr: o.addr,
+			ID:   sid,
+			NewRunner: func(small bool) distsweep.SeedRunner {
+				return distsweep.RetryingRunner(
+					distsweep.ScenarioRunner(small, m, o.tracer), o.retryFailed, resilient.Backoff{}, nil)
+			},
+			Metrics: distsweep.NewWorkerMetrics(o.reg, sid),
+		}
+		g.Supervise(sid, lifecycle.Restart{Max: o.restarts}, w.Run)
+	}
+	if err := g.Wait(); err != nil && ctx.Err() == nil {
+		fmt.Fprintf(stderr, "sweepd: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/distsweep"
+	"tasterschoice/internal/mailflow"
+)
+
+var listenLine = regexp.MustCompile(`coordinating \d+ seeds on (\S+)`)
+
+// TestSweepdEndToEnd drives the real flag-to-exit-code path for both
+// modes in one process: a coordinator on an ephemeral port, two worker
+// processes' worth of sessions, and a final table byte-identical to
+// the single-process cmd/sweep run over the same seeds.
+func TestSweepdEndToEnd(t *testing.T) {
+	const seeds = 3
+
+	// Single-process reference via the shared core.
+	var local bytes.Buffer
+	failed, err := distsweep.RunLocal(context.Background(),
+		distsweep.Config{Seeds: seeds, Small: true, Workers: seeds},
+		distsweep.ScenarioRunner(true, mailflow.Metrics{}, nil), &local)
+	if err != nil || failed != 0 {
+		t.Fatalf("reference run: failed=%d err=%v", failed, err)
+	}
+
+	// Coordinator: stderr goes through a pipe so the test can learn the
+	// ephemeral address from the "coordinating ... on" status line.
+	pr, pw := io.Pipe()
+	var stdout bytes.Buffer
+	coordDone := make(chan int, 1)
+	go func() {
+		code := run([]string{"-listen", "127.0.0.1:0", "-seeds", "3", "-lease-timeout", "5s"},
+			&stdout, pw)
+		pw.Close()
+		coordDone <- code
+	}()
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(pr)
+		for sc.Scan() {
+			if m := listenLine.FindStringSubmatch(sc.Text()); m != nil {
+				addrCh <- m[1]
+				break
+			}
+		}
+		io.Copy(io.Discard, pr) //nolint:errcheck // drain so the coordinator never blocks on stderr
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator never announced its address")
+	}
+
+	// Two workers, each with two sessions, with real (small) scenarios.
+	var wg sync.WaitGroup
+	codes := make([]int, 2)
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var werr bytes.Buffer
+			codes[i] = run([]string{"-worker", "-addr", addr, "-id", "w" + string(rune('a'+i)),
+				"-parallel", "2"}, io.Discard, &werr)
+			if codes[i] != 0 {
+				t.Errorf("worker %d exit %d: %s", i, codes[i], werr.String())
+			}
+		}(i)
+	}
+
+	select {
+	case code := <-coordDone:
+		if code != 0 {
+			t.Fatalf("coordinator exit %d", code)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("coordinator never finished")
+	}
+	wg.Wait()
+
+	if !bytes.Equal(stdout.Bytes(), local.Bytes()) {
+		t.Fatalf("sweepd table differs from single-process run:\n--- local ---\n%s\n--- sweepd ---\n%s",
+			local.String(), stdout.String())
+	}
+}
+
+// TestSweepdBadFlags pins the usage exit code.
+func TestSweepdBadFlags(t *testing.T) {
+	var errw bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, io.Discard, &errw); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "flag") {
+		t.Fatalf("usage output missing: %s", errw.String())
+	}
+}
+
+// TestSweepdCoordinatorBadListen pins the failure path for an
+// unbindable address.
+func TestSweepdCoordinatorBadListen(t *testing.T) {
+	var errw bytes.Buffer
+	if code := run([]string{"-listen", "256.0.0.1:1"}, io.Discard, &errw); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+}

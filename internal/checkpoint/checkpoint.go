@@ -110,6 +110,10 @@ type Store struct {
 	// Path is the current-generation file; siblings derive from it.
 	Path string
 
+	// Metrics observes saves and the corruption-recovery path; the
+	// zero value is inert. Set before first use.
+	Metrics Metrics
+
 	// quarantined counts snapshots that failed verification and were
 	// moved aside — a recovery that silently repaired something is a
 	// recovery tests cannot trust.
@@ -162,6 +166,7 @@ func (s *Store) Save(version uint32, payload []byte) error {
 		return fmt.Errorf("checkpoint: promote: %w", err)
 	}
 	syncDir(filepath.Dir(s.Path))
+	s.Metrics.Saves.Inc()
 	return nil
 }
 
@@ -185,9 +190,11 @@ func (s *Store) Load() (payload []byte, version uint32, err error) {
 		// Corrupt: move it aside (never silently delete evidence) and
 		// fall through to the older generation.
 		s.quarantined++
+		s.Metrics.Rejections.Inc()
 		if qerr := os.Rename(path, s.corruptPath()); qerr != nil {
 			return nil, 0, fmt.Errorf("checkpoint: quarantine %s: %w", path, qerr)
 		}
+		s.Metrics.Quarantines.Inc()
 	}
 	return nil, 0, ErrNoCheckpoint
 }

@@ -1,0 +1,34 @@
+package checkpoint
+
+import "tasterschoice/internal/obs"
+
+// Metrics observes a Store's corruption-recovery path. The zero value
+// is inert. Silent recovery is the whole point of the two-generation
+// design — and exactly why it must not stay silent on a metrics
+// endpoint: a store that quarantines a snapshot every restart is
+// telling you about a torn-write bug or failing disk long before both
+// generations go bad at once.
+type Metrics struct {
+	// Rejections counts snapshots that failed verification on Load:
+	// bad magic, truncation, CRC mismatch, unknown container version.
+	Rejections *obs.Counter
+	// Quarantines counts rejected snapshots moved aside to P.corrupt.
+	// Tracks Rejections unless the quarantine rename itself fails.
+	Quarantines *obs.Counter
+	// Saves counts snapshot generations durably written.
+	Saves *obs.Counter
+}
+
+// NewMetrics wires a Metrics to r, labeling series by store name.
+// Safe with a nil registry (returns the inert zero value).
+func NewMetrics(r *obs.Registry, store string) Metrics {
+	m := Metrics{
+		Rejections:  r.Counter("checkpoint_rejections_total", "store", store),
+		Quarantines: r.Counter("checkpoint_quarantines_total", "store", store),
+		Saves:       r.Counter("checkpoint_saves_total", "store", store),
+	}
+	r.Describe("checkpoint_rejections_total", "Snapshots that failed CRC/header verification on load.")
+	r.Describe("checkpoint_quarantines_total", "Corrupt snapshots renamed aside for inspection.")
+	r.Describe("checkpoint_saves_total", "Snapshot generations durably written.")
+	return m
+}

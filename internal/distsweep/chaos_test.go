@@ -1,0 +1,418 @@
+package distsweep
+
+import (
+	"bytes"
+	"context"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/checkpoint"
+	"tasterschoice/internal/faultnet"
+	"tasterschoice/internal/mailflow"
+	"tasterschoice/internal/obs"
+	"tasterschoice/internal/resilient"
+)
+
+// Chaos suite: the distributed sweep under process kills, coordinator
+// crashes, injected connection resets, and partitioned stragglers.
+// Every test's final claim is the same — the table that comes out is
+// byte-identical to an uninterrupted single-process run, and no seed's
+// result is counted twice.
+
+// TestChaosDistSweepWorkerKilledMidSeed kills one worker while its
+// seed is in flight (context cancellation models SIGKILL: the seed is
+// abandoned, heartbeats stop). The lease expires, the seed is
+// re-dispatched to a survivor, and the table comes out identical.
+func TestChaosDistSweepWorkerKilledMidSeed(t *testing.T) {
+	const seeds = 6
+	baseline := localTable(t, seeds)
+
+	reg := obs.NewRegistry()
+	coord, err := NewCoordinator(Config{Seeds: seeds, Small: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Metrics = NewCoordinatorMetrics(reg)
+	coord.LeaseTimeout = 300 * time.Millisecond
+	addr, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	// The victim grabs a seed, signals, and hangs until killed; it
+	// never produces a result, so the survivors must run all 6 seeds.
+	victimCtx, kill := context.WithCancel(ctx)
+	defer kill()
+	started := make(chan struct{})
+	var startOnce sync.Once
+	victim := fastWorker(addr.String(), "victim", func(i int, seed uint64) (map[string]float64, error) {
+		startOnce.Do(func() { close(started) })
+		<-victimCtx.Done()
+		return nil, victimCtx.Err()
+	})
+	victim.HeartbeatEvery = 50 * time.Millisecond
+	victimErr := make(chan error, 1)
+	go func() { victimErr <- victim.Run(victimCtx) }()
+
+	select {
+	case <-started:
+	case <-ctx.Done():
+		t.Fatal("victim never got a seed")
+	}
+	kill()
+	if err := <-victimErr; err == nil {
+		t.Fatal("killed victim returned nil")
+	}
+
+	survivors := newFakeRunner()
+	errs := startWorkers(ctx, addr.String(), 2, survivors.run)
+	if err := coord.WaitContext(ctx); err != nil {
+		t.Fatalf("WaitContext: %v", err)
+	}
+	waitWorkers(t, errs)
+
+	if got := survivors.total(); got != seeds {
+		t.Fatalf("survivors executed %d seeds, want %d (the victim's seed re-dispatched)", got, seeds)
+	}
+	if got := coord.Metrics.LeaseExpiries.Value(); got == 0 {
+		t.Fatal("no lease expiry fired — the kill landed after the seed finished?")
+	}
+	if got := coord.Metrics.Redispatched.Value(); got == 0 {
+		t.Fatal("victim's seed was never re-dispatched")
+	}
+	var out bytes.Buffer
+	if err := coord.WriteReport(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), baseline) {
+		t.Fatalf("table after worker kill differs from single-process run:\n--- local ---\n%s\n--- chaos ---\n%s",
+			baseline, out.String())
+	}
+}
+
+// TestChaosDistSweepCoordinatorRestart crashes the coordinator
+// mid-sweep and restarts it from its checkpoint: seeds persisted at
+// the crash are never executed again, and the final table is
+// byte-identical to an uninterrupted single-process run.
+func TestChaosDistSweepCoordinatorRestart(t *testing.T) {
+	const seeds = 8
+	baseline := localTable(t, seeds)
+	path := t.TempDir() + "/coord.ckpt"
+	cfg := Config{Seeds: seeds, Small: true, CheckpointPath: path}
+
+	// Workers dial whatever address the shared mailbox currently
+	// holds, so they follow the coordinator across its restart.
+	var addrMu sync.Mutex
+	var curAddr string
+	dial := redialer(&addrMu, &curAddr)
+
+	coord1, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord1.LeaseTimeout = 5 * time.Second
+	a1, err := coord1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrMu.Lock()
+	curAddr = a1.String()
+	addrMu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	shared := newFakeRunner()
+	var errs []chan error
+	for i := 0; i < 3; i++ {
+		w := fastWorker("", "w"+strconv.Itoa(i), shared.run)
+		w.Dial = dial
+		w.MaxReconnects = 100
+		ch := make(chan error, 1)
+		errs = append(errs, ch)
+		go func() { ch <- w.Run(ctx) }()
+	}
+
+	// Crash once at least 3 seeds are persisted.
+	waitFor(t, ctx, "the crash point (3 persisted seeds)", func() bool { return seeds-coord1.Failed() >= 3 })
+	coord1.Close()
+
+	// What survived the crash is what the checkpoint says — record the
+	// persisted seeds and how often each had run.
+	var atCrash coordState
+	if _, err := checkpoint.NewStore(path).LoadJSON(&atCrash); err != nil {
+		t.Fatalf("reading crash checkpoint: %v", err)
+	}
+	if len(atCrash.Results) < 3 {
+		t.Fatalf("checkpoint holds %d results at crash, want >= 3", len(atCrash.Results))
+	}
+	callsAtCrash := map[string]int{}
+	for key := range atCrash.Results {
+		i, _ := strconv.Atoi(key)
+		callsAtCrash[key] = shared.count(i)
+	}
+
+	// Restart from the checkpoint on a fresh port; workers follow.
+	coord2, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord2.LeaseTimeout = 5 * time.Second
+	a2, err := coord2.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord2.Close()
+	addrMu.Lock()
+	curAddr = a2.String()
+	addrMu.Unlock()
+
+	if err := coord2.WaitContext(ctx); err != nil {
+		t.Fatalf("resumed WaitContext: %v", err)
+	}
+	waitWorkers(t, errs)
+
+	for key, before := range callsAtCrash {
+		i, _ := strconv.Atoi(key)
+		if after := shared.count(i); after != before {
+			t.Fatalf("seed %s persisted at crash ran again after resume (%d -> %d executions)",
+				key, before, after)
+		}
+	}
+	var out bytes.Buffer
+	if err := coord2.WriteReport(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), baseline) {
+		t.Fatalf("resumed distributed table differs from single-process run:\n--- local ---\n%s\n--- resumed ---\n%s",
+			baseline, out.String())
+	}
+}
+
+// TestChaosDistSweepConnResets runs the sweep through faultnet with a
+// byte-budget reset on every worker connection: links die mid-message,
+// workers redial, leases expire and re-dispatch — and the table still
+// comes out byte-identical, with any duplicated execution reconciled
+// byte-for-byte rather than double-counted.
+func TestChaosDistSweepConnResets(t *testing.T) {
+	const seeds = 8
+	baseline := localTable(t, seeds)
+
+	// ~250 written bytes is one handshake plus roughly one delivered
+	// result on the worker side, so every connection dies young.
+	inj := faultnet.New(faultnet.Faults{Seed: 42, ResetAfterBytes: 250})
+	reg := obs.NewRegistry()
+	coord, err := NewCoordinator(Config{Seeds: seeds, Small: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Metrics = NewCoordinatorMetrics(reg)
+	coord.LeaseTimeout = 300 * time.Millisecond
+	addr, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	shared := newFakeRunner()
+	var errs []chan error
+	for i := 0; i < 3; i++ {
+		w := fastWorker(addr.String(), "w"+strconv.Itoa(i), shared.run)
+		w.Dial = inj.Dial
+		w.MaxReconnects = 100
+		ch := make(chan error, 1)
+		errs = append(errs, ch)
+		go func() { ch <- w.Run(ctx) }()
+	}
+	if err := coord.WaitContext(ctx); err != nil {
+		t.Fatalf("WaitContext: %v", err)
+	}
+	waitWorkers(t, errs)
+
+	if inj.Injected() == 0 {
+		t.Fatal("no faults fired — chaos misconfigured")
+	}
+	if got := coord.Metrics.Mismatches.Value(); got != 0 {
+		t.Fatalf("byte mismatches under identical runners: %d", got)
+	}
+	var out bytes.Buffer
+	if err := coord.WriteReport(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), baseline) {
+		t.Fatalf("table under connection resets differs from single-process run:\n--- local ---\n%s\n--- chaos ---\n%s",
+			baseline, out.String())
+	}
+}
+
+// TestChaosDistSweepStragglerSteal partitions a straggler: one worker
+// holds a seed forever (heartbeating, so its lease never expires —
+// the slow-not-dead case). StealAfter duplicate-dispatches the seed,
+// the sweep finishes without the straggler, and when the straggler
+// finally delivers, the duplicate is reconciled byte-for-byte.
+func TestChaosDistSweepStragglerSteal(t *testing.T) {
+	const seeds = 4
+	baseline := localTable(t, seeds)
+
+	reg := obs.NewRegistry()
+	coord, err := NewCoordinator(Config{Seeds: seeds, Small: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Metrics = NewCoordinatorMetrics(reg)
+	coord.LeaseTimeout = 10 * time.Second // heartbeats keep the straggler's lease alive
+	coord.StealAfter = 30 * time.Millisecond
+	addr, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var startOnce sync.Once
+	straggler := fastWorker(addr.String(), "straggler", func(i int, seed uint64) (map[string]float64, error) {
+		startOnce.Do(func() { close(started) })
+		<-release
+		return fakeMetrics(i), nil
+	})
+	straggler.HeartbeatEvery = 20 * time.Millisecond
+	stragglerErr := make(chan error, 1)
+	go func() { stragglerErr <- straggler.Run(ctx) }()
+	select {
+	case <-started:
+	case <-ctx.Done():
+		t.Fatal("straggler never got a seed")
+	}
+
+	helper := newFakeRunner()
+	errs := startWorkers(ctx, addr.String(), 1, helper.run)
+	if err := coord.WaitContext(ctx); err != nil {
+		t.Fatalf("WaitContext: %v", err)
+	}
+	// The sweep is done while the straggler still holds its seed: the
+	// helper must have stolen and completed it.
+	if got := coord.Metrics.Stolen.Value(); got == 0 {
+		t.Fatal("straggler's seed was never stolen")
+	}
+	if got := helper.total(); got != seeds {
+		t.Fatalf("helper executed %d seeds, want %d (including the stolen one)", got, seeds)
+	}
+
+	// Release the straggler: its late duplicate must reconcile cleanly
+	// (same bytes) and the worker must exit via DONE without error.
+	close(release)
+	select {
+	case err := <-stragglerErr:
+		if err != nil {
+			t.Fatalf("straggler after late delivery: %v", err)
+		}
+	case <-ctx.Done():
+		t.Fatal("straggler never exited")
+	}
+	waitWorkers(t, errs)
+	if got := coord.Metrics.Duplicates.Value(); got != 1 {
+		t.Fatalf("Duplicates = %d, want 1 (the straggler's late result)", got)
+	}
+	if got := coord.Metrics.LeaseExpiries.Value(); got != 0 {
+		t.Fatalf("lease expiries = %d, want 0 (the straggler heartbeated throughout)", got)
+	}
+	var out bytes.Buffer
+	if err := coord.WriteReport(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), baseline) {
+		t.Fatalf("table after steal differs from single-process run:\n--- local ---\n%s\n--- chaos ---\n%s",
+			baseline, out.String())
+	}
+}
+
+// TestChaosDistSweepGolden is the end-to-end acceptance check CI runs
+// as its distributed-sweep chaos step: the *real* scenario (reduced
+// scale) farmed to three workers with one killed mid-seed, compared
+// against the committed single-process golden table. If either the
+// distributed plumbing or the scenario drifts, the fingerprint breaks.
+func TestChaosDistSweepGolden(t *testing.T) {
+	const seeds = 4
+	real := ScenarioRunner(true, mailflow.Metrics{}, nil)
+
+	// Single-process reference, then the golden fingerprint.
+	var local bytes.Buffer
+	failed, err := RunLocal(context.Background(),
+		Config{Seeds: seeds, Small: true, Workers: seeds}, real, &local)
+	if err != nil || failed != 0 {
+		t.Fatalf("local reference: failed=%d err=%v", failed, err)
+	}
+	checkGolden(t, "sweep_table", local.Bytes())
+
+	coord, err := NewCoordinator(Config{Seeds: seeds, Small: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.LeaseTimeout = 500 * time.Millisecond
+	addr, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Victim: starts a real seed, is killed mid-run, never delivers.
+	victimCtx, kill := context.WithCancel(ctx)
+	defer kill()
+	started := make(chan struct{})
+	var startOnce sync.Once
+	victim := fastWorker(addr.String(), "victim", func(i int, seed uint64) (map[string]float64, error) {
+		startOnce.Do(func() { close(started) })
+		<-victimCtx.Done() // killed before the "computation" completes
+		return nil, victimCtx.Err()
+	})
+	victim.HeartbeatEvery = 50 * time.Millisecond
+	victimErr := make(chan error, 1)
+	go func() { victimErr <- victim.Run(victimCtx) }()
+	select {
+	case <-started:
+	case <-ctx.Done():
+		t.Fatal("victim never got a seed")
+	}
+	kill()
+	<-victimErr
+
+	var errs []chan error
+	for i := 0; i < 2; i++ {
+		w := fastWorker(addr.String(), "w"+strconv.Itoa(i), nil)
+		w.NewRunner = func(small bool) SeedRunner {
+			return ScenarioRunner(small, mailflow.Metrics{}, nil)
+		}
+		w.Backoff = resilient.Backoff{Base: 10 * time.Millisecond, Max: 100 * time.Millisecond}
+		ch := make(chan error, 1)
+		errs = append(errs, ch)
+		go func() { ch <- w.Run(ctx) }()
+	}
+	if err := coord.WaitContext(ctx); err != nil {
+		t.Fatalf("WaitContext: %v", err)
+	}
+	waitWorkers(t, errs)
+
+	var dist bytes.Buffer
+	if err := coord.WriteReport(&dist); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dist.Bytes(), local.Bytes()) {
+		t.Fatalf("distributed chaos table differs from single-process run:\n--- local ---\n%s\n--- distributed ---\n%s",
+			local.String(), dist.String())
+	}
+	checkGolden(t, "sweep_table", dist.Bytes())
+}

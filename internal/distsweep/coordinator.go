@@ -1,0 +1,578 @@
+package distsweep
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"tasterschoice/internal/checkpoint"
+)
+
+// coordVersion is the coordinator checkpoint payload version.
+const coordVersion = 1
+
+// coordState is the coordinator's durable state: the sweep parameters
+// (a restart against different flags starts fresh), the lease-fencing
+// epoch counter, and every completed seed's canonical metrics bytes.
+// Leases themselves are deliberately volatile — a restarted
+// coordinator owes nothing to grants made by its previous life; the
+// bumped epoch fences any of their heartbeats, and their results are
+// still welcome under first-complete-wins.
+type coordState struct {
+	Seeds   int               `json:"seeds"`
+	Small   bool              `json:"small"`
+	Epoch   uint64            `json:"epoch"`
+	Results map[string]string `json:"results"`
+}
+
+// lease tracks one outstanding grant.
+type lease struct {
+	worker  string
+	epoch   uint64
+	granted time.Time
+	beat    time.Time
+}
+
+// Coordinator farms sweep seeds to workers and merges their results
+// into the exact table a single-process run would print.
+//
+// Exactly-once argument: a seed's result is stored at most once (the
+// first verifiable RESULT wins; the store is guarded by one mutex),
+// every store is immediately checkpointed through the crash-safe
+// two-generation store, and a restarted coordinator loads that
+// checkpoint before granting anything — so a finished seed is never
+// re-leased and never double-counted. Re-*execution* can happen (a
+// worker dies after computing but before delivering, a straggler's
+// seed is stolen); the determinism contract makes that harmless, and
+// the byte-for-byte duplicate check turns "harmless in theory" into a
+// loudly enforced invariant.
+type Coordinator struct {
+	// LeaseTimeout expires a lease whose worker has stopped
+	// heartbeating; the seed is then re-dispatched to the next worker
+	// that asks (default 10s).
+	LeaseTimeout time.Duration
+	// StealAfter duplicate-dispatches a straggler: when no unleased
+	// work remains and a lease has been outstanding this long, the
+	// next idle worker gets the same seed under a fresh epoch and the
+	// first result wins. 0 disables stealing.
+	StealAfter time.Duration
+	// SeedAttempts bounds how many times a seed that *ran and failed*
+	// is re-leased (default 1: a failed seed is failed, matching the
+	// single-process sweep; lease expiries are not attempts).
+	SeedAttempts int
+	// HandshakeTimeout bounds reading each line from a worker; a
+	// silent peer is dropped and its lease left to expire (default
+	// 4×LeaseTimeout).
+	HandshakeTimeout time.Duration
+	// Now substitutes the clock in tests (default wall clock).
+	Now func() time.Time
+	// Metrics observes the coordinator; the zero value is inert. Set
+	// before Serve.
+	Metrics CoordinatorMetrics
+	// Errw receives per-seed failure and checkpoint warnings (default:
+	// discarded).
+	Errw io.Writer
+
+	cfg   Config
+	store *checkpoint.Store
+
+	mu       sync.Mutex
+	state    coordState
+	leases   map[int]*lease
+	failures map[int]int
+	granted  map[int]bool // seeds ever granted this life (re-dispatch accounting)
+	fatal    error
+	done     chan struct{}
+	doneSet  bool
+
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	draining bool
+}
+
+// NewCoordinator creates a coordinator for cfg, resuming from
+// cfg.CheckpointPath when a matching checkpoint exists. Loading
+// problems beyond "no checkpoint" are returned, not papered over.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	c := &Coordinator{
+		cfg:      cfg,
+		leases:   make(map[int]*lease),
+		failures: make(map[int]int),
+		granted:  make(map[int]bool),
+		done:     make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
+		state:    coordState{Seeds: cfg.Seeds, Small: cfg.Small, Results: map[string]string{}},
+	}
+	if cfg.CheckpointPath != "" {
+		c.store = checkpoint.NewStore(cfg.CheckpointPath)
+		c.store.Metrics = cfg.StoreMetrics
+		var prev coordState
+		_, err := c.store.LoadJSON(&prev)
+		switch {
+		case err == nil:
+			if prev.Seeds == cfg.Seeds && prev.Small == cfg.Small && prev.Results != nil {
+				c.state = prev
+				// Fence every lease the previous life may have granted:
+				// grants restart above anything a stale worker can echo.
+				c.state.Epoch++
+			}
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			// Fresh start.
+		default:
+			return nil, fmt.Errorf("distsweep: loading checkpoint: %w", err)
+		}
+	}
+	c.mu.Lock()
+	c.checkDoneLocked()
+	c.mu.Unlock()
+	return c, nil
+}
+
+func (c *Coordinator) now() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return wallNow()
+}
+
+func (c *Coordinator) errw() io.Writer {
+	if c.Errw != nil {
+		return c.Errw
+	}
+	return c.cfg.errw()
+}
+
+func (c *Coordinator) leaseTimeout() time.Duration { return timeoutOr(c.LeaseTimeout, 10*time.Second) }
+
+func (c *Coordinator) seedAttempts() int {
+	if c.SeedAttempts <= 0 {
+		return 1
+	}
+	return c.SeedAttempts
+}
+
+// Listen binds addr and serves workers in the background.
+func (c *Coordinator) Listen(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return c.Serve(l), nil
+}
+
+// Serve accepts workers on an already-bound listener in the
+// background (chaos tests wrap one with faultnet). The coordinator
+// owns the listener from here on.
+func (c *Coordinator) Serve(l net.Listener) net.Addr {
+	c.mu.Lock()
+	c.listener = l
+	c.mu.Unlock()
+	go c.serve(l)
+	return l.Addr()
+}
+
+func (c *Coordinator) serve(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.conns[conn] = struct{}{}
+		c.mu.Unlock()
+		go func() {
+			defer c.release(conn)
+			c.handle(conn)
+		}()
+	}
+}
+
+func (c *Coordinator) release(conn net.Conn) {
+	c.mu.Lock()
+	delete(c.conns, conn)
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// Close force-closes the listener and every worker connection. Used
+// by tests to crash the coordinator abruptly; production shutdown
+// goes through Shutdown.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	var err error
+	if c.listener != nil {
+		err = c.listener.Close()
+	}
+	for conn := range c.conns {
+		conn.Close()
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// Shutdown drains the coordinator: new grants stop (workers asking
+// for work are told DONE and exit cleanly), and connections holding
+// results in flight get until ctx expires before being force-closed.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	for {
+		c.mu.Lock()
+		idle := len(c.conns) == 0
+		c.mu.Unlock()
+		if idle {
+			return c.Close()
+		}
+		if !sleepCtx(ctx, 10*time.Millisecond) {
+			err := ctx.Err()
+			c.Close()
+			return err
+		}
+	}
+}
+
+// WaitContext blocks until every seed is resolved (completed, or
+// failed with its attempt budget spent) or ctx expires. It returns
+// the run's fatal error, if any — a duplicate-result byte mismatch is
+// fatal by design.
+func (c *Coordinator) WaitContext(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-c.done:
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.fatal
+	}
+}
+
+// Failed reports how many seeds ended without a stored result.
+func (c *Coordinator) Failed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for i := 0; i < c.cfg.Seeds; i++ {
+		if _, ok := c.state.Results[strconv.Itoa(i)]; !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteReport renders the final metrics table — the same bytes a
+// single-process RunLocal over the same seeds would print.
+func (c *Coordinator) WriteReport(out io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	results := make(map[string]map[string]float64, len(c.state.Results))
+	for key, canon := range c.state.Results {
+		var m map[string]float64
+		if err := json.Unmarshal([]byte(canon), &m); err != nil {
+			return fmt.Errorf("distsweep: seed %s: corrupt stored metrics: %w", key, err)
+		}
+		results[key] = m
+	}
+	writeReport(out, c.cfg.Seeds, results)
+	return nil
+}
+
+// handle serves one worker connection. All writes to the connection
+// happen from this goroutine, so responses never interleave.
+func (c *Coordinator) handle(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	readTimeout := timeoutOr(c.HandshakeTimeout, 4*c.leaseTimeout())
+	var workerID string
+	helloed := false
+	defer func() {
+		if helloed {
+			c.Metrics.Workers.Add(-1)
+		}
+	}()
+	reply := func(verb string, payload any) bool {
+		line, err := encodeMsg(verb, payload)
+		if err != nil {
+			return false
+		}
+		conn.SetWriteDeadline(c.now().Add(readTimeout)) //nolint:errcheck
+		if _, err := w.Write(line); err != nil {
+			return false
+		}
+		return w.Flush() == nil
+	}
+	for {
+		conn.SetReadDeadline(c.now().Add(readTimeout)) //nolint:errcheck
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		verb, rest := splitLine(line)
+		switch verb {
+		case verbHello:
+			var h helloMsg
+			if err := decodePayload(verb, rest, &h); err != nil {
+				reply(verbErr, nil)
+				return
+			}
+			workerID = h.ID
+			if !helloed {
+				helloed = true
+				c.Metrics.Workers.Add(1)
+			}
+			if !reply(verbWelcome, welcomeMsg{Seeds: c.cfg.Seeds, Small: c.cfg.Small}) {
+				return
+			}
+		case verbGet:
+			g := c.grant(workerID)
+			var ok bool
+			switch g.kind {
+			case grantLease:
+				ok = reply(verbLease, leaseMsg{Seed: g.seed, Epoch: g.epoch, Value: g.value})
+			case grantWait:
+				ok = reply(verbWait, nil)
+			case grantDone:
+				ok = reply(verbDone, nil)
+			case grantFatal:
+				reply(verbErr+" "+g.errMsg, nil)
+				return
+			}
+			if !ok {
+				return
+			}
+		case verbBeat:
+			var b beatMsg
+			if err := decodePayload(verb, rest, &b); err != nil {
+				return
+			}
+			c.beat(b)
+		case verbResult:
+			var res resultMsg
+			if err := decodePayload(verb, rest, &res); err != nil {
+				reply(verbErr+" bad result", nil)
+				return
+			}
+			if err := c.result(res); err != nil {
+				reply(verbErr+" "+err.Error(), nil)
+				return
+			}
+			if !reply(verbOK, nil) {
+				return
+			}
+		default:
+			reply(verbErr+" bad verb", nil)
+			return
+		}
+	}
+}
+
+// grantKind enumerates grant outcomes.
+type grantKind int
+
+const (
+	grantLease grantKind = iota
+	grantWait
+	grantDone
+	grantFatal
+)
+
+type grantResult struct {
+	kind   grantKind
+	seed   int
+	epoch  uint64
+	value  uint64
+	errMsg string
+}
+
+// grant picks work for a worker: the lowest unresolved seed without a
+// live lease, expiring dead leases on the way; failing that, a
+// straggler's seed when stealing is enabled; failing that, WAIT — or
+// DONE when nothing is left (or the coordinator is draining).
+func (c *Coordinator) grant(workerID string) grantResult {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fatal != nil {
+		return grantResult{kind: grantFatal, errMsg: c.fatal.Error()}
+	}
+	if c.draining || c.doneSet {
+		return grantResult{kind: grantDone}
+	}
+
+	// Expire leases whose workers stopped heartbeating.
+	for seed, l := range c.leases {
+		if now.Sub(l.beat) > c.leaseTimeout() {
+			delete(c.leases, seed)
+			c.Metrics.LeaseExpiries.Inc()
+			fmt.Fprintf(c.errw(), "distsweep: lease on seed %d (worker %s, epoch %d) expired\n",
+				seed, l.worker, l.epoch)
+		}
+	}
+
+	pending := false
+	oldestSeed, oldestGrant := -1, now
+	for i := 0; i < c.cfg.Seeds; i++ {
+		if _, ok := c.state.Results[strconv.Itoa(i)]; ok {
+			continue
+		}
+		if c.failures[i] >= c.seedAttempts() {
+			continue
+		}
+		l := c.leases[i]
+		if l == nil {
+			return c.leaseLocked(i, workerID, now, false)
+		}
+		pending = true
+		if oldestSeed < 0 || l.granted.Before(oldestGrant) {
+			oldestSeed, oldestGrant = i, l.granted
+		}
+	}
+	if !pending {
+		return grantResult{kind: grantDone}
+	}
+	if c.StealAfter > 0 && oldestSeed >= 0 && now.Sub(oldestGrant) > c.StealAfter {
+		return c.leaseLocked(oldestSeed, workerID, now, true)
+	}
+	return grantResult{kind: grantWait}
+}
+
+// leaseLocked grants seed i under a fresh epoch. Callers hold c.mu.
+func (c *Coordinator) leaseLocked(i int, workerID string, now time.Time, steal bool) grantResult {
+	c.state.Epoch++
+	c.leases[i] = &lease{worker: workerID, epoch: c.state.Epoch, granted: now, beat: now}
+	c.Metrics.Assigned.Inc()
+	switch {
+	case steal:
+		c.Metrics.Stolen.Inc()
+	case c.granted[i]:
+		c.Metrics.Redispatched.Inc()
+	}
+	c.granted[i] = true
+	c.saveLocked()
+	return grantResult{kind: grantLease, seed: i, epoch: c.state.Epoch, value: SeedFor(i)}
+}
+
+// beat refreshes a lease — but only the lease generation the beat
+// belongs to. A revoked worker's heartbeat carries a stale epoch and
+// cannot resurrect the seed it lost.
+func (c *Coordinator) beat(b beatMsg) {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if l := c.leases[b.Seed]; l != nil && l.epoch == b.Epoch {
+		l.beat = now
+	}
+}
+
+// result records one seed's outcome. First verifiable result wins;
+// duplicates are reconciled byte-for-byte and a mismatch is fatal for
+// the whole run — a nondeterministic seed would silently poison every
+// downstream table, so it must never be averaged away.
+func (c *Coordinator) result(res resultMsg) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fatal != nil {
+		return c.fatal
+	}
+	key := strconv.Itoa(res.Seed)
+	if res.Seed < 0 || res.Seed >= c.cfg.Seeds {
+		return fmt.Errorf("seed %d out of range", res.Seed)
+	}
+
+	if res.Error != "" {
+		if l := c.leases[res.Seed]; l != nil && l.epoch == res.Epoch {
+			delete(c.leases, res.Seed)
+		}
+		if _, done := c.state.Results[key]; !done {
+			c.failures[res.Seed]++
+			c.Metrics.SeedFailures.Inc()
+			fmt.Fprintf(c.errw(), "distsweep: seed %d (worker %s): %s\n", res.Seed, res.ID, res.Error)
+			c.checkDoneLocked()
+		}
+		return nil
+	}
+
+	canon := string(res.Metrics)
+	if prev, done := c.state.Results[key]; done {
+		if prev != canon {
+			err := fmt.Errorf("distsweep: seed %d: duplicate result from worker %s differs from stored bytes (determinism violation): got %q, had %q",
+				res.Seed, res.ID, canon, prev)
+			c.failLocked(err)
+			return err
+		}
+		c.Metrics.Duplicates.Inc()
+		return nil
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(res.Metrics, &m); err != nil {
+		return fmt.Errorf("seed %d: unparseable metrics: %v", res.Seed, err)
+	}
+	c.state.Results[key] = canon
+	delete(c.leases, res.Seed)
+	c.Metrics.Completed.Inc()
+	c.saveLocked()
+	c.checkDoneLocked()
+	return nil
+}
+
+// saveLocked checkpoints the durable state; failures are warnings (a
+// sweep with a sick disk still finishes, it just resumes worse).
+// Callers hold c.mu.
+func (c *Coordinator) saveLocked() {
+	if c.store == nil {
+		return
+	}
+	if err := c.store.SaveJSON(coordVersion, c.state); err != nil {
+		fmt.Fprintf(c.errw(), "distsweep: checkpoint: %v\n", err)
+	}
+}
+
+// checkDoneLocked closes the done channel once every seed is
+// resolved. Callers hold c.mu.
+func (c *Coordinator) checkDoneLocked() {
+	if c.doneSet {
+		return
+	}
+	for i := 0; i < c.cfg.Seeds; i++ {
+		if _, ok := c.state.Results[strconv.Itoa(i)]; ok {
+			continue
+		}
+		if c.failures[i] >= c.seedAttempts() {
+			continue
+		}
+		return
+	}
+	c.doneSet = true
+	close(c.done)
+}
+
+// failLocked records the run's first fatal error and releases
+// waiters. Callers hold c.mu.
+func (c *Coordinator) failLocked(err error) {
+	c.Metrics.Mismatches.Inc()
+	if c.fatal == nil {
+		c.fatal = err
+	}
+	if !c.doneSet {
+		c.doneSet = true
+		close(c.done)
+	}
+}

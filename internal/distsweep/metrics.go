@@ -1,0 +1,89 @@
+package distsweep
+
+import "tasterschoice/internal/obs"
+
+// CoordinatorMetrics observes a Coordinator. The zero value is inert;
+// populate with NewCoordinatorMetrics to collect. Instruments only
+// observe — the sweep's output is byte-identical with or without
+// them.
+type CoordinatorMetrics struct {
+	// Assigned counts every lease grant (first grants, re-dispatches
+	// and steals alike).
+	Assigned *obs.Counter
+	// Completed counts seeds whose first result was stored.
+	Completed *obs.Counter
+	// Stolen counts duplicate-dispatches of a straggler's seed.
+	Stolen *obs.Counter
+	// Redispatched counts re-grants of a seed whose earlier lease
+	// expired or failed.
+	Redispatched *obs.Counter
+	// LeaseExpiries counts leases revoked after missed heartbeats.
+	LeaseExpiries *obs.Counter
+	// Duplicates counts redundant results reconciled byte-for-byte.
+	Duplicates *obs.Counter
+	// Mismatches counts duplicate results whose bytes differed — each
+	// one is a fatal determinism violation.
+	Mismatches *obs.Counter
+	// SeedFailures counts results that carried a worker-side error.
+	SeedFailures *obs.Counter
+	// Workers gauges currently registered worker connections.
+	Workers *obs.Gauge
+}
+
+// NewCoordinatorMetrics wires a CoordinatorMetrics to r. Safe with a
+// nil registry (returns the inert zero value).
+func NewCoordinatorMetrics(r *obs.Registry) CoordinatorMetrics {
+	m := CoordinatorMetrics{
+		Assigned:      r.Counter("distsweep_seeds_assigned_total"),
+		Completed:     r.Counter("distsweep_seeds_completed_total"),
+		Stolen:        r.Counter("distsweep_seeds_stolen_total"),
+		Redispatched:  r.Counter("distsweep_seeds_redispatched_total"),
+		LeaseExpiries: r.Counter("distsweep_lease_expiries_total"),
+		Duplicates:    r.Counter("distsweep_duplicate_results_total"),
+		Mismatches:    r.Counter("distsweep_result_mismatches_total"),
+		SeedFailures:  r.Counter("distsweep_seed_failures_total"),
+		Workers:       r.Gauge("distsweep_workers_live"),
+	}
+	r.Describe("distsweep_seeds_assigned_total", "Lease grants, including re-dispatches and steals.")
+	r.Describe("distsweep_seeds_completed_total", "Seeds whose first result was stored.")
+	r.Describe("distsweep_seeds_stolen_total", "Straggler seeds duplicate-dispatched to an idle worker.")
+	r.Describe("distsweep_seeds_redispatched_total", "Seeds re-granted after an expired lease or failed run.")
+	r.Describe("distsweep_lease_expiries_total", "Leases revoked after missed heartbeats.")
+	r.Describe("distsweep_duplicate_results_total", "Redundant results reconciled byte-for-byte.")
+	r.Describe("distsweep_result_mismatches_total", "Duplicate results whose bytes differed (fatal).")
+	r.Describe("distsweep_seed_failures_total", "Results carrying a worker-side error.")
+	r.Describe("distsweep_workers_live", "Currently registered worker connections.")
+	return m
+}
+
+// WorkerMetrics observes a Worker. The zero value is inert.
+type WorkerMetrics struct {
+	// Leases counts seeds this worker was granted.
+	Leases *obs.Counter
+	// Completed counts seeds delivered successfully.
+	Completed *obs.Counter
+	// Failures counts seeds whose run errored.
+	Failures *obs.Counter
+	// Heartbeats counts lease heartbeats sent.
+	Heartbeats *obs.Counter
+	// Reconnects counts redials after a dropped coordinator link.
+	Reconnects *obs.Counter
+}
+
+// NewWorkerMetrics wires a WorkerMetrics to r, labeling series by
+// worker id. Safe with a nil registry.
+func NewWorkerMetrics(r *obs.Registry, id string) WorkerMetrics {
+	m := WorkerMetrics{
+		Leases:     r.Counter("distsweep_worker_leases_total", "worker", id),
+		Completed:  r.Counter("distsweep_worker_completed_total", "worker", id),
+		Failures:   r.Counter("distsweep_worker_failures_total", "worker", id),
+		Heartbeats: r.Counter("distsweep_worker_heartbeats_total", "worker", id),
+		Reconnects: r.Counter("distsweep_worker_reconnects_total", "worker", id),
+	}
+	r.Describe("distsweep_worker_leases_total", "Seeds granted to this worker.")
+	r.Describe("distsweep_worker_completed_total", "Seeds this worker delivered successfully.")
+	r.Describe("distsweep_worker_failures_total", "Seed runs that errored on this worker.")
+	r.Describe("distsweep_worker_heartbeats_total", "Lease heartbeats sent.")
+	r.Describe("distsweep_worker_reconnects_total", "Redials after a dropped coordinator link.")
+	return m
+}

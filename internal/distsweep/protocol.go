@@ -1,0 +1,157 @@
+package distsweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Wire protocol (line-oriented verbs with JSON payloads over TCP, in
+// the feedsync mold):
+//
+//	W: HELLO {"id":"w1"}
+//	C: WELCOME {"seeds":8,"small":true}
+//
+//	W: GET
+//	C: LEASE {"seed":3,"epoch":17,"value":24757}   (run this seed)
+//	 | WAIT                                         (nothing leasable; poll again)
+//	 | DONE                                         (sweep complete; exit cleanly)
+//	 | ERR <message>                                (run failed loudly; exit loudly)
+//
+//	W: HB {"seed":3,"epoch":17,"id":"w1"}           (while running; no response)
+//
+//	W: RESULT {"seed":3,"epoch":17,"id":"w1","metrics":{...}}
+//	C: OK | ERR <message>
+//
+// The epoch is a fencing token: every lease grant increments a
+// persisted counter, so a heartbeat or result can always be matched
+// to the exact grant that produced it. Heartbeats with a stale epoch
+// cannot resurrect a revoked lease; results are accepted
+// first-complete-wins regardless of epoch (a deterministic seed's
+// output does not depend on who ran it) and every later duplicate
+// must match the stored bytes exactly or the run fails loudly.
+//
+// Metrics travel as the worker's own json.Marshal bytes and are kept
+// verbatim (json.RawMessage) end to end — the coordinator compares
+// and checkpoints exactly what the worker computed, so "byte-for-byte
+// identical" is a statement about the data, not about re-encoding.
+
+// Protocol verbs.
+const (
+	verbHello   = "HELLO"
+	verbWelcome = "WELCOME"
+	verbGet     = "GET"
+	verbLease   = "LEASE"
+	verbWait    = "WAIT"
+	verbDone    = "DONE"
+	verbBeat    = "HB"
+	verbResult  = "RESULT"
+	verbOK      = "OK"
+	verbErr     = "ERR"
+)
+
+// helloMsg registers a worker.
+type helloMsg struct {
+	ID string `json:"id"`
+}
+
+// welcomeMsg tells the worker the sweep's shape so it can build the
+// matching scenario runner.
+type welcomeMsg struct {
+	Seeds int  `json:"seeds"`
+	Small bool `json:"small"`
+}
+
+// leaseMsg grants one seed under a fencing epoch.
+type leaseMsg struct {
+	Seed  int    `json:"seed"`
+	Epoch uint64 `json:"epoch"`
+	Value uint64 `json:"value"`
+}
+
+// beatMsg keeps a lease alive.
+type beatMsg struct {
+	Seed  int    `json:"seed"`
+	Epoch uint64 `json:"epoch"`
+	ID    string `json:"id"`
+}
+
+// resultMsg delivers one seed's outcome. Metrics holds the worker's
+// canonical json.Marshal of its map[string]float64 (sorted keys,
+// shortest round-trip floats) and is compared byte-for-byte against
+// duplicates; Error is set instead when the run failed.
+type resultMsg struct {
+	Seed    int             `json:"seed"`
+	Epoch   uint64          `json:"epoch"`
+	ID      string          `json:"id"`
+	Metrics json.RawMessage `json:"metrics,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// encodeMsg renders one protocol line: the verb, a space, and the
+// payload's JSON (or the bare verb when payload is nil).
+func encodeMsg(verb string, payload any) ([]byte, error) {
+	if payload == nil {
+		return []byte(verb + "\n"), nil
+	}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("distsweep: encode %s: %w", verb, err)
+	}
+	line := make([]byte, 0, len(verb)+1+len(b)+1)
+	line = append(line, verb...)
+	line = append(line, ' ')
+	line = append(line, b...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// splitLine separates a protocol line into verb and payload text.
+func splitLine(line string) (verb, rest string) {
+	line = strings.TrimRight(line, "\r\n")
+	verb, rest, _ = strings.Cut(line, " ")
+	return verb, rest
+}
+
+// decodePayload unmarshals a verb's payload.
+func decodePayload(verb, rest string, out any) error {
+	if err := json.Unmarshal([]byte(rest), out); err != nil {
+		return fmt.Errorf("distsweep: bad %s payload %q: %w", verb, rest, err)
+	}
+	return nil
+}
+
+// wallNow is the shared wall-clock default for socket deadlines and
+// lease bookkeeping on real connections; tests inject Now instead.
+func wallNow() time.Time {
+	return time.Now() //lint:allow wallclock -- socket deadlines and lease expiry need real wall time; tests inject Now
+}
+
+// sleepCtx pauses for d, returning false early when ctx is done.
+func sleepCtx(ctx interface{ Done() <-chan struct{} }, d time.Duration) bool {
+	if d <= 0 {
+		select {
+		case <-ctx.Done():
+			return false
+		default:
+			return true
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// timeoutOr returns d when positive, else def.
+func timeoutOr(d, def time.Duration) time.Duration {
+	if d > 0 {
+		return d
+	}
+	return def
+}

@@ -1,0 +1,270 @@
+package distsweep
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/obs"
+	"tasterschoice/internal/resilient"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	line, err := encodeMsg(verbLease, leaseMsg{Seed: 3, Epoch: 9, Value: SeedFor(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verb, rest := splitLine(string(line))
+	if verb != verbLease {
+		t.Fatalf("verb = %q", verb)
+	}
+	var l leaseMsg
+	if err := decodePayload(verb, rest, &l); err != nil {
+		t.Fatal(err)
+	}
+	if l.Seed != 3 || l.Epoch != 9 || l.Value != SeedFor(3) {
+		t.Fatalf("round trip mangled: %+v", l)
+	}
+}
+
+func TestEncodeMsgNoPayload(t *testing.T) {
+	line, err := encodeMsg(verbGet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(line) != verbGet+"\n" {
+		t.Fatalf("bare verb encoded as %q", line)
+	}
+	verb, rest := splitLine(string(line))
+	if verb != verbGet || rest != "" {
+		t.Fatalf("split = %q, %q", verb, rest)
+	}
+}
+
+func TestDecodePayloadErrors(t *testing.T) {
+	var l leaseMsg
+	if err := decodePayload(verbLease, "{not json", &l); err == nil {
+		t.Fatal("bad JSON decoded without error")
+	}
+	if err := decodePayload(verbLease, "", &l); err == nil {
+		t.Fatal("missing payload decoded without error")
+	}
+}
+
+func TestSleepCtx(t *testing.T) {
+	if !sleepCtx(context.Background(), time.Microsecond) {
+		t.Fatal("uncancelled sleep reported cancellation")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if sleepCtx(ctx, time.Hour) {
+		t.Fatal("cancelled sleep reported completion")
+	}
+}
+
+func TestTimeoutOr(t *testing.T) {
+	if got := timeoutOr(0, time.Minute); got != time.Minute {
+		t.Fatalf("default not applied: %v", got)
+	}
+	if got := timeoutOr(time.Second, time.Minute); got != time.Second {
+		t.Fatalf("explicit value overridden: %v", got)
+	}
+}
+
+func TestRetryingRunnerHealsTransientFailure(t *testing.T) {
+	calls := 0
+	var slept []time.Duration
+	run := RetryingRunner(func(i int, seed uint64) (map[string]float64, error) {
+		calls++
+		if calls < 3 {
+			return nil, errors.New("transient")
+		}
+		return fakeMetrics(i), nil
+	}, 2, resilient.Backoff{Base: time.Millisecond, Max: time.Millisecond},
+		func(d time.Duration) { slept = append(slept, d) })
+	m, err := run(1, SeedFor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["Hu tagged coverage %"] != fakeMetrics(1)["Hu tagged coverage %"] {
+		t.Fatalf("wrong metrics after retries: %v", m)
+	}
+	if calls != 3 || len(slept) != 2 {
+		t.Fatalf("calls=%d sleeps=%d, want 3 and 2", calls, len(slept))
+	}
+}
+
+func TestRetryingRunnerExhaustsBudget(t *testing.T) {
+	calls := 0
+	run := RetryingRunner(func(int, uint64) (map[string]float64, error) {
+		calls++
+		return nil, errors.New("permanent-ish")
+	}, 2, resilient.Backoff{Base: time.Millisecond, Max: time.Millisecond},
+		func(time.Duration) {})
+	if _, err := run(0, SeedFor(0)); err == nil {
+		t.Fatal("exhausted retries returned nil error")
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3 (1 + 2 retries)", calls)
+	}
+}
+
+func TestRetryingRunnerZeroExtraIsPassthrough(t *testing.T) {
+	base := func(int, uint64) (map[string]float64, error) { return nil, errors.New("x") }
+	calls := 0
+	counted := func(i int, s uint64) (map[string]float64, error) { calls++; return base(i, s) }
+	run := RetryingRunner(counted, 0, resilient.Backoff{}, nil)
+	if _, err := run(0, 0); err == nil {
+		t.Fatal("want the failure through unchanged")
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want exactly 1 (no retry wrapper)", calls)
+	}
+}
+
+func TestMetricsConstructorsRegisterSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	cm := NewCoordinatorMetrics(reg)
+	cm.Assigned.Inc()
+	cm.Workers.Add(1)
+	wm := NewWorkerMetrics(reg, "w0")
+	wm.Heartbeats.Inc()
+	names := map[string]bool{}
+	for _, s := range reg.Snapshot() {
+		names[s.Name] = true
+	}
+	for _, want := range []string{
+		"distsweep_seeds_assigned_total",
+		"distsweep_workers_live",
+		"distsweep_worker_heartbeats_total",
+	} {
+		if !names[want] {
+			t.Fatalf("series %s not registered (have %v)", want, names)
+		}
+	}
+
+	// Nil-registry constructors must still hand back usable (inert)
+	// instruments.
+	var nilReg *obs.Registry
+	NewCoordinatorMetrics(nilReg).Completed.Inc()
+	NewWorkerMetrics(nilReg, "w").Leases.Inc()
+}
+
+func TestWorkerDefaults(t *testing.T) {
+	w := &Worker{}
+	if w.maxReconnects() != 8 {
+		t.Fatalf("default reconnect budget = %d", w.maxReconnects())
+	}
+	w.MaxReconnects = 3
+	if w.maxReconnects() != 3 {
+		t.Fatalf("explicit reconnect budget ignored: %d", w.maxReconnects())
+	}
+	if w.heartbeatEvery() != 2*time.Second || w.pollInterval() != 200*time.Millisecond {
+		t.Fatalf("defaults wrong: hb=%v poll=%v", w.heartbeatEvery(), w.pollInterval())
+	}
+}
+
+func TestWorkerWithoutRunnerIsPermanent(t *testing.T) {
+	coord, err := NewCoordinator(Config{Seeds: 1, Small: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	w := fastWorker(addr.String(), "norunner", nil)
+	err = w.Run(context.Background())
+	if !resilient.IsPermanent(err) || !strings.Contains(err.Error(), "no runner") {
+		t.Fatalf("err = %v, want permanent no-runner", err)
+	}
+}
+
+// TestCoordinatorRejectsBadProtocol drives the coordinator with a raw
+// TCP client: unknown verbs and malformed results are answered with
+// ERR and the connection dropped, without disturbing the sweep.
+func TestCoordinatorRejectsBadProtocol(t *testing.T) {
+	coord, err := NewCoordinator(Config{Seeds: 1, Small: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	exchange := func(lines ...string) string {
+		conn, err := net.Dial("tcp", addr.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		var last string
+		for _, l := range lines {
+			if _, err := conn.Write([]byte(l + "\n")); err != nil {
+				t.Fatal(err)
+			}
+			reply, err := r.ReadString('\n')
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = reply
+		}
+		return last
+	}
+
+	if got := exchange("BOGUS"); !strings.HasPrefix(got, verbErr) {
+		t.Fatalf("unknown verb answered %q, want ERR", got)
+	}
+	if got := exchange(`HELLO {"id":"raw"}`, `RESULT {not json`); !strings.HasPrefix(got, verbErr) {
+		t.Fatalf("malformed RESULT answered %q, want ERR", got)
+	}
+	if got := exchange(`HELLO {"id":"raw"}`, `RESULT {"seed":99,"epoch":1,"id":"raw","metrics":{}}`); !strings.HasPrefix(got, verbErr) {
+		t.Fatalf("out-of-range seed answered %q, want ERR", got)
+	}
+	if got := exchange(`HELLO {"id":"raw"}`, `RESULT {"seed":0,"epoch":1,"id":"raw","metrics":"not-a-map"}`); !strings.HasPrefix(got, verbErr) {
+		t.Fatalf("unparseable metrics answered %q, want ERR", got)
+	}
+}
+
+// TestShutdownForceClosesAtDeadline pins Shutdown's bounded-drain
+// contract: a connection that never goes away is force-closed when
+// the drain context expires, and Shutdown reports the deadline.
+func TestShutdownForceClosesAtDeadline(t *testing.T) {
+	coord, err := NewCoordinator(Config{Seeds: 1, Small: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(`HELLO {"id":"squatter"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bufio.NewReader(conn).ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := coord.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want deadline exceeded", err)
+	}
+	// The squatter's connection is force-closed: the next read fails.
+	conn.SetReadDeadline(wallNow().Add(5 * time.Second)) //nolint:errcheck
+	if _, err := bufio.NewReader(conn).ReadString('\n'); err == nil {
+		t.Fatal("squatter's connection survived the forced shutdown")
+	}
+}

@@ -1,0 +1,270 @@
+package distsweep
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"tasterschoice/internal/resilient"
+)
+
+// Worker connects to a coordinator, runs leased seeds, heartbeats
+// while a seed is in flight, and delivers results. It survives the
+// coordinator restarting: a dropped connection is redialed with
+// backoff, and any lease lost in the gap is simply somebody else's
+// seed now — the coordinator's accounting, not the worker's memory,
+// decides what runs.
+type Worker struct {
+	// Addr is the coordinator address.
+	Addr string
+	// ID names this worker in heartbeats and coordinator logs.
+	ID string
+	// Runner produces one seed's metrics (tests inject fakes).
+	Runner SeedRunner
+	// NewRunner, when set, builds the runner after the WELCOME
+	// handshake reveals the sweep's scenario shape; it overrides
+	// Runner. cmd/sweepd uses this so one worker binary serves both
+	// -small and full sweeps.
+	NewRunner func(small bool) SeedRunner
+	// Dial overrides the dialer (default net.DialTimeout); chaos tests
+	// inject faultnet here.
+	Dial resilient.DialFunc
+	// DialTimeout bounds dialing and each handshake read (default 10s).
+	DialTimeout time.Duration
+	// HeartbeatEvery spaces lease heartbeats while a seed runs
+	// (default 2s; must be well under the coordinator's LeaseTimeout).
+	HeartbeatEvery time.Duration
+	// PollInterval spaces GET retries after a WAIT (default 200ms).
+	PollInterval time.Duration
+	// Backoff shapes reconnect delays (zero value → resilient
+	// defaults).
+	Backoff resilient.Backoff
+	// MaxReconnects caps consecutive reconnect attempts that make no
+	// progress before the worker gives up (default 8). Progress — a
+	// completed handshake — resets the budget.
+	MaxReconnects int
+	// Metrics observes the worker; the zero value is inert.
+	Metrics WorkerMetrics
+}
+
+func (w *Worker) dialTimeout() time.Duration    { return timeoutOr(w.DialTimeout, 10*time.Second) }
+func (w *Worker) heartbeatEvery() time.Duration { return timeoutOr(w.HeartbeatEvery, 2*time.Second) }
+func (w *Worker) pollInterval() time.Duration   { return timeoutOr(w.PollInterval, 200*time.Millisecond) }
+
+func (w *Worker) maxReconnects() int {
+	if w.MaxReconnects <= 0 {
+		return 8
+	}
+	return w.MaxReconnects
+}
+
+func (w *Worker) dial() (net.Conn, error) {
+	if w.Dial != nil {
+		return w.Dial("tcp", w.Addr)
+	}
+	return net.DialTimeout("tcp", w.Addr, w.dialTimeout())
+}
+
+// Run works the sweep until the coordinator reports DONE (nil), the
+// run fails loudly (the coordinator's ERR, returned as a permanent
+// error), ctx is cancelled, or the reconnect budget is spent. A
+// cancelled ctx abandons any in-flight seed immediately — that is the
+// "kill a worker mid-seed" path the chaos tests exercise; the
+// coordinator's lease expiry cleans up after us.
+func (w *Worker) Run(ctx context.Context) error {
+	consecutive := 0
+	var lastErr error
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		conn, err := w.dial()
+		if err == nil {
+			var done, progress bool
+			done, progress, err = w.session(ctx, conn)
+			conn.Close()
+			if done {
+				return nil
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			if resilient.IsPermanent(err) {
+				return err
+			}
+			if progress {
+				consecutive = 0
+			}
+		}
+		if err != nil {
+			lastErr = err
+		}
+		consecutive++
+		w.Metrics.Reconnects.Inc()
+		if consecutive > w.maxReconnects() {
+			return fmt.Errorf("distsweep: worker %s: no progress after %d reconnects: %w",
+				w.ID, consecutive-1, lastErr)
+		}
+		if !sleepCtx(ctx, w.Backoff.Delay(consecutive-1)) {
+			return ctx.Err()
+		}
+	}
+}
+
+// session runs the protocol over one connection. It reports whether
+// the sweep finished and whether the handshake completed (progress,
+// which resets the reconnect budget).
+func (w *Worker) session(ctx context.Context, conn net.Conn) (done, progress bool, err error) {
+	r := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	send := func(verb string, payload any) error {
+		line, err := encodeMsg(verb, payload)
+		if err != nil {
+			return err
+		}
+		conn.SetWriteDeadline(wallDeadline(w.dialTimeout())) //nolint:errcheck
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	recv := func() (string, string, error) {
+		conn.SetReadDeadline(wallDeadline(w.dialTimeout())) //nolint:errcheck
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return "", "", err
+		}
+		verb, rest := splitLine(line)
+		return verb, rest, nil
+	}
+
+	if err := send(verbHello, helloMsg{ID: w.ID}); err != nil {
+		return false, false, err
+	}
+	verb, rest, err := recv()
+	if err != nil {
+		return false, false, err
+	}
+	if verb != verbWelcome {
+		return false, false, fmt.Errorf("distsweep: handshake got %q", verb)
+	}
+	var welcome welcomeMsg
+	if err := decodePayload(verb, rest, &welcome); err != nil {
+		return false, false, err
+	}
+	run := w.Runner
+	if w.NewRunner != nil {
+		run = w.NewRunner(welcome.Small)
+	}
+	if run == nil {
+		return false, true, resilient.Permanent(fmt.Errorf("distsweep: worker %s has no runner", w.ID))
+	}
+	progress = true
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return false, progress, err
+		}
+		if err := send(verbGet, nil); err != nil {
+			return false, progress, err
+		}
+		verb, rest, err := recv()
+		if err != nil {
+			return false, progress, err
+		}
+		switch verb {
+		case verbWait:
+			if !sleepCtx(ctx, w.pollInterval()) {
+				return false, progress, ctx.Err()
+			}
+		case verbDone:
+			return true, progress, nil
+		case verbErr:
+			return false, progress, resilient.Permanent(
+				fmt.Errorf("distsweep: coordinator: %s", strings.TrimSpace(rest)))
+		case verbLease:
+			var l leaseMsg
+			if err := decodePayload(verb, rest, &l); err != nil {
+				return false, progress, err
+			}
+			w.Metrics.Leases.Inc()
+			res, err := w.runSeed(ctx, send, l, run)
+			if err != nil {
+				return false, progress, err
+			}
+			if err := send(verbResult, res); err != nil {
+				return false, progress, err
+			}
+			verb, rest, err := recv()
+			if err != nil {
+				return false, progress, err
+			}
+			if verb == verbErr {
+				return false, progress, resilient.Permanent(
+					fmt.Errorf("distsweep: coordinator rejected seed %d: %s", l.Seed, strings.TrimSpace(rest)))
+			}
+			if verb != verbOK {
+				return false, progress, fmt.Errorf("distsweep: result ack got %q", verb)
+			}
+			if res.Error == "" {
+				w.Metrics.Completed.Inc()
+			} else {
+				w.Metrics.Failures.Inc()
+			}
+		default:
+			return false, progress, fmt.Errorf("distsweep: unexpected reply %q", verb)
+		}
+	}
+}
+
+// runSeed executes one leased seed while heartbeating, returning the
+// RESULT to deliver. The seed runs on its own goroutine so a
+// cancelled ctx abandons it immediately (the goroutine finishes into
+// a buffered channel and is collected); heartbeats and the eventual
+// result are written from the session goroutine only, so protocol
+// lines never interleave.
+func (w *Worker) runSeed(ctx context.Context, send func(string, any) error,
+	l leaseMsg, run SeedRunner) (resultMsg, error) {
+	type outcome struct {
+		m   map[string]float64
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		m, err := run(l.Seed, l.Value)
+		ch <- outcome{m, err}
+	}()
+	tick := time.NewTicker(w.heartbeatEvery())
+	defer tick.Stop()
+	for {
+		select {
+		case o := <-ch:
+			res := resultMsg{Seed: l.Seed, Epoch: l.Epoch, ID: w.ID}
+			if o.err != nil {
+				res.Error = o.err.Error()
+				return res, nil
+			}
+			canon, err := json.Marshal(o.m)
+			if err != nil {
+				res.Error = fmt.Sprintf("marshal metrics: %v", err)
+				return res, nil
+			}
+			res.Metrics = canon
+			return res, nil
+		case <-ctx.Done():
+			return resultMsg{}, ctx.Err()
+		case <-tick.C:
+			w.Metrics.Heartbeats.Inc()
+			if err := send(verbBeat, beatMsg{Seed: l.Seed, Epoch: l.Epoch, ID: w.ID}); err != nil {
+				return resultMsg{}, err
+			}
+		}
+	}
+}
+
+// wallDeadline converts a timeout into an absolute socket deadline.
+func wallDeadline(d time.Duration) time.Time { return wallNow().Add(d) }

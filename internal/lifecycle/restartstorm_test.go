@@ -1,0 +1,176 @@
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/resilient"
+)
+
+// Restart-storm coverage: many supervised children failing repeatedly
+// and concurrently. The distributed sweep leans on Supervise for its
+// worker sessions, so the storm behaviour — restart accounting,
+// backoff pacing, budget exhaustion under concurrency, cancellation
+// mid-backoff — is pinned here rather than assumed.
+
+// TestRestartStormAllChildrenRecover runs five children that each fail
+// three times before settling: every failure must be restarted, every
+// child must reach its clean exit, and the group must report success.
+func TestRestartStormAllChildrenRecover(t *testing.T) {
+	const children, failures = 5, 3
+	g := NewGroup(context.Background())
+	var settled atomic.Int64
+	for c := 0; c < children; c++ {
+		attempts := 0
+		g.Supervise(fmt.Sprintf("child-%d", c),
+			Restart{Max: failures, Backoff: resilient.Backoff{Base: time.Millisecond, Max: time.Millisecond}},
+			func(ctx context.Context) error {
+				attempts++
+				if attempts <= failures {
+					return errors.New("storm failure")
+				}
+				settled.Add(1)
+				return nil
+			})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if got := settled.Load(); got != children {
+		t.Fatalf("%d children settled, want %d", got, children)
+	}
+	if got := g.Restarts(); got != children*failures {
+		t.Fatalf("Restarts() = %d, want %d", got, children*failures)
+	}
+}
+
+// TestRestartStormBudgetExhaustionCancelsSiblings verifies that one
+// child failing past its budget during a storm fails the group and
+// cancels the healthy siblings.
+func TestRestartStormBudgetExhaustionCancelsSiblings(t *testing.T) {
+	g := NewGroup(context.Background())
+	sibCancelled := make(chan struct{})
+	g.Go("healthy-sibling", func(ctx context.Context) error {
+		<-ctx.Done()
+		close(sibCancelled)
+		return nil
+	})
+	hopeless := errors.New("hopeless")
+	g.Supervise("hopeless",
+		Restart{Max: 2, Backoff: resilient.Backoff{Base: time.Millisecond, Max: time.Millisecond}},
+		func(ctx context.Context) error { return hopeless })
+	err := g.Wait()
+	if !errors.Is(err, hopeless) {
+		t.Fatalf("Wait = %v, want the hopeless child's error", err)
+	}
+	select {
+	case <-sibCancelled:
+	default:
+		t.Fatal("healthy sibling was not cancelled by the storm casualty")
+	}
+	if got := g.Restarts(); got != 2 {
+		t.Fatalf("Restarts() = %d, want 2 (the budget)", got)
+	}
+}
+
+// TestRestartStormBackoffPacing verifies restarts are actually spaced
+// by the policy: with a deterministic 20ms-base doubling backoff,
+// three restarts cannot complete faster than 20+40+80 ms.
+func TestRestartStormBackoffPacing(t *testing.T) {
+	g := NewGroup(context.Background())
+	const failures = 3
+	base := 20 * time.Millisecond
+	attempts := 0
+	start := time.Now()
+	g.Supervise("paced",
+		Restart{Max: failures, Backoff: resilient.Backoff{Base: base, Max: time.Second}},
+		func(ctx context.Context) error {
+			attempts++
+			if attempts <= failures {
+				return errors.New("fail for pacing")
+			}
+			return nil
+		})
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	elapsed := time.Since(start)
+	if floor := 7 * base; elapsed < floor { // 20+40+80 = 7×base
+		t.Fatalf("storm of %d restarts finished in %v, want at least %v of backoff", failures, elapsed, floor)
+	}
+}
+
+// TestRestartStormCancelDuringBackoff verifies a group cancelled while
+// every child is parked in a backoff sleep exits promptly without
+// burning the remaining restart budget.
+func TestRestartStormCancelDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := NewGroup(ctx)
+	var attempts atomic.Int64
+	parked := make(chan struct{}, 4)
+	for c := 0; c < 4; c++ {
+		g.Supervise(fmt.Sprintf("parked-%d", c),
+			Restart{Max: 1000, Backoff: resilient.Backoff{Base: time.Hour, Max: time.Hour}},
+			func(ctx context.Context) error {
+				attempts.Add(1)
+				parked <- struct{}{}
+				return errors.New("park me in backoff")
+			})
+	}
+	for c := 0; c < 4; c++ {
+		<-parked // every child has failed once and is heading into its 1h sleep
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.Wait() }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Wait after cancel: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("group did not exit from mid-backoff cancellation")
+	}
+	if got := attempts.Load(); got != 4 {
+		t.Fatalf("children ran %d times, want 4 (no restarts after cancel)", got)
+	}
+}
+
+// TestRestartStormRepeatedPanics verifies a child that panics on every
+// run is restarted like any failing child, with each panic captured,
+// and the group survives several such children at once.
+func TestRestartStormRepeatedPanics(t *testing.T) {
+	g := NewGroup(context.Background())
+	const children, failures = 3, 2
+	var mu sync.Mutex
+	runs := map[int]int{}
+	for c := 0; c < children; c++ {
+		c := c
+		g.Supervise(fmt.Sprintf("panicky-%d", c),
+			Restart{Max: failures, Backoff: resilient.Backoff{Base: time.Millisecond, Max: time.Millisecond}},
+			func(ctx context.Context) error {
+				mu.Lock()
+				runs[c]++
+				n := runs[c]
+				mu.Unlock()
+				if n <= failures {
+					panic(fmt.Sprintf("storm panic %d/%d", c, n))
+				}
+				return nil
+			})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if got := g.Panics(); got != children*failures {
+		t.Fatalf("Panics() = %d, want %d", got, children*failures)
+	}
+	if got := g.Restarts(); got != children*failures {
+		t.Fatalf("Restarts() = %d, want %d", got, children*failures)
+	}
+}

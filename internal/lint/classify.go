@@ -57,6 +57,12 @@ var classTable = map[string]Class{
 	"mailflow": ClassDeterministic,
 	"report":   ClassDeterministic,
 
+	// Engine with a wire protocol: distsweep keeps the strict engine
+	// contract (its byte-identity guarantee is a determinism claim) but
+	// opts into the edge packages' ctxblocking contract below, since it
+	// dials, accepts and parks on channels like one.
+	"distsweep": ClassEngine,
+
 	// Network boundary: sockets, deadlines, drains.
 	"dnsbl":     ClassEdge,
 	"faultnet":  ClassEdge,
@@ -71,9 +77,10 @@ var classTable = map[string]Class{
 // APIs must offer a context.Context variant (the convention the
 // lifecycle PR established: Listed/ListedContext, Tail/TailDurable).
 var ctxContractPackages = map[string]bool{
-	"dnsbl":    true,
-	"feedsync": true,
-	"smtpd":    true,
+	"distsweep": true,
+	"dnsbl":     true,
+	"feedsync":  true,
+	"smtpd":     true,
 }
 
 // nilGuardPackages are the packages whose exported pointer-receiver

@@ -19,6 +19,10 @@ func TestClassify(t *testing.T) {
 		{"tasterschoice/internal/smtpd", ClassEdge},
 		{"tasterschoice/internal/lifecycle", ClassEdge},
 
+		// distsweep is engine-strict despite speaking a wire protocol:
+		// its whole contract is deterministic, byte-identical output.
+		{"tasterschoice/internal/distsweep", ClassEngine},
+
 		// Unlisted internal packages default to the strict engine class.
 		{"tasterschoice/internal/parallel", ClassEngine},
 		{"tasterschoice/internal/obs", ClassEngine},
@@ -59,6 +63,7 @@ func TestNeedsCtxContract(t *testing.T) {
 		path string
 		want bool
 	}{
+		{"tasterschoice/internal/distsweep", true},
 		{"tasterschoice/internal/dnsbl", true},
 		{"tasterschoice/internal/feedsync", true},
 		{"tasterschoice/internal/smtpd", true},

@@ -8,7 +8,8 @@ import (
 )
 
 // CtxBlocking enforces the Context-variant convention on the network
-// edge (feedsync, dnsbl, smtpd): an exported API that blocks — dials,
+// edge (feedsync, dnsbl, smtpd, distsweep): an exported API that
+// blocks — dials,
 // accepts, or parks on a channel — must either take a context.Context
 // itself or have a sibling that does (Listed/ListedContext,
 // Close/Shutdown), so callers can always bound the wait. Only the
@@ -17,7 +18,7 @@ import (
 // treated as cancellable by construction.
 var CtxBlocking = &Analyzer{
 	Name: "ctxblocking",
-	Doc: "exported blocking APIs in feedsync/dnsbl/smtpd must take a context.Context " +
+	Doc: "exported blocking APIs in feedsync/dnsbl/smtpd/distsweep must take a context.Context " +
 		"or offer a <Name>Context (for Close: Shutdown) variant",
 	Run: runCtxBlocking,
 }
