@@ -13,6 +13,13 @@
 // With -metrics ADDR the process also serves its observability
 // surface — /metrics (Prometheus text), /debug/vars (expvar),
 // /debug/pprof/ and /debug/trace — on a second HTTP listener.
+//
+// Overload protection is off by default and switched on with the
+// -workers / -max-inflight / -rate family of flags: queries then pass
+// an admission gate and a bounded CoDel-shedding queue, and excess
+// load is answered with protocol-native REFUSED/SERVFAIL instead of
+// growing an unbounded backlog. See MECHANISMS.md, "Overload and
+// graceful degradation".
 package main
 
 import (
@@ -29,14 +36,41 @@ import (
 	"tasterschoice/internal/feeds"
 	"tasterschoice/internal/lifecycle"
 	"tasterschoice/internal/obs"
+	"tasterschoice/internal/overload"
 )
 
-// setup loads the feed and wires the DNS server plus, when metricsAddr
-// is non-empty, an instrumented exposition endpoint. The server is
-// listening (on possibly-":0"-resolved addr) when setup returns.
-func setup(feedPath, zone, listen string, ttl uint32, metricsAddr string) (
-	srv *dnsbl.Server, addr net.Addr, ms *obs.MetricsServer, err error) {
-	f, err := os.Open(feedPath)
+// options carries everything setup needs; one struct instead of a
+// parameter list that grows with every flag.
+type options struct {
+	feedPath    string
+	zone        string
+	listen      string
+	ttl         uint32
+	metricsAddr string
+
+	// Overload protection (all zero: legacy unprotected serving).
+	workers     int     // queued-worker pool size (0: synchronous loop)
+	queueDepth  int     // bounded queue size (0: 16×workers)
+	maxInflight int     // admission gate concurrency cap (0: unlimited)
+	rate        float64 // admissions/sec per priority class (0: unlimited)
+	burst       float64 // bucket burst (0: rate)
+	fairBuckets int     // per-client fairness buckets (0: disabled)
+	fairRate    float64 // per-bucket admissions/sec
+	fairBurst   float64 // per-bucket burst
+	seed        uint64  // fairness hash seed
+}
+
+// gateWanted reports whether any admission-gate flag was set.
+func (o options) gateWanted() bool {
+	return o.maxInflight > 0 || o.rate > 0 || o.fairBuckets > 0
+}
+
+// setup loads the feed and wires the DNS server plus, when
+// o.metricsAddr is non-empty, an instrumented exposition endpoint. The
+// server is listening (on possibly-":0"-resolved addr) when setup
+// returns.
+func setup(o options) (srv *dnsbl.Server, addr net.Addr, ms *obs.MetricsServer, err error) {
+	f, err := os.Open(o.feedPath)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -46,17 +80,37 @@ func setup(feedPath, zone, listen string, ttl uint32, metricsAddr string) (
 		return nil, nil, nil, err
 	}
 
-	srv = dnsbl.NewServer(zone, dnsbl.FeedZone{Feed: feed})
-	srv.TTL = ttl
-	if metricsAddr != "" {
-		reg := obs.NewRegistry()
-		srv.Metrics = dnsbl.NewServerMetrics(reg, zone)
-		ms, err = obs.Serve(metricsAddr, reg, obs.NewTracer(0, nil))
+	srv = dnsbl.NewServer(o.zone, dnsbl.FeedZone{Feed: feed})
+	srv.TTL = o.ttl
+	var reg *obs.Registry
+	if o.metricsAddr != "" {
+		reg = obs.NewRegistry()
+		srv.Metrics = dnsbl.NewServerMetrics(reg, o.zone)
+		ms, err = obs.Serve(o.metricsAddr, reg, obs.NewTracer(0, nil))
 		if err != nil {
 			return nil, nil, nil, err
 		}
 	}
-	addr, err = srv.Listen(listen)
+	if o.gateWanted() {
+		cfg := overload.GateConfig{
+			MaxConcurrent: o.maxInflight,
+			FairBuckets:   o.fairBuckets,
+			FairRate:      o.fairRate,
+			FairBurst:     o.fairBurst,
+			Seed:          o.seed,
+		}
+		for p := range cfg.Rate {
+			cfg.Rate[p], cfg.Burst[p] = o.rate, o.burst
+		}
+		cfg.Metrics = overload.NewGateMetrics(reg, "dnsbl")
+		srv.Admission = overload.NewGate(cfg)
+	}
+	if o.workers > 0 {
+		srv.Workers = o.workers
+		srv.QueueDepth = o.queueDepth
+		srv.QueueMetrics = overload.NewQueueMetrics(reg, "dnsbl")
+	}
+	addr, err = srv.Listen(o.listen)
 	if err != nil {
 		if ms != nil {
 			ms.Close()
@@ -72,13 +126,37 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:5353", "UDP address to listen on")
 	ttl := flag.Uint("ttl", 300, "TTL for positive answers, seconds")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this HTTP address (empty: disabled)")
+	workers := flag.Int("workers", 0, "queued-worker pool size; 0 keeps the synchronous serving loop")
+	queueDepth := flag.Int("queue", 0, "bounded request queue depth (0: 16 per worker)")
+	maxInflight := flag.Int("max-inflight", 0, "admission cap on concurrently served queries (0: unlimited)")
+	rate := flag.Float64("rate", 0, "admissions per second per priority class (0: unlimited)")
+	burst := flag.Float64("burst", 0, "admission bucket burst (0: same as -rate)")
+	fairBuckets := flag.Int("fair-buckets", 0, "per-client fairness buckets (0: disabled)")
+	fairRate := flag.Float64("fair-rate", 0, "admissions per second per fairness bucket")
+	fairBurst := flag.Float64("fair-burst", 0, "fairness bucket burst (0: same as -fair-rate)")
+	seed := flag.Uint64("overload-seed", 1, "seed for the fairness hash")
 	flag.Parse()
 	if *feedPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	srv, addr, ms, err := setup(*feedPath, *zone, *listen, uint32(*ttl), *metricsAddr)
+	srv, addr, ms, err := setup(options{
+		feedPath:    *feedPath,
+		zone:        *zone,
+		listen:      *listen,
+		ttl:         uint32(*ttl),
+		metricsAddr: *metricsAddr,
+		workers:     *workers,
+		queueDepth:  *queueDepth,
+		maxInflight: *maxInflight,
+		rate:        *rate,
+		burst:       *burst,
+		fairBuckets: *fairBuckets,
+		fairRate:    *fairRate,
+		fairBurst:   *fairBurst,
+		seed:        *seed,
+	})
 	if err != nil {
 		fail(err)
 	}

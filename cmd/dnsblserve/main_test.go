@@ -80,7 +80,10 @@ func scrapeCounters(t *testing.T, url string) map[string]float64 {
 // and /debug/pprof/, and the scraped counters must reflect queries the
 // DNS server actually answered.
 func TestMetricsEndpoint(t *testing.T) {
-	srv, addr, ms, err := setup(writeTestFeed(t), "dbl.example", "127.0.0.1:0", 300, "127.0.0.1:0")
+	srv, addr, ms, err := setup(options{
+		feedPath: writeTestFeed(t), zone: "dbl.example",
+		listen: "127.0.0.1:0", ttl: 300, metricsAddr: "127.0.0.1:0",
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,9 +145,49 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestSetupOverloadWiring pins the -workers/-max-inflight flag family:
+// a protected server still answers queries correctly, and the overload
+// instruments show up on /metrics with the admissions it counted.
+func TestSetupOverloadWiring(t *testing.T) {
+	srv, addr, ms, err := setup(options{
+		feedPath: writeTestFeed(t), zone: "dbl.example",
+		listen: "127.0.0.1:0", ttl: 300, metricsAddr: "127.0.0.1:0",
+		workers: 2, queueDepth: 32, maxInflight: 16,
+		rate: 10000, fairBuckets: 4, fairRate: 10000, seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer ms.Close()
+
+	c := dnsbl.NewClient(addr.String(), "dbl.example", 1)
+	c.Timeout = 3 * time.Second
+	if listed, err := c.Listed("cheappills.com"); err != nil || !listed {
+		t.Fatalf("Listed = %v, %v", listed, err)
+	}
+	if listed, err := c.Listed("innocent.org"); err != nil || listed {
+		t.Fatalf("Listed(unlisted) = %v, %v", listed, err)
+	}
+
+	got := scrapeCounters(t, "http://"+ms.Addr().String()+"/metrics")
+	admitted := 0.0
+	for k, v := range got {
+		if strings.HasPrefix(k, "dnsbl_queue_admitted_total") {
+			admitted += v
+		}
+	}
+	if admitted != 2 {
+		t.Errorf("queue admitted = %v, want 2 (scrape: %v)", admitted, got)
+	}
+}
+
 // TestSetupWithoutMetrics pins the flag's default-off behavior.
 func TestSetupWithoutMetrics(t *testing.T) {
-	srv, addr, ms, err := setup(writeTestFeed(t), "dbl.example", "127.0.0.1:0", 300, "")
+	srv, addr, ms, err := setup(options{
+		feedPath: writeTestFeed(t), zone: "dbl.example",
+		listen: "127.0.0.1:0", ttl: 300,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 
 	"tasterschoice/internal/checkpoint"
@@ -32,6 +33,36 @@ import (
 	"tasterschoice/internal/mailflow"
 	"tasterschoice/internal/obs"
 )
+
+// validate rejects flag values the sweep would otherwise only trip
+// over mid-run: a negative retry budget, and a checkpoint destination
+// that cannot be written — better refused now than discovered when the
+// first finished seed tries to persist.
+func validate(retryFailed int, ckpt string) error {
+	if retryFailed < 0 {
+		return fmt.Errorf("-retry-failed must be >= 0, got %d", retryFailed)
+	}
+	if ckpt == "" {
+		return nil
+	}
+	if fi, err := os.Stat(ckpt); err == nil && fi.IsDir() {
+		return fmt.Errorf("-checkpoint %s is a directory, want a file path", ckpt)
+	}
+	// The store MkdirAlls the parent on save; do it now so a bad path
+	// fails before any seeds are spent, then prove the directory is
+	// writable with a probe file.
+	dir := filepath.Dir(ckpt)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("-checkpoint: %w", err)
+	}
+	probe, err := os.CreateTemp(dir, ".sweep-probe-*")
+	if err != nil {
+		return fmt.Errorf("-checkpoint: directory %s is not writable: %w", dir, err)
+	}
+	probe.Close()
+	os.Remove(probe.Name()) //nolint:errcheck
+	return nil
+}
 
 func main() {
 	seeds := flag.Int("seeds", 10, "number of seeds to run")
@@ -41,6 +72,11 @@ func main() {
 	retryFailed := flag.Int("retry-failed", 0, "re-run a transiently failed seed up to N extra times before counting it failed")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this HTTP address while the sweep runs (empty: disabled)")
 	flag.Parse()
+	if err := validate(*retryFailed, *ckpt); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

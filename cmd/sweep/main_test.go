@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -84,6 +86,48 @@ func TestRetryFailedBudgetExhaustedCountsSeed(t *testing.T) {
 	}
 	if got := flaky.calls[1]; got != 3 {
 		t.Fatalf("seed 1 attempted %d times, want 3 (the full retry budget)", got)
+	}
+}
+
+// TestValidateFlags pins the up-front flag validation: a negative
+// retry budget and an unwritable or nonsensical checkpoint path are
+// refused before any seed runs.
+func TestValidateFlags(t *testing.T) {
+	if err := validate(-1, ""); err == nil {
+		t.Fatal("negative -retry-failed accepted")
+	}
+	if err := validate(0, ""); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	dir := t.TempDir()
+	if err := validate(2, filepath.Join(dir, "deep", "nested", "sweep.ckpt")); err != nil {
+		t.Fatalf("creatable nested checkpoint path rejected: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "deep", "nested")); err != nil {
+		t.Fatalf("validate did not create the checkpoint directory: %v", err)
+	}
+	if err := validate(0, dir); err == nil {
+		t.Fatal("directory accepted as a checkpoint file path")
+	}
+	// A regular file in the middle of the path cannot become a
+	// directory.
+	if err := os.WriteFile(filepath.Join(dir, "plain"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := validate(0, filepath.Join(dir, "plain", "sweep.ckpt")); err == nil {
+		t.Fatal("path through a regular file accepted")
+	}
+
+	// An unwritable parent is refused up front.
+	locked := filepath.Join(dir, "locked")
+	if err := os.Mkdir(locked, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(locked, 0o755) //nolint:errcheck
+	if os.Getuid() != 0 {
+		if err := validate(0, filepath.Join(locked, "sweep.ckpt")); err == nil {
+			t.Fatal("checkpoint in read-only directory accepted")
+		}
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tasterschoice/internal/checkpoint"
+	"tasterschoice/internal/overload"
 )
 
 // coordVersion is the coordinator checkpoint payload version.
@@ -71,6 +72,16 @@ type Coordinator struct {
 	// silent peer is dropped and its lease left to expire (default
 	// 4×LeaseTimeout).
 	HandshakeTimeout time.Duration
+	// MaxWorkerConns bounds concurrently served worker connections;
+	// past the cap new connections are closed at accept (a healthy
+	// worker redials with backoff). 0 means unlimited.
+	MaxWorkerConns int
+	// CmdRate bounds commands per second per connection; a chattering
+	// worker's over-rate GETs are answered WAIT and its over-rate
+	// BEATs dropped, so one hot peer cannot monopolize the
+	// coordinator. 0 means unlimited. CmdBurst defaults to CmdRate.
+	CmdRate  float64
+	CmdBurst float64
 	// Now substitutes the clock in tests (default wall clock).
 	Now func() time.Time
 	// Metrics observes the coordinator; the zero value is inert. Set
@@ -191,6 +202,12 @@ func (c *Coordinator) serve(l net.Listener) {
 			conn.Close()
 			return
 		}
+		if c.MaxWorkerConns > 0 && len(c.conns) >= c.MaxWorkerConns {
+			c.mu.Unlock()
+			c.Metrics.ConnsRefused.Inc()
+			conn.Close()
+			continue
+		}
 		c.conns[conn] = struct{}{}
 		c.mu.Unlock()
 		go func() {
@@ -301,6 +318,9 @@ func (c *Coordinator) handle(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	readTimeout := timeoutOr(c.HandshakeTimeout, 4*c.leaseTimeout())
+	// Per-connection command budget: a rate of 0 builds an unlimited
+	// bucket, so the hot path stays branch-free.
+	budget := overload.NewTokenBucket(c.CmdRate, c.CmdBurst, c.now)
 	var workerID string
 	helloed := false
 	defer func() {
@@ -342,6 +362,16 @@ func (c *Coordinator) handle(conn net.Conn) {
 				return
 			}
 		case verbGet:
+			if !budget.Allow(1) {
+				// Over-budget GET: tell the worker to back off. WAIT
+				// already means "poll again later", so a throttled
+				// worker needs no new protocol understanding.
+				c.Metrics.Throttled.Inc()
+				if !reply(verbWait, nil) {
+					return
+				}
+				continue
+			}
 			g := c.grant(workerID)
 			var ok bool
 			switch g.kind {
@@ -362,6 +392,14 @@ func (c *Coordinator) handle(conn net.Conn) {
 			var b beatMsg
 			if err := decodePayload(verb, rest, &b); err != nil {
 				return
+			}
+			if !budget.Allow(1) {
+				// Over-budget BEAT: drop it. Missing one heartbeat is
+				// harmless (leases tolerate several), and a worker
+				// beating faster than its budget refreshes the lease
+				// on the beats that do pass.
+				c.Metrics.Throttled.Inc()
+				continue
 			}
 			c.beat(b)
 		case verbResult:

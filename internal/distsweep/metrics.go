@@ -26,6 +26,12 @@ type CoordinatorMetrics struct {
 	Mismatches *obs.Counter
 	// SeedFailures counts results that carried a worker-side error.
 	SeedFailures *obs.Counter
+	// ConnsRefused counts worker connections closed at accept because
+	// MaxWorkerConns was reached.
+	ConnsRefused *obs.Counter
+	// Throttled counts commands deferred by the per-connection command
+	// budget (over-rate GETs answered WAIT, over-rate BEATs dropped).
+	Throttled *obs.Counter
 	// Workers gauges currently registered worker connections.
 	Workers *obs.Gauge
 }
@@ -42,6 +48,8 @@ func NewCoordinatorMetrics(r *obs.Registry) CoordinatorMetrics {
 		Duplicates:    r.Counter("distsweep_duplicate_results_total"),
 		Mismatches:    r.Counter("distsweep_result_mismatches_total"),
 		SeedFailures:  r.Counter("distsweep_seed_failures_total"),
+		ConnsRefused:  r.Counter("distsweep_conns_refused_total"),
+		Throttled:     r.Counter("distsweep_commands_throttled_total"),
 		Workers:       r.Gauge("distsweep_workers_live"),
 	}
 	r.Describe("distsweep_seeds_assigned_total", "Lease grants, including re-dispatches and steals.")
@@ -52,6 +60,8 @@ func NewCoordinatorMetrics(r *obs.Registry) CoordinatorMetrics {
 	r.Describe("distsweep_duplicate_results_total", "Redundant results reconciled byte-for-byte.")
 	r.Describe("distsweep_result_mismatches_total", "Duplicate results whose bytes differed (fatal).")
 	r.Describe("distsweep_seed_failures_total", "Results carrying a worker-side error.")
+	r.Describe("distsweep_conns_refused_total", "Worker connections refused at the MaxWorkerConns cap.")
+	r.Describe("distsweep_commands_throttled_total", "Commands deferred by the per-connection budget.")
 	r.Describe("distsweep_workers_live", "Currently registered worker connections.")
 	return m
 }

@@ -1,0 +1,212 @@
+package distsweep
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/obs"
+)
+
+// dialHello connects to the coordinator and completes the HELLO
+// handshake, returning the connection and its buffered reader.
+func dialHello(t *testing.T, addr net.Addr, id string) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	if _, err := conn.Write([]byte(`HELLO {"id":"` + id + `"}` + "\n")); err != nil {
+		conn.Close()
+		t.Fatal(err)
+	}
+	reply, err := r.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(reply, verbWelcome) {
+		conn.Close()
+		t.Fatalf("handshake answered %q, want WELCOME", reply)
+	}
+	return conn, r
+}
+
+// TestMaxWorkerConnsRefusesAtCap pins the accept-time backlog bound: a
+// connection past the cap is closed immediately, counted, and the slot
+// becomes available again once a registered worker leaves.
+func TestMaxWorkerConnsRefusesAtCap(t *testing.T) {
+	coord, err := NewCoordinator(Config{Seeds: 1, Small: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.MaxWorkerConns = 1
+	reg := obs.NewRegistry()
+	coord.Metrics = NewCoordinatorMetrics(reg)
+	addr, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	holder, _ := dialHello(t, addr, "holder")
+	defer holder.Close()
+
+	// Second connection: accepted by the kernel, closed by the
+	// coordinator before serving. The first read fails.
+	refused, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refused.Close()
+	refused.SetReadDeadline(wallNow().Add(5 * time.Second)) //nolint:errcheck
+	if _, err := bufio.NewReader(refused).ReadString('\n'); err == nil {
+		t.Fatal("connection past MaxWorkerConns was served")
+	}
+	if got := coord.Metrics.ConnsRefused.Value(); got == 0 {
+		t.Fatal("refused-connections counter never moved")
+	}
+
+	// Releasing the held slot readmits: redial until the handshake
+	// succeeds (the coordinator unregisters asynchronously).
+	holder.Close()
+	deadline := wallNow().Add(5 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(wallNow().Add(time.Second)) //nolint:errcheck
+		r := bufio.NewReader(conn)
+		if _, err := conn.Write([]byte(`HELLO {"id":"retry"}` + "\n")); err == nil {
+			if reply, err := r.ReadString('\n'); err == nil && strings.HasPrefix(reply, verbWelcome) {
+				conn.Close()
+				return
+			}
+		}
+		conn.Close()
+		if wallNow().After(deadline) {
+			t.Fatal("slot never freed after the holder disconnected")
+		}
+		if !sleepCtx(context.Background(), 5*time.Millisecond) {
+			t.Fatal("context done while waiting for a free slot")
+		}
+	}
+}
+
+// TestCmdBudgetThrottlesGet pins the per-connection command budget: a
+// worker chattering GETs past its budget is answered WAIT — the verb
+// it already understands as "poll again later" — instead of burning
+// grant-path cycles.
+func TestCmdBudgetThrottlesGet(t *testing.T) {
+	coord, err := NewCoordinator(Config{Seeds: 1, Small: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.CmdRate = 0.0001 // effectively no refill within the test
+	coord.CmdBurst = 1
+	reg := obs.NewRegistry()
+	coord.Metrics = NewCoordinatorMetrics(reg)
+	addr, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	conn, r := dialHello(t, addr, "chatty")
+	defer conn.Close()
+
+	// First GET spends the burst and is granted the only seed.
+	if _, err := conn.Write([]byte("GET\n")); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(reply, verbLease) {
+		t.Fatalf("first GET answered %q, want LEASE", reply)
+	}
+
+	// Budget exhausted: subsequent GETs are throttled to WAIT.
+	for i := 0; i < 3; i++ {
+		if _, err := conn.Write([]byte("GET\n")); err != nil {
+			t.Fatal(err)
+		}
+		reply, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(reply, verbWait) {
+			t.Fatalf("over-budget GET %d answered %q, want WAIT", i, reply)
+		}
+	}
+	if got := coord.Metrics.Throttled.Value(); got != 3 {
+		t.Fatalf("throttled counter = %d, want 3", got)
+	}
+}
+
+// TestCmdBudgetDropsBeat pins the heartbeat half of the budget: an
+// over-rate BEAT is silently dropped (leases tolerate missed beats)
+// and counted, and the dropped beat does not refresh the lease.
+func TestCmdBudgetDropsBeat(t *testing.T) {
+	coord, err := NewCoordinator(Config{Seeds: 1, Small: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.CmdRate = 0.0001
+	coord.CmdBurst = 1
+	// Freeze the coordinator clock at the current wall time: socket
+	// deadlines stay in the future, the bucket never refills, and the
+	// lease's beat timestamp is exactly predictable.
+	base := wallNow()
+	coord.Now = func() time.Time { return base }
+	reg := obs.NewRegistry()
+	coord.Metrics = NewCoordinatorMetrics(reg)
+	addr, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	conn, r := dialHello(t, addr, "beater")
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET\n")); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(reply, verbLease) {
+		t.Fatalf("GET answered %q, want LEASE", reply)
+	}
+
+	// Over-budget BEAT: no reply, but the throttle counter moves.
+	if _, err := conn.Write([]byte(`HB {"seed":0,"epoch":1,"id":"beater"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := wallNow().Add(5 * time.Second)
+	for coord.Metrics.Throttled.Value() == 0 {
+		if wallNow().After(deadline) {
+			t.Fatal("throttled counter never moved after over-budget BEAT")
+		}
+		if !sleepCtx(context.Background(), time.Millisecond) {
+			t.Fatal("context done while waiting for throttle")
+		}
+	}
+	// The dropped beat must not have refreshed the lease.
+	coord.mu.Lock()
+	l := coord.leases[0]
+	coord.mu.Unlock()
+	if l == nil {
+		t.Fatal("lease vanished")
+	}
+	if !l.beat.Equal(base) {
+		t.Fatalf("dropped beat refreshed the lease: beat = %v, want %v", l.beat, base)
+	}
+}

@@ -1,0 +1,175 @@
+package dnsbl
+
+import (
+	"context"
+	"encoding/binary"
+	"net"
+
+	"tasterschoice/internal/overload"
+)
+
+// Overload protection for the DNS serving path. A DNSBL survives
+// resolver floods by shedding cheaply: a header-only SERVFAIL or
+// REFUSED costs a 12-byte write, while answering the query costs an
+// unpack, a zone lookup and a pack. The rules:
+//
+//   - REFUSED: the shed is the client's doing — it blew through a rate
+//     or fairness budget. Well-behaved resolvers treat it as "this
+//     server will not help you" and back off.
+//   - SERVFAIL: the shed is ours — the work queue is full or the query
+//     aged past its queue deadline. Resolvers fail over to the next
+//     server in their list immediately, which is exactly what we want
+//     during a flood.
+
+// dgram is one pending UDP query.
+type dgram struct {
+	raw  []byte
+	from net.Addr
+}
+
+// queueDepth returns the configured queue bound.
+func (s *Server) queueDepth() int {
+	if s.QueueDepth > 0 {
+		return s.QueueDepth
+	}
+	return 16 * s.Workers
+}
+
+// classify returns the priority class of a raw query.
+func (s *Server) classify(raw []byte, from net.Addr) overload.Priority {
+	if s.Classify != nil {
+		return s.Classify(raw, from)
+	}
+	if qtypeOf(raw) == TypeTXT {
+		// TXT lookups fetch listing reasons — oracle traffic, not the
+		// bulk resolver flood.
+		return overload.Normal
+	}
+	return overload.Bulk
+}
+
+// qtypeOf extracts the query type from a raw single-question DNS
+// message without a full unpack: skip the 12-byte header and the
+// QNAME labels, then read QTYPE. Returns 0 on malformed input.
+func qtypeOf(raw []byte) uint16 {
+	i := 12
+	for i < len(raw) {
+		l := int(raw[i])
+		if l == 0 {
+			i++
+			break
+		}
+		if l >= 0xc0 { // compression pointer: illegal in a question, bail
+			return 0
+		}
+		i += 1 + l
+	}
+	if i+2 > len(raw) {
+		return 0
+	}
+	return binary.BigEndian.Uint16(raw[i:])
+}
+
+// shedReply builds the header-only refusal for a raw query: the
+// client's ID echoed, QR set, opcode and RD preserved, the given
+// RCode, and no question section (legal, and what mustPack already
+// degrades to). Returns nil when raw is too short to be a query or is
+// itself a response.
+func shedReply(raw []byte, rcode uint8) []byte {
+	if len(raw) < 12 || raw[2]&0x80 != 0 {
+		return nil
+	}
+	resp := make([]byte, 12)
+	resp[0], resp[1] = raw[0], raw[1]
+	resp[2] = 0x80 | raw[2]&0x79 // QR=1, keep opcode+RD, clear AA/TC
+	resp[3] = rcode & 0x0f
+	return resp
+}
+
+// shedRCode maps a shed reason to its wire answer.
+func shedRCode(r overload.ShedReason) uint8 {
+	switch r {
+	case overload.ShedRate, overload.ShedFairness:
+		return RCodeRefused
+	default:
+		return RCodeServFail
+	}
+}
+
+// shedTo answers a shed datagram with its header-only refusal.
+func (s *Server) shedTo(conn net.PacketConn, it dgram, reason overload.ShedReason) {
+	if resp := shedReply(it.raw, shedRCode(reason)); resp != nil {
+		conn.WriteTo(resp, it.from) //nolint:errcheck // best-effort UDP reply
+	}
+}
+
+// clientKey is the fairness identity of a peer: its IP, so one host
+// opening many sockets still lands in one bucket.
+func clientKey(addr net.Addr) string {
+	switch a := addr.(type) {
+	case *net.UDPAddr:
+		return a.IP.String()
+	case *net.TCPAddr:
+		return a.IP.String()
+	}
+	if host, _, err := net.SplitHostPort(addr.String()); err == nil {
+		return host
+	}
+	return addr.String()
+}
+
+// serveQueued is the UDP read loop when Workers > 0: it admits, sheds
+// or enqueues each datagram and never does zone work itself, so intake
+// stays fast enough to answer a flood with refusals rather than
+// letting the socket buffer overflow silently.
+func (s *Server) serveQueued(conn net.PacketConn) {
+	defer s.serving.Done()
+	// Closing the queue when intake stops lets workers drain what was
+	// admitted and exit; Shutdown's serving.Wait covers them.
+	defer s.queue.Close()
+	buf := make([]byte, 4096)
+	for {
+		n, addr, err := conn.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		s.admit(conn, buf[:n], addr)
+		if s.isStopping() {
+			return
+		}
+	}
+}
+
+// admit routes one datagram: priority headroom check, rate/fairness
+// gate, then the bounded queue (whose own shed callback answers
+// capacity and deadline sheds).
+func (s *Server) admit(conn net.PacketConn, raw []byte, from net.Addr) {
+	it := dgram{raw: append([]byte(nil), raw...), from: from}
+	p := s.classify(it.raw, from)
+	// Priority headroom: bulk stops queuing at 3/4 of the bound so a
+	// flood of A queries cannot starve control traffic of queue space.
+	if s.queue.Len() >= p.Share(s.queueDepth()) {
+		s.QueueMetrics.ShedByReason[overload.ShedCapacity].Inc()
+		s.shedTo(conn, it, overload.ShedCapacity)
+		return
+	}
+	if !s.Admission.Allow(p, clientKey(from)) {
+		s.shedTo(conn, it, overload.ShedRate)
+		return
+	}
+	s.queue.Push(it) // a false Push already ran the shed callback
+}
+
+// worker drains the queue, answering admitted queries.
+func (s *Server) worker(conn net.PacketConn) {
+	defer s.serving.Done()
+	for {
+		it, ok := s.queue.PopContext(context.Background())
+		if !ok {
+			return
+		}
+		if resp := s.Handle(it.raw); resp != nil {
+			conn.WriteTo(resp, it.from) //nolint:errcheck // best-effort UDP reply
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"tasterschoice/internal/domain"
 	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/overload"
 )
 
 // ListedAddress is the conventional "listed" answer for domain
@@ -64,8 +65,38 @@ type Server struct {
 	// the zero value is inert. Set before Listen.
 	Metrics ServerMetrics
 
+	// Overload protection; all optional, set before Listen. The zero
+	// value serves every query inline exactly as before.
+	//
+	// Workers > 0 switches the UDP path to a bounded work queue drained
+	// by that many handler goroutines. Queries that cannot be admitted
+	// get a header-only refusal instead of silence — REFUSED when the
+	// shed is the client's doing (rate or fairness), SERVFAIL when it is
+	// ours (queue full or queue deadline) — so resolvers fail over
+	// immediately rather than retrying into the flood.
+	Workers int
+	// QueueDepth bounds the pending-query queue (default 16×Workers).
+	// Bulk queries stop queuing at 3/4 of this, normal at 9/10, keeping
+	// headroom for critical traffic.
+	QueueDepth int
+	// Admission rate-limits and fair-shares queries; nil admits all.
+	// UDP queries pass Allow per datagram; each TCP session holds an
+	// Admit slot for its lifetime.
+	Admission *overload.Gate
+	// ShedPolicy tunes the queue-deadline (CoDel) shedder.
+	ShedPolicy overload.CoDelConfig
+	// Classify maps a raw query to its priority class. Nil defaults to
+	// TXT → Normal (reason lookups ride above the bulk A-query flood),
+	// everything else Bulk.
+	Classify func(raw []byte, from net.Addr) overload.Priority
+	// Clock drives overload decisions (default wall clock).
+	Clock overload.Clock
+	// QueueMetrics observes the work queue; set before Listen.
+	QueueMetrics overload.QueueMetrics
+
 	mu           sync.Mutex
 	conn         net.PacketConn
+	queue        *overload.Queue[dgram]
 	tcpListeners map[net.Listener]struct{}
 	tcpConns     map[net.Conn]struct{}
 	closed       bool
@@ -105,6 +136,18 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	}
 	s.conn = conn
 	s.serving.Add(1)
+	if s.Workers > 0 {
+		s.queue = overload.NewQueue[dgram](s.queueDepth(), s.ShedPolicy, s.Clock,
+			func(it dgram, r overload.ShedReason) { s.shedTo(conn, it, r) })
+		s.queue.SetMetrics(s.QueueMetrics)
+		for i := 0; i < s.Workers; i++ {
+			s.serving.Add(1)
+			go s.worker(conn)
+		}
+		s.mu.Unlock()
+		go s.serveQueued(conn)
+		return conn.LocalAddr(), nil
+	}
 	s.mu.Unlock()
 	go s.serve(conn)
 	return conn.LocalAddr(), nil

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"tasterschoice/internal/domain"
+	"tasterschoice/internal/overload"
 )
 
 // DNS over TCP (RFC 1035 §4.2.2): each message is prefixed with a
@@ -77,9 +78,20 @@ func (s *Server) serveTCP(l net.Listener) {
 		if err != nil {
 			return
 		}
+		// Each TCP session holds an admission slot for its lifetime:
+		// sessions are the unit of concurrency here, and TCP fallback
+		// (truncated TXT answers) rides above the bulk UDP flood.
+		release, admitted := s.Admission.Admit(overload.Normal, clientKey(conn.RemoteAddr()))
+		if !admitted {
+			// Connect-then-close: the resolver sees a refused session and
+			// fails over, instead of a half-open socket it must time out.
+			conn.Close()
+			continue
+		}
 		s.mu.Lock()
 		if s.closed || s.draining {
 			s.mu.Unlock()
+			release()
 			conn.Close()
 			return
 		}
@@ -91,6 +103,7 @@ func (s *Server) serveTCP(l net.Listener) {
 		s.mu.Unlock()
 		go func() {
 			defer s.serving.Done()
+			defer release()
 			defer func() {
 				s.mu.Lock()
 				delete(s.tcpConns, conn)

@@ -72,6 +72,25 @@ type Faults struct {
 	// AcceptFailProb makes a wrapped listener reset an accepted
 	// connection immediately (the peer sees a connect-then-close).
 	AcceptFailProb float64
+
+	// ReadStallProb stalls a read for ReadStall with this probability
+	// *after* data arrives — the slow-reader mode: the peer has written,
+	// but this side drains it late, backing TCP flow control up into the
+	// sender. This is how a slow feed subscriber looks to feedsync, and
+	// what per-subscriber send budgets exist to contain.
+	ReadStallProb float64
+	// ReadStall is how long a stalled read holds the data (default
+	// 10ms when ReadStallProb fires and ReadStall is zero).
+	ReadStall time.Duration
+}
+
+// readStall returns the stall duration to apply when ReadStallProb
+// fires.
+func (f *Faults) readStall() time.Duration {
+	if f.ReadStall <= 0 {
+		return 10 * time.Millisecond
+	}
+	return f.ReadStall
 }
 
 // Injector wraps connections, listeners and dialers with the configured
@@ -247,6 +266,11 @@ func (c *conn) Read(b []byte) (int, error) {
 		if c.datagram && c.rng.Bool(c.in.faults.DropProb) {
 			c.in.fired()
 			continue
+		}
+		if c.rng.Bool(c.in.faults.ReadStallProb) {
+			// Slow reader: the bytes are here, but we sit on them.
+			c.in.fired()
+			time.Sleep(c.in.faults.readStall())
 		}
 		c.delay()
 		return n, nil

@@ -1,0 +1,152 @@
+package faultnet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tasterschoice/internal/randutil"
+)
+
+// Flood is a seeded offered-load generator, the other half of the
+// chaos toolkit: where Faults degrades a link, Flood overwhelms a
+// service, so overload chaos tests can drive a server at a controlled
+// multiple of its capacity and assert it sheds gracefully instead of
+// collapsing. Workers stripe the payload index space (worker w sends
+// indices i ≡ w mod Workers), each from its own socket — so a server's
+// per-client fairness sees distinct sources — and per-worker pacing
+// jitter draws from the seed, making a flood's send schedule
+// reproducible up to goroutine interleaving.
+type Flood struct {
+	// Seed drives per-worker pacing jitter (via randutil).
+	Seed uint64
+	// Workers is the number of concurrent senders (default 4).
+	Workers int
+	// Gap is the mean pause between sends per worker; actual pauses are
+	// uniform in [½·Gap, 1½·Gap). 0 sends flat out.
+	Gap time.Duration
+}
+
+func (f Flood) workers() int {
+	if f.Workers <= 0 {
+		return 4
+	}
+	return f.Workers
+}
+
+// FloodReport summarises one flood run.
+type FloodReport struct {
+	// Sent counts payloads written (datagrams) or sessions completed
+	// without error (connections).
+	Sent int
+	// Errors counts dial and write failures — under overload these are
+	// expected: they are the target shedding.
+	Errors int
+}
+
+// pause sleeps the jittered gap, bailing early when ctx is done.
+func pause(ctx context.Context, gap time.Duration, rng *randutil.Locked) {
+	if gap <= 0 {
+		return
+	}
+	d := gap/2 + time.Duration(rng.Float64()*float64(gap))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// Datagrams floods a packet address with n payloads, payload(i) built
+// per global index. Each worker dials its own socket (distinct source
+// port). Replies are ignored — a flood does not wait. Returns early,
+// with the partial report, when ctx is cancelled.
+func (f Flood) Datagrams(ctx context.Context, network, addr string, n int, payload func(i int) []byte) FloodReport {
+	workers := f.workers()
+	var mu sync.Mutex
+	var rep FloodReport
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := randutil.NewLocked(randutil.NewNamed(f.Seed, fmt.Sprintf("flood-worker-%d", w)))
+			conn, err := net.Dial(network, addr)
+			if err != nil {
+				mu.Lock()
+				rep.Errors += (n - w + workers - 1) / workers
+				mu.Unlock()
+				return
+			}
+			defer conn.Close()
+			sent, errs := 0, 0
+			for i := w; i < n; i += workers {
+				if ctx.Err() != nil {
+					break
+				}
+				if _, err := conn.Write(payload(i)); err != nil {
+					errs++
+				} else {
+					sent++
+				}
+				pause(ctx, f.Gap, rng)
+			}
+			mu.Lock()
+			rep.Sent += sent
+			rep.Errors += errs
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return rep
+}
+
+// Connections floods a stream address with n short-lived connections,
+// running session (nil = connect-and-close) on each. A dial refusal or
+// a session error counts as an error — again, expected under shed.
+// Returns early, with the partial report, when ctx is cancelled.
+func (f Flood) Connections(ctx context.Context, network, addr string, n int, session func(i int, c net.Conn) error) FloodReport {
+	workers := f.workers()
+	var mu sync.Mutex
+	var rep FloodReport
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := randutil.NewLocked(randutil.NewNamed(f.Seed, fmt.Sprintf("flood-worker-%d", w)))
+			var d net.Dialer
+			sent, errs := 0, 0
+			for i := w; i < n; i += workers {
+				if ctx.Err() != nil {
+					break
+				}
+				c, err := d.DialContext(ctx, network, addr)
+				if err != nil {
+					errs++
+					pause(ctx, f.Gap, rng)
+					continue
+				}
+				if session != nil {
+					err = session(i, c)
+				}
+				c.Close()
+				if err != nil {
+					errs++
+				} else {
+					sent++
+				}
+				pause(ctx, f.Gap, rng)
+			}
+			mu.Lock()
+			rep.Sent += sent
+			rep.Errors += errs
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return rep
+}

@@ -32,6 +32,7 @@ import (
 
 	"tasterschoice/internal/domain"
 	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/overload"
 	"tasterschoice/internal/resilient"
 )
 
@@ -58,6 +59,23 @@ type Server struct {
 	// successful write, so a dead peer cannot pin a handler goroutine
 	// while a merely slow catch-up subscriber survives (default 30s).
 	WriteTimeout time.Duration
+	// MaxBatch bounds how many records one streaming iteration copies
+	// out of the log (default 1024). Without a bound, a subscriber
+	// joining at offset 0 of a huge log forces a full-log copy under the
+	// log mutex, stalling every publisher and tailer at once.
+	MaxBatch int
+	// SendRate and SendBurst give each subscriber a token-bucket send
+	// budget, in records per second (0 = unpaced): one slow or greedy
+	// subscriber consumes its budget, not the server's write capacity.
+	// Pacing is abandoned during Shutdown so the drain contract — full
+	// stream, then EOF — stays prompt.
+	SendRate  float64
+	SendBurst float64
+	// Clock drives send pacing (default wall clock); tests inject.
+	Clock overload.Clock
+	// Metrics observes the publishing side; the zero value is inert.
+	// Set before Listen.
+	Metrics ServerMetrics
 
 	mu   sync.Mutex
 	logs map[string]*feedLog
@@ -161,6 +179,7 @@ func (s *Server) serve(l net.Listener) {
 			return
 		}
 		s.conns[conn] = struct{}{}
+		s.Metrics.Subscribers.Set(int64(len(s.conns)))
 		s.mu.Unlock()
 		go func() {
 			defer s.release(conn)
@@ -174,6 +193,7 @@ func (s *Server) serve(l net.Listener) {
 func (s *Server) release(conn net.Conn) {
 	s.mu.Lock()
 	delete(s.conns, conn)
+	s.Metrics.Subscribers.Set(int64(len(s.conns)))
 	if len(s.conns) == 0 && s.drained != nil {
 		close(s.drained)
 		s.drained = nil
@@ -330,11 +350,21 @@ func (s *Server) handle(conn net.Conn) {
 	// unbounded (a slow catch-up subscriber drains gigabytes fine) but
 	// a peer that stops reading is dropped within one timeout.
 	extend := func() { conn.SetWriteDeadline(time.Now().Add(writeTimeout)) } //nolint:errcheck
+	var budget *overload.TokenBucket
+	if s.SendRate > 0 {
+		budget = overload.NewTokenBucket(s.SendRate, s.SendBurst, s.Clock)
+	}
 	pos := offset
 	caughtUp := false
 	for {
 		log.mu.Lock()
-		end := int64(len(log.records))
+		logLen := int64(len(log.records))
+		// Bounded copy: never hold the log mutex for more than MaxBatch
+		// records, so a from-zero subscriber cannot stall publishers.
+		end := logLen
+		if max := s.maxBatch(); end > pos+max {
+			end = pos + max
+		}
 		var batch []feeds.RawRecord
 		if pos < end {
 			batch = append(batch, log.records[pos:end]...)
@@ -343,14 +373,16 @@ func (s *Server) handle(conn net.Conn) {
 		log.mu.Unlock()
 
 		for _, rec := range batch {
+			s.pace(budget)
 			extend()
 			if err := enc.Encode(rec); err != nil {
 				return
 			}
+			s.Metrics.Sent.Inc()
 		}
 		pos += int64(len(batch))
 
-		if !caughtUp && pos >= end {
+		if !caughtUp && pos >= logLen {
 			caughtUp = true
 			fmt.Fprintf(w, ".\n")
 			if !tail {
@@ -363,7 +395,7 @@ func (s *Server) handle(conn net.Conn) {
 		if err := w.Flush(); err != nil {
 			return
 		}
-		if caughtUp {
+		if caughtUp && pos >= logLen {
 			// Check the stopping flag both before and after parking:
 			// Shutdown sets the flag, then broadcasts. A handler that
 			// captured `changed` before the broadcast is woken by it; one
@@ -379,6 +411,43 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		}
+	}
+}
+
+// maxBatch returns the per-iteration copy bound.
+func (s *Server) maxBatch() int64 {
+	if s.MaxBatch > 0 {
+		return int64(s.MaxBatch)
+	}
+	return 1024
+}
+
+// pace blocks until the subscriber's send budget grants one record.
+// Pacing is abandoned once the server is stopping, so a drain flushes
+// the remaining stream at full speed instead of trickling it out.
+func (s *Server) pace(b *overload.TokenBucket) {
+	if b == nil {
+		return
+	}
+	throttled := false
+	for !b.Allow(1) {
+		if s.stopping() {
+			return
+		}
+		if !throttled {
+			throttled = true
+			s.Metrics.Throttled.Inc()
+		}
+		d := b.Delay(1)
+		if d > 50*time.Millisecond {
+			// Sleep in slices so Shutdown is honoured promptly even when
+			// the budget says "come back in a minute".
+			d = 50 * time.Millisecond
+		}
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		time.Sleep(d)
 	}
 }
 

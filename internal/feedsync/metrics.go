@@ -31,6 +31,33 @@ func NewClientMetrics(r *obs.Registry, feed string) ClientMetrics {
 	return m
 }
 
+// ServerMetrics observes the publishing side. The zero value is
+// inert. Like every instrument here it only counts — a metered server
+// streams byte-identical logs.
+type ServerMetrics struct {
+	// Subscribers gauges currently connected subscriptions.
+	Subscribers *obs.Gauge
+	// Sent counts records streamed to subscribers (all feeds).
+	Sent *obs.Counter
+	// Throttled counts pacing stalls: times a subscriber's send budget
+	// ran dry and the stream waited for refill.
+	Throttled *obs.Counter
+}
+
+// NewServerMetrics wires a ServerMetrics to r. Safe with a nil
+// registry.
+func NewServerMetrics(r *obs.Registry) ServerMetrics {
+	m := ServerMetrics{
+		Subscribers: r.Gauge("feedsync_server_subscribers"),
+		Sent:        r.Counter("feedsync_server_sent_total"),
+		Throttled:   r.Counter("feedsync_server_throttled_total"),
+	}
+	r.Describe("feedsync_server_subscribers", "Connected subscriber sessions.")
+	r.Describe("feedsync_server_sent_total", "Records streamed to subscribers.")
+	r.Describe("feedsync_server_throttled_total", "Send-budget pacing stalls.")
+	return m
+}
+
 // StoreMetrics observes an OffsetStore. The zero value is inert.
 type StoreMetrics struct {
 	// CheckpointWrites counts durable offset saves (Mark saves that

@@ -1,0 +1,158 @@
+package feedsync
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/faultnet"
+	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/obs"
+)
+
+func TestMaxBatchStreamsFullLog(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.MaxBatch = 7 // force many small copies
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := srv.Publish("uribl", rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := feeds.New("uribl", feeds.KindBlacklist, false, false)
+	offset, err := NewClient(addr).Sync("uribl", 0, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offset != n || dst.Unique() != n {
+		t.Fatalf("offset=%d unique=%d, want %d", offset, dst.Unique(), n)
+	}
+}
+
+func TestSendBudgetPacesAndCounts(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.SendRate = 5000 // fast enough for a test, slow enough to throttle
+	srv.SendBurst = 1
+	r := obs.NewRegistry()
+	srv.Metrics = NewServerMetrics(r)
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := srv.Publish("uribl", rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := feeds.New("uribl", feeds.KindBlacklist, false, false)
+	start := time.Now()
+	offset, err := NewClient(addr).Sync("uribl", 0, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offset != n {
+		t.Fatalf("offset = %d, want %d", offset, n)
+	}
+	// 50 records at 5000/s from a burst of 1 needs ~10ms of pacing.
+	if took := time.Since(start); took < 5*time.Millisecond {
+		t.Fatalf("paced sync finished in %v — budget not applied", took)
+	}
+	if srv.Metrics.Throttled.Value() == 0 {
+		t.Fatal("throttled counter never moved")
+	}
+	if got := srv.Metrics.Sent.Value(); got != n {
+		t.Fatalf("sent counter = %d, want %d", got, n)
+	}
+}
+
+// TestSlowSubscriberDoesNotStallOthers is the slow-subscriber
+// baseline: one subscriber draining through faultnet read stalls must
+// not delay a healthy subscriber or block publishers — the failure
+// mode MaxBatch (bounded copies under the log mutex) and per-
+// subscriber budgets exist to prevent.
+func TestSlowSubscriberDoesNotStallOthers(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.MaxBatch = 32
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := srv.Publish("uribl", rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Slow subscriber: every read stalls 5ms before delivering.
+	slow := NewClient(addr)
+	slow.Dial = faultnet.New(faultnet.Faults{
+		Seed:          11,
+		ReadStallProb: 1,
+		ReadStall:     5 * time.Millisecond,
+	}).Dial
+	slowDone := make(chan error, 1)
+	go func() {
+		dst := feeds.New("uribl", feeds.KindBlacklist, false, false)
+		_, err := slow.Sync("uribl", 0, dst)
+		slowDone <- err
+	}()
+
+	// While the slow one crawls, a healthy subscriber and the publisher
+	// must both make normal progress.
+	fastDst := feeds.New("uribl", feeds.KindBlacklist, false, false)
+	fastStart := time.Now()
+	offset, err := NewClient(addr).Sync("uribl", 0, fastDst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offset != n {
+		t.Fatalf("fast sync offset = %d, want %d", offset, n)
+	}
+	if took := time.Since(fastStart); took > 5*time.Second {
+		t.Fatalf("healthy subscriber took %v behind a slow peer", took)
+	}
+	pubStart := time.Now()
+	if err := srv.Publish("uribl", rec(n)); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(pubStart); took > time.Second {
+		t.Fatalf("publish blocked %v behind a slow subscriber", took)
+	}
+
+	select {
+	case err := <-slowDone:
+		if err != nil {
+			t.Fatalf("slow subscriber failed: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("slow subscriber never finished")
+	}
+}
+
+func TestShutdownAbandonsPacing(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.SendRate = 1 // one record per second: a drain that kept pacing would take minutes
+	srv.SendBurst = 1
+	const n = 120
+	for i := 0; i < n; i++ {
+		if err := srv.Publish("uribl", rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan int64, 1)
+	go func() {
+		dst := feeds.New("uribl", feeds.KindBlacklist, false, false)
+		offset, _ := NewClient(addr).Sync("uribl", 0, dst)
+		done <- offset
+	}()
+	// Let the subscriber get throttled, then drain.
+	time.Sleep(100 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	select {
+	case offset := <-done:
+		// Drain contract: the full stream was flushed despite the budget.
+		if offset != n {
+			t.Fatalf("drained subscriber got %d records, want %d", offset, n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("subscriber still paced after shutdown")
+	}
+}

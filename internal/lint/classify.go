@@ -63,6 +63,13 @@ var classTable = map[string]Class{
 	// dials, accepts and parks on channels like one.
 	"distsweep": ClassEngine,
 
+	// Admission control: overload is listed explicitly rather than
+	// left to the default — its shed decisions must replay bit-for-bit
+	// from (seed, clock), so it keeps the engine clock/RNG contract
+	// even though every caller is an edge package. Like distsweep it
+	// also opts into ctxblocking below: its queues park callers.
+	"overload": ClassEngine,
+
 	// Network boundary: sockets, deadlines, drains.
 	"dnsbl":     ClassEdge,
 	"faultnet":  ClassEdge,
@@ -80,6 +87,7 @@ var ctxContractPackages = map[string]bool{
 	"distsweep": true,
 	"dnsbl":     true,
 	"feedsync":  true,
+	"overload":  true,
 	"smtpd":     true,
 }
 

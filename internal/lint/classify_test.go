@@ -23,6 +23,10 @@ func TestClassify(t *testing.T) {
 		// its whole contract is deterministic, byte-identical output.
 		{"tasterschoice/internal/distsweep", ClassEngine},
 
+		// overload is engine-strict despite serving edge callers: its
+		// shed decisions must replay bit-for-bit from (seed, clock).
+		{"tasterschoice/internal/overload", ClassEngine},
+
 		// Unlisted internal packages default to the strict engine class.
 		{"tasterschoice/internal/parallel", ClassEngine},
 		{"tasterschoice/internal/obs", ClassEngine},
@@ -67,6 +71,8 @@ func TestNeedsCtxContract(t *testing.T) {
 		{"tasterschoice/internal/dnsbl", true},
 		{"tasterschoice/internal/feedsync", true},
 		{"tasterschoice/internal/smtpd", true},
+		{"tasterschoice/internal/overload", true},
+		{"tasterschoice/internal/overload_test", true},
 		{"tasterschoice/internal/smtpd/wire", true}, // subpackages inherit
 		{"tasterschoice/internal/smtpd_test", true},
 		{"tasterschoice/internal/mta", false}, // edge, but not under the ctx contract

@@ -1,0 +1,145 @@
+package overload
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket is a deterministic token-bucket rate limiter: capacity
+// Burst tokens, refilled at Rate tokens per second of the injected
+// clock. Because refill is computed from timestamps rather than
+// timers, a simclock-driven test replays the exact admit/shed
+// sequence. Safe for concurrent use.
+type TokenBucket struct {
+	rate  float64
+	burst float64
+	clock Clock
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket returns a full bucket refilling at rate tokens/sec up
+// to burst. rate <= 0 makes the bucket unlimited (Allow always true).
+func NewTokenBucket(rate, burst float64, clock Clock) *TokenBucket {
+	if burst <= 0 {
+		burst = rate
+	}
+	return &TokenBucket{rate: rate, burst: burst, clock: clockOr(clock), tokens: burst}
+}
+
+// refillLocked advances the token count to now. Callers hold b.mu.
+func (b *TokenBucket) refillLocked(now time.Time) {
+	if b.last.IsZero() {
+		b.last = now
+		return
+	}
+	if dt := now.Sub(b.last); dt > 0 {
+		b.tokens += dt.Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	// A clock that moved backwards (a re-anchored simclock) leaves the
+	// balance untouched rather than refunding negative time.
+	if now.After(b.last) {
+		b.last = now
+	}
+}
+
+// Allow takes n tokens if available, reporting whether it did.
+func (b *TokenBucket) Allow(n float64) bool {
+	if b == nil || b.rate <= 0 {
+		return true
+	}
+	now := b.clock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// Delay returns how long the caller must wait before n tokens will be
+// available (0 when they already are). It does not take the tokens;
+// pacers sleep the delay and then Allow. Used by feedsync's
+// per-subscriber send budgets.
+func (b *TokenBucket) Delay(n float64) time.Duration {
+	if b == nil || b.rate <= 0 {
+		return 0
+	}
+	now := b.clock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	if b.tokens >= n {
+		return 0
+	}
+	missing := n - b.tokens
+	return time.Duration(missing / b.rate * float64(time.Second))
+}
+
+// Tokens returns the current balance (after refill), for tests and
+// gauges.
+func (b *TokenBucket) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	now := b.clock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	return b.tokens
+}
+
+// Fairness shares capacity across clients: each client key hashes
+// (seeded FNV-1a) into one of k buckets, each an independent
+// TokenBucket, so a single flooding client — or hash bucket of
+// clients — exhausts only its own share while everyone else keeps
+// being served. Safe for concurrent use.
+type Fairness struct {
+	seed    uint64
+	buckets []*TokenBucket
+}
+
+// NewFairness builds k buckets each refilling at rate tokens/sec up to
+// burst.
+func NewFairness(k int, rate, burst float64, seed uint64, clock Clock) *Fairness {
+	if k < 1 {
+		k = 1
+	}
+	clock = clockOr(clock)
+	f := &Fairness{seed: seed, buckets: make([]*TokenBucket, k)}
+	for i := range f.buckets {
+		f.buckets[i] = NewTokenBucket(rate, burst, clock)
+	}
+	return f
+}
+
+// bucketIndex hashes a client key to its bucket, mixing in the seed so
+// the partition is deterministic per run but differs across seeds.
+func (f *Fairness) bucketIndex(client string) int {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset) ^ f.seed
+	for i := 0; i < len(client); i++ {
+		h ^= uint64(client[i])
+		h *= prime
+	}
+	return int(h % uint64(len(f.buckets)))
+}
+
+// Allow takes one token from the client's bucket, reporting whether
+// the client is within its share.
+func (f *Fairness) Allow(client string) bool {
+	if f == nil {
+		return true
+	}
+	return f.buckets[f.bucketIndex(client)].Allow(1)
+}

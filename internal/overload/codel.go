@@ -1,0 +1,125 @@
+package overload
+
+import (
+	"math"
+	"time"
+)
+
+// CoDelConfig tunes the queue-deadline controller. The zero value uses
+// the defaults noted on each field.
+type CoDelConfig struct {
+	// Target is the acceptable standing queue delay: while the minimum
+	// sojourn over an Interval stays below it, nothing is shed
+	// (default 5ms).
+	Target time.Duration
+	// Interval is the measurement window; sojourn must stay above
+	// Target for a full Interval before shedding starts (default
+	// 100ms).
+	Interval time.Duration
+	// MaxSojourn is the hard queue deadline: an item that waited this
+	// long is shed unconditionally — its requester has almost
+	// certainly timed out, so answering it is wasted work
+	// (default 10×Target, 0 to apply the default; negative disables).
+	MaxSojourn time.Duration
+}
+
+func (c CoDelConfig) target() time.Duration {
+	if c.Target <= 0 {
+		return 5 * time.Millisecond
+	}
+	return c.Target
+}
+
+func (c CoDelConfig) interval() time.Duration {
+	if c.Interval <= 0 {
+		return 100 * time.Millisecond
+	}
+	return c.Interval
+}
+
+func (c CoDelConfig) maxSojourn() time.Duration {
+	if c.MaxSojourn < 0 {
+		return 0
+	}
+	if c.MaxSojourn == 0 {
+		return 10 * c.target()
+	}
+	return c.MaxSojourn
+}
+
+// CoDel implements the Controlled-Delay AQM decision function over
+// queue sojourn times: shedding starts only after the *minimum*
+// sojourn has exceeded Target for a full Interval (so bursts ride
+// through untouched), and then paces drops at Interval/√n — the
+// control law that nudges a standing queue back to Target without
+// collapsing throughput. All state advances from caller-supplied
+// timestamps, so the same sequence of (now, sojourn) pairs always
+// sheds the same items. Not safe for concurrent use; the owning Queue
+// serializes calls under its lock.
+type CoDel struct {
+	cfg CoDelConfig
+
+	// firstAbove is when sojourn first stayed above target; zero when
+	// below.
+	firstAbove time.Time
+	dropping   bool
+	dropNext   time.Time
+	dropCount  int
+}
+
+// NewCoDel returns a controller with the given tuning.
+func NewCoDel(cfg CoDelConfig) *CoDel { return &CoDel{cfg: cfg} }
+
+// controlLaw paces successive drops: the n-th drop of a dropping
+// episode happens Interval/√n after the episode began.
+func (c *CoDel) controlLaw(t time.Time) time.Time {
+	return t.Add(time.Duration(float64(c.cfg.interval()) / math.Sqrt(float64(c.dropCount))))
+}
+
+// OnDequeue decides whether the item dequeued at now after waiting
+// sojourn should be shed. last reports whether the item is the only
+// one in the queue — CoDel never sheds the last item (shedding it
+// would leave capacity idle while still failing the request).
+func (c *CoDel) OnDequeue(now time.Time, sojourn time.Duration, last bool) bool {
+	if max := c.cfg.maxSojourn(); max > 0 && sojourn > max {
+		// Hard queue deadline: stale work is dead work, even when it is
+		// the last item.
+		return true
+	}
+	if sojourn < c.cfg.target() || last {
+		// Below target (or nothing behind it): leave the dropping
+		// episode.
+		c.firstAbove = time.Time{}
+		if c.dropping {
+			c.dropping = false
+		}
+		return false
+	}
+	if c.firstAbove.IsZero() {
+		c.firstAbove = now.Add(c.cfg.interval())
+		return false
+	}
+	if c.dropping {
+		if now.Before(c.dropNext) {
+			return false
+		}
+		c.dropCount++
+		c.dropNext = c.controlLaw(c.dropNext)
+		return true
+	}
+	if !now.Before(c.firstAbove) {
+		// Sojourn has been above target a full interval: open a
+		// dropping episode. Resume near the previous drop rate if the
+		// last episode ended recently (the standard CoDel refinement),
+		// else start fresh.
+		c.dropping = true
+		if c.dropCount > 2 {
+			c.dropCount -= 2
+		} else {
+			c.dropCount = 1
+		}
+		c.dropNext = c.controlLaw(now)
+		return true
+	}
+	return false
+}

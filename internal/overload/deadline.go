@@ -1,0 +1,39 @@
+package overload
+
+import (
+	"context"
+	"time"
+)
+
+// Clip returns a child of ctx whose deadline is the sooner of ctx's
+// own deadline and now.Add(budget): the deadline-propagation helper.
+// A handler admitted with some latency budget left hands every
+// downstream call a context that cannot outlive that budget, so work
+// for a requester that has already given up is cancelled instead of
+// completed into the void. A non-positive budget yields an
+// already-expired context. Callers must invoke the CancelFunc.
+func Clip(ctx context.Context, now time.Time, budget time.Duration) (context.Context, context.CancelFunc) {
+	d := now.Add(budget)
+	if cur, ok := ctx.Deadline(); ok && cur.Before(d) {
+		d = cur
+	}
+	return context.WithDeadline(ctx, d)
+}
+
+// Remaining returns the budget left before ctx's deadline as measured
+// at now, clamped to [0, fallback]. When ctx carries no deadline the
+// fallback is returned whole — the caller's default timeout.
+func Remaining(ctx context.Context, now time.Time, fallback time.Duration) time.Duration {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return fallback
+	}
+	left := d.Sub(now)
+	if left < 0 {
+		return 0
+	}
+	if left > fallback {
+		return fallback
+	}
+	return left
+}

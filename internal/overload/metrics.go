@@ -1,0 +1,129 @@
+package overload
+
+import "tasterschoice/internal/obs"
+
+// ShedReason says why work was refused, as a metric label and as the
+// argument to queue shed callbacks so protocols can pick their reply
+// (a rate shed is the client's fault — REFUSED/tempfail — while a
+// capacity or deadline shed is the server's — SERVFAIL/try-later).
+type ShedReason int
+
+const (
+	// ShedCapacity: the concurrency limit or queue bound was hit.
+	ShedCapacity ShedReason = iota
+	// ShedRate: a priority-class token bucket ran dry.
+	ShedRate
+	// ShedFairness: the client's fairness bucket ran dry.
+	ShedFairness
+	// ShedDeadline: the item waited past the CoDel target or the hard
+	// MaxSojourn queue deadline.
+	ShedDeadline
+	numShedReasons
+)
+
+// String implements fmt.Stringer (used as a metric label).
+func (r ShedReason) String() string {
+	switch r {
+	case ShedCapacity:
+		return "capacity"
+	case ShedRate:
+		return "rate"
+	case ShedFairness:
+		return "fairness"
+	case ShedDeadline:
+		return "deadline"
+	default:
+		return "unknown"
+	}
+}
+
+// GateMetrics observes an admission Gate: accept/shed counters per
+// priority class (sheds further split by reason) and an in-flight
+// gauge. The zero value is inert — obs instruments are nil-safe — so
+// an unwired gate costs nothing.
+type GateMetrics struct {
+	// Admitted counts admissions per priority class.
+	Admitted [NumPriorities]*obs.Counter
+	// Shed counts refusals per priority class and reason.
+	Shed [NumPriorities][numShedReasons]*obs.Counter
+	// InFlight gauges admissions currently held.
+	InFlight *obs.Gauge
+}
+
+// NewGateMetrics wires a GateMetrics to r, prefixing every series with
+// name (e.g. "dnsbl_server"). Safe with a nil registry.
+func NewGateMetrics(r *obs.Registry, name string) GateMetrics {
+	var m GateMetrics
+	for p := Priority(0); p < NumPriorities; p++ {
+		m.Admitted[p] = r.Counter(name+"_admitted_total", "priority", p.String())
+		for reason := ShedReason(0); reason < numShedReasons; reason++ {
+			m.Shed[p][reason] = r.Counter(name+"_shed_total",
+				"priority", p.String(), "reason", reason.String())
+		}
+	}
+	m.InFlight = r.Gauge(name + "_inflight")
+	r.Describe(name+"_admitted_total", "Requests admitted, by priority class.")
+	r.Describe(name+"_shed_total", "Requests shed, by priority class and reason.")
+	r.Describe(name+"_inflight", "Admissions currently in flight.")
+	return m
+}
+
+// admitted records one admission at priority p.
+func (m GateMetrics) admitted(p Priority) {
+	if p < 0 || p >= NumPriorities {
+		p = Bulk
+	}
+	m.Admitted[p].Inc()
+}
+
+// shed records one refusal at priority p for the given reason.
+func (m GateMetrics) shed(p Priority, reason ShedReason) {
+	if p < 0 || p >= NumPriorities {
+		p = Bulk
+	}
+	if reason < 0 || reason >= numShedReasons {
+		reason = ShedCapacity
+	}
+	m.Shed[p][reason].Inc()
+}
+
+// QueueMetrics observes a bounded Queue: depth gauge, admitted
+// counter, shed counters by reason, and the admission-latency
+// (sojourn) histogram. The zero value is inert.
+type QueueMetrics struct {
+	// Depth gauges the current queue length.
+	Depth *obs.Gauge
+	// Admitted counts items delivered to a consumer.
+	Admitted *obs.Counter
+	// ShedByReason counts items shed, by reason (capacity at push,
+	// deadline at pop).
+	ShedByReason [numShedReasons]*obs.Counter
+	// SojournSeconds observes the queue wait of every delivered item —
+	// the admission-latency histogram overload tuning reads.
+	SojournSeconds *obs.Histogram
+}
+
+// NewQueueMetrics wires a QueueMetrics to r, prefixing every series
+// with name. Safe with a nil registry.
+func NewQueueMetrics(r *obs.Registry, name string) QueueMetrics {
+	var m QueueMetrics
+	m.Depth = r.Gauge(name + "_queue_depth")
+	m.Admitted = r.Counter(name + "_queue_admitted_total")
+	for reason := ShedReason(0); reason < numShedReasons; reason++ {
+		m.ShedByReason[reason] = r.Counter(name+"_queue_shed_total", "reason", reason.String())
+	}
+	m.SojournSeconds = r.Histogram(name+"_queue_sojourn_seconds", obs.DefSecondsBuckets)
+	r.Describe(name+"_queue_depth", "Items waiting in the work queue.")
+	r.Describe(name+"_queue_admitted_total", "Items delivered to a worker.")
+	r.Describe(name+"_queue_shed_total", "Items shed from the work queue, by reason.")
+	r.Describe(name+"_queue_sojourn_seconds", "Queue wait of delivered items.")
+	return m
+}
+
+// shed records one queue shed for the given reason.
+func (m QueueMetrics) shed(reason ShedReason) {
+	if reason < 0 || reason >= numShedReasons {
+		reason = ShedCapacity
+	}
+	m.ShedByReason[reason].Inc()
+}

@@ -1,0 +1,148 @@
+package overload
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// queued is one item with its admission timestamp.
+type queued[T any] struct {
+	v   T
+	enq time.Time
+}
+
+// Queue is a bounded FIFO work queue with CoDel-style queue-deadline
+// shedding. Producers Push without blocking — a full queue is a shed,
+// not a wait — and consumers PopContext; at dequeue the CoDel
+// controller may shed aged items (invoking the shed callback so the
+// protocol can send its cheap refusal) before delivering a fresh one.
+// Close stops intake; consumers drain the remainder and then see
+// ok=false, which is how servers drain mid-flood without losing
+// accepted work. Safe for concurrent use.
+type Queue[T any] struct {
+	max     int
+	clock   Clock
+	onShed  func(T, ShedReason)
+	metrics QueueMetrics
+
+	mu      sync.Mutex
+	codel   *CoDel
+	items   []queued[T]
+	closed  bool
+	changed chan struct{}
+}
+
+// NewQueue builds a queue holding at most max items (max <= 0 means
+// unbounded intake; CoDel still sheds standing delay). onShed, when
+// non-nil, receives every shed item together with the reason — queue
+// sheds happen on the consumer's goroutine, push-time sheds on the
+// producer's.
+func NewQueue[T any](max int, cfg CoDelConfig, clock Clock, onShed func(T, ShedReason)) *Queue[T] {
+	return &Queue[T]{
+		max:     max,
+		clock:   clockOr(clock),
+		codel:   NewCoDel(cfg),
+		onShed:  onShed,
+		changed: make(chan struct{}),
+	}
+}
+
+// SetMetrics attaches instrumentation. Call before serving.
+func (q *Queue[T]) SetMetrics(m QueueMetrics) { q.metrics = m }
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Push offers an item. It never blocks: false means the item was shed
+// (queue full or closed) and the onShed callback — when configured —
+// has already run on this goroutine.
+func (q *Queue[T]) Push(v T) bool {
+	now := q.clock()
+	q.mu.Lock()
+	if q.closed || (q.max > 0 && len(q.items) >= q.max) {
+		closed := q.closed
+		q.mu.Unlock()
+		if !closed {
+			q.metrics.shed(ShedCapacity)
+			if q.onShed != nil {
+				q.onShed(v, ShedCapacity)
+			}
+		}
+		return false
+	}
+	q.items = append(q.items, queued[T]{v: v, enq: now})
+	q.metrics.Depth.Set(int64(len(q.items)))
+	q.broadcastLocked()
+	q.mu.Unlock()
+	return true
+}
+
+// broadcastLocked wakes every parked consumer. Callers hold q.mu.
+func (q *Queue[T]) broadcastLocked() {
+	close(q.changed)
+	q.changed = make(chan struct{})
+}
+
+// PopContext returns the next admitted item, blocking until one is
+// available, the queue is closed *and* drained, or ctx is done (the
+// latter two return ok=false). Items the CoDel controller sheds on
+// the way are handed to the shed callback and skipped.
+func (q *Queue[T]) PopContext(ctx context.Context) (v T, ok bool) {
+	for {
+		q.mu.Lock()
+		for len(q.items) > 0 {
+			it := q.items[0]
+			q.items = q.items[1:]
+			last := len(q.items) == 0
+			if last {
+				// Release the backing array so a drained queue does not
+				// pin a flood's worth of items.
+				q.items = nil
+			}
+			q.metrics.Depth.Set(int64(len(q.items)))
+			now := q.clock()
+			sojourn := now.Sub(it.enq)
+			if q.codel.OnDequeue(now, sojourn, last) {
+				q.mu.Unlock()
+				q.metrics.shed(ShedDeadline)
+				if q.onShed != nil {
+					q.onShed(it.v, ShedDeadline)
+				}
+				q.mu.Lock()
+				continue
+			}
+			q.mu.Unlock()
+			q.metrics.Admitted.Inc()
+			q.metrics.SojournSeconds.Observe(sojourn.Seconds())
+			return it.v, true
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return v, false
+		}
+		wait := q.changed
+		q.mu.Unlock()
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return v, false
+		}
+	}
+}
+
+// Close stops intake (further Pushes shed) and wakes parked
+// consumers; items already queued remain poppable so consumers drain
+// cleanly. Idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		q.broadcastLocked()
+	}
+	q.mu.Unlock()
+}

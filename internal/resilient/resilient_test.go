@@ -2,6 +2,8 @@ package resilient
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -160,6 +162,76 @@ func TestBreakerLifecycle(t *testing.T) {
 	}
 	if got := b.Trips(); got != 2 {
 		t.Fatalf("trips = %d, want 2", got)
+	}
+}
+
+// TestBreakerConcurrentHalfOpenProbes storms a just-cooled-down open
+// breaker with concurrent Allow callers: exactly one probe wins, the
+// losers fail fast, and the state machine neither flaps nor double-
+// trips while the probe's outcome is pending.
+func TestBreakerConcurrentHalfOpenProbes(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1000, 0)
+	clk := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	b := &Breaker{Threshold: 1, Cooldown: time.Minute, Now: clk}
+	b.Failure() // trip
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after trip", b.State())
+	}
+	mu.Lock()
+	now = now.Add(2 * time.Minute) // cooldown elapsed
+	mu.Unlock()
+
+	const stormers = 64
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < stormers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.Allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("concurrent Allow storm admitted %d probes, want exactly 1", got)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v with a probe outstanding, want half-open", b.State())
+	}
+	if got := b.Trips(); got != 1 {
+		t.Fatalf("trips = %d during the probe storm, want the original 1", got)
+	}
+
+	// The winning probe succeeds: the breaker closes and everyone
+	// flows again — the losers' denials must not have corrupted it.
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after probe success", b.State())
+	}
+	var refused atomic.Int64
+	for i := 0; i < stormers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !b.Allow() {
+				refused.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := refused.Load(); got != 0 {
+		t.Fatalf("closed breaker refused %d callers after recovery", got)
 	}
 }
 

@@ -1,0 +1,116 @@
+package smtpd
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/overload"
+)
+
+func TestAdmissionRefusesSessionWith421(t *testing.T) {
+	srv := NewServer("mx.test", nil)
+	srv.Admission = overload.NewGate(overload.GateConfig{MaxConcurrent: 1})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// First connection holds the only Normal-priority slot... almost:
+	// Normal's share of 1 is max(1*9/10, 1) = 1.
+	c1, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	r1 := bufio.NewReader(c1)
+	if got := expectCode(t, r1, "220"); got == "" {
+		t.Fatal("no greeting")
+	}
+
+	// Second connection must be tempfailed, not hung or dropped.
+	c2, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	line, err := bufio.NewReader(c2).ReadString('\n')
+	if err != nil {
+		t.Fatalf("read refusal: %v", err)
+	}
+	if !strings.HasPrefix(line, "421") {
+		t.Fatalf("refusal = %q, want 421", line)
+	}
+
+	// Quitting the first session frees the slot for a third.
+	c1.Write([]byte("QUIT\r\n")) //nolint:errcheck
+	expectCode(t, r1, "221")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c3, err := net.Dial("tcp", addr.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c3.SetReadDeadline(time.Now().Add(time.Second)) //nolint:errcheck
+		line, err = bufio.NewReader(c3).ReadString('\n')
+		c3.Close()
+		if err == nil && strings.HasPrefix(line, "220") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed; last reply %q err %v", line, err)
+		}
+	}
+}
+
+func TestAdmissionTempfailsDataWith451(t *testing.T) {
+	srv := NewServer("mx.test", nil)
+	var cfg overload.GateConfig
+	cfg.Rate[overload.Normal] = 0.0001 // one token, then dry
+	cfg.Burst[overload.Normal] = 1
+	srv.Admission = overload.NewGate(cfg)
+
+	r, send, cleanup := pipeSession(t, srv)
+	defer cleanup()
+	expectCode(t, r, "220")
+	send("HELO spam.example")
+	expectCode(t, r, "250")
+	send("MAIL FROM:<a@spam.example>")
+	expectCode(t, r, "250")
+	send("RCPT TO:<victim@mx.test>")
+	expectCode(t, r, "250")
+
+	// First DATA takes the only token and succeeds.
+	send("DATA")
+	expectCode(t, r, "354")
+	send("subject: one")
+	send(".")
+	expectCode(t, r, "250")
+
+	// Second message in the same session: DATA is tempfailed, but the
+	// transaction survives — the peer can retry without re-negotiating.
+	send("MAIL FROM:<a@spam.example>")
+	expectCode(t, r, "250")
+	send("RCPT TO:<victim@mx.test>")
+	expectCode(t, r, "250")
+	send("DATA")
+	expectCode(t, r, "451")
+	send("DATA")
+	expectCode(t, r, "451")
+	if got := srv.Received(); got != 1 {
+		t.Fatalf("received = %d, want 1", got)
+	}
+}
+
+func TestHostOnly(t *testing.T) {
+	if got := hostOnly(&net.TCPAddr{IP: net.IPv4(10, 0, 0, 1), Port: 2525}); got != "10.0.0.1" {
+		t.Fatalf("hostOnly = %q", got)
+	}
+	if got := hostOnly(nil); got != "" {
+		t.Fatalf("hostOnly(nil) = %q", got)
+	}
+}

@@ -20,7 +20,21 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tasterschoice/internal/overload"
 )
+
+// hostOnly is the fairness identity of a peer: its host/IP without the
+// ephemeral port, so reconnecting does not reset a client's budget.
+func hostOnly(addr net.Addr) string {
+	if addr == nil {
+		return ""
+	}
+	if host, _, err := net.SplitHostPort(addr.String()); err == nil {
+		return host
+	}
+	return addr.String()
+}
 
 // Envelope is one received message.
 type Envelope struct {
@@ -57,6 +71,13 @@ type Server struct {
 	// MaxConns caps concurrent connections; excess connections get a
 	// 421 and are closed (default 256).
 	MaxConns int
+	// Admission, when set, gates the server under overload: sessions
+	// take a concurrency slot at accept (refused ones get the same 421
+	// tempfail as MaxConns — the sender's MTA queues and retries, which
+	// is exactly the graceful path SMTP already owns), and each DATA
+	// passes a rate/fairness check or is tempfailed 451 with the
+	// transaction intact so the peer can retry without re-negotiating.
+	Admission *overload.Gate
 	// Metrics observes the accept path; the zero value is inert. Set
 	// before Listen.
 	Metrics Metrics
@@ -130,9 +151,18 @@ func (s *Server) serve(l net.Listener) {
 			conn.Close()
 			continue
 		}
+		admit, admitted := s.Admission.Admit(overload.Normal, hostOnly(conn.RemoteAddr()))
+		if !admitted {
+			s.mu.Unlock()
+			s.Metrics.Rejected.Inc()
+			conn.Write([]byte("421 " + s.Hostname + " service busy, try later\r\n")) //nolint:errcheck
+			conn.Close()
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		go func() {
+			defer admit()
 			defer s.release(conn)
 			s.ServeConn(conn)
 		}()
@@ -386,6 +416,13 @@ func (sess *session) cmdData() {
 	}
 	if len(sess.to) == 0 {
 		sess.reply(503, "need RCPT before DATA")
+		return
+	}
+	if !sess.srv.Admission.Allow(overload.Normal, hostOnly(sess.conn.RemoteAddr())) {
+		// Tempfail the message, keep the session and its transaction: the
+		// peer retries DATA after its own backoff without re-negotiating.
+		sess.srv.Metrics.Rejected.Inc()
+		sess.reply(451, "server busy, try again later")
 		return
 	}
 	sess.reply(354, "end data with <CRLF>.<CRLF>")

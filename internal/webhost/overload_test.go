@@ -1,0 +1,87 @@
+package webhost
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"tasterschoice/internal/ecosystem"
+	"tasterschoice/internal/overload"
+)
+
+func TestAdmissionSheds503(t *testing.T) {
+	cfg := ecosystem.DefaultConfig(9)
+	cfg.Scale = 0.05
+	w := ecosystem.MustGenerate(cfg)
+	srv := NewServer(w)
+	// A gate with one slot that is already held: every request sheds.
+	gate := overload.NewGate(overload.GateConfig{MaxConcurrent: 1})
+	rel, ok := gate.Admit(overload.Critical, "holder")
+	if !ok {
+		t.Fatal("setup admit failed")
+	}
+	defer rel()
+	srv.Admission = gate
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + addr.String() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if srv.Shed() == 0 {
+		t.Fatal("shed counter never moved")
+	}
+}
+
+func TestAdmissionAdmitsWithinLimit(t *testing.T) {
+	cfg := ecosystem.DefaultConfig(9)
+	cfg.Scale = 0.05
+	w := ecosystem.MustGenerate(cfg)
+	srv := NewServer(w)
+	srv.Admission = overload.NewGate(overload.GateConfig{MaxConcurrent: 8})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get("http://" + addr.String() + "/")
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("request failed under an uncontended gate: %v", err)
+	}
+	if srv.Shed() != 0 {
+		t.Fatalf("shed %d requests under an uncontended gate", srv.Shed())
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"tasterschoice/internal/domain"
 	"tasterschoice/internal/ecosystem"
+	"tasterschoice/internal/overload"
 )
 
 // programHostSuffix is the synthetic host space where affiliate
@@ -53,9 +54,16 @@ func parseProgramHost(host string) (int, bool) {
 type Server struct {
 	World *ecosystem.World
 
+	// Admission, when set, gates requests under overload: a refused
+	// request is answered 503 with Retry-After, the protocol-native
+	// shed, so a crawler storm degrades into fast retryable errors
+	// instead of piled-up handlers. Set before Listen.
+	Admission *overload.Gate
+
 	srv      *http.Server
 	listener net.Listener
 	requests atomic.Int64
+	shed     atomic.Int64
 }
 
 // NewServer builds the HTTP front for a world.
@@ -94,6 +102,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Requests returns the number of HTTP requests served.
 func (s *Server) Requests() int64 { return s.requests.Load() }
 
+// Shed returns the number of requests refused with 503 under
+// overload.
+func (s *Server) Shed() int64 { return s.shed.Load() }
+
 // Resolvable reports whether a hostname should resolve at all — the
 // crawler's dialer consults this to simulate DNS. Program backends
 // always resolve; world domains resolve if their site is alive (a dead
@@ -115,6 +127,18 @@ func (s *Server) Resolvable(host string) bool {
 
 func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	client := r.RemoteAddr
+	if h, _, err := net.SplitHostPort(client); err == nil {
+		client = h
+	}
+	release, admitted := s.Admission.Admit(overload.Bulk, client)
+	if !admitted {
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded, retry later", http.StatusServiceUnavailable)
+		return
+	}
+	defer release()
 	host := r.Host
 	if h, _, err := net.SplitHostPort(host); err == nil {
 		host = h
