@@ -45,52 +45,109 @@ type Report struct {
 	Benchmarks []Bench `json:"benchmarks"`
 }
 
-// Bench is one tracked benchmark. SerialNsPerOp and Speedup are only
-// present for cases with a pinned serial reference.
+// Bench is one tracked benchmark. SerialNsPerOp is only present for
+// cases with a pinned serial reference; Speedup is emitted for every
+// entry and is explicitly null where no reference exists, so report
+// consumers can tell "no reference" apart from "field elided".
 type Bench struct {
-	Name          string  `json:"name"`
-	NsPerOp       int64   `json:"ns_per_op"`
-	AllocsPerOp   int64   `json:"allocs_per_op"`
-	BytesPerOp    int64   `json:"bytes_per_op"`
-	SerialNsPerOp int64   `json:"serial_ns_per_op,omitempty"`
-	Speedup       float64 `json:"speedup,omitempty"`
+	Name          string   `json:"name"`
+	NsPerOp       int64    `json:"ns_per_op"`
+	AllocsPerOp   int64    `json:"allocs_per_op"`
+	BytesPerOp    int64    `json:"bytes_per_op"`
+	SerialNsPerOp int64    `json:"serial_ns_per_op,omitempty"`
+	Speedup       *float64 `json:"speedup"`
+	// MaxAllocsPerOp is the committed allocation budget for this
+	// benchmark (0 = untracked). -check fails when a run exceeds the
+	// baseline's budget by more than allocHeadroom.
+	MaxAllocsPerOp int64 `json:"max_allocs_per_op,omitempty"`
+	// MinSpeedup is the committed parallel-scaling floor (0 = none).
+	// -check enforces it on machines with enough cores to scale.
+	MinSpeedup float64 `json:"min_speedup,omitempty"`
 }
 
 // maxRegression is the tolerated slowdown before -check fails: 25%.
 const maxRegression = 1.25
 
+// allocHeadroom is the tolerated overshoot of an allocation budget
+// before -check fails: 10%.
+const allocHeadroom = 1.10
+
+// allocBudgets pins the per-op allocation ceilings for the hot-path
+// benchmarks. The budgets ride inside BENCH_baseline.json (written by
+// every measuring run), so the gate compares fresh runs against the
+// committed numbers, not against whatever this source tree says.
+var allocBudgets = map[string]int64{
+	"dataset_build":    110_000,
+	"dataset_build_w4": 110_000,
+	"labeling":         20_000,
+	"labeling_w4":      20_000,
+}
+
+// minSpeedups pins the parallel-scaling floors for the explicit
+// multi-worker benchmarks.
+var minSpeedups = map[string]float64{
+	"dataset_build_w4": 1.5,
+	"labeling_w4":      1.5,
+}
+
+// minCPUForSpeedupGate is the core count below which the MinSpeedup
+// gate is skipped (loudly): a 1- or 2-core machine cannot show 4-way
+// scaling no matter how healthy the engine is.
+const minCPUForSpeedupGate = 4
+
 func main() {
 	rev := flag.String("rev", "", "revision tag for the output filename (default: git short hash)")
 	out := flag.String("o", "", "output path (default BENCH_<rev>.json)")
-	check := flag.String("check", "", "baseline BENCH_*.json to compare against; exit 1 on >25% regression")
+	check := flag.String("check", "", "baseline BENCH_*.json to compare against; exit 1 on >25% regression or blown alloc budget")
+	diff := flag.String("diff", "", "baseline BENCH_*.json to diff against; print a markdown delta table on stdout")
+	in := flag.String("in", "", "load an existing BENCH_*.json instead of measuring (for -check/-diff of a saved run)")
 	scenario := flag.String("scenario", "default", "scenario scale: default or small")
 	flag.Parse()
 
-	if *rev == "" {
-		*rev = gitRev()
-	}
-	if *out == "" {
-		*out = fmt.Sprintf("BENCH_%s.json", *rev)
+	var rep *Report
+	if *in != "" {
+		loaded, err := loadReport(*in)
+		if err != nil {
+			fatalf("load report %s: %v", *in, err)
+		}
+		rep = loaded
+	} else {
+		if *rev == "" {
+			*rev = gitRev()
+		}
+		if *out == "" {
+			*out = fmt.Sprintf("BENCH_%s.json", *rev)
+		}
+		rep = measure(*scenario, *rev)
+
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatalf("marshal report: %v", err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+		fmt.Printf("wrote %s\n\n%s", *out, table(rep))
 	}
 
-	rep := measure(*scenario, *rev)
-
-	buf, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fatalf("marshal report: %v", err)
+	if *diff != "" {
+		base, err := loadReport(*diff)
+		if err != nil {
+			fatalf("load baseline %s: %v", *diff, err)
+		}
+		fmt.Print(markdownDiff(base, rep))
 	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fatalf("write %s: %v", *out, err)
-	}
-	fmt.Printf("wrote %s\n\n%s", *out, table(rep))
 
 	if *check != "" {
 		base, err := loadReport(*check)
 		if err != nil {
 			fatalf("load baseline %s: %v", *check, err)
 		}
-		regs := findRegressions(base, rep)
+		regs, warns := findRegressions(base, rep)
+		for _, w := range warns {
+			fmt.Fprintf(os.Stderr, "WARNING: %s\n", w)
+		}
 		if len(regs) > 0 {
 			fmt.Fprintf(os.Stderr, "\nREGRESSIONS vs %s (rev %s):\n", *check, base.Rev)
 			for _, r := range regs {
@@ -142,10 +199,12 @@ func measure(scenario, rev string) *Report {
 			}
 		})
 		bench := Bench{
-			Name:        name,
-			NsPerOp:     pr.NsPerOp(),
-			AllocsPerOp: pr.AllocsPerOp(),
-			BytesPerOp:  pr.AllocedBytesPerOp(),
+			Name:           name,
+			NsPerOp:        pr.NsPerOp(),
+			AllocsPerOp:    pr.AllocsPerOp(),
+			BytesPerOp:     pr.AllocedBytesPerOp(),
+			MaxAllocsPerOp: allocBudgets[name],
+			MinSpeedup:     minSpeedups[name],
 		}
 		if serial != nil {
 			sr := testing.Benchmark(func(b *testing.B) {
@@ -155,7 +214,8 @@ func measure(scenario, rev string) *Report {
 			})
 			bench.SerialNsPerOp = sr.NsPerOp()
 			if bench.NsPerOp > 0 {
-				bench.Speedup = float64(sr.NsPerOp()) / float64(bench.NsPerOp)
+				s := float64(sr.NsPerOp()) / float64(bench.NsPerOp)
+				bench.Speedup = &s
 			}
 		}
 		rep.Benchmarks = append(rep.Benchmarks, bench)
@@ -175,9 +235,28 @@ func measure(scenario, rev string) *Report {
 			}
 		})
 
+	// The same engine pinned at Workers=4: the scaling gate the CI
+	// bench-gate job enforces (speedup vs the serial reference).
+	cfg4 := sc.Collection
+	cfg4.Workers = 4
+	run("dataset_build_w4",
+		func() {
+			if _, err := mailflow.New(world, cfg4).Run(); err != nil {
+				fatalf("parallel engine (w4): %v", err)
+			}
+		},
+		func() {
+			if _, err := benchref.New(world, sc.Collection).Run(); err != nil {
+				fatalf("benchref engine: %v", err)
+			}
+		})
+
 	// Crawl labeling: concurrent vs one worker.
 	run("labeling",
 		func() { analysis.BuildLabelsConcurrent(world, res, 0) },
+		func() { analysis.BuildLabelsConcurrent(world, res, 1) })
+	run("labeling_w4",
+		func() { analysis.BuildLabelsConcurrent(world, res, 4) },
 		func() { analysis.BuildLabelsConcurrent(world, res, 1) })
 
 	// Analysis rows vs the serial references in analysis/serialref.go.
@@ -199,37 +278,116 @@ func measure(scenario, rev string) *Report {
 	return rep
 }
 
+// speedupOf returns a benchmark's speedup, or 0 when it has no serial
+// reference.
+func speedupOf(b Bench) float64 {
+	if b.Speedup == nil {
+		return 0
+	}
+	return *b.Speedup
+}
+
 // findRegressions compares cur against base and describes every
-// benchmark that regressed beyond maxRegression. Benchmarks present in
-// only one report are ignored (new or retired cases).
-func findRegressions(base, cur *Report) []string {
+// benchmark that regressed beyond maxRegression, blew its committed
+// allocation budget by more than allocHeadroom, or fell under its
+// committed scaling floor. Benchmarks present in only one report are
+// ignored (new or retired cases). The second return is a list of loud
+// warnings for conditions that don't fail the check: a serial
+// reference absent on one side (the other comparison still runs), or
+// a speedup floor skipped because the machine lacks the cores.
+func findRegressions(base, cur *Report) (regs, warns []string) {
 	baseline := make(map[string]Bench, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseline[b.Name] = b
 	}
-	var regs []string
 	for _, c := range cur.Benchmarks {
 		b, ok := baseline[c.Name]
 		if !ok {
 			continue
 		}
-		if b.Speedup > 0 && c.Speedup > 0 {
+		bs, cs := speedupOf(b), speedupOf(c)
+		switch {
+		case bs > 0 && cs > 0:
 			// Speedup is measured against the in-process serial
 			// reference, so it transfers across machines.
-			if c.Speedup < b.Speedup/maxRegression {
+			if cs < bs/maxRegression {
 				regs = append(regs, fmt.Sprintf(
 					"%s: speedup %.2fx, baseline %.2fx (>25%% drop)",
-					c.Name, c.Speedup, b.Speedup))
+					c.Name, cs, bs))
 			}
-			continue
+		case bs > 0 || cs > 0:
+			// A reference exists on one side only — say so instead of
+			// silently skipping, and fall back to raw ns/op.
+			warns = append(warns, fmt.Sprintf(
+				"%s: serial reference present in only one report (baseline %.2fx, current %.2fx); comparing raw ns/op instead",
+				c.Name, bs, cs))
+			fallthrough
+		default:
+			if b.NsPerOp > 0 && float64(c.NsPerOp) > float64(b.NsPerOp)*maxRegression {
+				regs = append(regs, fmt.Sprintf(
+					"%s: %d ns/op, baseline %d ns/op (>25%% slower)",
+					c.Name, c.NsPerOp, b.NsPerOp))
+			}
 		}
-		if b.NsPerOp > 0 && float64(c.NsPerOp) > float64(b.NsPerOp)*maxRegression {
-			regs = append(regs, fmt.Sprintf(
-				"%s: %d ns/op, baseline %d ns/op (>25%% slower)",
-				c.Name, c.NsPerOp, b.NsPerOp))
+		// Allocation budget: the committed baseline's budget is the
+		// contract; headroom absorbs allocator noise.
+		if budget := b.MaxAllocsPerOp; budget > 0 {
+			if float64(c.AllocsPerOp) > float64(budget)*allocHeadroom {
+				regs = append(regs, fmt.Sprintf(
+					"%s: %d allocs/op, budget %d (>%.0f%% over)",
+					c.Name, c.AllocsPerOp, budget, (allocHeadroom-1)*100))
+			}
+		}
+		// Scaling floor: only meaningful with enough cores to scale.
+		if floor := b.MinSpeedup; floor > 0 && cs > 0 {
+			if cur.NumCPU < minCPUForSpeedupGate {
+				warns = append(warns, fmt.Sprintf(
+					"%s: speedup floor %.2fx not enforced on a %d-CPU machine (need ≥%d)",
+					c.Name, floor, cur.NumCPU, minCPUForSpeedupGate))
+			} else if cs < floor {
+				regs = append(regs, fmt.Sprintf(
+					"%s: speedup %.2fx under committed floor %.2fx",
+					c.Name, cs, floor))
+			}
 		}
 	}
-	return regs
+	return regs, warns
+}
+
+// markdownDiff renders a GitHub-flavored markdown delta table of cur
+// vs base, for CI job summaries.
+func markdownDiff(base, cur *Report) string {
+	baseline := make(map[string]Bench, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	pct := func(old, new int64) string {
+		if old <= 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", 100*(float64(new)-float64(old))/float64(old))
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### Bench delta: %s vs baseline %s\n\n", cur.Rev, base.Rev)
+	fmt.Fprintf(&sb, "GOMAXPROCS=%d cpus=%d scenario=%s\n\n", cur.GOMAXPROCS, cur.NumCPU, cur.Scenario)
+	sb.WriteString("| benchmark | ns/op | Δ ns/op | allocs/op | Δ allocs | budget | speedup |\n")
+	sb.WriteString("|---|---:|---:|---:|---:|---:|---:|\n")
+	for _, c := range cur.Benchmarks {
+		dns, dallocs, budget, speed := "new", "new", "—", "—"
+		if b, ok := baseline[c.Name]; ok {
+			dns = pct(b.NsPerOp, c.NsPerOp)
+			dallocs = pct(b.AllocsPerOp, c.AllocsPerOp)
+		}
+		if c.MaxAllocsPerOp > 0 {
+			budget = fmt.Sprintf("%d", c.MaxAllocsPerOp)
+		}
+		if s := speedupOf(c); s > 0 {
+			speed = fmt.Sprintf("%.2fx", s)
+		}
+		fmt.Fprintf(&sb, "| %s | %d | %s | %d | %s | %s | %s |\n",
+			c.Name, c.NsPerOp, dns, c.AllocsPerOp, dallocs, budget, speed)
+	}
+	return sb.String()
 }
 
 // table renders the human-readable summary.
@@ -243,7 +401,7 @@ func table(rep *Report) string {
 		serial, speedup := "-", "-"
 		if b.SerialNsPerOp > 0 {
 			serial = fmt.Sprintf("%d", b.SerialNsPerOp)
-			speedup = fmt.Sprintf("%.2fx", b.Speedup)
+			speedup = fmt.Sprintf("%.2fx", speedupOf(b))
 		}
 		fmt.Fprintf(&sb, "%-22s %14d %12d %14s %8s\n",
 			b.Name, b.NsPerOp, b.AllocsPerOp, serial, speedup)

@@ -1,27 +1,30 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
 
 func rep(benches ...Bench) *Report {
-	return &Report{Rev: "test", Benchmarks: benches}
+	return &Report{Rev: "test", NumCPU: 8, Benchmarks: benches}
 }
 
+func sp(v float64) *float64 { return &v }
+
 func TestFindRegressionsSpeedupDrop(t *testing.T) {
-	base := rep(Bench{Name: "coverage", NsPerOp: 100, SerialNsPerOp: 400, Speedup: 4.0})
+	base := rep(Bench{Name: "coverage", NsPerOp: 100, SerialNsPerOp: 400, Speedup: sp(4.0)})
 
 	// A 25% speedup drop is still tolerated.
-	ok := rep(Bench{Name: "coverage", NsPerOp: 500, SerialNsPerOp: 1650, Speedup: 3.3})
-	if regs := findRegressions(base, ok); len(regs) != 0 {
+	ok := rep(Bench{Name: "coverage", NsPerOp: 500, SerialNsPerOp: 1650, Speedup: sp(3.3)})
+	if regs, _ := findRegressions(base, ok); len(regs) != 0 {
 		t.Fatalf("within-tolerance speedup flagged: %v", regs)
 	}
 
 	// Below baseline/1.25 fails — even though raw ns/op improved,
 	// meaning the check is machine-independent.
-	bad := rep(Bench{Name: "coverage", NsPerOp: 50, SerialNsPerOp: 100, Speedup: 2.0})
-	regs := findRegressions(base, bad)
+	bad := rep(Bench{Name: "coverage", NsPerOp: 50, SerialNsPerOp: 100, Speedup: sp(2.0)})
+	regs, _ := findRegressions(base, bad)
 	if len(regs) != 1 || !strings.Contains(regs[0], "coverage") {
 		t.Fatalf("speedup regression not flagged: %v", regs)
 	}
@@ -30,10 +33,10 @@ func TestFindRegressionsSpeedupDrop(t *testing.T) {
 func TestFindRegressionsNsPerOp(t *testing.T) {
 	base := rep(Bench{Name: "timing", NsPerOp: 1000})
 
-	if regs := findRegressions(base, rep(Bench{Name: "timing", NsPerOp: 1200})); len(regs) != 0 {
+	if regs, _ := findRegressions(base, rep(Bench{Name: "timing", NsPerOp: 1200})); len(regs) != 0 {
 		t.Fatalf("within-tolerance ns/op flagged: %v", regs)
 	}
-	regs := findRegressions(base, rep(Bench{Name: "timing", NsPerOp: 1300}))
+	regs, _ := findRegressions(base, rep(Bench{Name: "timing", NsPerOp: 1300}))
 	if len(regs) != 1 || !strings.Contains(regs[0], "timing") {
 		t.Fatalf("ns/op regression not flagged: %v", regs)
 	}
@@ -42,7 +45,94 @@ func TestFindRegressionsNsPerOp(t *testing.T) {
 func TestFindRegressionsIgnoresUnmatched(t *testing.T) {
 	base := rep(Bench{Name: "retired", NsPerOp: 1})
 	cur := rep(Bench{Name: "brand-new", NsPerOp: 1 << 40})
-	if regs := findRegressions(base, cur); len(regs) != 0 {
+	if regs, _ := findRegressions(base, cur); len(regs) != 0 {
 		t.Fatalf("unmatched benchmarks flagged: %v", regs)
+	}
+}
+
+func TestFindRegressionsAllocBudget(t *testing.T) {
+	base := rep(Bench{Name: "dataset_build", NsPerOp: 100, MaxAllocsPerOp: 100_000})
+
+	// Within budget plus 10% headroom: fine.
+	ok := rep(Bench{Name: "dataset_build", NsPerOp: 100, AllocsPerOp: 109_000})
+	if regs, _ := findRegressions(base, ok); len(regs) != 0 {
+		t.Fatalf("within-budget allocs flagged: %v", regs)
+	}
+
+	// More than 10% over the committed budget: fail.
+	bad := rep(Bench{Name: "dataset_build", NsPerOp: 100, AllocsPerOp: 111_000})
+	regs, _ := findRegressions(base, bad)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("blown alloc budget not flagged: %v", regs)
+	}
+}
+
+func TestFindRegressionsSpeedupFloor(t *testing.T) {
+	base := rep(Bench{Name: "dataset_build_w4", NsPerOp: 100, SerialNsPerOp: 200, Speedup: sp(2.0), MinSpeedup: 1.5})
+
+	// 1.7x survives the 25% drop rule (2.0/1.25 = 1.6) but a floor of
+	// 1.75 catches it.
+	base.Benchmarks[0].MinSpeedup = 1.75
+	bad := rep(Bench{Name: "dataset_build_w4", NsPerOp: 100, SerialNsPerOp: 170, Speedup: sp(1.7)})
+	regs, _ := findRegressions(base, bad)
+	if len(regs) != 1 || !strings.Contains(regs[0], "floor") {
+		t.Fatalf("under-floor speedup not flagged: %v", regs)
+	}
+
+	// On a small machine the floor is downgraded to a warning.
+	small := rep(Bench{Name: "dataset_build_w4", NsPerOp: 100, SerialNsPerOp: 80, Speedup: sp(0.8)})
+	small.NumCPU = 1
+	regs, warns := findRegressions(base, small)
+	// The 25% speedup-drop rule still fires (0.8 < 2.0/1.25); the
+	// floor itself must not.
+	for _, r := range regs {
+		if strings.Contains(r, "floor") {
+			t.Fatalf("floor enforced on 1-CPU machine: %v", regs)
+		}
+	}
+	found := false
+	for _, w := range warns {
+		if strings.Contains(w, "not enforced") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("skipped floor produced no warning: %v", warns)
+	}
+}
+
+func TestFindRegressionsWarnsOnAbsentRef(t *testing.T) {
+	base := rep(Bench{Name: "proportion_fig7", NsPerOp: 1000, SerialNsPerOp: 2000, Speedup: sp(2.0)})
+	cur := rep(Bench{Name: "proportion_fig7", NsPerOp: 1000})
+	regs, warns := findRegressions(base, cur)
+	if len(regs) != 0 {
+		t.Fatalf("absent ref should fall back to ns/op (no regression here): %v", regs)
+	}
+	if len(warns) == 0 || !strings.Contains(warns[0], "only one report") {
+		t.Fatalf("absent serial reference not warned about: %v", warns)
+	}
+}
+
+func TestSpeedupNullInJSON(t *testing.T) {
+	buf, err := json.Marshal(Bench{Name: "proportion_fig7", NsPerOp: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), `"speedup":null`) {
+		t.Fatalf("reference-free bench must emit explicit null speedup: %s", buf)
+	}
+}
+
+func TestMarkdownDiff(t *testing.T) {
+	base := rep(Bench{Name: "dataset_build", NsPerOp: 200, AllocsPerOp: 1000})
+	cur := rep(
+		Bench{Name: "dataset_build", NsPerOp: 100, AllocsPerOp: 500, MaxAllocsPerOp: 600, Speedup: sp(2.0)},
+		Bench{Name: "brand-new", NsPerOp: 10},
+	)
+	md := markdownDiff(base, cur)
+	for _, want := range []string{"| dataset_build | 100 | -50.0% | 500 | -50.0% | 600 | 2.00x |", "| brand-new | 10 | new |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown diff missing %q:\n%s", want, md)
+		}
 	}
 }

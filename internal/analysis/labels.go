@@ -60,16 +60,24 @@ func (l *Label) Live() bool { return l.HTTP && !l.Benignish() }
 // definition (tagged minus Alexa/ODP).
 func (l *Label) TaggedClean() bool { return l.Tagged && !l.Benignish() }
 
-// Labels maps every domain occurring in any feed to its label.
+// Labels maps every domain occurring in any feed to its label. Labels
+// live in one contiguous slice indexed through a map, rather than one
+// heap object per domain.
 type Labels struct {
-	m map[domain.Name]*Label
+	idx  map[domain.Name]int32
+	rows []Label
 }
 
 // Get returns the label for d (nil if d was in no feed).
-func (ls *Labels) Get(d domain.Name) *Label { return ls.m[d] }
+func (ls *Labels) Get(d domain.Name) *Label {
+	if i, ok := ls.idx[d]; ok {
+		return &ls.rows[i]
+	}
+	return nil
+}
 
 // Len returns the number of labeled domains.
-func (ls *Labels) Len() int { return len(ls.m) }
+func (ls *Labels) Len() int { return len(ls.rows) }
 
 // Dataset bundles everything the analyses consume. It is treated as
 // immutable once built; the analyses lazily attach an interned-domain
@@ -86,7 +94,7 @@ type Dataset struct {
 // Union returns all labeled domains in sorted order.
 func (ds *Dataset) Union() []domain.Name {
 	out := make([]domain.Name, 0, ds.Labels.Len())
-	for d := range ds.Labels.m {
+	for d := range ds.Labels.idx {
 		out = append(out, d)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -123,37 +131,32 @@ func BuildLabelsWith(w *ecosystem.World, res *mailflow.Result, workers int,
 		workers = 1
 	}
 	zoneWindow := zoneCheckWindow(w)
-	ls := &Labels{m: make(map[domain.Name]*Label)}
+	ls := &Labels{idx: make(map[domain.Name]int32)}
 
-	// Collect, per domain, the distinct URLs the feeds saw for it.
-	urlsOf := make(map[domain.Name][]string)
+	// Collect the union of feed domains in deterministic (feed-order,
+	// then insertion-order) sequence. Sample URLs are not materialized
+	// here: labelOne pulls them per domain straight from the feeds, so
+	// no per-domain URL slices are built up front.
+	var domains []domain.Name
 	for _, name := range res.Order {
-		f := res.Feed(name)
-		f.Each(func(d domain.Name, s feeds.DomainStat) {
-			if _, seen := ls.m[d]; !seen {
-				ls.m[d] = &Label{Program: -1, Affiliate: -1}
+		res.Feed(name).EachUnordered(func(d domain.Name, _ feeds.DomainStat) {
+			if _, seen := ls.idx[d]; !seen {
+				ls.idx[d] = int32(len(domains))
+				domains = append(domains, d)
 			}
-			if s.SampleURL == "" {
-				return
-			}
-			for _, u := range urlsOf[d] {
-				if u == s.SampleURL {
-					return
-				}
-			}
-			urlsOf[d] = append(urlsOf[d], s.SampleURL)
 		})
 	}
-
-	// Shard the domains across workers; every label is written only
-	// by its own worker, so no locking is needed.
-	domains := make([]domain.Name, 0, len(ls.m))
-	for d := range ls.m {
-		domains = append(domains, d)
+	ls.rows = make([]Label, len(domains))
+	for i := range ls.rows {
+		ls.rows[i].Program = -1
+		ls.rows[i].Affiliate = -1
 	}
+
 	if workers > len(domains) {
 		workers = len(domains)
 	}
+	// Shard the domains across workers; every label is written only
+	// by its own worker, so no locking is needed.
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
@@ -162,7 +165,7 @@ func BuildLabelsWith(w *ecosystem.World, res *mailflow.Result, workers int,
 			crawler := newVisitor()
 			for i := shard; i < len(domains); i += workers {
 				d := domains[i]
-				labelOne(w, crawler, zoneWindow, d, urlsOf[d], ls.m[d])
+				labelOne(w, crawler, zoneWindow, d, res, &ls.rows[ls.idx[d]])
 			}
 		}(wk)
 	}
@@ -170,9 +173,12 @@ func BuildLabelsWith(w *ecosystem.World, res *mailflow.Result, workers int,
 	return ls
 }
 
-// labelOne fills in one domain's label.
+// labelOne fills in one domain's label. It gathers the distinct
+// sample URLs the feeds saw for d in canonical feed order (URL feeds
+// preserve redirection context) into a stack buffer; a domain no feed
+// attached a URL to gets the paper's bare "http://domain/" visit.
 func labelOne(w *ecosystem.World, crawler webcrawl.Visitor,
-	zoneWindow simclock.Window, d domain.Name, urls []string, label *Label) {
+	zoneWindow simclock.Window, d domain.Name, res *mailflow.Result, label *Label) {
 	label.InZoneTLD = w.Registry.Covers(d)
 	if label.InZoneTLD {
 		label.DNS = w.Registry.AppearedDuring(d, zoneWindow)
@@ -181,8 +187,26 @@ func labelOne(w *ecosystem.World, crawler webcrawl.Visitor,
 		label.Alexa = info.Alexa
 		label.ODP = info.ODP
 	}
+	var urlBuf [16]string
+	urls := urlBuf[:0]
+	for _, name := range res.Order {
+		s, ok := res.Feed(name).Stat(d)
+		if !ok || s.SampleURL == "" {
+			continue
+		}
+		dup := false
+		for _, u := range urls {
+			if u == s.SampleURL {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			urls = append(urls, s.SampleURL)
+		}
+	}
 	if len(urls) == 0 {
-		urls = []string{"http://" + string(d) + "/"}
+		urls = append(urls, "http://"+string(d)+"/")
 	}
 	for _, u := range urls {
 		r := crawler.Visit(u)

@@ -103,38 +103,47 @@ func (r *Rules) Len() int { return len(r.rules) }
 // PublicSuffix returns the public suffix of the normalized name
 // (without scheme/port/trailing dot) according to the rule set. If no
 // rule matches, the rightmost label is the suffix (the PSL "default
-// rule" `*`).
+// rule" `*`). The result is always a trailing substring of name, so
+// the call is allocation-free.
 func (r *Rules) PublicSuffix(name string) string {
-	labels := strings.Split(name, ".")
-	// Walk suffixes from the shortest (rightmost label) to the whole
-	// name, tracking the longest matching rule. Exception rules win
-	// over everything at their level.
-	bestLen := 1 // default rule: rightmost label
-	for i := len(labels) - 1; i >= 0; i-- {
-		suffix := strings.Join(labels[i:], ".")
-		kind, ok := r.rules[suffix]
-		if ok {
+	// Walk suffix start offsets from the rightmost label leftward,
+	// tracking the longest matching rule. Exception rules win over
+	// everything at their level.
+	best := strings.LastIndexByte(name, '.') + 1 // default rule: rightmost label
+	end := len(name)
+	for {
+		dot := strings.LastIndexByte(name[:end], '.')
+		start := dot + 1
+		if kind, ok := r.rules[name[start:]]; ok {
 			switch kind {
 			case ruleNormal:
-				if n := len(labels) - i; n > bestLen {
-					bestLen = n
+				if start < best {
+					best = start
 				}
 			case ruleWildcard:
 				// "*.foo" makes every direct child of foo a suffix.
-				if n := len(labels) - i + 1; i > 0 && n > bestLen {
-					bestLen = n
+				if dot >= 0 {
+					if ws := strings.LastIndexByte(name[:dot], '.') + 1; ws < best {
+						best = ws
+					}
 				}
-				if n := len(labels) - i; n > bestLen {
-					bestLen = n
+				if start < best {
+					best = start
 				}
 			case ruleException:
 				// Exception: the matched name itself is registrable,
 				// so its parent is the public suffix.
-				return strings.Join(labels[i+1:], ".")
+				if i := strings.IndexByte(name[start:], '.'); i >= 0 {
+					return name[start+i+1:]
+				}
+				return ""
 			}
 		}
+		if dot < 0 {
+			return name[best:]
+		}
+		end = dot
 	}
-	return strings.Join(labels[len(labels)-bestLen:], ".")
 }
 
 // Registered reduces a fully-qualified domain name to its registered
@@ -150,7 +159,15 @@ func (r *Rules) Registered(fqdn string) (Name, error) {
 	if name == suffix {
 		return "", fmt.Errorf("%w: %q", ErrPublicSuffix, fqdn)
 	}
-	// The registered domain is the suffix plus one label.
+	// The registered domain is the suffix plus one label. PublicSuffix
+	// returns a trailing substring of name, so the registered domain is
+	// one too — slice it out instead of rebuilding the string.
+	if cut := len(name) - len(suffix) - 1; suffix != "" && cut > 0 && name[cut] == '.' {
+		start := strings.LastIndexByte(name[:cut], '.') + 1
+		return Name(name[start:]), nil
+	}
+	// Degenerate rule sets (e.g. a single-label exception) fall back to
+	// the general rebuild.
 	rest := strings.TrimSuffix(name, "."+suffix)
 	if i := strings.LastIndexByte(rest, '.'); i >= 0 {
 		rest = rest[i+1:]
@@ -159,8 +176,13 @@ func (r *Rules) Registered(fqdn string) (Name, error) {
 }
 
 // Normalize lowercases a hostname, strips any port and trailing dot,
-// and validates its labels. It rejects IP addresses.
+// and validates its labels. It rejects IP addresses. Already-normal
+// inputs — the overwhelmingly common case inside the generator — are
+// recognized in one pass and returned as-is without allocating.
 func Normalize(fqdn string) (string, error) {
+	if normalizedFast(fqdn) {
+		return fqdn, nil
+	}
 	s := strings.ToLower(strings.TrimSpace(fqdn))
 	if s == "" {
 		return "", ErrEmpty
@@ -186,6 +208,39 @@ func Normalize(fqdn string) (string, error) {
 		}
 	}
 	return s, nil
+}
+
+// normalizedFast reports whether s is already in normalized form:
+// nonempty lowercase letters/digits/hyphens/dots, every label valid,
+// ≤253 bytes, and at least one letter — which rules out IPv4 dotted
+// quads, while the charset rules out ports, IPv6, whitespace and
+// trailing dots. Anything it rejects goes through the full slow path,
+// so a false negative costs only speed, never correctness.
+func normalizedFast(s string) bool {
+	if len(s) == 0 || len(s) > 253 {
+		return false
+	}
+	hasLetter := false
+	labelStart := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '.' {
+			n := i - labelStart
+			if n == 0 || n > 63 || s[labelStart] == '-' || s[i-1] == '-' {
+				return false
+			}
+			labelStart = i + 1
+			continue
+		}
+		switch c := s[i]; {
+		case c >= 'a' && c <= 'z':
+			hasLetter = true
+		case c >= '0' && c <= '9':
+		case c == '-':
+		default:
+			return false
+		}
+	}
+	return hasLetter
 }
 
 // validLabel reports whether s is a valid DNS label: 1..63 chars of

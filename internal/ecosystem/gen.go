@@ -31,6 +31,7 @@ func Generate(cfg Config) (*World, error) {
 	w.genObscure(root.SplitNamed("obscure"), names)
 	w.genBotnets(root.SplitNamed("botnets"))
 	w.genCampaigns(root.SplitNamed("campaigns"), names)
+	w.EnsureSyms()
 	return w, nil
 }
 
@@ -78,7 +79,7 @@ func (w *World) genAffiliates(rng *randutil.RNG) {
 				Tier:          TierTiny,
 			}
 			if prog.RX {
-				a.Key = fmt.Sprintf("rx%04d", i)
+				a.Key = fmt.Sprintf("rx%04d", i) //lint:allow stringalloc -- name minting: runs once per world, feeds the interner
 			}
 			w.Affiliates = append(w.Affiliates, a)
 		}
@@ -194,7 +195,7 @@ func (w *World) genBotnets(rng *randutil.RNG) {
 		}
 	}
 	for i := 0; i < cfg.Botnets; i++ {
-		name := fmt.Sprintf("botnet%02d", i)
+		name := fmt.Sprintf("botnet%02d", i) //lint:allow stringalloc -- name minting: runs once per world, feeds the interner
 		if i < len(botnetNames) {
 			name = botnetNames[i]
 		}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"tasterschoice/internal/domain"
+	"tasterschoice/internal/symtab"
 )
 
 // Category classifies the goods an affiliate program sells. The paper
@@ -187,6 +188,11 @@ type AdDomain struct {
 	// Alive reports whether the domain's web presence survived until
 	// the crawler visited (dead sites fail the HTTP liveness check).
 	Alive bool
+	// Sym and URLSym are the interned IDs of Name and of the slot's
+	// advertised URL (AdURL) in World.Syms, assigned by EnsureSyms so
+	// the per-message hot path never touches the strings.
+	Sym    symtab.ID
+	URLSym symtab.ID
 }
 
 // Campaign is one advertising push by one affiliate: a set of rotated
@@ -220,4 +226,8 @@ type BenignDomain struct {
 	ODP bool
 	// Redirector marks redirection services spammers can abuse.
 	Redirector bool
+	// Sym and URLSym are the interned IDs of Name and of the derived
+	// chaff URL "http://<name>/" in World.Syms.
+	Sym    symtab.ID
+	URLSym symtab.ID
 }

@@ -7,8 +7,6 @@ import (
 	"strconv"
 	"strings"
 	"time"
-
-	"tasterschoice/internal/domain"
 )
 
 // The TSV serialization format:
@@ -44,13 +42,13 @@ func kindFromName(s string) (Kind, bool) {
 func (f *Feed) WriteTSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "#feed %s\t%s\t%t\t%t\n", f.Name, kindNames[f.Kind], f.HasVolume, f.URLs)
-	for _, d := range f.Domains() {
-		s := f.stats[d]
+	for _, ri := range f.sortedRows() {
+		r := &f.rows[ri]
 		fmt.Fprintf(bw, "%s\t%d\t%s\t%s\t%s\n",
-			d, s.Count,
-			s.First.UTC().Format(time.RFC3339Nano),
-			s.Last.UTC().Format(time.RFC3339Nano),
-			s.SampleURL)
+			f.syms.Lookup(r.d), r.count,
+			time.Unix(0, r.first).UTC().Format(time.RFC3339Nano),
+			time.Unix(0, r.last).UTC().Format(time.RFC3339Nano),
+			f.syms.Lookup(r.url))
 	}
 	return bw.Flush()
 }
@@ -112,16 +110,17 @@ func ReadTSV(r io.Reader) (*Feed, error) {
 		if last.Before(first) {
 			return nil, fmt.Errorf("feeds: line %d: last before first", lineNo)
 		}
-		d := domain.Name(fields[0])
-		if _, dup := f.stats[d]; dup {
-			return nil, fmt.Errorf("feeds: line %d: duplicate domain %s", lineNo, d)
+		d := f.syms.Intern(fields[0])
+		if f.rowOf(d) != nil {
+			return nil, fmt.Errorf("feeds: line %d: duplicate domain %s", lineNo, fields[0])
 		}
-		f.stats[d] = &DomainStat{
-			Count:     count,
-			First:     first,
-			Last:      last,
-			SampleURL: fields[4],
-		}
+		f.addRow(row{
+			d:     d,
+			url:   f.syms.Intern(fields[4]),
+			count: count,
+			first: first.UnixNano(),
+			last:  last.UnixNano(),
+		})
 		f.samples += count
 	}
 	if err := sc.Err(); err != nil {

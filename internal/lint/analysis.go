@@ -1,10 +1,11 @@
 // Package lint is tasterschoice's static-enforcement layer: a small
-// go/analysis-style framework plus the five project analyzers that
+// go/analysis-style framework plus the six project analyzers that
 // mechanically check the contracts MECHANISMS.md states in prose —
 // sorted-key float accumulation, the simclock seam instead of the wall
 // clock, randutil streams instead of global math/rand state, the
-// nil-receiver noop contract of internal/obs, and the Context-variant
-// convention on blocking edge-package APIs.
+// nil-receiver noop contract of internal/obs, the Context-variant
+// convention on blocking edge-package APIs, and the no-per-message
+// string-building rule of the interned hot path.
 //
 // The framework is deliberately a subset of golang.org/x/tools
 // go/analysis (the module is dependency-free, so it cannot import the
@@ -70,6 +71,7 @@ func All() []*Analyzer {
 		GlobalRand,
 		NilGuard,
 		CtxBlocking,
+		StringAlloc,
 	}
 }
 

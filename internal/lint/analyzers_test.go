@@ -35,3 +35,14 @@ func TestNilGuard(t *testing.T) {
 func TestCtxBlocking(t *testing.T) {
 	linttest.Run(t, "testdata/src/ctxblocking", "tasterschoice/internal/smtpd", lint.CtxBlocking)
 }
+
+func TestStringAlloc(t *testing.T) {
+	linttest.Run(t, "testdata/src/stringalloc", "tasterschoice/internal/mailflow", lint.StringAlloc)
+}
+
+// TestStringAllocEdge proves the classification gate: per-iteration
+// string building is legal in edge packages, which render wire
+// formats.
+func TestStringAllocEdge(t *testing.T) {
+	linttest.Run(t, "testdata/src/stringalloc_edge", "tasterschoice/internal/dnsbl", lint.StringAlloc)
+}

@@ -98,6 +98,28 @@ var nilGuardPackages = map[string]bool{
 	"obs": true,
 }
 
+// stringAllocPackages are the dataset-build hot-path packages where
+// per-iteration string building is banned: these run loops once per
+// message (or once per domain × feed), and the interned-symbol design
+// keeps them allocation-free. Diagnostic, reporting and edge packages
+// build strings as their job and stay out of this set; benchref is
+// excluded because it deliberately freezes the pre-interning engine,
+// string churn included.
+var stringAllocPackages = map[string]bool{
+	"analysis":  true,
+	"dnszone":   true,
+	"domain":    true,
+	"ecosystem": true,
+	"feeds":     true,
+	"mailflow":  true,
+	"oracle":    true,
+	"randutil":  true,
+	"simclock":  true,
+	"stats":     true,
+	"symtab":    true,
+	"webcrawl":  true,
+}
+
 // canonicalPath strips go test's package-variant decorations: the
 // " [pkg.test]" suffix on internal test variants and the trailing
 // "_test" of external test packages, so fixtures and -tests runs
@@ -160,4 +182,17 @@ func NeedsNilGuard(path string) bool {
 		return false
 	}
 	return nilGuardPackages[name]
+}
+
+// NeedsStringAlloc reports whether stringalloc applies to the package.
+// Subpackages inherit their top-level package's membership.
+func NeedsStringAlloc(path string) bool {
+	name, ok := internalName(path)
+	if !ok {
+		return false
+	}
+	if i := strings.Index(name, "/"); i >= 0 {
+		name = name[:i]
+	}
+	return stringAllocPackages[name]
 }

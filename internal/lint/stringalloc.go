@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// StringAlloc forbids per-iteration string building in engine-tier
+// packages: a fmt.Sprintf (or Sprint/Sprintln) call or a non-constant
+// string concatenation inside a loop allocates on every pass, and the
+// generation hot path runs such loops once per message. Hot-path code
+// carries interned symtab IDs and renders into pooled []byte buffers
+// instead; true serialization edges (report writers, raw feed files)
+// mark themselves with //lint:allow stringalloc.
+var StringAlloc = &Analyzer{
+	Name: "stringalloc",
+	Doc: "forbid fmt.Sprintf/fmt.Sprint and string concatenation inside loops " +
+		"in engine-tier packages; intern through symtab or append into a pooled " +
+		"[]byte, and mark serialization edges with //lint:allow stringalloc",
+	Run: runStringAlloc,
+}
+
+// sprintFuncs are the fmt functions that build and return a fresh
+// string. The Append/Fprint families write into caller-supplied
+// destinations and stay legal.
+var sprintFuncs = map[string]bool{
+	"Sprintf":  true,
+	"Sprint":   true,
+	"Sprintln": true,
+}
+
+func runStringAlloc(pass *Pass) error {
+	if !NeedsStringAlloc(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// The rule protects the production hot path; test and bench
+		// helpers build label strings by design and stay exempt (the
+		// chaos build runs with -tests).
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch v := n.(type) {
+			case *ast.CallExpr:
+				if !inLoop(stack) {
+					return true
+				}
+				if name, ok := sprintCall(pass, v); ok {
+					pass.Report(Diagnostic{
+						Pos: v.Pos(),
+						Message: fmt.Sprintf("fmt.%s inside a loop allocates a string per iteration; "+
+							"intern through symtab or append into a pooled []byte "+
+							"(//lint:allow stringalloc on serialization edges)", name),
+					})
+				}
+			case *ast.BinaryExpr:
+				if v.Op != token.ADD || !inLoop(stack) {
+					return true
+				}
+				// Report only the outermost expression of an a+b+c
+				// chain, and let fully constant concatenations through:
+				// the compiler folds those at build time.
+				if isStringConcat(pass, v) && !isConstant(pass, v) && !parentIsStringConcat(pass, stack) {
+					pass.Report(Diagnostic{
+						Pos: v.Pos(),
+						Message: "string concatenation inside a loop allocates per iteration; " +
+							"intern through symtab or append into a pooled []byte " +
+							"(//lint:allow stringalloc on serialization edges)",
+					})
+				}
+			case *ast.AssignStmt:
+				if v.Tok != token.ADD_ASSIGN || !inLoop(stack) {
+					return true
+				}
+				for _, lhs := range v.Lhs {
+					if t := pass.Info.Types[lhs].Type; t != nil && isStringType(t) {
+						pass.Report(Diagnostic{
+							Pos: v.Pos(),
+							Message: "string += inside a loop reallocates the whole string per iteration; " +
+								"append into a pooled []byte or strings.Builder " +
+								"(//lint:allow stringalloc on serialization edges)",
+						})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// inLoop reports whether the node on top of the stack executes once
+// per loop iteration: it sits inside the body (or, for a for-stmt, the
+// per-iteration condition/post clauses) of some enclosing loop. A
+// range statement's range expression evaluates once and is excluded.
+func inLoop(stack []ast.Node) bool {
+	for i := 0; i < len(stack)-1; i++ {
+		switch loop := stack[i].(type) {
+		case *ast.ForStmt:
+			child := stack[i+1]
+			if child == loop.Body || child == loop.Cond || child == loop.Post {
+				return true
+			}
+		case *ast.RangeStmt:
+			if stack[i+1] == loop.Body {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sprintCall reports whether the call is one of fmt's string-building
+// functions, returning its name.
+func sprintCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+		return "", false
+	}
+	if fn, isFunc := obj.(*types.Func); !isFunc || fn.Type().(*types.Signature).Recv() != nil {
+		return "", false
+	}
+	return obj.Name(), sprintFuncs[obj.Name()]
+}
+
+func isStringType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// isStringConcat reports whether the ADD expression is typed string.
+func isStringConcat(pass *Pass, e *ast.BinaryExpr) bool {
+	t := pass.Info.Types[ast.Expr(e)].Type
+	return t != nil && isStringType(t)
+}
+
+// isConstant reports whether the expression folds to a constant.
+func isConstant(pass *Pass, e ast.Expr) bool {
+	return pass.Info.Types[e].Value != nil
+}
+
+// parentIsStringConcat reports whether the stacked node directly under
+// inspection hangs off another string ADD — i.e. it is an inner term
+// of a larger concatenation that will be reported once at the top.
+func parentIsStringConcat(pass *Pass, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	parent, ok := stack[len(stack)-2].(*ast.BinaryExpr)
+	return ok && parent.Op == token.ADD && isStringConcat(pass, parent)
+}

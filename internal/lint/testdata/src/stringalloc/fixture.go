@@ -1,0 +1,86 @@
+// Fixture for the stringalloc analyzer; the test runs it under the
+// import path tasterschoice/internal/mailflow (engine tier).
+package fixture
+
+import "fmt"
+
+func badSprintf(domains []string) {
+	for _, d := range domains {
+		_ = fmt.Sprintf("http://%s/", d) // want "fmt.Sprintf inside a loop"
+	}
+}
+
+func badSprint(n int) {
+	for i := 0; i < n; i++ {
+		_ = fmt.Sprint(i) // want "fmt.Sprint inside a loop"
+	}
+}
+
+func badConcat(domains []string) []string {
+	urls := make([]string, 0, len(domains))
+	for _, d := range domains {
+		urls = append(urls, "http://"+d+"/") // want "string concatenation inside a loop"
+	}
+	return urls
+}
+
+func badConcatInCond(s string) {
+	for i := 0; isShort(s + "x"); i++ { // want "string concatenation inside a loop"
+	}
+}
+
+func badPlusEquals(domains []string) string {
+	out := ""
+	for _, d := range domains {
+		out += d // want "string .= inside a loop"
+	}
+	return out
+}
+
+// okOutsideLoop: per-call, not per-iteration — outside this analyzer's
+// scope.
+func okOutsideLoop(d string) string {
+	return fmt.Sprintf("http://%s/", d)
+}
+
+// okConstFold: the compiler folds constant concatenation at build
+// time; nothing allocates per iteration.
+func okConstFold(n int) {
+	for i := 0; i < n; i++ {
+		_ = "http://" + "example.com" + "/"
+	}
+}
+
+// okRangeExpr: a range expression evaluates once, before the loop.
+func okRangeExpr(a, b string) {
+	for range a + b {
+	}
+}
+
+// okAppend: fmt.Appendf writes into a caller buffer; only the S*
+// family is banned.
+func okAppend(buf []byte, domains []string) []byte {
+	for _, d := range domains {
+		buf = fmt.Appendf(buf[:0], "http://%s/", d)
+	}
+	return buf
+}
+
+// okIntAdd: + on non-strings is arithmetic, not allocation.
+func okIntAdd(xs []int) int {
+	sum := 0
+	for _, x := range xs {
+		sum = sum + x
+	}
+	return sum
+}
+
+// allowed marks a serialization edge: rendering the final report is
+// where strings are supposed to come back.
+func allowed(domains []string) {
+	for _, d := range domains {
+		_ = fmt.Sprintf("%s\n", d) //lint:allow stringalloc -- fixture: serialization edge
+	}
+}
+
+func isShort(s string) bool { return len(s) < 8 }

@@ -1,0 +1,23 @@
+// Fixture proving the stringalloc classification gate: the same
+// per-iteration string building that fails in an engine package is
+// legal in an edge package (tasterschoice/internal/dnsbl), where
+// wire-format rendering is the job.
+package fixture
+
+import "fmt"
+
+func okEdgeSprintf(domains []string) []string {
+	queries := make([]string, 0, len(domains))
+	for _, d := range domains {
+		queries = append(queries, fmt.Sprintf("%s.bl.example.net", d))
+	}
+	return queries
+}
+
+func okEdgeConcat(domains []string) string {
+	out := ""
+	for _, d := range domains {
+		out += d + "\n"
+	}
+	return out
+}

@@ -5,7 +5,6 @@ import (
 	"math"
 	"time"
 
-	"tasterschoice/internal/domain"
 	"tasterschoice/internal/ecosystem"
 	"tasterschoice/internal/feeds"
 	"tasterschoice/internal/obs"
@@ -13,6 +12,7 @@ import (
 	"tasterschoice/internal/parallel"
 	"tasterschoice/internal/randutil"
 	"tasterschoice/internal/simclock"
+	"tasterschoice/internal/symtab"
 )
 
 // Result is the output of a collection run: the ten feeds and the
@@ -105,8 +105,13 @@ type Engine struct {
 	Tracer *obs.Tracer
 
 	window simclock.Window
-	res    *Result
-	wm     *webmail
+	// winStartN and winEndN are the window bounds as UnixNano.
+	winStartN, winEndN int64
+	res                *Result
+	wm                 *webmail
+	// syms is the world's shared symbol table; every domain and URL
+	// the engine touches is interned here, always from serial code.
+	syms *symtab.Table
 	// feedArr holds the feeds in FeedNames order for indexed replay.
 	feedArr [fHyb + 1]*feeds.Feed
 
@@ -115,6 +120,13 @@ type Engine struct {
 
 	chaffRng  *randutil.RNG
 	chaffZipf *randutil.Zipf
+
+	// planBufs is the pool of reusable campaign plans (one per chunk
+	// slot); nameBuf and timesBuf are scratch for the serial junk and
+	// poison phases.
+	planBufs []*campaignPlan
+	nameBuf  []byte
+	timesBuf []int64
 }
 
 // New creates an engine; Run may be called once.
@@ -143,6 +155,10 @@ func (e *Engine) Run() (res *Result, err error) {
 	if err := e.Cfg.Validate(); err != nil {
 		return nil, err
 	}
+	e.World.EnsureSyms()
+	e.syms = e.World.Syms
+	e.winStartN = e.window.Start.UnixNano()
+	e.winEndN = e.window.End.UnixNano()
 	e.res = &Result{
 		Feeds: map[string]*feeds.Feed{
 			"Hu":    feeds.New("Hu", feeds.KindHuman, false, false),
@@ -163,10 +179,15 @@ func (e *Engine) Run() (res *Result, err error) {
 		e.OnFeeds(e.res.Feeds)
 	}
 	for i, name := range FeedNames {
-		e.feedArr[i] = e.res.Feed(name)
+		f := e.res.Feed(name)
+		f.Bind(e.syms)
+		e.feedArr[i] = f
 	}
 	e.wm = newWebmail(&e.Cfg, e.window, e.res.Feed("Hu"), e.res.Oracle)
-	e.wm.chaffWith = e.chaffDomainWith
+	e.wm.chaffWith = func(rng *randutil.RNG) (symtab.ID, bool) {
+		d, _, ok := e.chaffIDWith(rng)
+		return d, ok
+	}
 
 	root := randutil.New(e.Cfg.Seed)
 	e.chaffRng = root.SplitNamed("chaff")
@@ -205,37 +226,48 @@ func (e *Engine) phase(name string, fn func()) {
 // campaign order, queue its webmail batches, drain the chains.
 func (e *Engine) observeCampaigns(workers int) {
 	camps := e.World.Campaigns
-	plans := make([]*campaignPlan, 0, planChunkSize)
+	nbufs := planChunkSize
+	if len(camps) < nbufs {
+		nbufs = len(camps)
+	}
+	if len(e.planBufs) < nbufs {
+		e.planBufs = make([]*campaignPlan, nbufs)
+		for i := range e.planBufs {
+			e.planBufs[i] = new(campaignPlan)
+		}
+	}
 	for lo := 0; lo < len(camps); lo += planChunkSize {
 		hi := lo + planChunkSize
 		if hi > len(camps) {
 			hi = len(camps)
 		}
-		plans = plans[:hi-lo]
+		plans := e.planBufs[:hi-lo]
 		parallel.ForEach(workers, hi-lo, func(i int) {
-			plans[i] = e.planCampaign(&camps[lo+i])
+			plans[i].reset()
+			e.planCampaign(plans[i], &camps[lo+i])
 		})
 		e.Metrics.CampaignsPlanned.Add(int64(hi - lo))
 		var batches int64
-		for i, p := range plans {
+		for _, p := range plans {
 			e.Metrics.Observations.Add(int64(len(p.obs)))
 			for j := range p.obs {
 				o := &p.obs[j]
 				f := e.feedArr[o.feed]
 				if o.once {
-					f.ObserveOnce(o.t, o.d)
+					f.ObserveOnceID(o.t, o.d)
 				} else {
-					f.Observe(o.t, o.d, o.url)
+					f.ObserveID(o.t, o.d, o.url)
 				}
 			}
 			batches += int64(len(p.batches))
 			for _, b := range p.batches {
 				e.wm.enqueue(b)
 			}
-			plans[i] = nil
 		}
 		e.Metrics.WebmailBatches.Add(batches)
 		e.Metrics.DrainDepth.Observe(float64(batches))
+		// flush drains every queued batch before the next chunk reuses
+		// the plan buffers the batch time-slices point into.
 		e.wm.flush(workers)
 	}
 }
@@ -257,55 +289,59 @@ func (e *Engine) initExposures(rng *randutil.RNG) {
 	}
 }
 
-// chaffDomain picks a benign domain weighted toward the popular ones,
-// from the bounded chaff vocabulary, consuming the engine's serial
-// chaff stream. Only the serial post-phases may call it.
-func (e *Engine) chaffDomain() (domain.Name, bool) {
-	return e.chaffDomainWith(e.chaffRng)
-}
-
-// chaffDomainWith draws a chaff domain using the caller's RNG; the
+// chaffIDWith draws a chaff domain (a benign domain weighted toward
+// the popular ones, from the bounded chaff vocabulary) using the
+// caller's RNG, returning its interned name and chaff-URL IDs. The
 // Zipf table is read-only, so concurrent callers with distinct RNGs
 // are safe.
-func (e *Engine) chaffDomainWith(rng *randutil.RNG) (domain.Name, bool) {
+func (e *Engine) chaffIDWith(rng *randutil.RNG) (d, url symtab.ID, ok bool) {
 	if e.chaffZipf == nil {
-		return "", false
+		return 0, 0, false
 	}
-	return e.World.Benign[e.chaffZipf.NextWith(rng)].Name, true
+	b := &e.World.Benign[e.chaffZipf.NextWith(rng)]
+	return b.Sym, b.URLSym, true
 }
 
-// uniformTimes returns n times uniform over w.
-func uniformTimes(rng *randutil.RNG, w simclock.Window, n int) []time.Time {
-	out := make([]time.Time, n)
+// uniformTimesNanos appends n times uniform over w to buf, as packed
+// UnixNano, consuming exactly one Float64 draw per time.
+func uniformTimesNanos(rng *randutil.RNG, w simclock.Window, n int, buf []int64) []int64 {
 	span := float64(w.Duration())
-	for i := range out {
-		out[i] = w.Start.Add(time.Duration(rng.Float64() * span))
+	startN := w.Start.UnixNano()
+	for i := 0; i < n; i++ {
+		buf = append(buf, startN+int64(rng.Float64()*span))
 	}
-	return out
+	return buf
 }
 
-// uniformTimesSorted returns n times uniform over w in ascending
-// order, in O(n) without sorting: with E_1..E_{n+1} i.i.d. Exp(1) and
-// S_i their prefix sums, (S_1/S_{n+1}, ..., S_n/S_{n+1}) has exactly
-// the distribution of n sorted uniforms. This replaces the
-// reflection-based sort.Slice that used to dominate the webmail path.
-func uniformTimesSorted(rng *randutil.RNG, w simclock.Window, n int) []time.Time {
+// uniformTimesSortedInto appends n times uniform over w in ascending
+// order to p's time arena, in O(n) without sorting: with E_1..E_{n+1}
+// i.i.d. Exp(1) and S_i their prefix sums, (S_1/S_{n+1}, ...,
+// S_n/S_{n+1}) has exactly the distribution of n sorted uniforms. This
+// replaces the reflection-based sort.Slice that used to dominate the
+// webmail path; the arena and prefix-sum scratch are reused across the
+// plan's lifetime.
+func uniformTimesSortedInto(p *campaignPlan, rng *randutil.RNG, w simclock.Window, n int) []int64 {
 	if n <= 0 {
 		return nil
 	}
-	cum := make([]float64, n)
+	if cap(p.cum) < n {
+		p.cum = make([]float64, n)
+	} else {
+		p.cum = p.cum[:n]
+	}
 	acc := 0.0
-	for i := range cum {
+	for i := range p.cum {
 		acc += rng.ExpFloat64()
-		cum[i] = acc
+		p.cum[i] = acc
 	}
 	acc += rng.ExpFloat64()
-	out := make([]time.Time, n)
 	span := float64(w.Duration())
-	for i, c := range cum {
-		out[i] = w.Start.Add(time.Duration(c / acc * span))
+	startN := w.Start.UnixNano()
+	start := len(p.times)
+	for _, c := range p.cum {
+		p.times = append(p.times, startN+int64(c/acc*span))
 	}
-	return out
+	return p.times[start:]
 }
 
 // slotWindow clips an ad slot to the measurement window, returning the
@@ -400,9 +436,10 @@ func (e *Engine) typoTraffic(rng *randutil.RNG) {
 	for _, name := range []string{"mx1", "mx2", "mx3"} {
 		n := rng.Poisson(e.Cfg.MXTypoRate * days)
 		f := e.res.Feed(name)
-		for _, t := range uniformTimes(rng, e.window, n) {
-			if cd, ok := e.chaffDomain(); ok {
-				f.Observe(t, cd, ecosystem.ChaffURL(cd))
+		e.timesBuf = uniformTimesNanos(rng, e.window, n, e.timesBuf[:0])
+		for _, t := range e.timesBuf {
+			if cd, curl, ok := e.chaffIDWith(e.chaffRng); ok {
+				f.ObserveID(t, cd, curl)
 			}
 		}
 	}
@@ -415,18 +452,22 @@ func (e *Engine) honeypotJunk(rng *randutil.RNG) {
 	for _, name := range []string{"mx1", "mx2", "mx3", "Ac1", "Ac2"} {
 		n := rng.Poisson(e.Cfg.HoneypotJunkPerDay * days)
 		f := e.res.Feed(name)
-		for _, t := range uniformTimes(rng, e.window, n) {
+		e.timesBuf = uniformTimesNanos(rng, e.window, n, e.timesBuf[:0])
+		for _, t := range e.timesBuf {
 			// Mostly garbage hostnames; occasionally a real but
 			// obscure registered domain (mis-scraped signatures,
 			// stray URLs) — each feed's private tail of exclusive
 			// live domains.
-			var d domain.Name
+			var d symtab.ID
 			if len(e.World.Obscure) > 0 && rng.Bool(0.15) {
-				d = e.World.Obscure[rng.Intn(len(e.World.Obscure))]
+				d = e.World.ObscureSyms[rng.Intn(len(e.World.Obscure))]
 			} else {
-				d = domain.Name(rng.AlphaNum(6+rng.Intn(10)) + ".com")
+				ln := 6 + rng.Intn(10)
+				e.nameBuf = rng.AppendAlphaNum(e.nameBuf[:0], ln)
+				e.nameBuf = append(e.nameBuf, ".com"...)
+				d = e.syms.InternBytes(e.nameBuf)
 			}
-			f.Observe(t, d, "http://"+string(d)+"/")
+			f.ObserveID(t, d, e.syms.AutoURL(d))
 		}
 	}
 }
@@ -441,12 +482,14 @@ func (e *Engine) poison(rng *randutil.RNG) {
 		return
 	}
 	inject := func(feed string, arrivals int, fresh float64, stream string) {
-		src := NewPoisonSource(rng.SplitNamed(stream), fresh, e.Cfg.PoisonLiveHitProb, e.World.Obscure)
+		src := newPoisonSourceSyms(rng.SplitNamed(stream), fresh,
+			e.Cfg.PoisonLiveHitProb, e.syms, e.World.ObscureSyms)
 		f := e.res.Feed(feed)
 		tRng := rng.SplitNamed(stream + "-times")
-		for _, t := range uniformTimes(tRng, pw, arrivals) {
-			d := src.Next()
-			f.Observe(t, d, "http://"+string(d)+"/")
+		e.timesBuf = uniformTimesNanos(tRng, pw, arrivals, e.timesBuf[:0])
+		for _, t := range e.timesBuf {
+			d := src.NextID()
+			f.ObserveID(t, d, e.syms.AutoURL(d))
 		}
 	}
 	inject("Bot", e.Cfg.PoisonBotArrivals, e.Cfg.PoisonFreshProbBot, "bot")
@@ -457,9 +500,12 @@ func (e *Engine) poison(rng *randutil.RNG) {
 func (e *Engine) huJunk(rng *randutil.RNG) {
 	n := rng.Poisson(e.Cfg.HuJunkReports)
 	f := e.res.Feed("Hu")
-	for _, t := range uniformTimes(rng, e.window, n) {
-		d := domain.Name(rng.AlphaNum(5+rng.Intn(9)) + ".com")
-		f.Observe(t, d, "")
+	e.timesBuf = uniformTimesNanos(rng, e.window, n, e.timesBuf[:0])
+	for _, t := range e.timesBuf {
+		ln := 5 + rng.Intn(9)
+		e.nameBuf = rng.AppendAlphaNum(e.nameBuf[:0], ln)
+		e.nameBuf = append(e.nameBuf, ".com"...)
+		f.ObserveID(t, e.syms.InternBytes(e.nameBuf), 0)
 	}
 }
 
@@ -487,9 +533,10 @@ func (e *Engine) blacklistJunk(rng *randutil.RNG) {
 	for _, l := range lists {
 		f := e.res.Feed(l.name)
 		n := rng.Poisson(l.bc.JunkBenign)
-		for _, t := range uniformTimes(rng, e.window, n) {
-			d := benign[lo+rng.Intn(hi-lo)].Name
-			f.ObserveOnce(t, d)
+		e.timesBuf = uniformTimesNanos(rng, e.window, n, e.timesBuf[:0])
+		for _, t := range e.timesBuf {
+			d := benign[lo+rng.Intn(hi-lo)].Sym
+			f.ObserveOnceID(t, d)
 		}
 	}
 }
@@ -501,7 +548,7 @@ func (e *Engine) benignBaseline() {
 	for i := range e.World.Benign {
 		b := &e.World.Benign[i]
 		n := int64(e.Cfg.BenignMailTop / math.Pow(float64(b.Rank+1), e.Cfg.BenignMailZipfS))
-		e.res.Oracle.AddBulk(b.Name, n)
+		e.res.Oracle.AddBulkID(b.Sym, n)
 	}
 }
 
@@ -510,15 +557,19 @@ func (e *Engine) benignBaseline() {
 // dropped from the dataset.
 func (e *Engine) restrictBlacklists() {
 	base := e.res.BaseOrder()
-	keep := func(d domain.Name) bool {
-		for _, name := range base {
-			if e.res.Feed(name).Has(d) {
+	baseFeeds := make([]*feeds.Feed, len(base))
+	for i, name := range base {
+		baseFeeds[i] = e.res.Feed(name)
+	}
+	keep := func(d symtab.ID) bool {
+		for _, f := range baseFeeds {
+			if f.HasID(d) {
 				return true
 			}
 		}
 		return false
 	}
 	for _, bl := range []string{"dbl", "uribl"} {
-		e.res.Feed(bl).Retain(keep)
+		e.res.Feed(bl).RetainID(keep)
 	}
 }

@@ -88,3 +88,17 @@ func TestGoldenEngineRepeatable(t *testing.T) {
 		t.Fatal("two same-seed runs differ")
 	}
 }
+
+// pinnedFingerprint is runFingerprint(t, 0) as produced by the
+// string-keyed engine before the symbol-interning refactor. The
+// interned hot path must reproduce it byte for byte: symbol IDs,
+// packed timestamps and pooled buffers are representation changes
+// only, never behavior changes.
+const pinnedFingerprint = "6c248170e0b9d0be48ea281904074bdfee1f2e22ec456e376e28912fc202c437"
+
+func TestGoldenEngineMatchesPinnedFingerprint(t *testing.T) {
+	got := fmt.Sprintf("%x", runFingerprint(t, 0))
+	if got != pinnedFingerprint {
+		t.Fatalf("fingerprint diverged from pre-interning engine:\n got %s\nwant %s", got, pinnedFingerprint)
+	}
+}

@@ -1,13 +1,12 @@
 package mailflow
 
 import (
-	"fmt"
 	"time"
 
-	"tasterschoice/internal/domain"
 	"tasterschoice/internal/ecosystem"
 	"tasterschoice/internal/randutil"
 	"tasterschoice/internal/simclock"
+	"tasterschoice/internal/symtab"
 )
 
 // Campaign planning is the parallel half of the engine: planCampaign
@@ -18,6 +17,14 @@ import (
 // the buffered plans into the feeds serially, in campaign ID order, so
 // order-sensitive feed semantics (dedup windows, first-seen sample
 // URLs, tap streams) behave identically for every worker count.
+//
+// Plans are columnar and pooled: observations carry interned symbol
+// IDs and packed UnixNano times, batch times live in a per-plan arena,
+// and the engine reuses each plan buffer across chunks, so a steady-
+// state planning pass allocates almost nothing. Planning never interns
+// — every symbol it needs was assigned serially (world generation, or
+// the engine's serial phases) — which is what keeps ID assignment
+// independent of the worker count.
 
 // Feed indexes into FeedNames, the canonical order.
 const (
@@ -33,33 +40,54 @@ const (
 	fHyb
 )
 
-// feedObs is one buffered feed observation.
+// feedObs is one buffered feed observation: packed time, interned
+// domain and URL.
 type feedObs struct {
-	t   time.Time
-	d   domain.Name
-	url string
+	t      int64
+	d, url symtab.ID
 	// feed indexes FeedNames; once selects ObserveOnce (blacklists).
 	feed uint8
 	once bool
 }
 
-// campaignPlan buffers one campaign's entire contribution.
+// campaignPlan buffers one campaign's entire contribution. The engine
+// reuses plan buffers across chunks: reset truncates every slice but
+// keeps capacity, so steady-state planning reuses the same arenas.
 type campaignPlan struct {
 	obs     []feedObs
 	batches []wmBatch
+	// times is the arena batch time-slices are carved from. Growth
+	// reallocates the backing array, but earlier sub-slices keep their
+	// (already final) contents, and the engine drains all batches
+	// before the plan is reused.
+	times []int64
+	// cum is uniformTimesSorted's prefix-sum scratch.
+	cum []float64
+	// scratch holds unsorted draw times for planObserve, so drawing
+	// all times before the per-time chaff draws (the draw order the
+	// golden streams pin down) needs no fresh slice.
+	scratch []int64
 }
 
-// planCampaign draws one campaign's output into a plan. It is safe to
-// call concurrently for distinct campaigns: every random draw comes
-// from the campaign's own named stream (chaff included, via
-// chaffDomainWith), and nothing shared is written.
-func (e *Engine) planCampaign(c *ecosystem.Campaign) *campaignPlan {
-	p := &campaignPlan{}
+// reset empties the plan for reuse, keeping capacity.
+func (p *campaignPlan) reset() {
+	p.obs = p.obs[:0]
+	p.batches = p.batches[:0]
+	p.times = p.times[:0]
+	p.cum = p.cum[:0]
+	p.scratch = p.scratch[:0]
+}
+
+// planCampaign draws one campaign's output into p. It is safe to call
+// concurrently for distinct campaigns: every random draw comes from the
+// campaign's own named stream (chaff included, via chaffIDWith), and
+// nothing shared is written.
+func (e *Engine) planCampaign(p *campaignPlan, c *ecosystem.Campaign) {
 	if c.Class == ecosystem.ClassWebOnly {
 		e.planWebOnly(p, c)
-		return p
+		return
 	}
-	rng := randutil.NewNamed(e.Cfg.Seed, fmt.Sprintf("campaign-%d", c.ID))
+	rng := randutil.NamedInt(e.Cfg.Seed, "campaign-", c.ID)
 
 	// Per-campaign visibility draws: whether each honeypot's or
 	// account feed's addresses made it onto this campaign's lists.
@@ -79,17 +107,15 @@ func (e *Engine) planCampaign(c *ecosystem.Campaign) *campaignPlan {
 			continue
 		}
 		v := c.Volume * slot.Weight * frac
-		url := ecosystem.AdURL(c, *slot)
-		e.planSlot(p, rng, c, slot, w, v, url, acIncl, acMult, hybIncluded)
+		e.planSlot(p, &rng, c, slot, w, v, acIncl, acMult, hybIncluded)
 	}
-	return p
 }
 
 func (e *Engine) planSlot(p *campaignPlan, rng *randutil.RNG, c *ecosystem.Campaign,
-	slot *ecosystem.AdDomain, w simclock.Window, v float64, url string,
+	slot *ecosystem.AdDomain, w simclock.Window, v float64,
 	acIncl [2]bool, acMult [2]float64, hybIncluded bool) {
 	cfg := &e.Cfg
-	d := slot.Name
+	d, url := slot.Sym, slot.URLSym
 
 	if c.Class == ecosystem.ClassLoud {
 		b := &e.World.Botnets[c.Botnet]
@@ -135,14 +161,14 @@ func (e *Engine) planSlot(p *campaignPlan, rng *randutil.RNG, c *ecosystem.Campa
 			nt := rng.Poisson(webmailRate * cfg.StealthTrickle)
 			p.batches = append(p.batches, wmBatch{
 				d: d, class: ecosystem.ClassQuiet,
-				times: uniformTimesSorted(rng, lead, nt), prefiltered: prefiltered,
+				times: uniformTimesSortedInto(p, rng, lead, nt), prefiltered: prefiltered,
 			})
 		}
 		if blast.End.After(blast.Start) {
 			nb := rng.Poisson(webmailRate)
 			p.batches = append(p.batches, wmBatch{
 				d: d, class: c.Class,
-				times: uniformTimesSorted(rng, blast, nb), prefiltered: prefiltered,
+				times: uniformTimesSortedInto(p, rng, blast, nb), prefiltered: prefiltered,
 			})
 		}
 	} else {
@@ -157,7 +183,7 @@ func (e *Engine) planSlot(p *campaignPlan, rng *randutil.RNG, c *ecosystem.Campa
 		}
 		n := rng.Poisson(v * exposure)
 		p.batches = append(p.batches, wmBatch{
-			d: d, class: c.Class, times: uniformTimesSorted(rng, w, n),
+			d: d, class: c.Class, times: uniformTimesSortedInto(p, rng, w, n),
 		})
 		if hybIncluded {
 			k := rng.Poisson(cfg.HybQuietObs)
@@ -170,17 +196,19 @@ func (e *Engine) planSlot(p *campaignPlan, rng *randutil.RNG, c *ecosystem.Campa
 }
 
 // planObserve buffers n arrivals of a URL-reporting feed, with chaff.
-// Empty windows observe nothing.
+// Empty windows observe nothing. All n times are drawn before the
+// per-time chaff draws, matching the original draw order.
 func (e *Engine) planObserve(p *campaignPlan, rng *randutil.RNG, feed uint8,
-	w simclock.Window, n int, d domain.Name, url string) {
+	w simclock.Window, n int, d, url symtab.ID) {
 	if !w.End.After(w.Start) {
 		return
 	}
-	for _, t := range uniformTimes(rng, w, n) {
+	p.scratch = uniformTimesNanos(rng, w, n, p.scratch[:0])
+	for _, t := range p.scratch {
 		p.obs = append(p.obs, feedObs{t: t, d: d, url: url, feed: feed})
 		if e.Cfg.ChaffProb > 0 && rng.Bool(e.Cfg.ChaffProb) {
-			if cd, ok := e.chaffDomainWith(rng); ok {
-				p.obs = append(p.obs, feedObs{t: t, d: cd, url: ecosystem.ChaffURL(cd), feed: feed})
+			if cd, curl, ok := e.chaffIDWith(rng); ok {
+				p.obs = append(p.obs, feedObs{t: t, d: cd, url: curl, feed: feed})
 			}
 		}
 	}
@@ -188,7 +216,7 @@ func (e *Engine) planObserve(p *campaignPlan, rng *randutil.RNG, feed uint8,
 
 // planWebOnly buffers the hybrid feed's web-spam discoveries.
 func (e *Engine) planWebOnly(p *campaignPlan, c *ecosystem.Campaign) {
-	rng := randutil.NewNamed(e.Cfg.Seed, fmt.Sprintf("campaign-%d", c.ID))
+	rng := randutil.NamedInt(e.Cfg.Seed, "campaign-", c.ID)
 	for si := range c.Domains {
 		slot := &c.Domains[si]
 		w, frac := e.slotWindow(slot)
@@ -200,7 +228,7 @@ func (e *Engine) planWebOnly(p *campaignPlan, c *ecosystem.Campaign) {
 		if n == 0 && rng.Bool(0.7) {
 			n = 1 // a crawler that found the domain at all logs it once
 		}
-		e.planObserve(p, rng, fHyb, w, n, slot.Name, ecosystem.AdURL(c, *slot))
+		e.planObserve(p, &rng, fHyb, w, n, slot.Sym, slot.URLSym)
 	}
 }
 
@@ -211,12 +239,12 @@ func (e *Engine) planBlacklist(p *campaignPlan, rng *randutil.RNG, feed uint8,
 		return
 	}
 	latency := rng.LogNormal(0, bc.LatencySigma) * bc.LatencyMedianHours
-	at := w.Start.Add(time.Duration(latency * float64(time.Hour)))
-	if at.Before(e.window.Start) {
-		at = e.window.Start
+	at := w.Start.UnixNano() + int64(latency*float64(time.Hour))
+	if at < e.winStartN {
+		at = e.winStartN
 	}
-	if !at.Before(e.window.End) {
+	if at >= e.winEndN {
 		return
 	}
-	p.obs = append(p.obs, feedObs{t: at, d: slot.Name, feed: feed, once: true})
+	p.obs = append(p.obs, feedObs{t: at, d: slot.Sym, feed: feed, once: true})
 }

@@ -3,6 +3,7 @@ package mailflow
 import (
 	"tasterschoice/internal/domain"
 	"tasterschoice/internal/randutil"
+	"tasterschoice/internal/symtab"
 )
 
 // poisonTLDs is the TLD mix of generated poison names; keeping them in
@@ -16,29 +17,56 @@ var poisonTLDs = []string{"com", "com", "com", "net", "info"}
 // modeling how many poison messages repeat a domain before rotating.
 // A small fraction of "fresh" names collide with genuinely registered
 // obscure domains.
+//
+// Names are held as interned symbol IDs; NextID is the allocation-free
+// hot path (minting reuses one scratch buffer and InternBytes), while
+// Next materializes the name for string-based callers. The RNG draw
+// sequence is identical either way.
 type PoisonSource struct {
 	rng     *randutil.RNG
 	fresh   float64
 	liveHit float64
-	obscure []domain.Name
-	recent  []domain.Name
+	syms    *symtab.Table
+	obscure []symtab.ID
+	recent  []symtab.ID
 	next    int
+	buf     []byte
 }
 
-// NewPoisonSource builds a source. obscure is the pool of real
-// registered domains random names can collide with (may be empty).
+// NewPoisonSource builds a source with its own private symbol table.
+// obscure is the pool of real registered domains random names can
+// collide with (may be empty).
 func NewPoisonSource(rng *randutil.RNG, fresh, liveHit float64, obscure []domain.Name) *PoisonSource {
+	tab := symtab.New()
+	ids := make([]symtab.ID, len(obscure))
+	for i, d := range obscure {
+		ids[i] = tab.Intern(string(d))
+	}
+	return newPoisonSourceSyms(rng, fresh, liveHit, tab, ids)
+}
+
+// newPoisonSourceSyms builds a source interning into a shared table —
+// the engine wires it to the world's table so feed observations can use
+// the IDs directly.
+func newPoisonSourceSyms(rng *randutil.RNG, fresh, liveHit float64,
+	tab *symtab.Table, obscure []symtab.ID) *PoisonSource {
 	return &PoisonSource{
 		rng:     rng,
 		fresh:   fresh,
 		liveHit: liveHit,
+		syms:    tab,
 		obscure: obscure,
-		recent:  make([]domain.Name, 0, 512),
+		recent:  make([]symtab.ID, 0, 512),
 	}
 }
 
 // Next returns the poison domain carried by the next message.
 func (p *PoisonSource) Next() domain.Name {
+	return domain.Name(p.syms.Lookup(p.NextID()))
+}
+
+// NextID returns the interned ID of the next message's poison domain.
+func (p *PoisonSource) NextID() symtab.ID {
 	if len(p.recent) == 0 || p.rng.Bool(p.fresh) {
 		d := p.mint()
 		p.remember(d)
@@ -47,17 +75,19 @@ func (p *PoisonSource) Next() domain.Name {
 	return p.recent[p.rng.Intn(len(p.recent))]
 }
 
-func (p *PoisonSource) mint() domain.Name {
+func (p *PoisonSource) mint() symtab.ID {
 	if len(p.obscure) > 0 && p.rng.Bool(p.liveHit) {
 		return p.obscure[p.rng.Intn(len(p.obscure))]
 	}
-	label := p.rng.AlphaNum(7 + p.rng.Intn(8))
-	tld := poisonTLDs[p.rng.Intn(len(poisonTLDs))]
-	return domain.Name(label + "." + tld)
+	n := 7 + p.rng.Intn(8)
+	p.buf = p.rng.AppendAlphaNum(p.buf[:0], n)
+	p.buf = append(p.buf, '.')
+	p.buf = append(p.buf, poisonTLDs[p.rng.Intn(len(poisonTLDs))]...)
+	return p.syms.InternBytes(p.buf)
 }
 
 // remember keeps a bounded ring of recent names for re-use.
-func (p *PoisonSource) remember(d domain.Name) {
+func (p *PoisonSource) remember(d symtab.ID) {
 	if len(p.recent) < cap(p.recent) {
 		p.recent = append(p.recent, d)
 		return

@@ -11,6 +11,7 @@ import (
 	"tasterschoice/internal/parallel"
 	"tasterschoice/internal/randutil"
 	"tasterschoice/internal/simclock"
+	"tasterschoice/internal/symtab"
 )
 
 // webmail models the large webmail provider: every incoming message is
@@ -26,21 +27,30 @@ import (
 // (derived from the seed and the domain name) and its own filter
 // state, which is what lets the engine process chains concurrently:
 // batches naming a domain are queued in canonical campaign order via
-// enqueue, and flush walks every chain sequentially while running
-// different chains on different workers. Side effects that touch state
-// shared across chains (the Hu feed, the oracle, the report counter)
-// are buffered per shard during flush and merged serially in fixed
-// shard order, so the result is identical for every worker count.
+// enqueue, and flush walks every queued batch sequentially per shard
+// while running different shards on different workers. Side effects
+// that touch state shared across chains (the Hu feed, the oracle, the
+// report counter) are buffered per shard during flush and merged
+// serially in fixed shard order, so the result is identical for every
+// worker count.
+//
+// Domains flow through as interned symbol IDs and batch times as
+// packed UnixNano — each chain's RNG draws depend only on its own
+// batch subsequence, so the columnar form reproduces the string-era
+// streams bit for bit.
 type webmail struct {
 	cfg    *Config
 	window simclock.Window
-	hu     *feeds.Feed
-	oracle *oracle.Oracle
+	// windowEndN is window.End as UnixNano, for the report cutoff.
+	windowEndN int64
+	hu         *feeds.Feed
+	oracle     *oracle.Oracle
+	syms       *symtab.Table
 	// seed derives per-domain chain RNG streams ("webmail/<domain>").
 	seed uint64
 	// chaffWith draws a benign chaff domain using the given RNG; set
 	// by the engine (nil disables chaff co-reports).
-	chaffWith func(*randutil.RNG) (domain.Name, bool)
+	chaffWith func(*randutil.RNG) (symtab.ID, bool)
 	// reports counts total human reports (diagnostics).
 	reports int64
 
@@ -55,36 +65,41 @@ const wmShardCount = 64
 
 // wmShard owns the chains whose domain hashes to it, plus the queued
 // batches and buffered side effects of the chunk in flight. Exactly one
-// worker touches a shard during flush.
+// worker touches a shard during flush. Chains are stored by value in a
+// flat slice (one allocation amortized over all domains) with a dense
+// ID index.
 type wmShard struct {
-	chains map[domain.Name]*wmChain
+	chainIdx map[symtab.ID]int32
+	chains   []wmChain
 
-	// Per-chunk queue, in canonical (campaign, slot) order per domain.
-	pending map[domain.Name][]wmBatch
-	order   []domain.Name
+	// pend is the chunk's queue in enqueue order — canonical
+	// (campaign, slot) order per domain, which is the order that
+	// defines chain semantics. Batches of different domains interleave
+	// freely: each chain consumes only its own subsequence.
+	pend []wmBatch
 
 	// Per-chunk buffered side effects, merged serially after the
 	// parallel phase.
 	hu      []huEvent
-	oracle  map[domain.Name]int64
+	oracle  map[symtab.ID]int64
 	reports int64
 }
 
 // wmChain is one domain's persistent filter state.
 type wmChain struct {
 	// rng is the chain's private stream, created on first batch.
-	rng *randutil.RNG
-	// firstReport is the earliest report time; the filter acts on
-	// messages arriving after it. Valid only when reported is true.
-	firstReport time.Time
+	rng randutil.RNG
+	// firstReport is the earliest report time (UnixNano); the filter
+	// acts on messages arriving after it. Valid only when reported.
+	firstReport int64
 	reported    bool
 }
 
-// wmBatch is one slot's webmail delivery: times are ascending.
+// wmBatch is one slot's webmail delivery: times are ascending UnixNano.
 type wmBatch struct {
-	d     domain.Name
+	d     symtab.ID
 	class ecosystem.CampaignClass
-	times []time.Time
+	times []int64
 	// prefiltered batches are blocked outright by the provider's
 	// signatures: the oracle counts them but no message reaches an
 	// inbox and no RNG draw is consumed.
@@ -92,27 +107,31 @@ type wmBatch struct {
 }
 
 type huEvent struct {
-	t time.Time
-	d domain.Name
+	t int64
+	d symtab.ID
 }
 
 func newWebmail(cfg *Config, window simclock.Window, hu *feeds.Feed, o *oracle.Oracle) *webmail {
+	o.Bind(hu.Syms())
 	wm := &webmail{
-		cfg:    cfg,
-		window: window,
-		hu:     hu,
-		oracle: o,
-		seed:   cfg.Seed,
+		cfg:        cfg,
+		window:     window,
+		windowEndN: window.End.UnixNano(),
+		hu:         hu,
+		oracle:     o,
+		syms:       hu.Syms(),
+		seed:       cfg.Seed,
 	}
 	for i := range wm.shards {
-		wm.shards[i].chains = make(map[domain.Name]*wmChain)
-		wm.shards[i].pending = make(map[domain.Name][]wmBatch)
-		wm.shards[i].oracle = make(map[domain.Name]int64)
+		wm.shards[i].chainIdx = make(map[symtab.ID]int32)
+		wm.shards[i].oracle = make(map[symtab.ID]int64)
 	}
 	return wm
 }
 
-// shardOf assigns a domain to its chain shard (FNV-1a).
+// shardOf assigns a domain to its chain shard (FNV-1a over the name, so
+// shard assignment is a pure function of the domain string, never of ID
+// allocation order).
 func shardOf(d domain.Name) int {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(d); i++ {
@@ -122,15 +141,23 @@ func shardOf(d domain.Name) int {
 	return int(h % wmShardCount)
 }
 
+// shardOfID is shardOf for an interned domain.
+func (wm *webmail) shardOfID(d symtab.ID) int {
+	return shardOf(domain.Name(wm.syms.Lookup(d)))
+}
+
 // chain returns d's persistent chain, creating it (with its private
-// RNG stream) on first use.
-func (s *wmShard) chain(seed uint64, d domain.Name) *wmChain {
-	ch := s.chains[d]
-	if ch == nil {
-		ch = &wmChain{rng: randutil.NewNamed(seed, "webmail/"+string(d))}
-		s.chains[d] = ch
+// RNG stream) on first use. The returned pointer is invalidated by the
+// next chain creation in the same shard.
+func (s *wmShard) chain(wm *webmail, d symtab.ID) *wmChain {
+	if ci, ok := s.chainIdx[d]; ok {
+		return &s.chains[ci]
 	}
-	return ch
+	s.chains = append(s.chains, wmChain{
+		rng: randutil.NamedPair(wm.seed, "webmail/", wm.syms.Lookup(d)),
+	})
+	s.chainIdx[d] = int32(len(s.chains) - 1)
+	return &s.chains[len(s.chains)-1]
 }
 
 // evasion returns the filter-evasion probability for a campaign class.
@@ -147,53 +174,55 @@ func (wm *webmail) evasion(class ecosystem.CampaignClass) float64 {
 
 // wmSink receives a chain's side effects. The direct sink applies them
 // immediately (single-threaded callers); the shard sink buffers them
-// for the post-flush serial merge.
+// for the post-flush serial merge. Times are UnixNano.
 type wmSink interface {
 	// record counts one incoming message at the oracle.
-	record(t time.Time, d domain.Name)
+	record(t int64, d symtab.ID)
 	// report records a counted human report naming d.
-	report(rt time.Time, d domain.Name)
+	report(rt int64, d symtab.ID)
 	// coReport records the chaff domain a report also named.
-	coReport(rt time.Time, d domain.Name)
+	coReport(rt int64, d symtab.ID)
 }
 
 type directSink struct{ wm *webmail }
 
-func (s directSink) record(t time.Time, d domain.Name) { s.wm.oracle.Record(t, d) }
-func (s directSink) report(rt time.Time, d domain.Name) {
+func (s directSink) record(t int64, d symtab.ID) { s.wm.oracle.RecordID(t, d) }
+func (s directSink) report(rt int64, d symtab.ID) {
 	s.wm.reports++
-	s.wm.hu.Observe(rt, d, "")
+	s.wm.hu.ObserveID(rt, d, 0)
 }
-func (s directSink) coReport(rt time.Time, d domain.Name) { s.wm.hu.Observe(rt, d, "") }
+func (s directSink) coReport(rt int64, d symtab.ID) { s.wm.hu.ObserveID(rt, d, 0) }
 
 type shardSink struct {
-	s   *wmShard
-	win simclock.Window
+	s            *wmShard
+	startN, endN int64
 }
 
-func (k shardSink) record(t time.Time, d domain.Name) {
-	if k.win.Contains(t) {
+func (k shardSink) record(t int64, d symtab.ID) {
+	if t >= k.startN && t < k.endN {
 		k.s.oracle[d]++
 	}
 }
-func (k shardSink) report(rt time.Time, d domain.Name) {
+func (k shardSink) report(rt int64, d symtab.ID) {
 	k.s.reports++
 	k.s.hu = append(k.s.hu, huEvent{rt, d})
 }
-func (k shardSink) coReport(rt time.Time, d domain.Name) {
+func (k shardSink) coReport(rt int64, d symtab.ID) {
 	k.s.hu = append(k.s.hu, huEvent{rt, d})
 }
 
 // run processes one batch of messages (times ascending) through d's
-// chain: oracle count, filter, report draw, feedback update.
-func (wm *webmail) run(ch *wmChain, rng *randutil.RNG, times []time.Time,
-	d domain.Name, class ecosystem.CampaignClass,
-	chaff func() (domain.Name, bool), sink wmSink) {
+// chain: oracle count, filter, report draw, feedback update. chaff, if
+// non-nil, draws the additional benign domain some reports name, using
+// the chain's own RNG.
+func (wm *webmail) run(ch *wmChain, rng *randutil.RNG, times []int64,
+	d symtab.ID, class ecosystem.CampaignClass,
+	chaff func(*randutil.RNG) (symtab.ID, bool), sink wmSink) {
 	evade := wm.evasion(class)
 	for _, t := range times {
 		sink.record(t, d)
 		var inbox bool
-		if ch.reported && t.After(ch.firstReport) {
+		if ch.reported && t > ch.firstReport {
 			// The domain is in the provider's filter now.
 			inbox = !rng.Bool(wm.cfg.FilterAfterReport)
 		} else {
@@ -203,17 +232,17 @@ func (wm *webmail) run(ch *wmChain, rng *randutil.RNG, times []time.Time,
 			continue
 		}
 		delay := rng.LogNormal(0, wm.cfg.ReportDelaySigma) * wm.cfg.ReportDelayMedianHours
-		rt := t.Add(time.Duration(delay * float64(time.Hour)))
-		if !rt.Before(wm.window.End) {
+		rt := t + int64(time.Duration(delay*float64(time.Hour)))
+		if rt >= wm.windowEndN {
 			continue
 		}
 		sink.report(rt, d)
-		if !ch.reported || rt.Before(ch.firstReport) {
+		if !ch.reported || rt < ch.firstReport {
 			ch.firstReport = rt
 			ch.reported = true
 		}
 		if chaff != nil && rng.Bool(wm.cfg.HuChaffProb) {
-			if cd, ok := chaff(); ok {
+			if cd, ok := chaff(rng); ok {
 				sink.coReport(rt, cd)
 			}
 		}
@@ -231,68 +260,75 @@ func (wm *webmail) deliver(rng *randutil.RNG, times []time.Time, d domain.Name,
 		return
 	}
 	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
-	ch := wm.shards[shardOf(d)].chain(wm.seed, d)
-	wm.run(ch, rng, times, d, class, chaff, directSink{wm})
+	nanos := make([]int64, len(times))
+	for i, t := range times {
+		nanos[i] = t.UnixNano()
+	}
+	id := wm.syms.Intern(string(d))
+	var idChaff func(*randutil.RNG) (symtab.ID, bool)
+	if chaff != nil {
+		idChaff = func(*randutil.RNG) (symtab.ID, bool) {
+			cd, ok := chaff()
+			if !ok {
+				return 0, false
+			}
+			return wm.syms.Intern(string(cd)), true
+		}
+	}
+	ch := wm.shards[shardOf(d)].chain(wm, id)
+	wm.run(ch, &ch.rng, nanos, id, class, idChaff, directSink{wm})
 }
 
 // recordOnly counts incoming messages for the oracle without any
 // chance of inbox delivery — used for blasts the provider's filters
 // block outright.
 func (wm *webmail) recordOnly(times []time.Time, d domain.Name) {
+	id := wm.syms.Intern(string(d))
 	for _, t := range times {
-		wm.oracle.Record(t, d)
+		wm.oracle.RecordID(t.UnixNano(), id)
 	}
 }
 
-// enqueue appends one batch to its domain's chain queue. Callers must
-// enqueue in canonical (campaign ID, slot) order — that order, not
-// arrival timing, defines the chain semantics.
+// enqueue appends one batch to its shard's queue. Callers must enqueue
+// in canonical (campaign ID, slot) order — that order, not arrival
+// timing, defines the chain semantics.
 func (wm *webmail) enqueue(b wmBatch) {
-	s := &wm.shards[shardOf(b.d)]
-	if _, ok := s.pending[b.d]; !ok {
-		s.order = append(s.order, b.d)
-	}
-	s.pending[b.d] = append(s.pending[b.d], b)
+	s := &wm.shards[wm.shardOfID(b.d)]
+	s.pend = append(s.pend, b)
 }
 
-// flush drains every queued chain, running shards concurrently, then
+// flush drains every queued batch, running shards concurrently, then
 // merges the buffered side effects serially in fixed shard order.
 func (wm *webmail) flush(workers int) {
+	startN := wm.oracle.Window.Start.UnixNano()
+	endN := wm.oracle.Window.End.UnixNano()
 	parallel.ForEach(workers, wmShardCount, func(si int) {
 		s := &wm.shards[si]
-		sink := shardSink{s: s, win: wm.oracle.Window}
-		for _, d := range s.order {
-			ch := s.chain(wm.seed, d)
-			chaff := func() (domain.Name, bool) {
-				if wm.chaffWith == nil {
-					return "", false
+		sink := shardSink{s: s, startN: startN, endN: endN}
+		for i := range s.pend {
+			b := &s.pend[i]
+			if b.prefiltered {
+				for _, t := range b.times {
+					sink.record(t, b.d)
 				}
-				return wm.chaffWith(ch.rng)
+				continue
 			}
-			for _, b := range s.pending[d] {
-				if b.prefiltered {
-					for _, t := range b.times {
-						sink.record(t, b.d)
-					}
-					continue
-				}
-				wm.run(ch, ch.rng, b.times, d, b.class, chaff, sink)
-			}
-			delete(s.pending, d)
+			ch := s.chain(wm, b.d)
+			wm.run(ch, &ch.rng, b.times, b.d, b.class, wm.chaffWith, sink)
 		}
-		s.order = s.order[:0]
+		s.pend = s.pend[:0]
 	})
 	for si := range wm.shards {
 		s := &wm.shards[si]
 		for _, ev := range s.hu {
-			wm.hu.Observe(ev.t, ev.d, "")
+			wm.hu.ObserveID(ev.t, ev.d, 0)
 		}
 		s.hu = s.hu[:0]
 		// Map iteration order is random, but integer addition into the
 		// oracle is exact and commutative, so the merged counts do not
 		// depend on it.
 		for d, n := range s.oracle {
-			wm.oracle.AddBulk(d, n)
+			wm.oracle.AddBulkID(d, n)
 		}
 		clear(s.oracle)
 		wm.reports += s.reports
@@ -303,6 +339,11 @@ func (wm *webmail) flush(workers int) {
 // Reported reports whether d has been human-reported (used by tests and
 // the ablation benches).
 func (wm *webmail) Reported(d domain.Name) bool {
-	ch := wm.shards[shardOf(d)].chains[d]
-	return ch != nil && ch.reported
+	id, ok := wm.syms.Find(string(d))
+	if !ok {
+		return false
+	}
+	s := &wm.shards[shardOf(d)]
+	ci, ok := s.chainIdx[id]
+	return ok && s.chains[ci].reported
 }

@@ -6,6 +6,10 @@
 // reflect what is actually sent — including the enormous legitimate
 // volume carried by benign (Alexa/ODP) domains, which is why those
 // domains dominate feed volume before they are excluded (paper Fig. 3).
+//
+// Counts are stored densely by interned symbol ID (internal/symtab):
+// the engine binds the oracle to the world's shared table and records
+// through the ID fast paths, so the per-message path allocates nothing.
 package oracle
 
 import (
@@ -14,19 +18,37 @@ import (
 	"tasterschoice/internal/domain"
 	"tasterschoice/internal/simclock"
 	"tasterschoice/internal/stats"
+	"tasterschoice/internal/symtab"
 )
 
 // Oracle accumulates per-domain incoming-mail counts over its window.
 type Oracle struct {
 	// Window is the five-day measurement slice.
 	Window simclock.Window
-	counts map[domain.Name]int64
+
+	syms *symtab.Table
+	// counts is indexed by symbol ID; zero entries are unobserved.
+	counts []int64
+	unique int
 	total  int64
 }
 
-// New creates an oracle counting over the given window.
+// New creates an oracle counting over the given window, with its own
+// private symbol table.
 func New(w simclock.Window) *Oracle {
-	return &Oracle{Window: w, counts: make(map[domain.Name]int64)}
+	return &Oracle{Window: w, syms: symtab.New()}
+}
+
+// Bind attaches the oracle to a shared symbol table. It must be called
+// before anything is recorded.
+func (o *Oracle) Bind(tab *symtab.Table) {
+	if tab == o.syms {
+		return
+	}
+	if o.total != 0 || o.unique != 0 {
+		panic("oracle: Bind after counts were recorded")
+	}
+	o.syms = tab
 }
 
 // PaperOracleWindow returns a five-day window in the middle of the
@@ -36,14 +58,36 @@ func PaperOracleWindow(measurement simclock.Window) simclock.Window {
 	return simclock.Window{Start: mid, End: mid.AddDate(0, 0, 5)}
 }
 
+// add accumulates n observations for an interned ID.
+func (o *Oracle) add(d symtab.ID, n int64) {
+	if int(d) >= len(o.counts) {
+		grown := make([]int64, int(d)+1, int(d)+1+(int(d)+1)/2)
+		copy(grown, o.counts)
+		o.counts = grown
+	}
+	if o.counts[d] == 0 {
+		o.unique++
+	}
+	o.counts[d] += n
+	o.total += n
+}
+
 // Record counts one incoming message containing d at time t; messages
 // outside the oracle window are ignored.
 func (o *Oracle) Record(t time.Time, d domain.Name) {
 	if !o.Window.Contains(t) {
 		return
 	}
-	o.counts[d]++
-	o.total++
+	o.add(o.syms.Intern(string(d)), 1)
+}
+
+// RecordID counts one incoming message for an interned domain ID at a
+// packed UnixNano timestamp; messages outside the window are ignored.
+func (o *Oracle) RecordID(tNanos int64, d symtab.ID) {
+	if tNanos < o.Window.Start.UnixNano() || tNanos >= o.Window.End.UnixNano() {
+		return
+	}
+	o.add(d, 1)
 }
 
 // AddBulk adds n message observations for d without timestamps — used
@@ -53,18 +97,39 @@ func (o *Oracle) AddBulk(d domain.Name, n int64) {
 	if n <= 0 {
 		return
 	}
-	o.counts[d] += n
-	o.total += n
+	o.add(o.syms.Intern(string(d)), n)
+}
+
+// AddBulkID is the hot-path form of AddBulk.
+func (o *Oracle) AddBulkID(d symtab.ID, n int64) {
+	if n <= 0 {
+		return
+	}
+	o.add(d, n)
 }
 
 // Volume returns the recorded count for d.
-func (o *Oracle) Volume(d domain.Name) int64 { return o.counts[d] }
+func (o *Oracle) Volume(d domain.Name) int64 {
+	id, ok := o.syms.Find(string(d))
+	if !ok {
+		return 0
+	}
+	return o.VolumeID(id)
+}
+
+// VolumeID returns the recorded count for an interned domain ID.
+func (o *Oracle) VolumeID(d symtab.ID) int64 {
+	if int(d) >= len(o.counts) {
+		return 0
+	}
+	return o.counts[d]
+}
 
 // Total returns the total recorded message-domain observations.
 func (o *Oracle) Total() int64 { return o.total }
 
 // Unique returns the number of distinct domains observed.
-func (o *Oracle) Unique() int { return len(o.counts) }
+func (o *Oracle) Unique() int { return o.unique }
 
 // Volumes returns counts for exactly the requested domains (the paper
 // submits the union of feed domains and receives their counts);
@@ -72,7 +137,7 @@ func (o *Oracle) Unique() int { return len(o.counts) }
 func (o *Oracle) Volumes(domains []domain.Name) map[string]int64 {
 	out := make(map[string]int64, len(domains))
 	for _, d := range domains {
-		out[string(d)] = o.counts[d]
+		out[string(d)] = o.Volume(d)
 	}
 	return out
 }
@@ -82,9 +147,13 @@ func (o *Oracle) Volumes(domains []domain.Name) map[string]int64 {
 // any domain outside the union of feeds to zero.
 func (o *Oracle) Dist(support map[string]bool) stats.Dist {
 	counts := make(map[string]int64)
-	for d, c := range o.counts {
-		if support[string(d)] {
-			counts[string(d)] = c
+	for id, c := range o.counts {
+		if c == 0 {
+			continue
+		}
+		d := o.syms.Lookup(symtab.ID(id))
+		if support[d] {
+			counts[d] = c
 		}
 	}
 	return stats.NewDistFromCounts(counts)

@@ -142,7 +142,7 @@ func NewWeightedChoice(rng *RNG, weights []float64) *WeightedChoice {
 	total := 0.0
 	for i, w := range weights {
 		if w < 0 || math.IsNaN(w) {
-			panic(fmt.Sprintf("randutil: negative or NaN weight %g at %d", w, i))
+			panic(fmt.Sprintf("randutil: negative or NaN weight %g at %d", w, i)) //lint:allow stringalloc -- error path: formats once, then panics
 		}
 		total += w
 		cum[i] = total

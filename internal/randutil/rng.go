@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"strconv"
 )
 
 // RNG is a deterministic pseudo-random number generator. It is NOT safe
@@ -57,16 +58,65 @@ func NewNamed(seed uint64, name string) *RNG {
 
 // fnv64 is the FNV-1a hash of s.
 func fnv64(s string) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
+	return fnv64More(fnvOffset, s)
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fnv64More folds s into a running FNV-1a state. Because FNV-1a is
+// byte-sequential, fnv64More(fnv64More(fnvOffset, a), b) == fnv64(a+b)
+// — the identity the zero-allocation named constructors below rely on.
+func fnv64More(h uint64, s string) uint64 {
 	for i := 0; i < len(s); i++ {
 		h ^= uint64(s[i])
-		h *= prime
+		h *= fnvPrime
 	}
 	return h
+}
+
+// fnv64Int folds the decimal representation of n into a running
+// FNV-1a state, exactly as hashing strconv.Itoa(n) would.
+func fnv64Int(h uint64, n int) uint64 {
+	var buf [20]byte
+	b := strconv.AppendInt(buf[:0], int64(n), 10)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// seedState fills a fresh xoshiro256** state from a SplitMix64 seed —
+// the shared tail of every constructor.
+func seedState(sm uint64) RNG {
+	var r RNG
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// NamedInt returns, by value, the same generator NewNamed(seed,
+// prefix+strconv.Itoa(n)) would — the per-campaign stream constructor,
+// without the Sprintf or the heap allocation. Streams (and therefore
+// every golden fingerprint) are bit-identical to the string form.
+func NamedInt(seed uint64, prefix string, n int) RNG {
+	h := fnv64Int(fnv64More(fnvOffset, prefix), n)
+	return seedState(seed ^ h)
+}
+
+// NamedPair returns, by value, the same generator NewNamed(seed, a+b)
+// would — used for per-domain streams like "webmail/<domain>" without
+// concatenating the name.
+func NamedPair(seed uint64, a, b string) RNG {
+	h := fnv64More(fnv64More(fnvOffset, a), b)
+	return seedState(seed ^ h)
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.
@@ -221,15 +271,25 @@ func (r *RNG) Letters(n int) string {
 // AlphaNum returns a string of n lowercase ASCII letters and digits,
 // starting with a letter (so it is always a valid DNS label).
 func (r *RNG) AlphaNum(n int) string {
-	const alphabet = "abcdefghijklmnopqrstuvwxyz"
-	const full = "abcdefghijklmnopqrstuvwxyz0123456789"
 	if n <= 0 {
 		return ""
 	}
-	b := make([]byte, n)
-	b[0] = alphabet[r.Intn(len(alphabet))]
-	for i := 1; i < n; i++ {
-		b[i] = full[r.Intn(len(full))]
+	return string(r.AppendAlphaNum(nil, n))
+}
+
+// AppendAlphaNum appends n AlphaNum characters to dst and returns the
+// extended slice. It consumes exactly the draws AlphaNum(n) would, so
+// the two are interchangeable without perturbing the stream; hot paths
+// use it with a reused buffer to mint names without allocating.
+func (r *RNG) AppendAlphaNum(dst []byte, n int) []byte {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz"
+	const full = "abcdefghijklmnopqrstuvwxyz0123456789"
+	if n <= 0 {
+		return dst
 	}
-	return string(b)
+	dst = append(dst, alphabet[r.Intn(len(alphabet))])
+	for i := 1; i < n; i++ {
+		dst = append(dst, full[r.Intn(len(full))])
+	}
+	return dst
 }

@@ -1,6 +1,7 @@
 package randutil
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -266,5 +267,51 @@ func TestUint64nProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The zero-allocation constructors must reproduce the exact streams of
+// their string-building equivalents: the engine swaps one for the
+// other on the hot path, and any divergence would break the golden
+// fingerprints.
+
+func TestNamedIntMatchesNewNamed(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 42, 999, 123456} {
+		byStr := NewNamed(99, fmt.Sprintf("campaign-%d", n))
+		byInt := NamedInt(99, "campaign-", n)
+		for i := 0; i < 8; i++ {
+			if a, b := byStr.Uint64(), byInt.Uint64(); a != b {
+				t.Fatalf("n=%d draw %d: NewNamed %d, NamedInt %d", n, i, a, b)
+			}
+		}
+	}
+}
+
+func TestNamedPairMatchesNewNamed(t *testing.T) {
+	for _, d := range []string{"", "a.com", "webmail-domain.example.net"} {
+		byStr := NewNamed(7, "webmail/"+d)
+		pair := NamedPair(7, "webmail/", d)
+		for i := 0; i < 8; i++ {
+			if a, b := byStr.Uint64(), pair.Uint64(); a != b {
+				t.Fatalf("d=%q draw %d: NewNamed %d, NamedPair %d", d, i, a, b)
+			}
+		}
+	}
+}
+
+func TestAppendAlphaNumMatchesAlphaNum(t *testing.T) {
+	a := New(4242)
+	b := New(4242)
+	var buf []byte
+	for _, n := range []int{0, 1, 5, 17, 63} {
+		want := a.AlphaNum(n)
+		buf = b.AppendAlphaNum(buf[:0], n)
+		if string(buf) != want {
+			t.Fatalf("n=%d: AlphaNum %q, AppendAlphaNum %q", n, want, buf)
+		}
+	}
+	// Streams stay aligned after mixed use.
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("streams diverged after AppendAlphaNum")
 	}
 }

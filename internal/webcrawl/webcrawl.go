@@ -11,8 +11,6 @@
 package webcrawl
 
 import (
-	"fmt"
-
 	"tasterschoice/internal/domain"
 	"tasterschoice/internal/ecosystem"
 )
@@ -66,7 +64,7 @@ func New(w *ecosystem.World) *Crawler {
 // VisitDomain crawls a bare domain the way the paper handles
 // domain-only feeds: prepend "http://" and visit the root.
 func (c *Crawler) VisitDomain(d domain.Name) Result {
-	return c.Visit(fmt.Sprintf("http://%s/", d))
+	return c.Visit("http://" + string(d) + "/")
 }
 
 // Visit fetches a URL, following any redirect to the storefront.
