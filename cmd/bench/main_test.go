@@ -136,3 +136,78 @@ func TestMarkdownDiff(t *testing.T) {
 		}
 	}
 }
+
+// TestFindRegressionsReportsAll: one -check run surfaces every
+// regression across every entry — a speedup drop, a blown alloc
+// budget, a raw ns/op slide and an under-floor scaling number all at
+// once, instead of failing on the first hit.
+func TestFindRegressionsReportsAll(t *testing.T) {
+	base := rep(
+		Bench{Name: "coverage", NsPerOp: 100, SerialNsPerOp: 400, Speedup: sp(4.0)},
+		Bench{Name: "dataset_build", NsPerOp: 100, MaxAllocsPerOp: 100_000},
+		Bench{Name: "timing", NsPerOp: 1000},
+		Bench{Name: "dataset_build_w4", NsPerOp: 100, SerialNsPerOp: 400, Speedup: sp(4.0), MinSpeedup: 3.9},
+	)
+	cur := rep(
+		Bench{Name: "coverage", NsPerOp: 100, SerialNsPerOp: 200, Speedup: sp(2.0)},
+		Bench{Name: "dataset_build", NsPerOp: 100, AllocsPerOp: 200_000},
+		Bench{Name: "timing", NsPerOp: 2000},
+		Bench{Name: "dataset_build_w4", NsPerOp: 100, SerialNsPerOp: 380, Speedup: sp(3.8)},
+	)
+	regs, _ := findRegressions(base, cur)
+	if len(regs) != 4 {
+		t.Fatalf("want all 4 regressions in one pass, got %d: %v", len(regs), regs)
+	}
+	for _, want := range []string{"coverage", "dataset_build:", "timing", "floor"} {
+		found := false
+		for _, r := range regs {
+			if strings.Contains(r, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("regression list missing %q: %v", want, regs)
+		}
+	}
+}
+
+// TestFindRegressionsMinCPUDowngrade: an entry committed at MinCPU=4
+// demotes every one of its regressions to warnings on a smaller
+// machine — while other entries keep failing the check normally.
+func TestFindRegressionsMinCPUDowngrade(t *testing.T) {
+	base := rep(
+		Bench{Name: "dnsbl_serve_qps", NsPerOp: 1000, SerialNsPerOp: 3000,
+			Speedup: sp(3.0), MinSpeedup: 1.5, MinCPU: 4},
+		Bench{Name: "dnsbl_serve_p99", NsPerOp: 50_000, MinCPU: 4},
+		Bench{Name: "timing", NsPerOp: 1000},
+	)
+	cur := rep(
+		// Collapsed throughput AND under the floor: two would-be failures.
+		Bench{Name: "dnsbl_serve_qps", NsPerOp: 10_000, SerialNsPerOp: 11_000, Speedup: sp(1.1)},
+		// Tail latency blown 10x: a third.
+		Bench{Name: "dnsbl_serve_p99", NsPerOp: 500_000},
+		// And an unprotected entry that regressed for real.
+		Bench{Name: "timing", NsPerOp: 2000},
+	)
+	cur.NumCPU = 1
+	regs, warns := findRegressions(base, cur)
+	if len(regs) != 1 || !strings.Contains(regs[0], "timing") {
+		t.Fatalf("want only the unprotected regression, got %v", regs)
+	}
+	downgraded := 0
+	for _, w := range warns {
+		if strings.Contains(w, "NOT ENFORCED") {
+			downgraded++
+		}
+	}
+	if downgraded < 2 {
+		t.Fatalf("MinCPU downgrades missing from warnings: %v", warns)
+	}
+
+	// With enough cores the same report fails outright.
+	cur.NumCPU = 8
+	regs, _ = findRegressions(base, cur)
+	if len(regs) < 3 {
+		t.Fatalf("big machine must enforce the serve entries: %v", regs)
+	}
+}

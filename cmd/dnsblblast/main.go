@@ -1,0 +1,251 @@
+// Command dnsblblast load-tests a DNSBL server the way the global
+// resolver population does: many concurrent clients, a Zipf-skewed
+// query mix dominated by a handful of loud-campaign domains, junk
+// misses in between, and every answer checked against the oracle.
+//
+// Generate a deterministic workload (feed file + query skew) from the
+// simulated spam ecosystem, serve it, then blast it:
+//
+//	dnsblblast -mkfeed /tmp/dbl.jsonl -world-seed 42 -top 2000
+//	dnsblserve -serve dbl.test=/tmp/dbl.jsonl -listen 127.0.0.1:5353 &
+//	dnsblblast -addr 127.0.0.1:5353 -zone dbl.test -feed /tmp/dbl.jsonl \
+//	           -duration 10s -clients 8 -qps 2000
+//
+// The run reports sent/received counts, any incorrect answers, and
+// exact p50/p99/p999 round-trip latencies:
+//
+//	blast: sent=20000 recv=20000 timeouts=0 shed=0 incorrect=0 qps=2000 p50=83µs p99=412µs p999=1.2ms
+//
+// Exit status is nonzero when any answer contradicted the oracle, or
+// when -max-p99 / -min-qps floors are violated — which is exactly what
+// the CI load-smoke job keys off.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tasterschoice/internal/dnsblplane"
+	"tasterschoice/internal/domain"
+	"tasterschoice/internal/ecosystem"
+	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/randutil"
+)
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "dnsblblast: %v\n", err)
+	os.Exit(1)
+}
+
+// multiFlag collects repeatable -zone flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", "", "DNSBL server UDP address to blast")
+	var zones multiFlag
+	flag.Var(&zones, "zone", "zone suffix to query (repeatable; also accepts comma lists)")
+	feedPath := flag.String("feed", "", "feed file the server loaded; doubles as oracle and query mix")
+	duration := flag.Duration("duration", 10*time.Second, "how long to blast")
+	clients := flag.Int("clients", 8, "concurrent resolver clients")
+	qps := flag.Float64("qps", 0, "aggregate query-rate bound (0: unbounded)")
+	missFrac := flag.Float64("miss", 0.4, "fraction of queries for unlisted junk names")
+	txtFrac := flag.Float64("txt", 0.1, "fraction of TXT queries")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-query timeout")
+	maxP99 := flag.Duration("max-p99", 0, "fail when p99 latency exceeds this (0: no floor)")
+	minQPS := flag.Float64("min-qps", 0, "fail when achieved QPS falls below this (0: no floor)")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	noVerify := flag.Bool("no-verify", false, "skip oracle verification (pure throughput)")
+
+	mkfeed := flag.String("mkfeed", "", "write a loud-campaign feed file here and exit (no blasting)")
+	worldSeed := flag.Uint64("world-seed", 42, "ecosystem seed for -mkfeed")
+	top := flag.Int("top", 2000, "domains to keep from the loud-campaign skew for -mkfeed")
+	flag.Parse()
+
+	if *mkfeed != "" {
+		if err := writeFeed(*mkfeed, *worldSeed, *top); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *addr == "" || len(zones) == 0 || *feedPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var zoneList []string
+	for _, z := range zones {
+		for _, part := range strings.Split(z, ",") {
+			if part != "" {
+				zoneList = append(zoneList, part)
+			}
+		}
+	}
+
+	feed, err := loadFeedFile(*feedPath)
+	if err != nil {
+		fail(err)
+	}
+	listed, weights := workload(feed)
+	b := &dnsblplane.Blaster{
+		Addr:     *addr,
+		Zones:    zoneList,
+		Listed:   listed,
+		Weights:  weights,
+		Unlisted: junkNames(*seed, 1024),
+		MissFrac: *missFrac,
+		TXTFrac:  *txtFrac,
+		Clients:  *clients,
+		QPS:      *qps,
+		Timeout:  *timeout,
+		Seed:     *seed,
+	}
+	if !*noVerify {
+		b.Oracle = feedOracle(feed)
+	}
+	rep, err := b.Run(context.Background(), *duration)
+	if err != nil {
+		fail(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep) //nolint:errcheck
+	} else {
+		fmt.Println(rep)
+		for _, m := range rep.Mismatches {
+			fmt.Printf("  mismatch: %s\n", m)
+		}
+	}
+	failures := 0
+	if rep.Incorrect > 0 {
+		fmt.Fprintf(os.Stderr, "dnsblblast: %d incorrect answers\n", rep.Incorrect)
+		failures++
+	}
+	if *maxP99 > 0 && rep.P99 > *maxP99 {
+		fmt.Fprintf(os.Stderr, "dnsblblast: p99 %s above floor %s\n", rep.P99, *maxP99)
+		failures++
+	}
+	if *minQPS > 0 && rep.QPS < *minQPS {
+		fmt.Fprintf(os.Stderr, "dnsblblast: qps %.0f below floor %.0f\n", rep.QPS, *minQPS)
+		failures++
+	}
+	if rep.Received == 0 {
+		fmt.Fprintf(os.Stderr, "dnsblblast: no answers received\n")
+		failures++
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// writeFeed generates the ecosystem, takes the top-N loud-campaign
+// domains by skew weight, and writes them as a raw JSONL feed file —
+// the shared fixture dnsblserve loads and dnsblblast verifies against.
+func writeFeed(path string, seed uint64, top int) error {
+	world, err := ecosystem.Generate(ecosystem.DefaultConfig(seed))
+	if err != nil {
+		return err
+	}
+	skew := world.LoudCampaignSkew()
+	if top > 0 && len(skew) > top {
+		skew = skew[:top]
+	}
+	if len(skew) == 0 {
+		return fmt.Errorf("world seed %d produced no loud-campaign domains", seed)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := feeds.NewRawWriter(f)
+	for i, dw := range skew {
+		// Deterministic first-seen times: campaign order over one day.
+		t := time.Unix(1217548800+int64(i), 0).UTC() // 2008-08-01, paper era
+		if err := w.Write(feeds.RawRecord{Time: t, Domain: string(dw.Name)}); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d loud-campaign domains to %s\n", len(skew), path)
+	return nil
+}
+
+// loadFeedFile reads the feed file the server was pointed at, naming
+// the feed after the file the way dnsblserve does (the TXT oracle
+// depends on the names matching).
+func loadFeedFile(path string) (*feeds.Feed, error) {
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".tsv") {
+		feed, err := feeds.ReadTSV(f)
+		if err != nil {
+			return nil, err
+		}
+		if feed.Name == "" {
+			feed.Name = name
+		}
+		return feed, nil
+	}
+	feed := feeds.New(name, feeds.KindBlacklist, false, false)
+	if _, err := feed.ReadRaw(f); err != nil {
+		return nil, err
+	}
+	return feed, nil
+}
+
+// workload extracts the listed-domain mix from the feed: domains in
+// descending observation-count order with their counts as weights
+// (count-weighted picks approximate the loud-campaign skew the feed
+// was built from).
+func workload(feed *feeds.Feed) (listed []string, weights []float64) {
+	feed.Each(func(d domain.Name, s feeds.DomainStat) {
+		listed = append(listed, string(d))
+		weights = append(weights, float64(s.Count))
+	})
+	return listed, weights
+}
+
+// feedOracle adapts the loaded feed into the blaster's oracle.
+func feedOracle(feed *feeds.Feed) func(zone, name string) (bool, time.Time, string) {
+	return func(zone, name string) (bool, time.Time, string) {
+		s, ok := feed.Stat(domain.Name(name))
+		if !ok {
+			return false, time.Time{}, ""
+		}
+		return true, s.First, feed.Name
+	}
+}
+
+// junkNames builds deterministic never-listed query names.
+func junkNames(seed uint64, n int) []string {
+	rng := randutil.NewNamed(seed, "blast-junk")
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("junk-%08x.example", rng.Uint64()&0xffffffff)
+	}
+	return out
+}

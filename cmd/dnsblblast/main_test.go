@@ -1,0 +1,106 @@
+package main
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tasterschoice/internal/domain"
+)
+
+// TestWriteFeedRoundTrip: -mkfeed emits a raw JSONL feed that
+// loadFeedFile reads back — the fixture contract between dnsblblast,
+// dnsblserve and the CI load-smoke job.
+func TestWriteFeedRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dbl.jsonl")
+	if err := writeFeed(path, 42, 50); err != nil {
+		t.Fatal(err)
+	}
+	feed, err := loadFeedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feed.Name != "dbl" {
+		t.Fatalf("feed name = %q, want base name %q", feed.Name, "dbl")
+	}
+	if got := feed.Unique(); got != 50 {
+		t.Fatalf("unique domains = %d, want 50", got)
+	}
+	listed, weights := workload(feed)
+	if len(listed) != 50 || len(weights) != 50 {
+		t.Fatalf("workload: %d domains, %d weights", len(listed), len(weights))
+	}
+	for i, w := range weights {
+		if w <= 0 {
+			t.Fatalf("weight[%d] (%s) = %v", i, listed[i], w)
+		}
+	}
+
+	// The oracle must agree with the file: every listed domain resolves
+	// with its recorded first-seen time and the feed's name as reason.
+	oracle := feedOracle(feed)
+	for _, d := range listed {
+		ok, first, reason := oracle("dbl.test", d)
+		if !ok || first.IsZero() || reason != "dbl" {
+			t.Fatalf("oracle(%s) = %v, %v, %q", d, ok, first, reason)
+		}
+		s, _ := feed.Stat(domain.Name(d))
+		if !first.Equal(s.First) {
+			t.Fatalf("oracle first %v != feed first %v", first, s.First)
+		}
+	}
+	if ok, _, _ := oracle("dbl.test", "never-listed.example"); ok {
+		t.Fatal("oracle lists a domain the feed never saw")
+	}
+}
+
+// TestWriteFeedDeterministic: same world seed, same fixture bytes.
+func TestWriteFeedDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.jsonl"), filepath.Join(dir, "b.jsonl")
+	if err := writeFeed(a, 7, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFeed(b, 7, 20); err != nil {
+		t.Fatal(err)
+	}
+	fa, err := loadFeedFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := loadFeedFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, wa := workload(fa)
+	lb, wb := workload(fb)
+	if !reflect.DeepEqual(la, lb) || !reflect.DeepEqual(wa, wb) {
+		t.Fatal("same seed produced different workloads")
+	}
+}
+
+// TestJunkNames: deterministic per seed, never colliding with the
+// loud-campaign namespace (junk names carry their own prefix).
+func TestJunkNames(t *testing.T) {
+	a := junkNames(1, 64)
+	b := junkNames(1, 64)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("junkNames not deterministic")
+	}
+	c := junkNames(2, 64)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical junk")
+	}
+	for _, n := range a {
+		if len(n) == 0 || n[:5] != "junk-" {
+			t.Fatalf("junk name %q missing its namespace prefix", n)
+		}
+	}
+}
+
+// TestLoadFeedFileErrors covers the failure paths the CLI reports.
+func TestLoadFeedFileErrors(t *testing.T) {
+	if _, err := loadFeedFile(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Fatal("missing file: want error")
+	}
+}

@@ -1,10 +1,28 @@
-// Command dnsblserve serves a feed file (written by cmd/feedgen, or
-// converted from real blacklist data) as a DNSBL zone over DNS/UDP, the
-// way dbl- and uribl-style blacklists are consumed by mail filters:
+// Command dnsblserve serves blacklist feeds as DNSBL zones over
+// DNS/UDP, the way dbl- and uribl-style blacklists are consumed by
+// mail filters.
+//
+// Single-zone (legacy) mode serves one feed under one zone through the
+// synchronous internal/dnsbl server:
 //
 //	dnsblserve -feed feeds-out/uribl.tsv -zone uribl.example -listen 127.0.0.1:5353
 //
-// Query it with the dnsbl client, or with standard tools:
+// Multi-zone plane mode serves any number of zones from the sharded
+// internal/dnsblplane index — lock-free reads, RCU snapshot reloads,
+// negative-answer caching, batched read/write loops:
+//
+//	dnsblserve -serve dbl.example=feeds-out/dbl.tsv \
+//	           -serve uribl.example=feeds-out/uribl.tsv \
+//	           -shards 4 -listen 127.0.0.1:5353
+//
+// The feed name attributed in TXT answers is the file's base name
+// (".tsv" feeds load as aggregate TSV, anything else as raw JSONL
+// observation logs). With -sync-addr the plane also tails feedsync
+// deltas live: -sync FEED=ZONE subscribes to FEED on the feedsync
+// server and hot-reloads its records into ZONE while queries keep
+// flowing.
+//
+// Query either mode with the dnsbl client, or with standard tools:
 //
 //	dig @127.0.0.1 -p 5353 somespamdomain.com.uribl.example A
 //
@@ -16,10 +34,11 @@
 //
 // Overload protection is off by default and switched on with the
 // -workers / -max-inflight / -rate family of flags: queries then pass
-// an admission gate and a bounded CoDel-shedding queue, and excess
-// load is answered with protocol-native REFUSED/SERVFAIL instead of
-// growing an unbounded backlog. See MECHANISMS.md, "Overload and
-// graceful degradation".
+// an admission gate (and, in legacy mode, a bounded CoDel-shedding
+// queue), and excess load is answered with protocol-native
+// REFUSED/SERVFAIL instead of growing an unbounded backlog. See
+// MECHANISMS.md, "Overload and graceful degradation" and "Sharded
+// query plane".
 package main
 
 import (
@@ -29,15 +48,29 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"tasterschoice/internal/dnsbl"
+	"tasterschoice/internal/dnsblplane"
 	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/feedsync"
 	"tasterschoice/internal/lifecycle"
 	"tasterschoice/internal/obs"
 	"tasterschoice/internal/overload"
 )
+
+// multiFlag collects repeatable -serve / -sync flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
 
 // options carries everything setup needs; one struct instead of a
 // parameter list that grows with every flag.
@@ -48,8 +81,18 @@ type options struct {
 	ttl         uint32
 	metricsAddr string
 
-	// Overload protection (all zero: legacy unprotected serving).
-	workers     int     // queued-worker pool size (0: synchronous loop)
+	// Plane mode (any -serve entry switches it on).
+	serves   []string // "suffix=feedfile" entries
+	shards   int
+	negTTL   time.Duration
+	negSize  int
+	readers  int
+	batch    int
+	syncAddr string   // feedsync server for hot reload
+	tails    []string // "feed=zone" subscriptions
+
+	// Overload protection (all zero: unprotected serving).
+	workers     int     // worker pool size (0: legacy synchronous loop)
 	queueDepth  int     // bounded queue size (0: 16×workers)
 	maxInflight int     // admission gate concurrency cap (0: unlimited)
 	rate        float64 // admissions/sec per priority class (0: unlimited)
@@ -65,10 +108,26 @@ func (o options) gateWanted() bool {
 	return o.maxInflight > 0 || o.rate > 0 || o.fairBuckets > 0
 }
 
-// setup loads the feed and wires the DNS server plus, when
-// o.metricsAddr is non-empty, an instrumented exposition endpoint. The
-// server is listening (on possibly-":0"-resolved addr) when setup
-// returns.
+// gate builds the admission gate from the flag family.
+func (o options) gate(reg *obs.Registry) *overload.Gate {
+	cfg := overload.GateConfig{
+		MaxConcurrent: o.maxInflight,
+		FairBuckets:   o.fairBuckets,
+		FairRate:      o.fairRate,
+		FairBurst:     o.fairBurst,
+		Seed:          o.seed,
+	}
+	for p := range cfg.Rate {
+		cfg.Rate[p], cfg.Burst[p] = o.rate, o.burst
+	}
+	cfg.Metrics = overload.NewGateMetrics(reg, "dnsbl")
+	return overload.NewGate(cfg)
+}
+
+// setup loads the feed and wires the legacy single-zone DNS server
+// plus, when o.metricsAddr is non-empty, an instrumented exposition
+// endpoint. The server is listening (on possibly-":0"-resolved addr)
+// when setup returns.
 func setup(o options) (srv *dnsbl.Server, addr net.Addr, ms *obs.MetricsServer, err error) {
 	f, err := os.Open(o.feedPath)
 	if err != nil {
@@ -92,18 +151,7 @@ func setup(o options) (srv *dnsbl.Server, addr net.Addr, ms *obs.MetricsServer, 
 		}
 	}
 	if o.gateWanted() {
-		cfg := overload.GateConfig{
-			MaxConcurrent: o.maxInflight,
-			FairBuckets:   o.fairBuckets,
-			FairRate:      o.fairRate,
-			FairBurst:     o.fairBurst,
-			Seed:          o.seed,
-		}
-		for p := range cfg.Rate {
-			cfg.Rate[p], cfg.Burst[p] = o.rate, o.burst
-		}
-		cfg.Metrics = overload.NewGateMetrics(reg, "dnsbl")
-		srv.Admission = overload.NewGate(cfg)
+		srv.Admission = o.gate(reg)
 	}
 	if o.workers > 0 {
 		srv.Workers = o.workers
@@ -120,13 +168,175 @@ func setup(o options) (srv *dnsbl.Server, addr net.Addr, ms *obs.MetricsServer, 
 	return srv, addr, ms, nil
 }
 
+// loadFeedFile reads one feed file — aggregate TSV for .tsv, raw JSONL
+// observation log otherwise — naming the feed after the file.
+func loadFeedFile(path string) (*feeds.Feed, error) {
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".tsv") {
+		feed, err := feeds.ReadTSV(f)
+		if err != nil {
+			return nil, err
+		}
+		if feed.Name == "" {
+			feed.Name = name
+		}
+		return feed, nil
+	}
+	feed := feeds.New(name, feeds.KindBlacklist, false, false)
+	if _, err := feed.ReadRaw(f); err != nil {
+		return nil, err
+	}
+	return feed, nil
+}
+
+// setupPlane wires the multi-zone sharded plane: parses the -serve
+// entries, bulk-loads each feed into its zone, starts the batched UDP
+// server and, when o.syncAddr is set, one hot-reload tailer per -sync
+// entry. The returned stop function halts the tailers (idempotent).
+func setupPlane(o options) (srv *dnsblplane.Server, addr net.Addr, ms *obs.MetricsServer, stop func(), err error) {
+	type load struct {
+		zone string
+		path string
+	}
+	var loads []load
+	zoneSet := map[string]bool{}
+	var zones []dnsblplane.ZoneConfig
+	for _, s := range o.serves {
+		suffix, path, ok := strings.Cut(s, "=")
+		if !ok || suffix == "" || path == "" {
+			return nil, nil, nil, nil, fmt.Errorf("bad -serve %q (want suffix=feedfile)", s)
+		}
+		if !zoneSet[suffix] {
+			zoneSet[suffix] = true
+			zones = append(zones, dnsblplane.ZoneConfig{Suffix: suffix})
+		}
+		loads = append(loads, load{zone: suffix, path: path})
+	}
+	for _, tl := range o.tails {
+		_, zone, ok := strings.Cut(tl, "=")
+		if !ok {
+			return nil, nil, nil, nil, fmt.Errorf("bad -sync %q (want feed=zone)", tl)
+		}
+		if !zoneSet[zone] {
+			zoneSet[zone] = true
+			zones = append(zones, dnsblplane.ZoneConfig{Suffix: zone})
+		}
+	}
+
+	plane, err := dnsblplane.New(dnsblplane.Config{
+		Zones:        zones,
+		Shards:       o.shards,
+		TTL:          o.ttl,
+		NegTTL:       o.negTTL,
+		NegCacheSize: o.negSize,
+	})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	// The plane's counters are always wired (the exit summary reads
+	// them); the HTTP exposition endpoint only with -metrics.
+	reg := obs.NewRegistry()
+	plane.Metrics = dnsblplane.WireMetrics(reg)
+	if o.metricsAddr != "" {
+		ms, err = obs.Serve(o.metricsAddr, reg, obs.NewTracer(0, nil))
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+	for _, l := range loads {
+		feed, err := loadFeedFile(l.path)
+		if err != nil {
+			if ms != nil {
+				ms.Close()
+			}
+			return nil, nil, nil, nil, err
+		}
+		n, err := plane.LoadFeed(l.zone, feed)
+		if err != nil {
+			if ms != nil {
+				ms.Close()
+			}
+			return nil, nil, nil, nil, err
+		}
+		fmt.Printf("zone %s: loaded %d domains from %s\n", l.zone, n, l.path)
+	}
+
+	srv = &dnsblplane.Server{
+		Plane:      plane,
+		Readers:    o.readers,
+		Workers:    o.workers,
+		Batch:      o.batch,
+		QueueDepth: o.queueDepth,
+	}
+	if o.gateWanted() {
+		srv.Admission = o.gate(reg)
+	}
+	addr, err = srv.Listen(o.listen)
+	if err != nil {
+		if ms != nil {
+			ms.Close()
+		}
+		return nil, nil, nil, nil, err
+	}
+
+	// Hot reload: one tailer per -sync entry, stopped via the returned
+	// cancel. Tailers reconnect-from-offset on connection loss.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	tails := 0
+	if o.syncAddr != "" {
+		for _, tl := range o.tails {
+			feedName, zone, _ := strings.Cut(tl, "=")
+			tails++
+			go func(feedName, zone string) {
+				defer func() { done <- struct{}{} }()
+				rl := &dnsblplane.Reloader{
+					Client: feedsync.NewClient(o.syncAddr),
+					Plane:  plane,
+					Zone:   zone,
+					Feed:   feedName,
+				}
+				var off int64
+				for ctx.Err() == nil {
+					var err error
+					off, err = rl.Run(ctx, off)
+					if err != nil && ctx.Err() == nil {
+						fmt.Fprintf(os.Stderr, "dnsblserve: sync %s: %v\n", feedName, err)
+					}
+				}
+			}(feedName, zone)
+		}
+	}
+	stop = func() {
+		cancel()
+		for i := 0; i < tails; i++ {
+			<-done
+		}
+	}
+	return srv, addr, ms, stop, nil
+}
+
 func main() {
-	feedPath := flag.String("feed", "", "feed TSV file to serve (required)")
-	zone := flag.String("zone", "dnsbl.example", "zone suffix to answer under")
+	feedPath := flag.String("feed", "", "legacy mode: feed TSV file to serve under -zone")
+	zone := flag.String("zone", "dnsbl.example", "legacy mode: zone suffix to answer under")
+	var serves, tails multiFlag
+	flag.Var(&serves, "serve", "plane mode: SUFFIX=FEEDFILE zone to serve (repeatable)")
+	flag.Var(&tails, "sync", "plane mode: FEED=ZONE feedsync subscription to hot-reload (repeatable)")
+	syncAddr := flag.String("sync-addr", "", "feedsync server address for -sync subscriptions")
+	shards := flag.Int("shards", 4, "plane mode: shards per zone (rounded up to a power of two)")
+	negTTL := flag.Duration("neg-ttl", 30*time.Second, "plane mode: negative-answer cache TTL")
+	negSize := flag.Int("neg-size", 512, "plane mode: negative-cache entries per shard (<0 disables)")
+	readers := flag.Int("readers", 1, "plane mode: socket reader goroutines")
+	batch := flag.Int("batch", 32, "plane mode: max datagrams per worker wakeup")
 	listen := flag.String("listen", "127.0.0.1:5353", "UDP address to listen on")
 	ttl := flag.Uint("ttl", 300, "TTL for positive answers, seconds")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this HTTP address (empty: disabled)")
-	workers := flag.Int("workers", 0, "queued-worker pool size; 0 keeps the synchronous serving loop")
+	workers := flag.Int("workers", 0, "worker pool size (legacy mode 0: synchronous loop; plane mode 0: 4)")
 	queueDepth := flag.Int("queue", 0, "bounded request queue depth (0: 16 per worker)")
 	maxInflight := flag.Int("max-inflight", 0, "admission cap on concurrently served queries (0: unlimited)")
 	rate := flag.Float64("rate", 0, "admissions per second per priority class (0: unlimited)")
@@ -136,17 +346,21 @@ func main() {
 	fairBurst := flag.Float64("fair-burst", 0, "fairness bucket burst (0: same as -fair-rate)")
 	seed := flag.Uint64("overload-seed", 1, "seed for the fairness hash")
 	flag.Parse()
-	if *feedPath == "" {
-		flag.Usage()
-		os.Exit(2)
-	}
 
-	srv, addr, ms, err := setup(options{
+	o := options{
 		feedPath:    *feedPath,
 		zone:        *zone,
 		listen:      *listen,
 		ttl:         uint32(*ttl),
 		metricsAddr: *metricsAddr,
+		serves:      serves,
+		tails:       tails,
+		syncAddr:    *syncAddr,
+		shards:      *shards,
+		negTTL:      *negTTL,
+		negSize:     *negSize,
+		readers:     *readers,
+		batch:       *batch,
 		workers:     *workers,
 		queueDepth:  *queueDepth,
 		maxInflight: *maxInflight,
@@ -156,22 +370,52 @@ func main() {
 		fairRate:    *fairRate,
 		fairBurst:   *fairBurst,
 		seed:        *seed,
-	})
-	if err != nil {
-		fail(err)
 	}
-	fmt.Printf("serving zone %s on %s\n", *zone, addr)
-	fmt.Printf("try: dig @%s somedomain.%s A\n", addr, *zone)
-	if ms != nil {
-		defer ms.Close()
-		fmt.Printf("metrics on http://%s/metrics\n", ms.Addr())
+	if len(o.serves) == 0 && o.feedPath == "" {
+		flag.Usage()
+		os.Exit(2)
 	}
 
 	// SIGTERM/SIGINT drain the server instead of cutting it off: the
 	// query being answered completes, then the sockets close. The drain
 	// deadline force-closes stragglers.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	if len(o.serves) > 0 {
+		srv, addr, ms, stopTails, err := setupPlane(o)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("serving %d zone(s) on %s\n", len(srv.Plane.Zones()), addr)
+		for _, z := range srv.Plane.Zones() {
+			fmt.Printf("try: dig @%s somedomain.%s A\n", addr, z)
+		}
+		if ms != nil {
+			defer ms.Close()
+			fmt.Printf("metrics on http://%s/metrics\n", ms.Addr())
+		}
+		err = lifecycle.Run(ctx, srv, 10*time.Second)
+		stopTails()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dnsblserve: shutdown: %v\n", err)
+		}
+		m := srv.Plane.Metrics
+		fmt.Printf("\n%d queries served, %d listed, %d negative-cache hits, %d shed\n",
+			m.Queries.Value(), m.Hits.Value(), m.NegHits.Value(), m.Shed.Value())
+		return
+	}
+
+	srv, addr, ms, err := setup(o)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("serving zone %s on %s\n", o.zone, addr)
+	fmt.Printf("try: dig @%s somedomain.%s A\n", addr, o.zone)
+	if ms != nil {
+		defer ms.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", ms.Addr())
+	}
 	if err := lifecycle.Run(ctx, srv, 10*time.Second); err != nil {
 		fmt.Fprintf(os.Stderr, "dnsblserve: shutdown: %v\n", err)
 	}

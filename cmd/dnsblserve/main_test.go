@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tasterschoice/internal/dnsbl"
+	"tasterschoice/internal/domain"
 	"tasterschoice/internal/feeds"
 	"tasterschoice/internal/simclock"
 )
@@ -199,5 +200,98 @@ func TestSetupWithoutMetrics(t *testing.T) {
 	c.Timeout = 3 * time.Second
 	if listed, err := c.Listed("replicas.net"); err != nil || !listed {
 		t.Fatalf("Listed = %v, %v", listed, err)
+	}
+}
+
+// writeRawFeed writes a raw JSONL observation log and returns its path;
+// the base name ("rawbl") becomes the feed name in TXT attributions.
+func writeRawFeed(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "rawbl.jsonl")
+	out, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := feeds.NewRawWriter(out)
+	for i, d := range []string{"rawspam.com", "rawscam.net"} {
+		err := w.Write(feeds.RawRecord{
+			Time:   simclock.PaperStart.Add(time.Duration(i) * time.Hour),
+			Domain: d,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSetupPlaneServesTwoZones is the -serve flag's acceptance test:
+// two zones — one aggregate TSV, one raw JSONL — load into the sharded
+// plane and answer over UDP, each under its own suffix.
+func TestSetupPlaneServesTwoZones(t *testing.T) {
+	srv, addr, ms, stop, err := setupPlane(options{
+		serves: []string{
+			"dbl.example=" + writeTestFeed(t),
+			"rawbl.example=" + writeRawFeed(t),
+		},
+		listen: "127.0.0.1:0", ttl: 300, shards: 4,
+		negTTL: 30 * time.Second, negSize: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	stop() // no -sync entries: must be a safe no-op
+	if ms != nil {
+		t.Fatal("metrics server started without -metrics")
+	}
+
+	for _, tc := range []struct {
+		zone, domain string
+		listed       bool
+	}{
+		{"dbl.example", "cheappills.com", true},
+		{"dbl.example", "rawspam.com", false}, // listed only in the other zone
+		{"rawbl.example", "rawspam.com", true},
+		{"rawbl.example", "rawscam.net", true},
+		{"rawbl.example", "cheappills.com", false},
+	} {
+		c := dnsbl.NewClient(addr.String(), tc.zone, 1)
+		c.Timeout = 3 * time.Second
+		listed, err := c.Listed(domain.Name(tc.domain))
+		if err != nil {
+			t.Fatalf("%s in %s: %v", tc.domain, tc.zone, err)
+		}
+		if listed != tc.listed {
+			t.Errorf("%s in %s: listed=%v, want %v", tc.domain, tc.zone, listed, tc.listed)
+		}
+	}
+	if n, err := srv.Plane.Listed("dbl.example"); err != nil || n != 2 {
+		t.Fatalf("dbl.example listed = %d, %v", n, err)
+	}
+	if n, err := srv.Plane.Listed("rawbl.example"); err != nil || n != 2 {
+		t.Fatalf("rawbl.example listed = %d, %v", n, err)
+	}
+}
+
+// TestSetupPlaneBadFlags pins -serve / -sync parse errors.
+func TestSetupPlaneBadFlags(t *testing.T) {
+	for _, o := range []options{
+		{serves: []string{"noequals"}, listen: "127.0.0.1:0"},
+		{serves: []string{"=path"}, listen: "127.0.0.1:0"},
+		{serves: []string{"zone="}, listen: "127.0.0.1:0"},
+		{serves: []string{"z=/nonexistent/feed.tsv"}, listen: "127.0.0.1:0"},
+		{serves: []string{"z=" + os.DevNull}, listen: "127.0.0.1:0",
+			tails: []string{"badsync"}},
+	} {
+		if _, _, _, _, err := setupPlane(o); err == nil {
+			t.Errorf("setupPlane(%v): no error", o.serves)
+		}
 	}
 }

@@ -40,7 +40,7 @@ func (s *Server) classify(raw []byte, from net.Addr) overload.Priority {
 	if s.Classify != nil {
 		return s.Classify(raw, from)
 	}
-	if qtypeOf(raw) == TypeTXT {
+	if QTypeOf(raw) == TypeTXT {
 		// TXT lookups fetch listing reasons — oracle traffic, not the
 		// bulk resolver flood.
 		return overload.Normal
@@ -48,10 +48,12 @@ func (s *Server) classify(raw []byte, from net.Addr) overload.Priority {
 	return overload.Bulk
 }
 
-// qtypeOf extracts the query type from a raw single-question DNS
+// QTypeOf extracts the query type from a raw single-question DNS
 // message without a full unpack: skip the 12-byte header and the
-// QNAME labels, then read QTYPE. Returns 0 on malformed input.
-func qtypeOf(raw []byte) uint16 {
+// QNAME labels, then read QTYPE. Returns 0 on malformed input. The
+// sharded plane (internal/dnsblplane) uses it to classify priority
+// before spending an unpack on a datagram.
+func QTypeOf(raw []byte) uint16 {
 	i := 12
 	for i < len(raw) {
 		l := int(raw[i])
@@ -70,12 +72,13 @@ func qtypeOf(raw []byte) uint16 {
 	return binary.BigEndian.Uint16(raw[i:])
 }
 
-// shedReply builds the header-only refusal for a raw query: the
+// ShedReply builds the header-only refusal for a raw query: the
 // client's ID echoed, QR set, opcode and RD preserved, the given
 // RCode, and no question section (legal, and what mustPack already
 // degrades to). Returns nil when raw is too short to be a query or is
-// itself a response.
-func shedReply(raw []byte, rcode uint8) []byte {
+// itself a response. Shared with internal/dnsblplane, whose batched
+// read loop sheds the same way.
+func ShedReply(raw []byte, rcode uint8) []byte {
 	if len(raw) < 12 || raw[2]&0x80 != 0 {
 		return nil
 	}
@@ -86,8 +89,10 @@ func shedReply(raw []byte, rcode uint8) []byte {
 	return resp
 }
 
-// shedRCode maps a shed reason to its wire answer.
-func shedRCode(r overload.ShedReason) uint8 {
+// ShedRCode maps a shed reason to its wire answer: REFUSED when the
+// shed is the client's doing (rate or fairness), SERVFAIL when it is
+// the server's (capacity or deadline).
+func ShedRCode(r overload.ShedReason) uint8 {
 	switch r {
 	case overload.ShedRate, overload.ShedFairness:
 		return RCodeRefused
@@ -98,7 +103,7 @@ func shedRCode(r overload.ShedReason) uint8 {
 
 // shedTo answers a shed datagram with its header-only refusal.
 func (s *Server) shedTo(conn net.PacketConn, it dgram, reason overload.ShedReason) {
-	if resp := shedReply(it.raw, shedRCode(reason)); resp != nil {
+	if resp := ShedReply(it.raw, ShedRCode(reason)); resp != nil {
 		conn.WriteTo(resp, it.from) //nolint:errcheck // best-effort UDP reply
 	}
 }

@@ -18,7 +18,7 @@ func TestShedReplyHeaderOnly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp := shedReply(raw, RCodeServFail)
+	resp := ShedReply(raw, RCodeServFail)
 	if len(resp) != 12 {
 		t.Fatalf("shed reply length = %d, want 12 (header only)", len(resp))
 	}
@@ -38,24 +38,24 @@ func TestShedReplyHeaderOnly(t *testing.T) {
 }
 
 func TestShedReplyRejectsGarbage(t *testing.T) {
-	if shedReply([]byte("short"), RCodeServFail) != nil {
+	if ShedReply([]byte("short"), RCodeServFail) != nil {
 		t.Fatal("built a reply from a truncated header")
 	}
-	resp := shedReply(make([]byte, 12), RCodeRefused)
+	resp := ShedReply(make([]byte, 12), RCodeRefused)
 	if resp == nil {
 		t.Fatal("refused a minimal query header")
 	}
 	// A response must not be answered (reflection loop guard).
-	if shedReply(resp, RCodeRefused) != nil {
+	if ShedReply(resp, RCodeRefused) != nil {
 		t.Fatal("answered a response")
 	}
 }
 
 func TestShedRCodeMapping(t *testing.T) {
-	if shedRCode(overload.ShedRate) != RCodeRefused || shedRCode(overload.ShedFairness) != RCodeRefused {
+	if ShedRCode(overload.ShedRate) != RCodeRefused || ShedRCode(overload.ShedFairness) != RCodeRefused {
 		t.Fatal("client-fault sheds must REFUSE")
 	}
-	if shedRCode(overload.ShedCapacity) != RCodeServFail || shedRCode(overload.ShedDeadline) != RCodeServFail {
+	if ShedRCode(overload.ShedCapacity) != RCodeServFail || ShedRCode(overload.ShedDeadline) != RCodeServFail {
 		t.Fatal("server-fault sheds must SERVFAIL")
 	}
 }
@@ -66,11 +66,11 @@ func TestQtypeOf(t *testing.T) {
 		Questions: []Question{{Name: "a.b.dbl.example", Type: TypeTXT, Class: ClassIN}},
 	}
 	raw, _ := req.Pack()
-	if got := qtypeOf(raw); got != TypeTXT {
-		t.Fatalf("qtypeOf = %d, want TXT", got)
+	if got := QTypeOf(raw); got != TypeTXT {
+		t.Fatalf("QTypeOf = %d, want TXT", got)
 	}
-	if got := qtypeOf([]byte{1, 2, 3}); got != 0 {
-		t.Fatalf("qtypeOf(garbage) = %d, want 0", got)
+	if got := QTypeOf([]byte{1, 2, 3}); got != 0 {
+		t.Fatalf("QTypeOf(garbage) = %d, want 0", got)
 	}
 }
 

@@ -1,0 +1,240 @@
+package dnsblplane
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/obs"
+)
+
+// planeOracle adapts Plane.Lookup into the blaster's oracle.
+func planeOracle(p *Plane) func(zone, name string) (bool, time.Time, string) {
+	return func(zone, name string) (bool, time.Time, string) {
+		listed, first, feed, _ := p.Lookup(zone, name)
+		return listed, first, feed
+	}
+}
+
+// TestBlasterVerifiesCleanServer: a blast against a correct server
+// with concurrent hot reloads reports zero incorrect answers — the
+// acceptance check the CI load-smoke job automates.
+func TestBlasterVerifiesCleanServer(t *testing.T) {
+	feed := testFeed("dbl", 16)
+	p := newTestPlane(t, "dbl.test", feed, 0)
+	srv := &Server{Plane: p, Readers: 1, Workers: 2}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	listed := make([]string, 16)
+	weights := make([]float64, 16)
+	for i := range listed {
+		listed[i] = fmt.Sprintf("spam%02d.example", i)
+		weights[i] = float64(16 - i)
+	}
+	unlisted := make([]string, 8)
+	for i := range unlisted {
+		unlisted[i] = fmt.Sprintf("junk%d.example", i)
+	}
+
+	// Hot reloads run through the whole blast: fresh domains added one
+	// at a time, so the blaster's pre/post oracle window is exercised.
+	stopReload := make(chan struct{})
+	reloadDone := make(chan struct{})
+	go func() {
+		defer close(reloadDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stopReload:
+				return
+			default:
+			}
+			rec := Record{
+				Domain: fmt.Sprintf("spam%02d.example", i%16),
+				First:  time.Unix(1217548800, 0),
+				Feed:   "dbl",
+			}
+			if err := p.Apply("dbl.test", []Record{rec}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	hist := obs.NewRegistry().Histogram("blast_latency_seconds", obs.DefSecondsBuckets)
+	b := &Blaster{
+		Addr:     addr.String(),
+		Zones:    []string{"dbl.test"},
+		Listed:   listed,
+		Weights:  weights,
+		Unlisted: unlisted,
+		Clients:  4,
+		Seed:     42,
+		Timeout:  2 * time.Second,
+		Oracle:   planeOracle(p),
+		Latency:  hist,
+	}
+	rep, err := b.Run(context.Background(), 500*time.Millisecond)
+	close(stopReload)
+	<-reloadDone
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent == 0 || rep.Received == 0 {
+		t.Fatalf("blast moved no traffic: %s", rep)
+	}
+	if rep.Incorrect != 0 {
+		t.Fatalf("incorrect answers under hot reload: %s\nmismatches: %v", rep, rep.Mismatches)
+	}
+	if rep.QPS <= 0 || rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Fatalf("implausible report: %s", rep)
+	}
+	if hist.Count() == 0 {
+		t.Fatal("latency histogram saw no samples")
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+// TestBlasterDetectsLyingServer proves the verifier is not vacuous: a
+// server that answers every query NXDOMAIN must be caught lying about
+// listed domains.
+func TestBlasterDetectsLyingServer(t *testing.T) {
+	p := newTestPlane(t, "dbl.test", testFeed("dbl", 4), 0)
+
+	// A hand-rolled UDP responder that always says NXDOMAIN.
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, from, err := conn.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			if n < 12 {
+				continue
+			}
+			resp := append([]byte(nil), buf[:n]...)
+			resp[2] = 0x84 | resp[2]&0x79
+			resp[3] = 3 // NXDOMAIN, unconditionally
+			resp[4], resp[5] = 0, 1
+			for i := 6; i < 12; i++ {
+				resp[i] = 0
+			}
+			conn.WriteTo(resp, from) //nolint:errcheck
+		}
+	}()
+
+	b := &Blaster{
+		Addr:     conn.LocalAddr().String(),
+		Zones:    []string{"dbl.test"},
+		Listed:   []string{"spam00.example", "spam01.example"},
+		MissFrac: 0.01, // almost all queries target listed names
+		Clients:  2,
+		Seed:     7,
+		Timeout:  time.Second,
+		Oracle:   planeOracle(p),
+	}
+	rep, err := b.Run(context.Background(), 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Incorrect == 0 {
+		t.Fatalf("blaster did not catch a server lying about listings: %s", rep)
+	}
+	if len(rep.Mismatches) == 0 {
+		t.Fatal("no mismatch samples recorded")
+	}
+}
+
+// TestBlasterDetectsWrongTXTReason: a TXT answer whose reason text
+// contradicts the oracle must be flagged.
+func TestBlasterDetectsWrongTXTReason(t *testing.T) {
+	feed := testFeed("dbl", 2)
+	p := newTestPlane(t, "dbl.test", feed, 0)
+	srv := &Server{Plane: p}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Oracle that expects the wrong feed name: every TXT answer should
+	// mismatch, proving the reason text is actually compared.
+	wrongOracle := func(zone, name string) (bool, time.Time, string) {
+		listed, first, _, _ := p.Lookup(zone, name)
+		return listed, first, "some-other-feed"
+	}
+	b := &Blaster{
+		Addr:     addr.String(),
+		Zones:    []string{"dbl.test"},
+		Listed:   []string{"spam00.example", "spam01.example"},
+		MissFrac: 0.01,
+		TXTFrac:  0.99,
+		Clients:  1,
+		Seed:     3,
+		Timeout:  time.Second,
+		Oracle:   wrongOracle,
+	}
+	rep, err := b.Run(context.Background(), 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Incorrect == 0 {
+		t.Fatalf("blaster did not catch a wrong TXT reason: %s", rep)
+	}
+}
+
+// TestBlasterQPSBound: the token bucket holds the aggregate send rate
+// near the requested bound.
+func TestBlasterQPSBound(t *testing.T) {
+	p := newTestPlane(t, "dbl.test", testFeed("dbl", 4), 0)
+	srv := &Server{Plane: p}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	b := &Blaster{
+		Addr:    addr.String(),
+		Zones:   []string{"dbl.test"},
+		Listed:  []string{"spam00.example"},
+		Clients: 2,
+		QPS:     200,
+		Seed:    5,
+		Timeout: time.Second,
+	}
+	rep, err := b.Run(context.Background(), 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 qps for 0.5s ≈ 100 sends plus the burst allowance; generous
+	// ceiling to stay robust on a loaded CI box.
+	if rep.Sent == 0 {
+		t.Fatal("paced blast sent nothing")
+	}
+	if rep.Sent > 400 {
+		t.Fatalf("paced blast sent %d queries in 0.5s at 200 qps", rep.Sent)
+	}
+}
+
+// TestBlasterConfigErrors covers the constructor-less validation.
+func TestBlasterConfigErrors(t *testing.T) {
+	if _, err := (&Blaster{}).Run(context.Background(), time.Millisecond); err == nil {
+		t.Fatal("no zones: want error")
+	}
+	if _, err := (&Blaster{Zones: []string{"z"}}).Run(context.Background(), time.Millisecond); err == nil {
+		t.Fatal("no domains: want error")
+	}
+}

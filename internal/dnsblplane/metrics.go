@@ -1,0 +1,53 @@
+package dnsblplane
+
+import "tasterschoice/internal/obs"
+
+// Metrics observes the plane and its server. The zero value is fully
+// inert (obs instruments are nil-receiver safe); populate from a
+// registry with WireMetrics. Instruments only observe — they never
+// change what the plane answers.
+type Metrics struct {
+	// Queries counts every datagram offered to a Responder.
+	Queries *obs.Counter
+	// Hits counts queries answered "listed".
+	Hits *obs.Counter
+	// NegHits counts NXDOMAIN answers served from the negative cache.
+	NegHits *obs.Counter
+	// Dropped counts datagrams with no answer at all (truncated,
+	// responses, unparseable).
+	Dropped *obs.Counter
+	// Shed counts queries refused by overload protection.
+	Shed *obs.Counter
+	// ReloadBatches and ReloadRecords count hot-reload activity.
+	ReloadBatches *obs.Counter
+	ReloadRecords *obs.Counter
+	// ReadBatch observes how many datagrams each reader wakeup drained
+	// (the recvmmsg-style batching win: higher is fewer syscalls per
+	// datagram).
+	ReadBatch *obs.Histogram
+}
+
+// WireMetrics returns a Metrics wired into reg under the
+// dnsblplane_* family. Safe on a nil registry (returns the inert
+// zero value).
+func WireMetrics(reg *obs.Registry) Metrics {
+	m := Metrics{
+		Queries:       reg.Counter("dnsblplane_queries_total"),
+		Hits:          reg.Counter("dnsblplane_hits_total"),
+		NegHits:       reg.Counter("dnsblplane_neg_cache_hits_total"),
+		Dropped:       reg.Counter("dnsblplane_dropped_total"),
+		Shed:          reg.Counter("dnsblplane_shed_total"),
+		ReloadBatches: reg.Counter("dnsblplane_reload_batches_total"),
+		ReloadRecords: reg.Counter("dnsblplane_reload_records_total"),
+		ReadBatch:     reg.Histogram("dnsblplane_read_batch_datagrams", obs.DefCountBuckets),
+	}
+	reg.Describe("dnsblplane_queries_total", "Datagrams offered to the query plane.")
+	reg.Describe("dnsblplane_hits_total", "Queries answered as listed.")
+	reg.Describe("dnsblplane_neg_cache_hits_total", "NXDOMAIN answers served from the negative cache.")
+	reg.Describe("dnsblplane_dropped_total", "Datagrams dropped without any answer.")
+	reg.Describe("dnsblplane_shed_total", "Queries shed by overload protection.")
+	reg.Describe("dnsblplane_reload_batches_total", "Hot-reload delta batches applied.")
+	reg.Describe("dnsblplane_reload_records_total", "Hot-reload records applied.")
+	reg.Describe("dnsblplane_read_batch_datagrams", "Datagrams drained per reader wakeup.")
+	return m
+}

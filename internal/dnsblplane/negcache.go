@@ -1,0 +1,100 @@
+package dnsblplane
+
+import (
+	"sync"
+	"time"
+)
+
+// negCache is a bounded TTL cache of packed NXDOMAIN responses, one
+// per shard. Real resolver floods repeat the same missing names (junk
+// campaigns churn through unregistered domains faster than resolvers
+// forget them), so a repeated miss should cost a map hit and a copy,
+// not a parse, a shard lookup and a response build.
+//
+// Entries are validated two ways on read: against the wall of their
+// TTL, and against the shard generation captured at insert — a
+// hot-reload swap bumps the generation, so every cached miss for that
+// shard dies instantly without the writer touching the cache. FIFO
+// ring eviction bounds memory: when the cache is full the oldest key
+// is overwritten, no heap, no LRU bookkeeping.
+type negCache struct {
+	mu sync.Mutex
+	// m maps the exact wire question section (name bytes as sent, plus
+	// qtype/qclass) to the cached response. Keying on the raw bytes
+	// keeps 0x20-mixed-case queries distinct, so the echoed question in
+	// a cached response always matches what the client asked.
+	m map[string]negEntry
+	// ring holds insertion order for FIFO eviction.
+	ring []string
+	next int
+	cap  int
+}
+
+// negEntry is one cached negative answer.
+type negEntry struct {
+	// resp is the full packed response; the server patches ID and RD
+	// per query before sending.
+	resp []byte
+	// expires is the absolute expiry (Unix nanos on the injected
+	// clock).
+	expires int64
+	// gen is the shard generation the miss was computed against.
+	gen uint64
+}
+
+// init sizes the cache. size <= 0 disables it.
+func (c *negCache) init(size int) {
+	c.cap = size
+	if size > 0 {
+		c.m = make(map[string]negEntry, size)
+		c.ring = make([]string, size)
+	}
+}
+
+// get returns a cached response for the question key when it is still
+// live under the TTL clock and the shard generation matches.
+func (c *negCache) get(key []byte, gen uint64, now time.Time) []byte {
+	if c.cap <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	e, ok := c.m[string(key)] // no-copy map lookup
+	c.mu.Unlock()
+	if !ok || e.gen != gen || now.UnixNano() >= e.expires {
+		return nil
+	}
+	return e.resp
+}
+
+// put caches a packed negative response. The key and response are
+// copied; callers keep ownership of their buffers.
+func (c *negCache) put(key, resp []byte, gen uint64, expires time.Time) {
+	if c.cap <= 0 {
+		return
+	}
+	k := string(key)
+	e := negEntry{
+		resp:    append([]byte(nil), resp...),
+		expires: expires.UnixNano(),
+		gen:     gen,
+	}
+	c.mu.Lock()
+	if _, exists := c.m[k]; !exists {
+		// Evict the FIFO slot this insert claims.
+		if old := c.ring[c.next]; old != "" {
+			delete(c.m, old)
+		}
+		c.ring[c.next] = k
+		c.next = (c.next + 1) % c.cap
+	}
+	c.m[k] = e
+	c.mu.Unlock()
+}
+
+// len reports the live entry count (expired entries included until
+// overwritten; the bound is what matters).
+func (c *negCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

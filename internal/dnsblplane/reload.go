@@ -1,0 +1,110 @@
+package dnsblplane
+
+import (
+	"context"
+	"sync"
+
+	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/feedsync"
+)
+
+// Reloader tails one feed from a feedsync server and applies its
+// records to a zone as hot-reload deltas. Records stream through a
+// bounded channel into a single apply loop that drains in bursts —
+// one blocking receive, then whatever else is already queued up to
+// Batch — so a publish storm lands as a few snapshot swaps rather than
+// one swap per record, while a trickle still applies each record
+// promptly. No timers: batching is purely demand-driven, which keeps
+// the reload path deterministic under test clocks.
+type Reloader struct {
+	// Client subscribes to the feedsync server.
+	Client *feedsync.Client
+	// Plane receives the deltas.
+	Plane *Plane
+	// Zone is the zone suffix the feed serves.
+	Zone string
+	// Feed is the feedsync feed name (also the TXT attribution).
+	Feed string
+	// Batch bounds records per published snapshot swap (default 256).
+	Batch int
+}
+
+func (rl *Reloader) batch() int {
+	if rl.Batch > 0 {
+		return rl.Batch
+	}
+	return 256
+}
+
+// Run tails the feed from offset until ctx is done or the connection
+// drops, returning the final offset. Every record received has been
+// applied to the plane when Run returns. Use feedsync's resilient
+// client settings (or wrap Run in a reconnect loop keyed on the
+// returned offset) for long-lived deployments.
+func (rl *Reloader) Run(ctx context.Context, offset int64) (int64, error) {
+	ch := make(chan feeds.RawRecord, 4*rl.batch())
+	var applier sync.WaitGroup
+	applier.Add(1)
+	go func() {
+		defer applier.Done()
+		rl.applyLoop(ch)
+	}()
+
+	// Bridge ctx to Tail's stop channel.
+	stop := make(chan struct{})
+	tailDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-tailDone:
+		}
+		close(stop)
+	}()
+
+	off, err := rl.Client.TailFunc(rl.Feed, offset, stop, func(rec feeds.RawRecord) {
+		ch <- rec
+	})
+	close(tailDone)
+	close(ch)
+	applier.Wait()
+	return off, err
+}
+
+// applyLoop drains the record channel in bursts, publishing each burst
+// as one Apply batch per shard.
+func (rl *Reloader) applyLoop(ch <-chan feeds.RawRecord) {
+	batch := make([]Record, 0, rl.batch())
+	for {
+		rec, ok := <-ch
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], rl.record(rec))
+		batch = rl.fill(batch, ch)
+		// The zone was validated when the reloader was wired; an unknown
+		// zone here is a programming error surfaced by the first Apply.
+		rl.Plane.Apply(rl.Zone, batch) //nolint:errcheck // see above
+	}
+}
+
+// fill appends whatever is already queued, up to the batch bound,
+// without blocking.
+func (rl *Reloader) fill(batch []Record, ch <-chan feeds.RawRecord) []Record {
+	for len(batch) < cap(batch) {
+		select {
+		case rec, ok := <-ch:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, rl.record(rec))
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// record converts a wire record into a plane delta.
+func (rl *Reloader) record(rec feeds.RawRecord) Record {
+	return Record{Domain: rec.Domain, First: rec.Time, Feed: rl.Feed}
+}

@@ -1,0 +1,140 @@
+package dnsblplane
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/feeds"
+	"tasterschoice/internal/feedsync"
+	"tasterschoice/internal/simclock"
+)
+
+// startSyncServer boots a feedsync server with one registered feed.
+func startSyncServer(t *testing.T, feedName string) (*feedsync.Server, string) {
+	t.Helper()
+	srv := feedsync.NewServer()
+	if err := srv.Register(feedName, feeds.KindBlacklist, false, false); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr.String()
+}
+
+// waitListed polls the plane until the domain is listed (or the
+// bounded deadline passes). Pacing comes from a ticker, not the
+// banned wall-clock sleeps.
+func waitListed(t *testing.T, p *Plane, zone, name string) (time.Time, string) {
+	t.Helper()
+	deadline := time.NewTimer(10 * time.Second)
+	defer deadline.Stop()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		listed, first, feedName, err := p.Lookup(zone, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if listed {
+			return first, feedName
+		}
+		select {
+		case <-deadline.C:
+			t.Fatalf("%s never became listed in %s", name, zone)
+		case <-tick.C:
+		}
+	}
+}
+
+// TestReloaderAppliesLiveDeltas drives the full hot-reload path the
+// dnsblserve -sync flag wires: a feedsync server publishes records,
+// the Reloader tails them, and the plane starts answering for the new
+// domains — catch-up and live publishes both, with first-seen times
+// and TXT attribution preserved and earliest-listing-wins intact.
+func TestReloaderAppliesLiveDeltas(t *testing.T) {
+	sync, addr := startSyncServer(t, "dbl")
+	rec := func(i int) feeds.RawRecord {
+		return feeds.RawRecord{
+			Time:   simclock.PaperStart.Add(time.Duration(i) * time.Hour),
+			Domain: fmt.Sprintf("delta%03d.example", i),
+		}
+	}
+	// Three records published before the reloader connects: catch-up.
+	for i := 0; i < 3; i++ {
+		if err := sync.Publish("dbl", rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	p, err := New(Config{Zones: []ZoneConfig{{Suffix: "dbl.test"}}, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := &Reloader{
+		Client: feedsync.NewClient(addr),
+		Plane:  p,
+		Zone:   "dbl.test",
+		Feed:   "dbl",
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	var off int64
+	var runErr error
+	go func() {
+		defer close(done)
+		off, runErr = rl.Run(ctx, 0)
+	}()
+
+	for i := 0; i < 3; i++ {
+		first, feedName := waitListed(t, p, "dbl.test", rec(i).Domain)
+		if !first.Equal(rec(i).Time) || feedName != "dbl" {
+			t.Fatalf("catch-up record %d: first=%v feed=%q", i, first, feedName)
+		}
+	}
+
+	// Live publishes flow through while queries keep answering.
+	for i := 3; i < 5; i++ {
+		if err := sync.Publish("dbl", rec(i)); err != nil {
+			t.Fatal(err)
+		}
+		first, _ := waitListed(t, p, "dbl.test", rec(i).Domain)
+		if !first.Equal(rec(i).Time) {
+			t.Fatalf("live record %d: first=%v", i, first)
+		}
+	}
+
+	// A replayed duplicate with a later time must not regress the
+	// first-seen: earliest-listing-wins holds on the reload path too.
+	laterDup := rec(0)
+	laterDup.Time = laterDup.Time.Add(48 * time.Hour)
+	if err := sync.Publish("dbl", laterDup); err != nil {
+		t.Fatal(err)
+	}
+	// The duplicate is applied once the next record after it lands.
+	if err := sync.Publish("dbl", rec(5)); err != nil {
+		t.Fatal(err)
+	}
+	waitListed(t, p, "dbl.test", rec(5).Domain)
+	first, _ := waitListed(t, p, "dbl.test", rec(0).Domain)
+	if !first.Equal(rec(0).Time) {
+		t.Fatalf("duplicate regressed first-seen: %v, want %v", first, rec(0).Time)
+	}
+
+	cancel()
+	<-done
+	if runErr != nil {
+		t.Fatalf("reloader error: %v", runErr)
+	}
+	if off != 7 {
+		t.Fatalf("offset = %d, want 7", off)
+	}
+	if n, err := p.Listed("dbl.test"); err != nil || n != 6 {
+		t.Fatalf("listed = %d, %v; want 6", n, err)
+	}
+}

@@ -1,0 +1,317 @@
+package dnsblplane
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+
+	"tasterschoice/internal/dnsbl"
+	"tasterschoice/internal/overload"
+)
+
+// Server serves a Plane over DNS/UDP through a batched pipeline:
+//
+//	readers --(pooled buffers)--> bounded queue --> workers
+//
+// Reader goroutines do nothing but pull datagrams off the socket into
+// pooled buffers and run the cheap admission checks (priority
+// classification, rate/fairness gate, queue headroom), so intake stays
+// fast enough to answer a flood with refusals instead of letting the
+// kernel socket buffer overflow silently. Worker goroutines drain the
+// queue in bursts — one blocking receive, then as many non-blocking
+// receives as are ready up to Batch — so each wakeup answers N
+// datagrams with one scheduling round trip. This is the portable shape
+// of recvmmsg batching: the stdlib exposes no multi-datagram syscall,
+// so the batching seam lives between the socket readers and the
+// workers rather than in the kernel; swapping a recvmmsg-based reader
+// in later changes only the reader loop.
+//
+// Shedding follows the legacy single-feed server's wire contract:
+// REFUSED when the shed is the client's doing (rate or fairness),
+// SERVFAIL when it is ours (queue full), both header-only.
+type Server struct {
+	// Plane answers the queries.
+	Plane *Plane
+
+	// Readers is the socket-reader goroutine count (default 1).
+	Readers int
+	// Workers is the responder goroutine count (default 4).
+	Workers int
+	// Batch bounds how many datagrams one worker wakeup drains
+	// (default 32).
+	Batch int
+	// QueueDepth bounds the pending-datagram queue (default
+	// 16×Workers). Bulk queries stop queuing at 3/4 of this, normal at
+	// 9/10, keeping headroom for critical traffic.
+	QueueDepth int
+	// Admission rate-limits and fair-shares queries; nil admits all.
+	Admission *overload.Gate
+	// Classify maps a raw query to its priority class. Nil defaults to
+	// TXT → Normal (reason lookups ride above the bulk A-query flood),
+	// everything else Bulk.
+	Classify func(raw []byte, from net.Addr) overload.Priority
+	// Clock drives shutdown nudges (default wall clock via the
+	// overload seam).
+	Clock overload.Clock
+
+	mu       sync.Mutex
+	conn     net.PacketConn
+	closed   bool
+	draining bool
+	queue    chan packet
+	pool     sync.Pool
+	// serving counts live readers, workers and the queue closer, so
+	// Shutdown can wait for in-flight datagrams to be answered.
+	serving sync.WaitGroup
+	readers sync.WaitGroup
+}
+
+// packet is one pending datagram; buf comes from the server's pool and
+// returns to it after the response is written.
+type packet struct {
+	buf  *[]byte
+	n    int
+	from net.Addr
+}
+
+func (s *Server) numReaders() int {
+	if s.Readers > 0 {
+		return s.Readers
+	}
+	return 1
+}
+
+func (s *Server) numWorkers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return 4
+}
+
+func (s *Server) batchSize() int {
+	if s.Batch > 0 {
+		return s.Batch
+	}
+	return 32
+}
+
+func (s *Server) queueDepth() int {
+	if s.QueueDepth > 0 {
+		return s.QueueDepth
+	}
+	return 16 * s.numWorkers()
+}
+
+func (s *Server) clock() overload.Clock {
+	if s.Clock != nil {
+		return s.Clock
+	}
+	return overload.WallClock
+}
+
+// classify returns the priority class of a raw query.
+func (s *Server) classify(raw []byte, from net.Addr) overload.Priority {
+	if s.Classify != nil {
+		return s.Classify(raw, from)
+	}
+	if dnsbl.QTypeOf(raw) == dnsbl.TypeTXT {
+		return overload.Normal
+	}
+	return overload.Bulk
+}
+
+// Listen binds a UDP socket ("127.0.0.1:0" for tests) and serves in
+// background goroutines, returning the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		conn.Close()
+		return nil, errors.New("dnsblplane: server closed")
+	}
+	s.conn = conn
+	s.queue = make(chan packet, s.queueDepth())
+	s.pool.New = func() any {
+		b := make([]byte, 4096)
+		return &b
+	}
+	for i := 0; i < s.numWorkers(); i++ {
+		s.serving.Add(1)
+		go s.worker(conn)
+	}
+	for i := 0; i < s.numReaders(); i++ {
+		s.serving.Add(1)
+		s.readers.Add(1)
+		go s.reader(conn)
+	}
+	// Close the queue once every reader has stopped, releasing workers
+	// after they drain what was admitted.
+	s.serving.Add(1)
+	go func() {
+		defer s.serving.Done()
+		s.readers.Wait()
+		close(s.queue)
+	}()
+	s.mu.Unlock()
+	return conn.LocalAddr(), nil
+}
+
+// reader is the socket intake loop: read, admit or shed, enqueue.
+func (s *Server) reader(conn net.PacketConn) {
+	defer s.serving.Done()
+	defer s.readers.Done()
+	for {
+		bp := s.pool.Get().(*[]byte)
+		n, from, err := conn.ReadFrom(*bp)
+		if err != nil {
+			s.pool.Put(bp)
+			return
+		}
+		raw := (*bp)[:n]
+		p := s.classify(raw, from)
+		// Priority headroom: bulk stops queuing at 3/4 of the bound so
+		// a flood of A queries cannot starve control traffic of queue
+		// space.
+		if len(s.queue) >= p.Share(cap(s.queue)) {
+			s.shed(conn, raw, from, overload.ShedCapacity)
+			s.pool.Put(bp)
+		} else if s.Admission != nil && !s.Admission.Allow(p, clientKey(from)) {
+			s.shed(conn, raw, from, overload.ShedRate)
+			s.pool.Put(bp)
+		} else {
+			select {
+			case s.queue <- packet{buf: bp, n: n, from: from}:
+			default:
+				// Lost the race for the last slot.
+				s.shed(conn, raw, from, overload.ShedCapacity)
+				s.pool.Put(bp)
+			}
+		}
+		if s.isStopping() {
+			return
+		}
+	}
+}
+
+// shed answers a refused datagram with its header-only refusal.
+func (s *Server) shed(conn net.PacketConn, raw []byte, from net.Addr, reason overload.ShedReason) {
+	s.Plane.Metrics.Shed.Inc()
+	if resp := dnsbl.ShedReply(raw, dnsbl.ShedRCode(reason)); resp != nil {
+		conn.WriteTo(resp, from) //nolint:errcheck // best-effort UDP reply
+	}
+}
+
+// worker drains the queue in bursts and answers each datagram with a
+// worker-owned Responder and response buffer, so the steady state
+// allocates nothing per query.
+func (s *Server) worker(conn net.PacketConn) {
+	defer s.serving.Done()
+	r := NewResponder(s.Plane)
+	batch := make([]packet, 0, s.batchSize())
+	out := make([]byte, 0, 512)
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], first)
+		batch = s.drain(batch)
+		s.Plane.Metrics.ReadBatch.Observe(float64(len(batch)))
+		for _, it := range batch {
+			out = r.Respond(out[:0], (*it.buf)[:it.n])
+			if out != nil {
+				conn.WriteTo(out, it.from) //nolint:errcheck // best-effort UDP reply
+			}
+			s.pool.Put(it.buf)
+		}
+	}
+}
+
+// drain appends whatever is already queued, up to the batch bound,
+// without blocking.
+func (s *Server) drain(batch []packet) []packet {
+	for len(batch) < cap(batch) {
+		select {
+		case it, ok := <-s.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, it)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// isStopping reports whether Close or Shutdown has begun.
+func (s *Server) isStopping() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed || s.draining
+}
+
+// Close force-closes the socket. Idempotent and safe to call
+// concurrently with Shutdown and with queries in flight.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.conn != nil {
+		return s.conn.Close()
+	}
+	return nil
+}
+
+// Shutdown drains the server: readers stop intake, workers answer
+// everything already admitted, then the socket closes. When ctx
+// expires remaining work is force-closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	if !s.draining {
+		s.draining = true
+		// Nudge readers out of their blocking read without closing the
+		// socket under an in-flight reply.
+		if s.conn != nil {
+			s.conn.SetReadDeadline(s.clock()()) //nolint:errcheck
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.serving.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return s.Close()
+	case <-ctx.Done():
+		s.Close()
+		return ctx.Err()
+	}
+}
+
+// clientKey is the fairness identity of a peer: its IP, so one host
+// opening many sockets still lands in one bucket.
+func clientKey(addr net.Addr) string {
+	if a, ok := addr.(*net.UDPAddr); ok {
+		return a.IP.String()
+	}
+	if host, _, err := net.SplitHostPort(addr.String()); err == nil {
+		return host
+	}
+	return addr.String()
+}

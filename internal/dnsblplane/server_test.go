@@ -1,0 +1,164 @@
+package dnsblplane
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/overload"
+)
+
+// queryServer sends one query over UDP and returns the response (nil
+// on timeout).
+func queryServer(t *testing.T, addr net.Addr, q []byte, timeout time.Duration) []byte {
+	t.Helper()
+	conn, err := net.Dial("udp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(overload.WallClock().Add(timeout)) //nolint:errcheck
+	if _, err := conn.Write(q); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil
+	}
+	return buf[:n]
+}
+
+// TestServerServesOverUDP: the batched pipeline answers real datagrams
+// with the same bytes the plane computes in-process.
+func TestServerServesOverUDP(t *testing.T) {
+	p := newTestPlane(t, "dbl.test", testFeed("dbl", 4), 0)
+	srv := &Server{Plane: p, Readers: 2, Workers: 2}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for i, q := range [][]byte{
+		appendQuery(nil, 1, "spam00.example", "dbl.test", 1),
+		appendQuery(nil, 2, "spam01.example", "dbl.test", 16),
+		appendQuery(nil, 3, "missing.example", "dbl.test", 1),
+		appendQuery(nil, 4, "spam00.example", "other.zone", 1),
+	} {
+		want := p.Handle(q)
+		got := queryServer(t, addr, q, 2*time.Second)
+		if got == nil {
+			t.Fatalf("query %d: no answer over UDP", i)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("query %d: UDP answer differs from in-process Handle\n  got:  %x\n  want: %x", i, got, want)
+		}
+	}
+}
+
+// TestServerShutdownDrains: Shutdown stops intake, answers what was
+// admitted, and releases every goroutine the server started.
+func TestServerShutdownDrains(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	p := newTestPlane(t, "dbl.test", testFeed("dbl", 2), 0)
+	srv := &Server{Plane: p, Readers: 2, Workers: 4}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := queryServer(t, addr, appendQuery(nil, 1, "spam00.example", "dbl.test", 1), 2*time.Second); got == nil {
+		t.Fatal("no answer before shutdown")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Goroutine-leak check: wait (bounded) for the count to settle back.
+	deadline := time.NewTimer(5 * time.Second)
+	defer deadline.Stop()
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		select {
+		case <-deadline.C:
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after drain: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		default:
+			runtime.Gosched()
+		}
+	}
+
+	// Shutdown is idempotent, and Close after Shutdown is a no-op.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close after shutdown: %v", err)
+	}
+}
+
+// TestServerShedsOnRateLimit: an admission gate with an exhausted rate
+// bucket turns queries into header-only REFUSED, counted as shed.
+func TestServerShedsOnRateLimit(t *testing.T) {
+	p := newTestPlane(t, "dbl.test", testFeed("dbl", 2), 0)
+	var rates [overload.NumPriorities]float64
+	for i := range rates {
+		rates[i] = 0.000001 // bucket drains after its initial burst of ~0
+	}
+	var bursts [overload.NumPriorities]float64
+	for i := range bursts {
+		bursts[i] = 0.000001
+	}
+	srv := &Server{
+		Plane:     p,
+		Admission: overload.NewGate(overload.GateConfig{Rate: rates, Burst: bursts}),
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	q := appendQuery(nil, 9, "spam00.example", "dbl.test", 1)
+	resp := queryServer(t, addr, q, 2*time.Second)
+	if resp == nil {
+		t.Fatal("shed path returned nothing; want header-only REFUSED")
+	}
+	if len(resp) != 12 {
+		t.Fatalf("shed response is %d bytes, want header-only 12", len(resp))
+	}
+	if rcode := resp[3] & 0x0f; rcode != 5 {
+		t.Fatalf("shed rcode = %d, want REFUSED", rcode)
+	}
+	if resp[0] != q[0] || resp[1] != q[1] {
+		t.Fatal("shed response did not echo the query ID")
+	}
+	if got := p.Metrics.Shed.Value(); got == 0 {
+		t.Fatal("shed counter did not move")
+	}
+}
+
+// TestServerListenAfterClose: a closed server refuses to listen again.
+func TestServerListenAfterClose(t *testing.T) {
+	p := newTestPlane(t, "dbl.test", testFeed("dbl", 1), 0)
+	srv := &Server{Plane: p}
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Fatal("Listen on a closed server succeeded")
+	}
+}

@@ -1,0 +1,108 @@
+package dnsblplane
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// entry is one listed domain in a shard snapshot. It is complete by
+// construction: a domain is either absent or carries its full listing
+// record (first-seen time and originating feed), so a reader can never
+// observe a half-applied delta.
+type entry struct {
+	// firstUnix is the first-observation time, Unix seconds (what the
+	// TXT reason reports, mirroring feeds.DomainStat.First).
+	firstUnix int64
+	// feed indexes the zone's feed-name table.
+	feed uint16
+}
+
+// snapshot is one immutable generation of a shard's index. Readers
+// load the snapshot pointer once and do every lookup against that
+// consistent view; writers never mutate a published snapshot.
+type snapshot struct {
+	// entries maps lowercased registered-domain names to their listing.
+	// Keys are the interned symbol strings from the plane's symtab, so
+	// every snapshot generation shares one backing copy of each name.
+	entries map[string]entry
+	// gen is the shard generation, bumped on every swap. The negative
+	// cache keys its validity off this: a reload invalidates every
+	// cached miss for the shard without touching the cache.
+	gen uint64
+}
+
+// shard is one slice of a zone's index: an RCU-style atomically
+// swapped snapshot plus the shard's negative-answer cache. Reads are
+// lock-free (one atomic pointer load); writers serialize on mu, build
+// a fresh map copy, and publish it with a single pointer store.
+type shard struct {
+	cur atomic.Pointer[snapshot]
+	// mu serializes writers (delta application). Readers never take it.
+	mu sync.Mutex
+	// neg caches packed NXDOMAIN responses for this shard's names.
+	neg negCache
+}
+
+// newShard returns a shard with an empty published snapshot.
+func newShard(negSize int) *shard {
+	sh := &shard{}
+	sh.cur.Store(&snapshot{entries: map[string]entry{}})
+	sh.neg.init(negSize)
+	return sh
+}
+
+// load returns the current snapshot. Lock-free; the returned map is
+// immutable.
+func (sh *shard) load() *snapshot {
+	return sh.cur.Load()
+}
+
+// apply publishes a new snapshot containing every existing entry plus
+// the adds. Earliest listing wins: a domain already listed keeps
+// whichever record carries the earlier first-seen time, so applying
+// records in any arrival order converges on the same index that
+// feeds.Feed's min-time dedup would build. names[i] must be the
+// interned string for adds[i]. The whole batch becomes visible in one
+// atomic swap: a concurrent reader sees either none of it or all of
+// it, never a torn prefix.
+func (sh *shard) apply(names []string, adds []entry) {
+	if len(names) == 0 {
+		return
+	}
+	sh.mu.Lock()
+	old := sh.cur.Load()
+	next := &snapshot{
+		entries: make(map[string]entry, len(old.entries)+len(names)),
+		gen:     old.gen + 1,
+	}
+	for k, v := range old.entries {
+		next.entries[k] = v
+	}
+	for i, name := range names {
+		if prev, dup := next.entries[name]; !dup || adds[i].firstUnix < prev.firstUnix {
+			next.entries[name] = adds[i]
+		}
+	}
+	sh.cur.Store(next)
+	sh.mu.Unlock()
+}
+
+// fnv1aOffset and fnv1aPrime are the 64-bit FNV-1a constants.
+const (
+	fnv1aOffset = 14695981039346656037
+	fnv1aPrime  = 1099511628211
+)
+
+// shardOf hashes a (lowercased) domain name to its shard index with
+// FNV-1a. The same function runs on the write path (over the interned
+// symbol's bytes) and the read path (over the normalized query bytes),
+// so both sides always agree on placement. mask is shardCount-1
+// (shard counts are powers of two).
+func shardOf(name []byte, mask uint32) uint32 {
+	var h uint64 = fnv1aOffset
+	for _, c := range name {
+		h ^= uint64(c)
+		h *= fnv1aPrime
+	}
+	return uint32(h) & mask
+}

@@ -1,0 +1,42 @@
+package ecosystem
+
+import (
+	"sort"
+
+	"tasterschoice/internal/domain"
+)
+
+// DomainWeight pairs a domain with its share of query volume.
+type DomainWeight struct {
+	Name   domain.Name
+	Weight float64
+}
+
+// LoudCampaignSkew returns the world's loud-campaign advertised
+// domains weighted by campaign volume times slot weight, sorted by
+// descending weight (names break ties so the order is deterministic).
+// This is the query-mix skew a resolver population hammering a DNSBL
+// exhibits: a handful of botnet-blasted campaign domains dominate the
+// lookup stream the way they dominate spam volume, with a long tail
+// of quieter campaigns behind them. dnsblblast draws its weighted
+// query mix from this.
+func (w *World) LoudCampaignSkew() []DomainWeight {
+	var out []DomainWeight
+	for ci := range w.Campaigns {
+		c := &w.Campaigns[ci]
+		if c.Class != ClassLoud {
+			continue
+		}
+		for di := range c.Domains {
+			d := &c.Domains[di]
+			out = append(out, DomainWeight{Name: d.Name, Weight: c.Volume * d.Weight})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,68 @@
+package ecosystem
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLoudCampaignSkew(t *testing.T) {
+	world, err := Generate(DefaultConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew := world.LoudCampaignSkew()
+	if len(skew) == 0 {
+		t.Fatal("no loud-campaign domains in the default world")
+	}
+
+	// Every entry names a loud-campaign advertised domain with positive
+	// weight, and the order is strictly descending (names break ties).
+	for i, dw := range skew {
+		if dw.Weight <= 0 {
+			t.Fatalf("entry %d (%s): non-positive weight %v", i, dw.Name, dw.Weight)
+		}
+		if i > 0 {
+			prev := skew[i-1]
+			if dw.Weight > prev.Weight {
+				t.Fatalf("entry %d out of order: %v after %v", i, dw.Weight, prev.Weight)
+			}
+			if dw.Weight == prev.Weight && dw.Name <= prev.Name {
+				t.Fatalf("tie at weight %v not broken by name: %s then %s",
+					dw.Weight, prev.Name, dw.Name)
+			}
+		}
+		info, ok := world.Info(dw.Name)
+		if !ok {
+			t.Fatalf("%s not in the world's domain index", dw.Name)
+		}
+		_ = info
+	}
+
+	// Skew, not uniformity: the head must carry disproportionate weight.
+	if len(skew) >= 10 {
+		var head, total float64
+		for i, dw := range skew {
+			total += dw.Weight
+			if i < len(skew)/10 {
+				head += dw.Weight
+			}
+		}
+		if head < total/5 {
+			t.Fatalf("top decile carries %.1f%% of weight; expected a loud-campaign head", 100*head/total)
+		}
+	}
+}
+
+func TestLoudCampaignSkewDeterministic(t *testing.T) {
+	w1, err := Generate(DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w1.LoudCampaignSkew(), w2.LoudCampaignSkew()) {
+		t.Fatal("same seed produced different skews")
+	}
+}

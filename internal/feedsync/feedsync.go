@@ -511,7 +511,8 @@ func (c *Client) Sync(name string, offset int64, dst *feeds.Feed) (int64, error)
 
 // Tail streams records from offset into dst until stop is closed or
 // the connection drops. Each applied record is also passed to onRecord
-// when non-nil. It returns the final offset.
+// when non-nil; dst may be nil to consume records through onRecord
+// alone (see TailFunc). It returns the final offset.
 func (c *Client) Tail(name string, offset int64, dst *feeds.Feed,
 	stop <-chan struct{}, onRecord func(feeds.RawRecord)) (int64, error) {
 	conn, err := c.dial()
@@ -529,8 +530,19 @@ func (c *Client) Tail(name string, offset int64, dst *feeds.Feed,
 	return offset + n, err
 }
 
+// TailFunc streams records from offset until stop is closed or the
+// connection drops, delivering each record to fn only — no Feed
+// aggregation. Consumers that maintain their own index (the query
+// plane's hot reloader feeds sharded snapshots) use this to avoid
+// holding a second aggregate copy of the feed.
+func (c *Client) TailFunc(name string, offset int64,
+	stop <-chan struct{}, fn func(feeds.RawRecord)) (int64, error) {
+	return c.Tail(name, offset, nil, stop, fn)
+}
+
 // stream runs the protocol on an established connection, returning the
-// number of records applied.
+// number of records applied. dst may be nil when records are consumed
+// through the onRecord callback alone.
 func (c *Client) stream(conn net.Conn, name string, offset int64, mode string,
 	dst *feeds.Feed, onRecord func(feeds.RawRecord)) (int64, error) {
 	// The handshake gets its own deadline: a server that accepts but
@@ -585,7 +597,9 @@ func (c *Client) stream(conn net.Conn, name string, offset int64, mode string,
 			if err := json.Unmarshal([]byte(line), &rec); err != nil {
 				return applied, fmt.Errorf("feedsync: bad record: %w", err)
 			}
-			dst.Observe(rec.Time, domain.Name(rec.Domain), rec.URL)
+			if dst != nil {
+				dst.Observe(rec.Time, domain.Name(rec.Domain), rec.URL)
+			}
 			applied++
 			c.Metrics.Records.Inc()
 			if c.Metrics.LastRecordUnix != nil {

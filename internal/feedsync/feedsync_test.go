@@ -206,3 +206,55 @@ func TestSyncedFeedMatchesSource(t *testing.T) {
 		}
 	})
 }
+
+// TestTailFunc: the callback-only tail delivers every record without a
+// destination feed — the shape the query plane's hot reloader uses.
+func TestTailFunc(t *testing.T) {
+	srv, addr := startServer(t)
+	for i := 0; i < 4; i++ {
+		srv.Publish("uribl", rec(i)) //nolint:errcheck
+	}
+	stop := make(chan struct{})
+	got := make(chan feeds.RawRecord, 64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var offset int64
+	var tailErr error
+	go func() {
+		defer wg.Done()
+		offset, tailErr = NewClient(addr).TailFunc("uribl", 0, stop,
+			func(r feeds.RawRecord) { got <- r })
+	}()
+
+	// Catch-up arrives through the callback alone.
+	for i := 0; i < 4; i++ {
+		select {
+		case r := <-got:
+			if r.Domain != rec(i).Domain {
+				t.Fatalf("catch-up record %d: got %s", i, r.Domain)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("catch-up record %d missing", i)
+		}
+	}
+	// Live publishes keep flowing.
+	for i := 4; i < 6; i++ {
+		srv.Publish("uribl", rec(i)) //nolint:errcheck
+		select {
+		case r := <-got:
+			if r.Domain != rec(i).Domain {
+				t.Fatalf("live record %d: got %s", i, r.Domain)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("live record %d missing", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if tailErr != nil {
+		t.Fatalf("tail error: %v", tailErr)
+	}
+	if offset != 6 {
+		t.Fatalf("offset = %d, want 6", offset)
+	}
+}

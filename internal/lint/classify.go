@@ -63,6 +63,14 @@ var classTable = map[string]Class{
 	// dials, accepts and parks on channels like one.
 	"distsweep": ClassEngine,
 
+	// The sharded query plane serves sockets like an edge package but
+	// keeps the strict engine contract: an answer must be a pure
+	// function of (query bytes, listing state), replayable under an
+	// injected clock, which is what the chaos oracle asserts. Like
+	// distsweep it opts into ctxblocking below, and its read loop joins
+	// the stringalloc hot-path set.
+	"dnsblplane": ClassEngine,
+
 	// Admission control: overload is listed explicitly rather than
 	// left to the default — its shed decisions must replay bit-for-bit
 	// from (seed, clock), so it keeps the engine clock/RNG contract
@@ -84,11 +92,12 @@ var classTable = map[string]Class{
 // APIs must offer a context.Context variant (the convention the
 // lifecycle PR established: Listed/ListedContext, Tail/TailDurable).
 var ctxContractPackages = map[string]bool{
-	"distsweep": true,
-	"dnsbl":     true,
-	"feedsync":  true,
-	"overload":  true,
-	"smtpd":     true,
+	"distsweep":  true,
+	"dnsbl":      true,
+	"dnsblplane": true,
+	"feedsync":   true,
+	"overload":   true,
+	"smtpd":      true,
 }
 
 // nilGuardPackages are the packages whose exported pointer-receiver
@@ -106,18 +115,19 @@ var nilGuardPackages = map[string]bool{
 // excluded because it deliberately freezes the pre-interning engine,
 // string churn included.
 var stringAllocPackages = map[string]bool{
-	"analysis":  true,
-	"dnszone":   true,
-	"domain":    true,
-	"ecosystem": true,
-	"feeds":     true,
-	"mailflow":  true,
-	"oracle":    true,
-	"randutil":  true,
-	"simclock":  true,
-	"stats":     true,
-	"symtab":    true,
-	"webcrawl":  true,
+	"analysis":   true,
+	"dnsblplane": true,
+	"dnszone":    true,
+	"domain":     true,
+	"ecosystem":  true,
+	"feeds":      true,
+	"mailflow":   true,
+	"oracle":     true,
+	"randutil":   true,
+	"simclock":   true,
+	"stats":      true,
+	"symtab":     true,
+	"webcrawl":   true,
 }
 
 // canonicalPath strips go test's package-variant decorations: the

@@ -27,6 +27,10 @@ func TestClassify(t *testing.T) {
 		// shed decisions must replay bit-for-bit from (seed, clock).
 		{"tasterschoice/internal/overload", ClassEngine},
 
+		// dnsblplane serves sockets but keeps the engine contract: an
+		// answer is a pure function of (query bytes, listing state).
+		{"tasterschoice/internal/dnsblplane", ClassEngine},
+
 		// Unlisted internal packages default to the strict engine class.
 		{"tasterschoice/internal/parallel", ClassEngine},
 		{"tasterschoice/internal/obs", ClassEngine},
@@ -69,6 +73,7 @@ func TestNeedsCtxContract(t *testing.T) {
 	}{
 		{"tasterschoice/internal/distsweep", true},
 		{"tasterschoice/internal/dnsbl", true},
+		{"tasterschoice/internal/dnsblplane", true},
 		{"tasterschoice/internal/feedsync", true},
 		{"tasterschoice/internal/smtpd", true},
 		{"tasterschoice/internal/overload", true},
@@ -100,6 +105,31 @@ func TestNeedsNilGuard(t *testing.T) {
 	for _, tc := range cases {
 		if got := NeedsNilGuard(tc.path); got != tc.want {
 			t.Errorf("NeedsNilGuard(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestNeedsStringAlloc(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		// Dataset-build hot paths.
+		{"tasterschoice/internal/feeds", true},
+		{"tasterschoice/internal/symtab", true},
+		// The query plane's read loop answers once per datagram: string
+		// building per query would dominate the profile.
+		{"tasterschoice/internal/dnsblplane", true},
+		{"tasterschoice/internal/dnsblplane_test", true},
+		// Edge and reporting packages build strings as their job.
+		{"tasterschoice/internal/dnsbl", false},
+		{"tasterschoice/internal/report", false},
+		{"tasterschoice/internal/benchref", false},
+		{"fmt", false},
+	}
+	for _, tc := range cases {
+		if got := NeedsStringAlloc(tc.path); got != tc.want {
+			t.Errorf("NeedsStringAlloc(%q) = %v, want %v", tc.path, got, tc.want)
 		}
 	}
 }

@@ -159,6 +159,48 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) from the bucket
+// counts by linear interpolation inside the owning bucket, the same
+// estimate Prometheus' histogram_quantile computes. Values in the
+// +Inf bucket clamp to the highest finite bound. Returns 0 on nil, on
+// an empty histogram, or when no buckets were configured (a count+sum
+// histogram has no shape to estimate from).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || len(h.bounds) == 0 {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if cum+n >= rank && n > 0 {
+			if i >= len(h.bounds) {
+				// +Inf bucket: no upper bound to interpolate toward.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - cum) / n
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Count returns the number of observations (0 on nil).
 func (h *Histogram) Count() uint64 {
 	if h == nil {

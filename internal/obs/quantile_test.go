@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewRegistry().Histogram("q", []float64{1, 2, 4, 8})
+	// 100 observations uniform in (0,1]: everything lands in the first
+	// bucket, so quantiles interpolate inside [0,1].
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	if got := h.Quantile(0.5); got <= 0 || got > 1 {
+		t.Fatalf("p50 of all-in-first-bucket = %v, want within (0,1]", got)
+	}
+
+	// A second population in the (2,4] bucket shifts the upper tail.
+	for i := 0; i < 100; i++ {
+		h.Observe(3)
+	}
+	p50 := h.Quantile(0.50)
+	p99 := h.Quantile(0.99)
+	if p50 > 2 {
+		t.Fatalf("p50 = %v, want ≤ 2 (half the mass is below 1)", p50)
+	}
+	if p99 <= 2 || p99 > 4 {
+		t.Fatalf("p99 = %v, want in (2,4]", p99)
+	}
+	if p99 < p50 {
+		t.Fatalf("quantiles not monotone: p50=%v p99=%v", p50, p99)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram quantile = %v, want 0", got)
+	}
+	empty := NewRegistry().Histogram("e", []float64{1, 2})
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// A shape-less (bucket-free) histogram has nothing to estimate from.
+	shapeless := &Histogram{}
+	shapeless.Observe(5)
+	if got := shapeless.Quantile(0.5); got != 0 {
+		t.Fatalf("bucketless histogram quantile = %v, want 0", got)
+	}
+	// +Inf bucket clamps to the highest finite bound.
+	h := NewRegistry().Histogram("inf", []float64{1, 2})
+	for i := 0; i < 10; i++ {
+		h.Observe(100)
+	}
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("all-overflow p99 = %v, want clamp to 2", got)
+	}
+	// Out-of-range q clamps instead of exploding.
+	if got := h.Quantile(-1); math.IsNaN(got) {
+		t.Fatal("q=-1 produced NaN")
+	}
+	if got := h.Quantile(2); got != 2 {
+		t.Fatalf("q=2 = %v, want clamp behaviour", got)
+	}
+}
