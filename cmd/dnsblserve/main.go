@@ -49,6 +49,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -82,14 +83,17 @@ type options struct {
 	metricsAddr string
 
 	// Plane mode (any -serve entry switches it on).
-	serves   []string // "suffix=feedfile" entries
-	shards   int
-	negTTL   time.Duration
-	negSize  int
-	readers  int
-	batch    int
-	syncAddr string   // feedsync server for hot reload
-	tails    []string // "feed=zone" subscriptions
+	serves      []string // "suffix=feedfile" entries
+	shards      int
+	negTTL      time.Duration
+	negSize     int
+	readers     int
+	batch       int
+	syncAddr    string   // feedsync server for hot reload
+	tails       []string // "feed=zone" subscriptions
+	zoneTTLs    []string // "suffix=seconds" per-zone positive-TTL overrides
+	zoneNegTTLs []string // "suffix=duration" per-zone negative-TTL overrides
+	zoneSOAs    []string // "suffix=mname,rname[,serial]" per-zone SOA records
 
 	// Overload protection (all zero: unprotected serving).
 	workers     int     // worker pool size (0: legacy synchronous loop)
@@ -228,6 +232,10 @@ func setupPlane(o options) (srv *dnsblplane.Server, addr net.Addr, ms *obs.Metri
 		}
 	}
 
+	if err := applyZoneOverrides(zones, o); err != nil {
+		return nil, nil, nil, nil, err
+	}
+
 	plane, err := dnsblplane.New(dnsblplane.Config{
 		Zones:        zones,
 		Shards:       o.shards,
@@ -321,12 +329,83 @@ func setupPlane(o options) (srv *dnsblplane.Server, addr net.Addr, ms *obs.Metri
 	return srv, addr, ms, stop, nil
 }
 
+// applyZoneOverrides distributes the repeatable -zone-ttl /
+// -zone-negttl / -zone-soa flag entries onto their ZoneConfigs. Every
+// entry must name a zone that some -serve or -sync entry created.
+func applyZoneOverrides(zones []dnsblplane.ZoneConfig, o options) error {
+	find := func(suffix string) *dnsblplane.ZoneConfig {
+		for i := range zones {
+			if zones[i].Suffix == suffix {
+				return &zones[i]
+			}
+		}
+		return nil
+	}
+	for _, e := range o.zoneTTLs {
+		suffix, val, ok := strings.Cut(e, "=")
+		if !ok {
+			return fmt.Errorf("bad -zone-ttl %q (want suffix=seconds)", e)
+		}
+		zc := find(suffix)
+		if zc == nil {
+			return fmt.Errorf("-zone-ttl %q: zone not served", suffix)
+		}
+		secs, err := strconv.ParseUint(val, 10, 32)
+		if err != nil || secs == 0 {
+			return fmt.Errorf("bad -zone-ttl %q: want positive seconds", e)
+		}
+		zc.TTL = uint32(secs)
+	}
+	for _, e := range o.zoneNegTTLs {
+		suffix, val, ok := strings.Cut(e, "=")
+		if !ok {
+			return fmt.Errorf("bad -zone-negttl %q (want suffix=duration)", e)
+		}
+		zc := find(suffix)
+		if zc == nil {
+			return fmt.Errorf("-zone-negttl %q: zone not served", suffix)
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil || d <= 0 {
+			return fmt.Errorf("bad -zone-negttl %q: want a positive duration", e)
+		}
+		zc.NegTTL = d
+	}
+	for _, e := range o.zoneSOAs {
+		suffix, val, ok := strings.Cut(e, "=")
+		if !ok {
+			return fmt.Errorf("bad -zone-soa %q (want suffix=mname,rname[,serial])", e)
+		}
+		zc := find(suffix)
+		if zc == nil {
+			return fmt.Errorf("-zone-soa %q: zone not served", suffix)
+		}
+		parts := strings.Split(val, ",")
+		if len(parts) < 2 || parts[0] == "" || parts[1] == "" {
+			return fmt.Errorf("bad -zone-soa %q (want suffix=mname,rname[,serial])", e)
+		}
+		soa := &dnsblplane.SOAConfig{MName: parts[0], RName: parts[1]}
+		if len(parts) >= 3 {
+			serial, err := strconv.ParseUint(parts[2], 10, 32)
+			if err != nil {
+				return fmt.Errorf("bad -zone-soa serial %q", parts[2])
+			}
+			soa.Serial = uint32(serial)
+		}
+		zc.SOA = soa
+	}
+	return nil
+}
+
 func main() {
 	feedPath := flag.String("feed", "", "legacy mode: feed TSV file to serve under -zone")
 	zone := flag.String("zone", "dnsbl.example", "legacy mode: zone suffix to answer under")
-	var serves, tails multiFlag
+	var serves, tails, zoneTTLs, zoneNegTTLs, zoneSOAs multiFlag
 	flag.Var(&serves, "serve", "plane mode: SUFFIX=FEEDFILE zone to serve (repeatable)")
 	flag.Var(&tails, "sync", "plane mode: FEED=ZONE feedsync subscription to hot-reload (repeatable)")
+	flag.Var(&zoneTTLs, "zone-ttl", "plane mode: SUFFIX=SECONDS positive-answer TTL override for one zone (repeatable)")
+	flag.Var(&zoneNegTTLs, "zone-negttl", "plane mode: SUFFIX=DURATION negative-answer TTL override for one zone (repeatable)")
+	flag.Var(&zoneSOAs, "zone-soa", "plane mode: SUFFIX=MNAME,RNAME[,SERIAL] apex SOA for one zone; switches on RFC 2308 authority sections (repeatable)")
 	syncAddr := flag.String("sync-addr", "", "feedsync server address for -sync subscriptions")
 	shards := flag.Int("shards", 4, "plane mode: shards per zone (rounded up to a power of two)")
 	negTTL := flag.Duration("neg-ttl", 30*time.Second, "plane mode: negative-answer cache TTL")
@@ -355,6 +434,9 @@ func main() {
 		metricsAddr: *metricsAddr,
 		serves:      serves,
 		tails:       tails,
+		zoneTTLs:    zoneTTLs,
+		zoneNegTTLs: zoneNegTTLs,
+		zoneSOAs:    zoneSOAs,
 		syncAddr:    *syncAddr,
 		shards:      *shards,
 		negTTL:      *negTTL,

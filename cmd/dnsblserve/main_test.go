@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tasterschoice/internal/dnsbl"
+	"tasterschoice/internal/dnsblplane"
 	"tasterschoice/internal/domain"
 	"tasterschoice/internal/feeds"
 	"tasterschoice/internal/simclock"
@@ -292,6 +293,45 @@ func TestSetupPlaneBadFlags(t *testing.T) {
 	} {
 		if _, _, _, _, err := setupPlane(o); err == nil {
 			t.Errorf("setupPlane(%v): no error", o.serves)
+		}
+	}
+}
+
+// TestApplyZoneOverrides: the repeatable -zone-ttl / -zone-negttl /
+// -zone-soa entries land on the right ZoneConfig, and malformed or
+// unserved entries are rejected.
+func TestApplyZoneOverrides(t *testing.T) {
+	zones := []dnsblplane.ZoneConfig{{Suffix: "dbl.test"}, {Suffix: "uribl.test"}}
+	o := options{
+		zoneTTLs:    []string{"dbl.test=120"},
+		zoneNegTTLs: []string{"uribl.test=90s"},
+		zoneSOAs:    []string{"dbl.test=ns1.dbl.test,hostmaster.dbl.test,42"},
+	}
+	if err := applyZoneOverrides(zones, o); err != nil {
+		t.Fatal(err)
+	}
+	if zones[0].TTL != 120 {
+		t.Errorf("dbl.test TTL = %d, want 120", zones[0].TTL)
+	}
+	if zones[1].NegTTL != 90*time.Second {
+		t.Errorf("uribl.test NegTTL = %v, want 90s", zones[1].NegTTL)
+	}
+	if zones[0].SOA == nil || zones[0].SOA.MName != "ns1.dbl.test" || zones[0].SOA.Serial != 42 {
+		t.Errorf("dbl.test SOA = %+v, want ns1.dbl.test serial 42", zones[0].SOA)
+	}
+	if zones[1].SOA != nil || zones[1].TTL != 0 {
+		t.Errorf("uribl.test picked up another zone's overrides: %+v", zones[1])
+	}
+
+	for _, bad := range []options{
+		{zoneTTLs: []string{"nosuch.test=120"}},
+		{zoneTTLs: []string{"dbl.test=notanumber"}},
+		{zoneNegTTLs: []string{"dbl.test=-5s"}},
+		{zoneSOAs: []string{"dbl.test=onlymname"}},
+		{zoneSOAs: []string{"dbl.test=ns1,host,badserial"}},
+	} {
+		if err := applyZoneOverrides(zones, bad); err == nil {
+			t.Errorf("applyZoneOverrides(%+v) accepted a bad entry", bad)
 		}
 	}
 }

@@ -1,19 +1,25 @@
 // Command tastervet is the project's custom static-analysis
-// multichecker: five analyzers (floatmaprange, wallclock, globalrand,
-// nilguard, ctxblocking) that mechanically enforce the determinism,
-// clock, RNG and observability contracts MECHANISMS.md documents.
+// multichecker: nine analyzers (floatmaprange, wallclock, globalrand,
+// nilguard, ctxblocking, stringalloc, publishedmut, lockscope,
+// goroleak) that mechanically enforce the determinism, clock, RNG,
+// observability and concurrency contracts MECHANISMS.md documents.
+// The suite is interprocedural: per-function facts (clock/RNG taint,
+// blocking, lifecycle tracking, mutation masks) flow through a
+// package-local call graph and across package boundaries.
 //
 // Two modes:
 //
 //	tastervet [-tags build-tags] [-tests] [-run names] [packages]
 //	    Standalone: list, parse and type-check the packages itself
 //	    (default ./...) and print findings. Exit status 1 when any
-//	    finding survives the //lint:allow allowlist.
+//	    finding survives the //lint:allow allowlist. Packages are
+//	    analyzed in dependency order through one shared fact store.
 //
 //	go vet -vettool=$(which tastervet) ./...
 //	    Unit-checker: speak cmd/go's vet protocol (-V=full version
 //	    query, -flags enumeration, then one .cfg file per package),
 //	    so findings integrate with go vet's caching and output.
+//	    Facts ride the .vetx files the driver passes between units.
 //
 // Suppressions are explicit and reasoned:
 //

@@ -22,13 +22,21 @@ func TestTreeClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("loaded zero packages")
 	}
+	store := lint.NewFactStore()
 	for _, p := range pkgs {
 		for _, terr := range p.TypeErrors {
 			t.Errorf("%s: type error: %v", p.ImportPath, terr)
 		}
-		diags, err := lint.RunAnalyzers(p.Fset, p.Files, p.Pkg, p.Info, lint.All())
+		run := lint.All()
+		if p.FactsOnly {
+			run = nil
+		}
+		diags, err := lint.RunAnalyzersFacts(p.Fset, p.Files, p.Pkg, p.Info, run, store)
 		if err != nil {
 			t.Fatalf("%s: %v", p.ImportPath, err)
+		}
+		if p.FactsOnly {
+			continue
 		}
 		for _, d := range diags {
 			t.Errorf("%s: [%s] %s", p.Fset.Position(d.Pos), d.Analyzer, d.Message)
@@ -137,6 +145,85 @@ func Sum(d map[string]float64) float64 {
 	vet.Dir = mod
 	if out, err := vet.CombinedOutput(); err != nil {
 		t.Fatalf("go vet -vettool failed on the clean module: %v\n%s", err, out)
+	}
+}
+
+// TestVettoolFactRoundTrip is the regression surface for the fact
+// store's vetx serialization: a two-package scratch module where an
+// edge package legally reads the wall clock and an engine package
+// calls it. Under go vet -vettool each package is analyzed in a
+// separate process, so the engine-side escalation finding can only
+// exist if the edge package's facts survived the trip through the
+// vetx file go vet handed across.
+func TestVettoolFactRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet; skipped in -short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+
+	tmp := t.TempDir()
+	vettool := filepath.Join(tmp, "tastervet")
+	build := exec.Command(goTool, "build", "-o", vettool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building tastervet: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "mod")
+	edge := filepath.Join(mod, "internal", "feedsync")
+	engine := filepath.Join(mod, "internal", "dnsblplane")
+	for _, dir := range []string{edge, engine} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile(t, filepath.Join(mod, "go.mod"), "module tasterschoice\n\ngo 1.22\n")
+	// The edge package: time.Now is legal here, but the exported fact
+	// marks SlowNow wallclock-tainted. Jitter adds a level of helper
+	// indirection so the fixpoint, not just the leaf scan, is what the
+	// engine side depends on.
+	writeFile(t, filepath.Join(edge, "dep.go"), `package feedsync
+
+import "time"
+
+func SlowNow() time.Time { return time.Now() }
+
+func Jitter() time.Duration { return time.Since(SlowNow()) }
+`)
+	// The engine package: no time import anywhere — the only way the
+	// analyzer can flag these lines is through imported facts.
+	writeFile(t, filepath.Join(engine, "plane.go"), `package dnsblplane
+
+import "tasterschoice/internal/feedsync"
+
+func Stamp() int64 { return feedsync.SlowNow().UnixNano() }
+
+func Jittered() int64 { return int64(feedsync.Jitter()) }
+`)
+
+	vet := exec.Command(goTool, "vet", "-vettool="+vettool, "./...")
+	vet.Dir = mod
+	var out bytes.Buffer
+	vet.Stdout = &out
+	vet.Stderr = &out
+	err = vet.Run()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed; the cross-package escalation was lost; output:\n%s", out.String())
+	}
+	for _, want := range []string{
+		"feedsync.SlowNow transitively reads the wall clock",
+		"feedsync.Jitter transitively reads the wall clock",
+	} {
+		if !bytes.Contains(out.Bytes(), []byte(want)) {
+			t.Errorf("go vet output missing %q; output:\n%s", want, out.String())
+		}
+	}
+	// The edge package itself must stay clean: the taint is a fact, not
+	// a finding, at its own tier.
+	if bytes.Contains(out.Bytes(), []byte("dep.go")) {
+		t.Errorf("go vet reported findings in the edge package; output:\n%s", out.String())
 	}
 }
 

@@ -45,15 +45,26 @@ func runStandalone(args []string) int {
 		return 2
 	}
 
+	// One fact store for the whole run: Load returns packages in
+	// dependency order, so each package's interprocedural facts are in
+	// the store before any importer is analyzed.
+	store := lint.NewFactStore()
 	findings := 0
 	for _, p := range pkgs {
 		for _, terr := range p.TypeErrors {
 			fmt.Fprintf(os.Stderr, "tastervet: %s: type error (analysis may be incomplete): %v\n", p.ImportPath, terr)
 		}
-		diags, err := lint.RunAnalyzers(p.Fset, p.Files, p.Pkg, p.Info, analyzers)
+		run := analyzers
+		if p.FactsOnly {
+			run = nil // facts feed the targets; no diagnostics of its own
+		}
+		diags, err := lint.RunAnalyzersFacts(p.Fset, p.Files, p.Pkg, p.Info, run, store)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tastervet:", err)
 			return 2
+		}
+		if p.FactsOnly {
+			continue
 		}
 		for _, d := range diags {
 			findings++

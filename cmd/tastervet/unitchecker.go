@@ -10,6 +10,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"strings"
 
 	"tasterschoice/internal/lint"
 )
@@ -21,10 +22,13 @@ import (
 // type-checks the unit, prints findings to stderr, writes its facts
 // file, and signals findings through a non-zero exit.
 //
-// This suite exports no cross-package facts, so dependency units
-// (VetxOnly: cmd/go wants facts, not diagnostics) are satisfied by an
-// empty facts file without even parsing the source — which also means
-// stdlib/cgo dependencies never need to be re-type-checked here.
+// The facts file (VetxOutput) is the interprocedural propagation
+// channel: a unit's computed function facts serialize into it, and
+// cmd/go hands every dependency's file back via PackageVetx when a
+// dependent unit runs — the same modular path x/tools analysis facts
+// ride. Only the module's own packages carry facts; stdlib and other
+// dependency units (VetxOnly) write an empty file without even being
+// parsed.
 
 // vetConfig mirrors the fields of cmd/go's vet config (a stable
 // protocol; unknown fields are ignored by encoding/json).
@@ -46,6 +50,12 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// factBearing reports whether a unit's import path is one this module
+// computes facts for.
+func factBearing(importPath string) bool {
+	return strings.HasPrefix(importPath, "tasterschoice/")
+}
+
 // runUnitchecker analyzes one vet unit. Returns the exit code: 0 clean,
 // 1 internal failure, 2 findings (any non-zero makes go vet report).
 func runUnitchecker(cfgPath string) int {
@@ -60,16 +70,28 @@ func runUnitchecker(cfgPath string) int {
 		return 1
 	}
 
-	// Facts first: always leave the output cmd/go expects, even on the
-	// fast path.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "tastervet:", err)
+	// Units outside the module carry no facts and get no diagnostics:
+	// satisfy cmd/go with an empty facts file, skip parsing entirely.
+	if cfg.VetxOnly && !factBearing(cfg.ImportPath) {
+		return writeVetx(&cfg, nil)
+	}
+
+	// Merge the facts of every dependency cmd/go planned for us. A
+	// missing or foreign-format file contributes nothing (facts degrade
+	// to "clean", never to a false finding).
+	store := lint.NewFactStore()
+	for path, vetxFile := range cfg.PackageVetx {
+		if !factBearing(path) {
+			continue
+		}
+		raw, err := os.ReadFile(vetxFile)
+		if err != nil {
+			continue
+		}
+		if err := store.ImportPackage(path, raw); err != nil {
+			fmt.Fprintf(os.Stderr, "tastervet: %v\n", err)
 			return 1
 		}
-	}
-	if cfg.VetxOnly {
-		return 0
 	}
 
 	fset := token.NewFileSet()
@@ -78,7 +100,7 @@ func runUnitchecker(cfgPath string) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0
+				return writeVetx(&cfg, nil)
 			}
 			fmt.Fprintln(os.Stderr, "tastervet:", err)
 			return 1
@@ -116,22 +138,52 @@ func runUnitchecker(cfgPath string) int {
 	pkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
 	if typeErr != nil || pkg == nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return writeVetx(&cfg, nil)
 		}
 		fmt.Fprintf(os.Stderr, "tastervet: %s: %v\n", cfg.ImportPath, typeErr)
 		return 1
 	}
 
-	diags, err := lint.RunAnalyzers(fset, files, pkg, info, lint.All())
+	// A VetxOnly unit wants facts, not diagnostics: run the
+	// interprocedural computation with no analyzers attached.
+	analyzers := lint.All()
+	if cfg.VetxOnly {
+		analyzers = nil
+	}
+	diags, err := lint.RunAnalyzersFacts(fset, files, pkg, info, analyzers, store)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tastervet:", err)
 		return 1
+	}
+	if code := writeVetx(&cfg, store); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
 	}
 	if len(diags) > 0 {
 		return 2
+	}
+	return 0
+}
+
+// writeVetx leaves the facts output cmd/go expects: the unit's
+// serialized facts when store is non-nil, an empty file otherwise.
+// Returns 0 on success, 1 on failure.
+func writeVetx(cfg *vetConfig, store *lint.FactStore) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	var payload []byte
+	if store != nil {
+		payload = store.ExportPackage(cfg.ImportPath)
+	}
+	if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, "tastervet:", err)
+		return 1
 	}
 	return 0
 }

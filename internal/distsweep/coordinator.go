@@ -107,6 +107,11 @@ type Coordinator struct {
 	conns    map[net.Conn]struct{}
 	closed   bool
 	draining bool
+
+	// serving counts the accept loop and every live connection
+	// handler; Close waits on it so no coordinator goroutine outlives
+	// the coordinator.
+	serving sync.WaitGroup
 }
 
 // NewCoordinator creates a coordinator for cfg, resuming from
@@ -186,7 +191,11 @@ func (c *Coordinator) Serve(l net.Listener) net.Addr {
 	c.mu.Lock()
 	c.listener = l
 	c.mu.Unlock()
-	go c.serve(l)
+	c.serving.Add(1)
+	go func() {
+		defer c.serving.Done()
+		c.serve(l)
+	}()
 	return l.Addr()
 }
 
@@ -210,7 +219,9 @@ func (c *Coordinator) serve(l net.Listener) {
 		}
 		c.conns[conn] = struct{}{}
 		c.mu.Unlock()
+		c.serving.Add(1)
 		go func() {
+			defer c.serving.Done()
 			defer c.release(conn)
 			c.handle(conn)
 		}()
@@ -242,6 +253,10 @@ func (c *Coordinator) Close() error {
 		conn.Close()
 	}
 	c.mu.Unlock()
+	// Drain: closed sockets error every handler out of its read loop;
+	// waiting here means no serve or handler goroutine outlives Close
+	// (the goroleak contract, structurally).
+	c.serving.Wait()
 	return err
 }
 

@@ -234,6 +234,7 @@ func (w *Worker) runSeed(ctx context.Context, send func(string, any) error,
 		err error
 	}
 	ch := make(chan outcome, 1)
+	//lint:allow goroleak -- deliberately abandoned on cancel: the buffered channel collects a late result without blocking it
 	go func() {
 		m, err := run(l.Seed, l.Value)
 		ch <- outcome{m, err}

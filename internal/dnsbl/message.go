@@ -21,6 +21,7 @@ import (
 // DNS constants used by the codec.
 const (
 	TypeA   uint16 = 1
+	TypeSOA uint16 = 6
 	TypeTXT uint16 = 16
 	ClassIN uint16 = 1
 

@@ -46,6 +46,7 @@ func TestBlasterVerifiesCleanServer(t *testing.T) {
 	// at a time, so the blaster's pre/post oracle window is exercised.
 	stopReload := make(chan struct{})
 	reloadDone := make(chan struct{})
+	//lint:allow goroleak -- test harness: drained via the stopReload/reloadDone channel pair below
 	go func() {
 		defer close(reloadDone)
 		for i := 0; ; i++ {
@@ -114,6 +115,7 @@ func TestBlasterDetectsLyingServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
+	//lint:allow goroleak -- test harness: responder exits when the deferred conn.Close errors its read
 	go func() {
 		buf := make([]byte, 4096)
 		for {

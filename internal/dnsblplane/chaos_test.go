@@ -143,6 +143,7 @@ func TestChaosFloodDuringReload(t *testing.T) {
 	}()
 
 	reloadDone := make(chan struct{})
+	//lint:allow goroleak -- test harness: joined via the reloadDone channel before the test returns
 	go func() {
 		defer close(reloadDone)
 		for i := 0; i < 50; i++ {

@@ -1,6 +1,10 @@
 package dnsblplane
 
-import "tasterschoice/internal/obs"
+import (
+	"strconv"
+
+	"tasterschoice/internal/obs"
+)
 
 // Metrics observes the plane and its server. The zero value is fully
 // inert (obs instruments are nil-receiver safe); populate from a
@@ -25,6 +29,14 @@ type Metrics struct {
 	// (the recvmmsg-style batching win: higher is fewer syscalls per
 	// datagram).
 	ReadBatch *obs.Histogram
+	// QPS is the live query rate the serving loop self-reports over
+	// rolling ~1s windows on the injected clock (previously throughput
+	// was only measured from the outside by the blaster).
+	QPS *obs.Gauge
+	// QueueDepth returns the intake queue-depth gauge for one worker
+	// shard; the server calls it once per shard at Listen time. Nil
+	// (the zero Metrics) leaves the per-shard gauges inert.
+	QueueDepth func(shard int) *obs.Gauge
 }
 
 // WireMetrics returns a Metrics wired into reg under the
@@ -40,6 +52,10 @@ func WireMetrics(reg *obs.Registry) Metrics {
 		ReloadBatches: reg.Counter("dnsblplane_reload_batches_total"),
 		ReloadRecords: reg.Counter("dnsblplane_reload_records_total"),
 		ReadBatch:     reg.Histogram("dnsblplane_read_batch_datagrams", obs.DefCountBuckets),
+		QPS:           reg.Gauge("dnsblplane_qps"),
+		QueueDepth: func(shard int) *obs.Gauge {
+			return reg.Gauge("dnsblplane_queue_depth", "shard", strconv.Itoa(shard))
+		},
 	}
 	reg.Describe("dnsblplane_queries_total", "Datagrams offered to the query plane.")
 	reg.Describe("dnsblplane_hits_total", "Queries answered as listed.")
@@ -49,5 +65,7 @@ func WireMetrics(reg *obs.Registry) Metrics {
 	reg.Describe("dnsblplane_reload_batches_total", "Hot-reload delta batches applied.")
 	reg.Describe("dnsblplane_reload_records_total", "Hot-reload records applied.")
 	reg.Describe("dnsblplane_read_batch_datagrams", "Datagrams drained per reader wakeup.")
+	reg.Describe("dnsblplane_qps", "Live queries per second over rolling ~1s serving-loop windows.")
+	reg.Describe("dnsblplane_queue_depth", "Pending datagrams in one worker shard's intake queue.")
 	return m
 }

@@ -63,6 +63,31 @@ type ZoneConfig struct {
 	// Feeds pre-registers feed names for TXT reasons; feeds appearing
 	// only in reload deltas are registered on first sight.
 	Feeds []string
+	// TTL overrides Config.TTL for this zone's positive answers,
+	// seconds (0: inherit the plane-wide value).
+	TTL uint32
+	// NegTTL overrides Config.NegTTL for this zone's cached negative
+	// answers (0: inherit the plane-wide value).
+	NegTTL time.Duration
+	// SOA, when set, switches on authority behaviour for this zone:
+	// NXDOMAIN answers carry the zone's SOA in the authority section
+	// (RFC 2308 negative caching — the record's TTL and MINIMUM are the
+	// zone's NegTTL), and queries for the zone apex itself are answered
+	// instead of refused. Zones without an SOA keep the legacy
+	// byte-for-byte answer shape.
+	SOA *SOAConfig
+}
+
+// SOAConfig is the zone-apex SOA record. Refresh/retry/expire use
+// conventional secondary-transfer values; MINIMUM is the zone's
+// negative TTL per RFC 2308.
+type SOAConfig struct {
+	// MName is the primary nameserver ("ns1.dbl.example").
+	MName string
+	// RName is the admin mailbox in dotted form ("hostmaster.dbl.example").
+	RName string
+	// Serial is the zone serial.
+	Serial uint32
 }
 
 // Config parameterises a Plane.
@@ -99,6 +124,14 @@ type zone struct {
 	dotSuffix []byte // "." + suffix, the fast-path matcher
 	shards    []*shard
 	mask      uint32
+	// ttl/negTTL are this zone's resolved answer TTLs (per-zone
+	// override or the plane-wide default).
+	ttl    uint32
+	negTTL time.Duration
+	// soaRR is the fully packed apex SOA resource record (owner name
+	// uncompressed, TTL = negTTL), nil when the zone has no SOA
+	// configured. It is built once at New and appended verbatim.
+	soaRR []byte
 
 	// mu guards the feed-name table, which can grow on reload.
 	mu      sync.Mutex
@@ -196,6 +229,17 @@ func New(cfg Config) (*Plane, error) {
 			shards:    make([]*shard, n),
 			mask:      uint32(n - 1),
 			feedIdx:   make(map[string]uint16),
+			ttl:       ttl,
+			negTTL:    negTTL,
+		}
+		if zc.TTL != 0 {
+			z.ttl = zc.TTL
+		}
+		if zc.NegTTL > 0 {
+			z.negTTL = zc.NegTTL
+		}
+		if zc.SOA != nil {
+			z.soaRR = buildSOA(suffix, zc.SOA, z.negTTL)
 		}
 		for i := range z.shards {
 			z.shards[i] = newShard(negSize)
@@ -388,6 +432,27 @@ func (r *Responder) Respond(dst []byte, raw []byte) []byte {
 		}
 	}
 	if z == nil {
+		// Apex queries: a zone with an SOA configured answers for its
+		// own name instead of refusing (SOA in the answer section for
+		// SOA queries, in the authority section otherwise). Zones
+		// without one keep the legacy REFUSED byte shape.
+		for _, cand := range p.zones {
+			if cand.soaRR != nil && len(name) == len(cand.dotSuffix)-1 &&
+				bytes.Equal(name, cand.dotSuffix[1:]) {
+				if qclass != dnsbl.ClassIN {
+					return appendEcho(dst, raw, qEnd, dnsbl.RCodeNXDomain)
+				}
+				start := len(dst)
+				dst = appendEcho(dst, raw, qEnd, dnsbl.RCodeNoError)
+				dst = append(dst, cand.soaRR...)
+				if qtype == dnsbl.TypeSOA {
+					dst[start+7] = 1 // ANCOUNT=1
+				} else {
+					dst[start+9] = 1 // NSCOUNT=1
+				}
+				return dst
+			}
+		}
 		return appendEcho(dst, raw, qEnd, dnsbl.RCodeRefused)
 	}
 	if qclass != dnsbl.ClassIN {
@@ -400,7 +465,9 @@ func (r *Responder) Respond(dst []byte, raw []byte) []byte {
 	if !listed {
 		// Negative path: serve and feed the per-shard NXDOMAIN cache,
 		// keyed on the exact wire question so the echoed bytes always
-		// match the client's casing.
+		// match the client's casing. Cached responses include the SOA
+		// authority record when the zone carries one, so a cache hit is
+		// byte-identical to a cold build.
 		key := raw[12:qEnd]
 		now := p.clock()
 		if cached := sh.neg.get(key, snap.gen, now); cached != nil {
@@ -414,7 +481,11 @@ func (r *Responder) Respond(dst []byte, raw []byte) []byte {
 		}
 		n := len(dst)
 		dst = appendEcho(dst, raw, qEnd, dnsbl.RCodeNXDomain)
-		sh.neg.put(key, dst[n:], snap.gen, now.Add(p.negTTL))
+		if z.soaRR != nil {
+			dst = append(dst, z.soaRR...)
+			dst[n+9] = 1 // NSCOUNT=1
+		}
+		sh.neg.put(key, dst[n:], snap.gen, now.Add(z.negTTL))
 		return dst
 	}
 	p.Metrics.Hits.Inc()
@@ -422,7 +493,7 @@ func (r *Responder) Respond(dst []byte, raw []byte) []byte {
 	dst = appendEcho(dst, raw, qEnd, dnsbl.RCodeNoError)
 	switch qtype {
 	case dnsbl.TypeA:
-		dst = r.appendA(dst, start)
+		dst = r.appendA(dst, start, z)
 	case dnsbl.TypeTXT:
 		dst = r.appendTXT(dst, start, z, e)
 	default:
@@ -493,14 +564,57 @@ func appendEcho(dst, raw []byte, qEnd int, rcode uint8) []byte {
 // 12, the first byte after the header.
 var answerPtr = [2]byte{0xc0, 0x0c}
 
+// appendDNSName appends a dotted name in uncompressed wire form.
+func appendDNSName(dst []byte, name string) []byte {
+	for len(name) > 0 {
+		label := name
+		if i := strings.IndexByte(name, '.'); i >= 0 {
+			label, name = name[:i], name[i+1:]
+		} else {
+			name = ""
+		}
+		if len(label) == 0 || len(label) > 63 {
+			continue // skip malformed labels; the terminator still lands
+		}
+		dst = append(dst, byte(len(label)))
+		dst = append(dst, label...)
+	}
+	return append(dst, 0)
+}
+
+// buildSOA packs the zone's complete apex SOA resource record: owner
+// (the zone name, uncompressed), TYPE SOA, CLASS IN, the negative TTL,
+// and RDATA with MINIMUM also set to the negative TTL per RFC 2308.
+// Refresh/retry/expire are conventional secondary-transfer values; the
+// record is static, so it packs once and appends verbatim per answer.
+func buildSOA(suffix string, soa *SOAConfig, negTTL time.Duration) []byte {
+	ttl := uint32(negTTL / time.Second)
+	rr := appendDNSName(nil, suffix)
+	rr = append(rr,
+		0, byte(dnsbl.TypeSOA), // TYPE
+		0, 1, // CLASS IN
+		byte(ttl>>24), byte(ttl>>16), byte(ttl>>8), byte(ttl))
+	rdStart := len(rr)
+	rr = append(rr, 0, 0) // RDLENGTH placeholder
+	rr = appendDNSName(rr, soa.MName)
+	rr = appendDNSName(rr, soa.RName)
+	for _, v := range [5]uint32{soa.Serial, 3600, 900, 604800, ttl} {
+		rr = append(rr, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	rdlen := len(rr) - rdStart - 2
+	rr[rdStart] = byte(rdlen >> 8)
+	rr[rdStart+1] = byte(rdlen)
+	return rr
+}
+
 // appendA appends the conventional listed answer (127.0.0.2) as one A
 // record pointing back at the question name, and bumps ANCOUNT. start
 // is the offset in dst where this response's header begins.
-func (r *Responder) appendA(dst []byte, start int) []byte {
+func (r *Responder) appendA(dst []byte, start int, z *zone) []byte {
 	dst = append(dst, answerPtr[0], answerPtr[1],
 		0, 1, // TYPE A
 		0, 1, // CLASS IN
-		byte(r.p.ttl>>24), byte(r.p.ttl>>16), byte(r.p.ttl>>8), byte(r.p.ttl),
+		byte(z.ttl>>24), byte(z.ttl>>16), byte(z.ttl>>8), byte(z.ttl),
 		0, 4,
 		dnsbl.ListedAddress[0], dnsbl.ListedAddress[1], dnsbl.ListedAddress[2], dnsbl.ListedAddress[3])
 	dst[start+7] = 1 // ANCOUNT=1
@@ -522,7 +636,7 @@ func (r *Responder) appendTXT(dst []byte, start int, z *zone, e entry) []byte {
 	dst = append(dst, answerPtr[0], answerPtr[1],
 		0, 16, // TYPE TXT
 		0, 1, // CLASS IN
-		byte(r.p.ttl>>24), byte(r.p.ttl>>16), byte(r.p.ttl>>8), byte(r.p.ttl))
+		byte(z.ttl>>24), byte(z.ttl>>16), byte(z.ttl>>8), byte(z.ttl))
 	// RDATA: length-prefixed character strings (reasons are short, but
 	// split correctly anyway).
 	rdStart := len(dst)

@@ -61,6 +61,7 @@ func (rl *Reloader) Run(ctx context.Context, offset int64) (int64, error) {
 		close(stop)
 	}()
 
+	//lint:allow wallclock -- feed tailing is edge I/O (reconnect backoff); plane answers take time from the injected clock
 	off, err := rl.Client.TailFunc(rl.Feed, offset, stop, func(rec feeds.RawRecord) {
 		ch <- rec
 	})

@@ -18,7 +18,7 @@ func startSyncServer(t *testing.T, feedName string) (*feedsync.Server, string) {
 	if err := srv.Register(feedName, feeds.KindBlacklist, false, false); err != nil {
 		t.Fatal(err)
 	}
-	addr, err := srv.Listen("127.0.0.1:0")
+	addr, err := srv.Listen("127.0.0.1:0") //lint:allow wallclock -- test harness starts a real feedsync server; wall time here is harness I/O, not engine time
 	if err != nil {
 		t.Fatal(err)
 	}

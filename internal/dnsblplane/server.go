@@ -5,8 +5,11 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"tasterschoice/internal/dnsbl"
+	"tasterschoice/internal/obs"
 	"tasterschoice/internal/overload"
 )
 
@@ -59,12 +62,24 @@ type Server struct {
 	conn     net.PacketConn
 	closed   bool
 	draining bool
-	queue    chan packet
-	pool     sync.Pool
+	// queues is the sharded intake: one bounded queue per worker,
+	// selected by a hash of the client address. Stickiness means a
+	// flooding client backs up one shard and sheds there, while the
+	// other shards keep answering at full speed.
+	queues []chan packet
+	// depth mirrors queues: the per-shard queue-depth gauge, updated at
+	// the enqueue and dequeue points of the serving loop.
+	depth []*obs.Gauge
+	pool  sync.Pool
 	// serving counts live readers, workers and the queue closer, so
 	// Shutdown can wait for in-flight datagrams to be answered.
 	serving sync.WaitGroup
 	readers sync.WaitGroup
+	// qpsStart/qpsCount implement the rolling ~1s window behind the
+	// live QPS gauge; time comes from the injected Clock, so the gauge
+	// replays deterministically under a simulated clock.
+	qpsStart atomic.Int64
+	qpsCount atomic.Int64
 }
 
 // packet is one pending datagram; buf comes from the server's pool and
@@ -135,27 +150,43 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 		return nil, errors.New("dnsblplane: server closed")
 	}
 	s.conn = conn
-	s.queue = make(chan packet, s.queueDepth())
+	// Split the total queue bound across the worker shards; every
+	// worker owns exactly one queue.
+	nw := s.numWorkers()
+	perShard := s.queueDepth() / nw
+	if perShard < 1 {
+		perShard = 1
+	}
+	s.queues = make([]chan packet, nw)
+	s.depth = make([]*obs.Gauge, nw)
+	for i := range s.queues {
+		s.queues[i] = make(chan packet, perShard)
+		if s.Plane != nil && s.Plane.Metrics.QueueDepth != nil {
+			s.depth[i] = s.Plane.Metrics.QueueDepth(i)
+		}
+	}
 	s.pool.New = func() any {
 		b := make([]byte, 4096)
 		return &b
 	}
-	for i := 0; i < s.numWorkers(); i++ {
+	for i := 0; i < nw; i++ {
 		s.serving.Add(1)
-		go s.worker(conn)
+		go s.worker(conn, i)
 	}
 	for i := 0; i < s.numReaders(); i++ {
 		s.serving.Add(1)
 		s.readers.Add(1)
 		go s.reader(conn)
 	}
-	// Close the queue once every reader has stopped, releasing workers
+	// Close the queues once every reader has stopped, releasing workers
 	// after they drain what was admitted.
 	s.serving.Add(1)
 	go func() {
 		defer s.serving.Done()
 		s.readers.Wait()
-		close(s.queue)
+		for _, q := range s.queues {
+			close(q)
+		}
 	}()
 	s.mu.Unlock()
 	return conn.LocalAddr(), nil
@@ -173,11 +204,14 @@ func (s *Server) reader(conn net.PacketConn) {
 			return
 		}
 		raw := (*bp)[:n]
+		s.observeQPS()
 		p := s.classify(raw, from)
-		// Priority headroom: bulk stops queuing at 3/4 of the bound so
-		// a flood of A queries cannot starve control traffic of queue
-		// space.
-		if len(s.queue) >= p.Share(cap(s.queue)) {
+		qi := s.shardIndex(from)
+		q := s.queues[qi]
+		// Priority headroom: bulk stops queuing at 3/4 of the shard's
+		// bound so a flood of A queries cannot starve control traffic
+		// of queue space.
+		if len(q) >= p.Share(cap(q)) {
 			s.shed(conn, raw, from, overload.ShedCapacity)
 			s.pool.Put(bp)
 		} else if s.Admission != nil && !s.Admission.Allow(p, clientKey(from)) {
@@ -185,7 +219,8 @@ func (s *Server) reader(conn net.PacketConn) {
 			s.pool.Put(bp)
 		} else {
 			select {
-			case s.queue <- packet{buf: bp, n: n, from: from}:
+			case q <- packet{buf: bp, n: n, from: from}:
+				s.depth[qi].Set(int64(len(q)))
 			default:
 				// Lost the race for the last slot.
 				s.shed(conn, raw, from, overload.ShedCapacity)
@@ -206,21 +241,24 @@ func (s *Server) shed(conn net.PacketConn, raw []byte, from net.Addr, reason ove
 	}
 }
 
-// worker drains the queue in bursts and answers each datagram with a
-// worker-owned Responder and response buffer, so the steady state
-// allocates nothing per query.
-func (s *Server) worker(conn net.PacketConn) {
+// worker drains its own queue shard in bursts and answers each
+// datagram with a worker-owned Responder and response buffer, so the
+// steady state allocates nothing per query.
+func (s *Server) worker(conn net.PacketConn, shard int) {
 	defer s.serving.Done()
+	q, g := s.queues[shard], s.depth[shard]
 	r := NewResponder(s.Plane)
 	batch := make([]packet, 0, s.batchSize())
 	out := make([]byte, 0, 512)
 	for {
-		first, ok := <-s.queue
+		first, ok := <-q
 		if !ok {
+			g.Set(0)
 			return
 		}
 		batch = append(batch[:0], first)
-		batch = s.drain(batch)
+		batch = drain(batch, q)
+		g.Set(int64(len(q)))
 		s.Plane.Metrics.ReadBatch.Observe(float64(len(batch)))
 		for _, it := range batch {
 			out = r.Respond(out[:0], (*it.buf)[:it.n])
@@ -234,10 +272,10 @@ func (s *Server) worker(conn net.PacketConn) {
 
 // drain appends whatever is already queued, up to the batch bound,
 // without blocking.
-func (s *Server) drain(batch []packet) []packet {
+func drain(batch []packet, q chan packet) []packet {
 	for len(batch) < cap(batch) {
 		select {
-		case it, ok := <-s.queue:
+		case it, ok := <-q:
 			if !ok {
 				return batch
 			}
@@ -247,6 +285,50 @@ func (s *Server) drain(batch []packet) []packet {
 		}
 	}
 	return batch
+}
+
+// shardIndex maps a client address onto a queue shard: FNV-1a over the
+// peer IP, so a client sticks to one shard (and a flooding client
+// backs up only that shard).
+func (s *Server) shardIndex(from net.Addr) int {
+	n := len(s.queues)
+	if n <= 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	if a, ok := from.(*net.UDPAddr); ok {
+		for _, b := range a.IP {
+			h = (h ^ uint32(b)) * 16777619
+		}
+	} else {
+		str := from.String()
+		for i := 0; i < len(str); i++ {
+			h = (h ^ uint32(str[i])) * 16777619
+		}
+	}
+	return int(h % uint32(n))
+}
+
+// observeQPS feeds the live QPS gauge: datagrams counted over rolling
+// windows of at least one second on the injected clock. The CAS elects
+// one reader to close each window; the small count leak when two
+// windows race is noise a gauge tolerates.
+func (s *Server) observeQPS() {
+	n := s.qpsCount.Add(1)
+	now := s.clock()().UnixNano()
+	start := s.qpsStart.Load()
+	if start == 0 {
+		s.qpsStart.CompareAndSwap(0, now)
+		return
+	}
+	elapsed := now - start
+	if elapsed < int64(time.Second) {
+		return
+	}
+	if s.qpsStart.CompareAndSwap(start, now) {
+		s.qpsCount.Add(-n)
+		s.Plane.Metrics.QPS.Set(n * int64(time.Second) / elapsed)
+	}
 }
 
 // isStopping reports whether Close or Shutdown has begun.

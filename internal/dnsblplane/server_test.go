@@ -1,12 +1,16 @@
 package dnsblplane
 
 import (
+	"bytes"
 	"context"
 	"net"
 	"runtime"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"tasterschoice/internal/obs"
 	"tasterschoice/internal/overload"
 )
 
@@ -160,5 +164,72 @@ func TestServerListenAfterClose(t *testing.T) {
 	}
 	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
 		t.Fatal("Listen on a closed server succeeded")
+	}
+}
+
+// TestServerSelfReportedMetrics: the serving loop self-reports a live
+// QPS gauge and per-shard queue-depth gauges, and both families appear
+// in the Prometheus text scrape (previously throughput was only
+// measured from the outside by the blaster).
+func TestServerSelfReportedMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := newTestPlane(t, "dbl.test", testFeed("dbl", 4), 0)
+	p.Metrics = WireMetrics(reg)
+
+	// A step clock: every reading advances 700ms, so the second QPS
+	// window closes after three datagrams without any real sleeping.
+	var fake struct {
+		mu  sync.Mutex
+		now time.Time
+	}
+	fake.now = time.Unix(1700000000, 0)
+	clock := func() time.Time {
+		fake.mu.Lock()
+		defer fake.mu.Unlock()
+		fake.now = fake.now.Add(700 * time.Millisecond)
+		return fake.now
+	}
+
+	srv := &Server{Plane: p, Readers: 1, Workers: 2, Clock: clock}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for i := 0; i < 4; i++ {
+		q := appendQuery(nil, uint16(i+1), "spam00.example", "dbl.test", 1)
+		if got := queryServer(t, addr, q, 2*time.Second); got == nil {
+			t.Fatalf("query %d: no answer", i)
+		}
+	}
+	if srv.Plane.Metrics.QPS.Value() == 0 {
+		t.Fatal("QPS gauge never set by the serving loop")
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scrape := buf.String()
+	for _, want := range []string{
+		"# TYPE dnsblplane_qps gauge",
+		"# TYPE dnsblplane_queue_depth gauge",
+		`dnsblplane_queue_depth{shard="0"}`,
+		`dnsblplane_queue_depth{shard="1"}`,
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("scrape missing %q; scrape:\n%s", want, scrape)
+		}
+	}
+	// The qps sample itself must carry the nonzero live value.
+	qpsLine := ""
+	for _, line := range strings.Split(scrape, "\n") {
+		if strings.HasPrefix(line, "dnsblplane_qps ") {
+			qpsLine = line
+		}
+	}
+	if qpsLine == "" || strings.TrimSpace(strings.TrimPrefix(qpsLine, "dnsblplane_qps")) == "0" {
+		t.Errorf("scrape has no live dnsblplane_qps sample (line %q)", qpsLine)
 	}
 }

@@ -70,14 +70,14 @@ func (r *Responder) slow(dst, raw []byte) []byte {
 	p.Metrics.Hits.Inc()
 	switch q.Type {
 	case dnsbl.TypeA:
-		resp.Answers = append(resp.Answers, dnsbl.ARecord(q.Name, p.ttl,
+		resp.Answers = append(resp.Answers, dnsbl.ARecord(q.Name, z.ttl,
 			dnsbl.ListedAddress[0], dnsbl.ListedAddress[1], dnsbl.ListedAddress[2], dnsbl.ListedAddress[3]))
 	case dnsbl.TypeTXT:
 		reason := "listed"
 		if feed := z.feedName(e.feed); feed != "" {
 			reason = "listed " + time.Unix(e.firstUnix, 0).UTC().Format(time.RFC3339) + " by " + feed
 		}
-		resp.Answers = append(resp.Answers, dnsbl.TXTRecord(q.Name, p.ttl, reason))
+		resp.Answers = append(resp.Answers, dnsbl.TXTRecord(q.Name, z.ttl, reason))
 	default:
 		// Listed, but no data of the requested type: NOERROR with an
 		// empty answer section.

@@ -1,0 +1,194 @@
+package dnsblplane
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"tasterschoice/internal/obs"
+)
+
+// ttlOfA extracts the TTL field of the single A answer record: the
+// record is the fixed 16-byte tail (ptr 2, type 2, class 2, ttl 4,
+// rdlen 2, rdata 4).
+func ttlOfA(resp []byte) uint32 {
+	ttl := resp[len(resp)-10 : len(resp)-6]
+	return uint32(ttl[0])<<24 | uint32(ttl[1])<<16 | uint32(ttl[2])<<8 | uint32(ttl[3])
+}
+
+// TestPerZoneTTLOnWire: each zone answers with its own positive TTL;
+// zones without an override inherit the plane-wide value.
+func TestPerZoneTTLOnWire(t *testing.T) {
+	p, err := New(Config{
+		TTL: 300,
+		Zones: []ZoneConfig{
+			{Suffix: "fast.test", TTL: 111},
+			{Suffix: "slow.test", TTL: 2222},
+			{Suffix: "default.test"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, zone := range []string{"fast.test", "slow.test", "default.test"} {
+		if _, err := p.LoadFeed(zone, testFeed("dbl", 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewResponder(p)
+	for _, tc := range []struct {
+		zone string
+		want uint32
+	}{
+		{"fast.test", 111},
+		{"slow.test", 2222},
+		{"default.test", 300},
+	} {
+		resp := r.Respond(nil, appendQuery(nil, 1, "spam00.example", tc.zone, 1))
+		if resp == nil {
+			t.Fatalf("zone %s: no answer", tc.zone)
+		}
+		if got := ttlOfA(resp); got != tc.want {
+			t.Errorf("zone %s: wire TTL = %d, want %d", tc.zone, got, tc.want)
+		}
+	}
+}
+
+// TestPerZoneNegTTLExpiry: cached negative answers live exactly as
+// long as their zone's configured negative TTL on the injected clock —
+// a 15s advance expires the 10s zone's entry while the 60s zone keeps
+// serving from cache, and a cache hit stays byte-identical to the cold
+// build.
+func TestPerZoneNegTTLExpiry(t *testing.T) {
+	clk := newFakeClock()
+	p, err := New(Config{
+		Zones: []ZoneConfig{
+			{Suffix: "short.test", NegTTL: 10 * time.Second},
+			{Suffix: "long.test", NegTTL: 60 * time.Second},
+		},
+		Clock: clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Metrics = WireMetrics(obs.NewRegistry())
+	for _, zone := range []string{"short.test", "long.test"} {
+		if _, err := p.LoadFeed(zone, testFeed("dbl", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewResponder(p)
+	qShort := appendQuery(nil, 7, "missing.example", "short.test", 1)
+	qLong := appendQuery(nil, 8, "missing.example", "long.test", 1)
+
+	ask := func(q []byte) []byte { return append([]byte(nil), r.Respond(nil, q)...) }
+
+	coldShort := ask(qShort)
+	warmShort := ask(qShort)
+	if !bytes.Equal(coldShort, warmShort) {
+		t.Fatalf("cached negative answer differs from cold build:\n  cold: %x\n  warm: %x", coldShort, warmShort)
+	}
+	ask(qLong)
+	ask(qLong)
+	if got := p.Metrics.NegHits.Value(); got != 2 {
+		t.Fatalf("neg-cache hits = %d, want 2 (one per zone's repeat)", got)
+	}
+
+	// 15s: past short.test's 10s TTL, inside long.test's 60s.
+	clk.advance(15 * time.Second)
+	ask(qShort)
+	if got := p.Metrics.NegHits.Value(); got != 2 {
+		t.Errorf("short.test entry served after its 10s TTL (hits = %d, want 2)", got)
+	}
+	ask(qLong)
+	if got := p.Metrics.NegHits.Value(); got != 3 {
+		t.Errorf("long.test entry expired inside its 60s TTL (hits = %d, want 3)", got)
+	}
+}
+
+// TestZoneSOA: a zone with an SOA answers NXDOMAIN with an RFC 2308
+// authority section carrying the zone's negative TTL, answers its own
+// apex instead of refusing, and leaves SOA-less zones byte-compatible
+// with the legacy shape.
+func TestZoneSOA(t *testing.T) {
+	clk := newFakeClock()
+	p, err := New(Config{
+		Zones: []ZoneConfig{
+			{
+				Suffix: "auth.test",
+				NegTTL: 45 * time.Second,
+				SOA:    &SOAConfig{MName: "ns1.auth.test", RName: "hostmaster.auth.test", Serial: 7},
+			},
+			{Suffix: "plain.test"},
+		},
+		Clock: clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Metrics = WireMetrics(obs.NewRegistry())
+	for _, zone := range []string{"auth.test", "plain.test"} {
+		if _, err := p.LoadFeed(zone, testFeed("dbl", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewResponder(p)
+
+	// NXDOMAIN in the SOA zone: NSCOUNT=1, the authority record's TTL
+	// is the zone's 45s negative TTL, and the RDATA tail's MINIMUM
+	// field repeats it.
+	resp := r.Respond(nil, appendQuery(nil, 1, "missing.example", "auth.test", 1))
+	if resp == nil {
+		t.Fatal("no NXDOMAIN answer")
+	}
+	if resp[3]&0x0f != 3 {
+		t.Fatalf("rcode = %d, want NXDOMAIN", resp[3]&0x0f)
+	}
+	if ns := uint16(resp[8])<<8 | uint16(resp[9]); ns != 1 {
+		t.Fatalf("NSCOUNT = %d, want 1 (authority SOA)", ns)
+	}
+	min := resp[len(resp)-4:]
+	if got := uint32(min[0])<<24 | uint32(min[1])<<16 | uint32(min[2])<<8 | uint32(min[3]); got != 45 {
+		t.Errorf("SOA MINIMUM = %d, want 45 (the zone's negative TTL)", got)
+	}
+	// The cached copy answers byte-identically, SOA included.
+	warm := r.Respond(nil, appendQuery(nil, 1, "missing.example", "auth.test", 1))
+	if !bytes.Equal(resp, warm) {
+		t.Errorf("cached SOA-bearing negative differs from cold build:\n  cold: %x\n  warm: %x", resp, warm)
+	}
+	if p.Metrics.NegHits.Value() != 1 {
+		t.Errorf("neg-cache hits = %d, want 1", p.Metrics.NegHits.Value())
+	}
+
+	// Apex SOA query: NOERROR with the SOA in the answer section.
+	apex := r.Respond(nil, appendQuery(nil, 2, "auth", "test", 6))
+	if apex == nil {
+		t.Fatal("no apex SOA answer")
+	}
+	if rc := apex[3] & 0x0f; rc != 0 {
+		t.Fatalf("apex SOA rcode = %d, want NOERROR", rc)
+	}
+	if an := uint16(apex[6])<<8 | uint16(apex[7]); an != 1 {
+		t.Errorf("apex SOA ANCOUNT = %d, want 1", an)
+	}
+
+	// Apex A query: NOERROR, empty answer, SOA in authority.
+	apexA := r.Respond(nil, appendQuery(nil, 3, "auth", "test", 1))
+	if rc := apexA[3] & 0x0f; rc != 0 {
+		t.Fatalf("apex A rcode = %d, want NOERROR", rc)
+	}
+	if ns := uint16(apexA[8])<<8 | uint16(apexA[9]); ns != 1 {
+		t.Errorf("apex A NSCOUNT = %d, want 1", ns)
+	}
+
+	// The SOA-less zone keeps the legacy shapes: bare NXDOMAIN, apex
+	// REFUSED.
+	plain := r.Respond(nil, appendQuery(nil, 4, "missing.example", "plain.test", 1))
+	if ns := uint16(plain[8])<<8 | uint16(plain[9]); ns != 0 {
+		t.Errorf("SOA-less NXDOMAIN NSCOUNT = %d, want 0", ns)
+	}
+	plainApex := r.Respond(nil, appendQuery(nil, 5, "plain", "test", 1))
+	if rc := plainApex[3] & 0x0f; rc != 5 {
+		t.Errorf("SOA-less apex rcode = %d, want REFUSED", rc)
+	}
+}

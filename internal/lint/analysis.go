@@ -51,6 +51,10 @@ type Pass struct {
 	Pkg *types.Package
 	// Info has Uses, Defs, Types and Selections filled in.
 	Info *types.Info
+	// Inter holds the package's interprocedural results — call graph
+	// and computed function facts — shared by every analyzer in the
+	// run. Nil only for hand-built passes in tests.
+	Inter *Inter
 	// Report records one diagnostic. The runner applies //lint:allow
 	// suppression, so analyzers report unconditionally.
 	Report func(Diagnostic)
@@ -72,6 +76,9 @@ func All() []*Analyzer {
 		NilGuard,
 		CtxBlocking,
 		StringAlloc,
+		PublishedMut,
+		LockScope,
+		GoroLeak,
 	}
 }
 
@@ -86,14 +93,27 @@ func byName() map[string]bool {
 }
 
 // RunAnalyzers applies each analyzer to the package and returns the
-// surviving diagnostics sorted by position. Well-formed //lint:allow
-// directives suppress matching diagnostics on their line; malformed or
+// surviving diagnostics sorted by position, using a fresh fact store —
+// the single-package entry point. Well-formed //lint:allow directives
+// suppress matching diagnostics on their line; malformed or
 // unknown-analyzer directives are themselves reported (under the
 // pseudo-analyzer name "allowdirective") so a typo cannot silently
 // disable a check.
 func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunAnalyzersFacts(fset, files, pkg, info, analyzers, NewFactStore())
+}
+
+// RunAnalyzersFacts is RunAnalyzers against a caller-owned fact store:
+// the package's interprocedural facts are computed once (consulting the
+// store for dependencies already analyzed into it) and published back
+// into the store for the packages that import this one. Standalone
+// mode threads one store through a dependency-ordered package walk;
+// unitchecker mode fills it from the .vetx files cmd/go provides and
+// serializes it back out.
+func RunAnalyzersFacts(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, store *FactStore) ([]Diagnostic, error) {
 	allows, bad := CollectDirectives(fset, files, byName())
 	diags := append([]Diagnostic(nil), bad...)
+	inter := ComputeInter(&Pass{Fset: fset, Files: files, Pkg: pkg, Info: info}, allows, store)
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer: a,
@@ -101,6 +121,7 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			Files:    files,
 			Pkg:      pkg,
 			Info:     info,
+			Inter:    inter,
 		}
 		pass.Report = func(d Diagnostic) {
 			d.Analyzer = a.Name

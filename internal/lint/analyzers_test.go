@@ -46,3 +46,31 @@ func TestStringAlloc(t *testing.T) {
 func TestStringAllocEdge(t *testing.T) {
 	linttest.Run(t, "testdata/src/stringalloc_edge", "tasterschoice/internal/dnsbl", lint.StringAlloc)
 }
+
+func TestPublishedMut(t *testing.T) {
+	linttest.Run(t, "testdata/src/publishedmut", "tasterschoice/internal/dnsblplane", lint.PublishedMut)
+}
+
+func TestLockScope(t *testing.T) {
+	linttest.Run(t, "testdata/src/lockscope", "tasterschoice/internal/overload", lint.LockScope)
+}
+
+func TestGoroLeak(t *testing.T) {
+	linttest.Run(t, "testdata/src/goroleak", "tasterschoice/internal/distsweep", lint.GoroLeak)
+}
+
+// TestCrossPackageFacts runs the two-package fixture pair through one
+// shared fact store: factdep poses as the edge package feedsync,
+// factmain as the engine package dnsblplane importing it. Every want
+// in factmain rests on a fact computed in factdep — the wallclock and
+// globalrand taint escalations, a Blocking fact under a lock, a
+// mutation mask after a publish, and a Tracked fact that keeps a
+// cross-package spawn clean.
+func TestCrossPackageFacts(t *testing.T) {
+	linttest.RunMulti(t,
+		[]linttest.Pkg{
+			{Dir: "testdata/src/factdep", ImportPath: "tasterschoice/internal/feedsync"},
+			{Dir: "testdata/src/factmain", ImportPath: "tasterschoice/internal/dnsblplane"},
+		},
+		lint.WallClock, lint.GlobalRand, lint.PublishedMut, lint.LockScope, lint.GoroLeak)
+}

@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The per-package call graph: who calls (or spawns, defers, or merely
+// references) whom, over the typed AST. It is the substrate the fact
+// store and the interprocedural analyzers (publishedmut, lockscope,
+// goroleak) and the taint escalation of wallclock/globalrand all walk.
+//
+// Nodes are function bodies: declared functions and methods
+// (*types.Func) plus anonymous function literals (keyed by their
+// *ast.FuncLit). Edges are classified by how the callee runs relative
+// to the caller, because the analyses care:
+//
+//   - EdgeCall: a plain call — the callee's blocking behaviour is the
+//     caller's blocking behaviour.
+//   - EdgeGo: a go statement — the callee runs elsewhere; it inherits
+//     taint (a spawned time.Now still breaks replay) but not blocking.
+//   - EdgeDefer: a deferred call — runs at return, outside any
+//     critical section the body scoped; taints, does not block the
+//     body.
+//   - EdgeRef: the function is referenced as a value (method value,
+//     function-typed field, argument) without being called here. It
+//     may run anywhere later, so taint flows; blocking does not.
+type EdgeKind int
+
+const (
+	EdgeCall EdgeKind = iota
+	EdgeGo
+	EdgeDefer
+	EdgeRef
+)
+
+// Edge is one outgoing reference from a caller node.
+type Edge struct {
+	Kind EdgeKind
+	// Callee is the resolved target for declared functions and
+	// methods; nil when the target is a function literal (then Lit is
+	// set) or unresolvable (dynamic call through a variable or
+	// interface — no edge is recorded for those).
+	Callee *types.Func
+	// Lit is the target function literal, for directly invoked or
+	// referenced literals.
+	Lit *ast.FuncLit
+	// Pos is the call or reference site.
+	Pos ast.Node
+}
+
+// CallNode is one function body and its outgoing edges.
+type CallNode struct {
+	// Fn is the declared function, nil for literals.
+	Fn *types.Func
+	// Lit is the literal, nil for declared functions.
+	Lit *ast.FuncLit
+	// Decl is the declaration carrying the body (nil for literals).
+	Decl *ast.FuncDecl
+	// Body is the function body (may be nil for bodyless decls).
+	Body *ast.BlockStmt
+	// Edges are the outgoing references in source order.
+	Edges []Edge
+}
+
+// CallGraph is the per-package graph.
+type CallGraph struct {
+	// Funcs maps declared functions and methods to their nodes.
+	Funcs map[*types.Func]*CallNode
+	// Lits maps function literals to their nodes.
+	Lits map[*ast.FuncLit]*CallNode
+	// nodes holds every node in deterministic (source) order.
+	nodes []*CallNode
+}
+
+// Nodes returns every node in source order.
+func (g *CallGraph) Nodes() []*CallNode { return g.nodes }
+
+// NodeFor returns the node of a declared function, or nil.
+func (g *CallGraph) NodeFor(fn *types.Func) *CallNode { return g.Funcs[fn] }
+
+// LitNode returns the node of a function literal, or nil.
+func (g *CallGraph) LitNode(lit *ast.FuncLit) *CallNode { return g.Lits[lit] }
+
+// BuildCallGraph constructs the package's call graph from the typed
+// syntax trees.
+func BuildCallGraph(files []*ast.File, info *types.Info) *CallGraph {
+	g := &CallGraph{
+		Funcs: make(map[*types.Func]*CallNode),
+		Lits:  make(map[*ast.FuncLit]*CallNode),
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			node := &CallNode{Fn: fn, Decl: fd, Body: fd.Body}
+			g.Funcs[fn] = node
+			g.nodes = append(g.nodes, node)
+			if fd.Body != nil {
+				g.scanBody(node, fd.Body, info)
+			}
+		}
+	}
+	return g
+}
+
+// scanBody records node's outgoing edges, creating child nodes for
+// every function literal it encounters (literals nest; each gets its
+// own node and edge scan over its own body only).
+func (g *CallGraph) scanBody(node *CallNode, body *ast.BlockStmt, info *types.Info) {
+	// calleeOf resolves the function a call expression invokes.
+	var walk func(n ast.Node) bool
+	record := func(kind EdgeKind, target ast.Expr, site ast.Node) bool {
+		switch t := ast.Unparen(target).(type) {
+		case *ast.FuncLit:
+			child := g.litNode(t, info)
+			node.Edges = append(node.Edges, Edge{Kind: kind, Lit: t, Pos: site})
+			_ = child
+			return true
+		default:
+			if fn := ResolveCallee(info, target); fn != nil {
+				node.Edges = append(node.Edges, Edge{Kind: kind, Callee: fn, Pos: site})
+				return true
+			}
+		}
+		return false
+	}
+	walk = func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			// A literal reached here is a value reference (invoked
+			// literals are handled at their CallExpr below, but the
+			// ref edge is harmless and keeps taint conservative).
+			g.litNode(v, info)
+			node.Edges = append(node.Edges, Edge{Kind: EdgeRef, Lit: v, Pos: v})
+			return false
+		case *ast.GoStmt:
+			record(EdgeGo, v.Call.Fun, v)
+			// Arguments (and a method receiver expression) are
+			// evaluated in the caller; walk them, but not the spawned
+			// function expression itself.
+			walkReceiver(v.Call.Fun, walk)
+			for _, a := range v.Call.Args {
+				ast.Inspect(a, walk)
+			}
+			return false
+		case *ast.DeferStmt:
+			record(EdgeDefer, v.Call.Fun, v)
+			walkReceiver(v.Call.Fun, walk)
+			for _, a := range v.Call.Args {
+				ast.Inspect(a, walk)
+			}
+			return false
+		case *ast.CallExpr:
+			if record(EdgeCall, v.Fun, v) {
+				// The receiver expression of a resolved method call
+				// may itself contain calls: f().M() must not lose the
+				// edge to f.
+				walkReceiver(v.Fun, walk)
+				for _, a := range v.Args {
+					ast.Inspect(a, walk)
+				}
+				return false
+			}
+			return true
+		case *ast.Ident:
+			// A bare reference to a declared function used as a value
+			// (assigned, passed, stored in a field): a ref edge.
+			if fn, ok := info.Uses[v].(*types.Func); ok {
+				node.Edges = append(node.Edges, Edge{Kind: EdgeRef, Callee: fn, Pos: v})
+			}
+			return true
+		}
+		return true
+	}
+	for _, stmt := range body.List {
+		ast.Inspect(stmt, walk)
+	}
+}
+
+// walkReceiver walks the base expression of a selector call target
+// (the receiver, or a package qualifier — a bare Ident contributes
+// nothing) so calls nested inside it keep their edges.
+func walkReceiver(fun ast.Expr, walk func(ast.Node) bool) {
+	if sel, ok := ast.Unparen(fun).(*ast.SelectorExpr); ok {
+		ast.Inspect(sel.X, walk)
+	}
+}
+
+// litNode returns (creating on first sight) the node for a literal and
+// scans its body.
+func (g *CallGraph) litNode(lit *ast.FuncLit, info *types.Info) *CallNode {
+	if n, ok := g.Lits[lit]; ok {
+		return n
+	}
+	n := &CallNode{Lit: lit, Body: lit.Body}
+	g.Lits[lit] = n
+	g.nodes = append(g.nodes, n)
+	if lit.Body != nil {
+		g.scanBody(n, lit.Body, info)
+	}
+	return n
+}
+
+// ResolveCallee resolves the *types.Func a call-or-reference target
+// expression denotes: package-level functions (f, pkg.F), methods
+// (x.M, including method values), and generic instantiations. Dynamic
+// targets — function-typed variables, interface methods — resolve to
+// nil.
+func ResolveCallee(info *types.Info, fun ast.Expr) *types.Func {
+	switch t := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[t].(*types.Func)
+		return origin(fn)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[t]; ok {
+			// Function-typed fields (sel.Obj is a *types.Var) and
+			// interface methods have no analyzable body; resolve only
+			// concrete methods.
+			fn, _ := sel.Obj().(*types.Func)
+			if fn == nil {
+				return nil
+			}
+			if rt := recvType(fn); rt != nil && types.IsInterface(rt) {
+				return nil
+			}
+			return origin(fn)
+		}
+		// Qualified identifier: pkg.F.
+		fn, _ := info.Uses[t.Sel].(*types.Func)
+		return origin(fn)
+	case *ast.IndexExpr:
+		return ResolveCallee(info, t.X) // generic instantiation f[T]
+	case *ast.IndexListExpr:
+		return ResolveCallee(info, t.X)
+	}
+	return nil
+}
+
+// origin maps a generic instantiation back to its declared function so
+// facts attach to the declaration.
+func origin(fn *types.Func) *types.Func {
+	if fn == nil {
+		return nil
+	}
+	return fn.Origin()
+}
+
+// recvType returns the receiver's type, nil for plain functions.
+func recvType(fn *types.Func) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}

@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The modular fact store: per-function facts computed once per package
+// and propagated to dependents. In standalone mode one store lives for
+// the whole run and packages are analyzed in dependency order, so a
+// dependent's lookup hits the facts its dependency just computed. In
+// `go vet -vettool` mode each package unit runs in its own process:
+// facts serialize into the unit's .vetx output file and deserialize
+// from the dependency .vetx files cmd/go hands the next unit — the
+// same modular-propagation path x/tools analysis facts ride.
+
+// FactSet is a bitmask of per-function facts.
+type FactSet uint8
+
+const (
+	// FactWallClock: the function transitively reaches an unsanctioned
+	// time.Now/Since/Sleep (a use not cleansed by //lint:allow
+	// wallclock at its site).
+	FactWallClock FactSet = 1 << iota
+	// FactGlobalRand: the function transitively reaches the
+	// process-global math/rand state.
+	FactGlobalRand
+	// FactBlocking: the function can block its caller — a channel
+	// send/receive outside select, ranging over a channel, a
+	// WaitGroup.Wait, net dial/accept/conn I/O — directly or through a
+	// plain call chain.
+	FactBlocking
+	// FactTracked: the function participates in structured goroutine
+	// lifecycle — it observes a context.Context, calls
+	// (*sync.WaitGroup).Done/Wait, or registers with
+	// internal/lifecycle. go statements spawning a Tracked function
+	// satisfy the goroleak contract.
+	FactTracked
+)
+
+// Has reports whether all bits in q are set.
+func (s FactSet) Has(q FactSet) bool { return s&q == q }
+
+// String renders the set for diagnostics and the -facts debug dump.
+func (s FactSet) String() string {
+	var parts []string
+	if s.Has(FactWallClock) {
+		parts = append(parts, "wallclock")
+	}
+	if s.Has(FactGlobalRand) {
+		parts = append(parts, "globalrand")
+	}
+	if s.Has(FactBlocking) {
+		parts = append(parts, "blocking")
+	}
+	if s.Has(FactTracked) {
+		parts = append(parts, "tracked")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// FuncFacts is everything the store knows about one function: the
+// taint bits plus a parameter-mutation mask (bit i set: the function
+// writes through its i-th parameter, directly or by passing it on to
+// another mutator — the interprocedural half of publishedmut).
+type FuncFacts struct {
+	Set FactSet
+	// MutMask bit i (i < 16) is set when parameter i's pointee may be
+	// written (field store, map/slice element store) by the function.
+	MutMask uint16
+}
+
+// FactStore holds computed facts for lookup by dependent packages.
+// Same-universe lookups (intra-package, multi-fixture tests) resolve
+// by object identity; cross-universe lookups (standalone dep order,
+// vetx deserialization) resolve by canonical package path + object
+// key.
+type FactStore struct {
+	funcs    map[*types.Func]FuncFacts
+	imported map[string]map[string]FuncFacts
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{
+		funcs:    make(map[*types.Func]FuncFacts),
+		imported: make(map[string]map[string]FuncFacts),
+	}
+}
+
+// ObjectKey names a function inside its package: "F" for package-level
+// functions, "T.M" for methods (pointerness stripped — a method set
+// has unique names either way).
+func ObjectKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// put records facts for a function checked in this process.
+func (s *FactStore) put(fn *types.Func, f FuncFacts) {
+	s.funcs[fn] = f
+	if fn.Pkg() == nil {
+		return
+	}
+	path := canonicalPath(fn.Pkg().Path())
+	m := s.imported[path]
+	if m == nil {
+		m = make(map[string]FuncFacts)
+		s.imported[path] = m
+	}
+	m[ObjectKey(fn)] = f
+}
+
+// Lookup returns the known facts for fn (zero facts when unknown —
+// missing facts degrade to "clean", never to a false finding).
+func (s *FactStore) Lookup(fn *types.Func) FuncFacts {
+	if fn == nil {
+		return FuncFacts{}
+	}
+	if f, ok := s.funcs[fn]; ok {
+		return f
+	}
+	if fn.Pkg() == nil {
+		return FuncFacts{}
+	}
+	return s.imported[canonicalPath(fn.Pkg().Path())][ObjectKey(fn)]
+}
+
+// ExportPackage serializes one package's facts: a versioned,
+// line-oriented, sorted (hence byte-deterministic) listing —
+//
+//	tastervetfacts/v1
+//	<objectKey>\t<factbits>\t<mutmask>
+//
+// Only functions with any information are listed; absence means clean.
+func (s *FactStore) ExportPackage(pkgPath string) []byte {
+	m := s.imported[canonicalPath(pkgPath)]
+	keys := make([]string, 0, len(m))
+	for k, f := range m {
+		if f.Set == 0 && f.MutMask == 0 {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	buf.WriteString(factsMagic + "\n")
+	for _, k := range keys {
+		f := m[k]
+		fmt.Fprintf(&buf, "%s\t%d\t%d\n", k, uint8(f.Set), f.MutMask)
+	}
+	return buf.Bytes()
+}
+
+// factsMagic heads every serialized facts file; an empty or
+// foreign-format file (the pre-facts tastervet wrote zero bytes)
+// deserializes as "no facts".
+const factsMagic = "tastervetfacts/v1"
+
+// ImportPackage merges a serialized facts file for pkgPath into the
+// store. Unknown formats are ignored, not errors: a stale vetx from an
+// older tool build simply contributes nothing.
+func (s *FactStore) ImportPackage(pkgPath string, data []byte) error {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	if !sc.Scan() || sc.Text() != factsMagic {
+		return nil
+	}
+	path := canonicalPath(pkgPath)
+	m := s.imported[path]
+	if m == nil {
+		m = make(map[string]FuncFacts)
+		s.imported[path] = m
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 {
+			return fmt.Errorf("facts for %s: malformed line %q", pkgPath, line)
+		}
+		bits, err := strconv.ParseUint(parts[1], 10, 8)
+		if err != nil {
+			return fmt.Errorf("facts for %s: bad bits in %q: %v", pkgPath, line, err)
+		}
+		mut, err := strconv.ParseUint(parts[2], 10, 16)
+		if err != nil {
+			return fmt.Errorf("facts for %s: bad mutmask in %q: %v", pkgPath, line, err)
+		}
+		m[parts[0]] = FuncFacts{Set: FactSet(bits), MutMask: uint16(mut)}
+	}
+	return sc.Err()
+}
+
+// PackagePaths returns every package path with imported or computed
+// facts, sorted.
+func (s *FactStore) PackagePaths() []string {
+	out := make([]string, 0, len(s.imported))
+	for p := range s.imported {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

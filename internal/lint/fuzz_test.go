@@ -1,0 +1,105 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"tasterschoice/internal/lint"
+)
+
+// FuzzAllowDirective hammers the two pure parsers every analyzer run
+// trusts: the //lint:allow directive parser (a malformed directive
+// must be a diagnostic, never a silent suppression — and never a
+// panic) and the package-classification table (every path must land
+// on exactly one class, stably under go test's package-variant
+// decorations). Crash reproducers land in testdata/fuzz and re-run on
+// every plain `go test`.
+func FuzzAllowDirective(f *testing.F) {
+	seeds := []struct{ text, path string }{
+		{"//lint:allow wallclock -- deadline math on an edge socket", "tasterschoice/internal/feedsync"},
+		{"//lint:allow globalrand -- seeded demo", "tasterschoice/internal/mailflow"},
+		{"//lint:allow publishedmut -- snapshot is still private here", "tasterschoice/internal/dnsblplane"},
+		{"//lint:allow lockscope", "tasterschoice/internal/overload"},
+		{"//lint:allow", "tasterschoice/internal/distsweep"},
+		{"//lint:allow  -- reason with no name", "tasterschoice/internal/stats"},
+		{"//lint:allow two words -- reason", "tasterschoice/internal/report"},
+		{"//lint:allowable not this directive", "tasterschoice/internal/obs"},
+		{"//lint:allow goroleak -- joined below // want \"untracked\"", "tasterschoice/internal/symtab"},
+		{"//lint:allow\twallclock\t--\ttabs everywhere", "tasterschoice/internal/analysis [pkg.test]"},
+		{"// ordinary comment", "tasterschoice/internal/lint/testdata"},
+		{"//lint:allow wallclock --", "fmt"},
+		{"//lint:allow wallclock -- a -- b -- c", "tasterschoice/internal/dnsbl_test"},
+		{"//lint:allow wallclock --  ", "tasterschoice/cmd/tastervet"},
+		{"", ""},
+	}
+	for _, s := range seeds {
+		f.Add(s.text, s.path)
+	}
+	f.Fuzz(func(t *testing.T, text, path string) {
+		analyzer, reason, directive, ok, errMsg := lint.ParseDirective(text)
+
+		// The state space is three-valued: not a directive, malformed
+		// directive (with a message), or usable suppression. Nothing
+		// else may come back.
+		switch {
+		case !directive:
+			if ok || analyzer != "" || reason != "" || errMsg != "" {
+				t.Fatalf("ParseDirective(%q): not a directive but returned (%q, %q, ok=%v, %q)",
+					text, analyzer, reason, ok, errMsg)
+			}
+		case !ok:
+			if analyzer != "" || reason != "" {
+				t.Fatalf("ParseDirective(%q): malformed but returned name/reason (%q, %q)",
+					text, analyzer, reason)
+			}
+			if errMsg == "" {
+				t.Fatalf("ParseDirective(%q): malformed with empty diagnostic — a silent suppression path", text)
+			}
+		default:
+			if !strings.HasPrefix(text, "//lint:allow") {
+				t.Fatalf("ParseDirective(%q): ok=true on text without the directive prefix", text)
+			}
+			if analyzer == "" || strings.ContainsAny(analyzer, " \t") {
+				t.Fatalf("ParseDirective(%q): accepted analyzer name %q", text, analyzer)
+			}
+			if reason == "" {
+				t.Fatalf("ParseDirective(%q): accepted an empty reason", text)
+			}
+			if analyzer != strings.TrimSpace(analyzer) || reason != strings.TrimSpace(reason) {
+				t.Fatalf("ParseDirective(%q): returned untrimmed fields (%q, %q)", text, analyzer, reason)
+			}
+			// Canonical re-render must parse back to the same analyzer
+			// (and reason, when the reason survives the // comment cut).
+			canon := "//lint:allow " + analyzer + " -- " + reason
+			a2, r2, d2, ok2, _ := lint.ParseDirective(canon)
+			if !d2 || !ok2 || a2 != analyzer {
+				t.Fatalf("ParseDirective round-trip: %q reparsed to (%q, directive=%v, ok=%v)",
+					canon, a2, d2, ok2)
+			}
+			if !strings.Contains(reason, "//") && r2 != reason {
+				t.Fatalf("ParseDirective round-trip: reason %q reparsed to %q", reason, r2)
+			}
+		}
+
+		// The classification table: total, bounded, and stable under
+		// the decorations go test puts on package variants.
+		c := lint.Classify(path)
+		if c < lint.ClassExempt || c > lint.ClassDeterministic {
+			t.Fatalf("Classify(%q) = %d: outside the class range", path, c)
+		}
+		if got := lint.Classify(path + " [pkg.test]"); got != c {
+			t.Fatalf("Classify(%q) = %v but the [pkg.test] variant classifies as %v", path, c, got)
+		}
+		// canonicalPath strips exactly one _test suffix, so the
+		// invariant only holds for paths that are not already test
+		// variants themselves.
+		if !strings.HasSuffix(path, "_test") {
+			if got := lint.Classify(path + "_test"); got != c {
+				t.Fatalf("Classify(%q) = %v but the external-test variant classifies as %v", path, c, got)
+			}
+		}
+		if !strings.HasPrefix(path, "tasterschoice/internal/") && c != lint.ClassExempt {
+			t.Fatalf("Classify(%q) = %v: paths outside internal/ must be exempt", path, c)
+		}
+	})
+}

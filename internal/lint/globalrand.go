@@ -66,5 +66,12 @@ func runGlobalRand(pass *Pass) error {
 			return true
 		})
 	}
+	// Interprocedural escalation: helpers in other internal packages
+	// that transitively consume the process-global RNG taint their
+	// call sites here.
+	reportEscalations(pass, FactGlobalRand, func(fn *types.Func) string {
+		return fmt.Sprintf("%s.%s transitively draws from the process-global math/rand state; "+
+			"thread a randutil per-stream RNG through instead", fn.Pkg().Name(), ObjectKey(fn))
+	})
 	return nil
 }

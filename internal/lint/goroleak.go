@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// GoroLeak makes shutdown-drain guarantees structural: every go
+// statement in an engine package must spawn a goroutine whose exit
+// somebody can wait on. A goroutine is "tracked" when the spawned
+// function observes a context.Context (threaded parameter or captured
+// variable), participates in a sync.WaitGroup (Done/Wait), or
+// registers with internal/lifecycle — resolved transitively through
+// the call graph and the fact store, so a method whose wg.Done hides
+// two helpers down still counts. Anything else is an orphan: it
+// outlives Shutdown, races the test harness, and leaks under churn.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "every go statement in engine packages must spawn a ctx-observing, WaitGroup-registered " +
+		"or lifecycle-managed function; orphan goroutines break shutdown-drain guarantees",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) error {
+	if Classify(pass.Pkg.Path()) < ClassEngine {
+		return nil
+	}
+	if pass.Inter == nil {
+		return nil
+	}
+	for _, node := range pass.Inter.Graph.Nodes() {
+		for _, e := range node.Edges {
+			if e.Kind != EdgeGo {
+				continue
+			}
+			gs, ok := e.Pos.(*ast.GoStmt)
+			if !ok {
+				continue
+			}
+			if goTracked(pass, e, gs) {
+				continue
+			}
+			pass.Report(Diagnostic{
+				Pos: gs.Pos(),
+				Message: fmt.Sprintf("go statement spawns an untracked goroutine%s; thread a ctx, register it "+
+					"with a WaitGroup, or run it under lifecycle so shutdown can drain it", spawnee(e)),
+			})
+		}
+	}
+	// Dynamic spawns — go fn() through a function-typed variable — have
+	// no edge in the graph; scan for them directly.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if _, isLit := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); isLit {
+				return true
+			}
+			if ResolveCallee(pass.Info, gs.Call.Fun) != nil {
+				return true // resolved: the edge loop above handled it
+			}
+			if callPassesContext(pass, gs.Call) {
+				return true
+			}
+			pass.Report(Diagnostic{
+				Pos: gs.Pos(),
+				Message: "go statement spawns a dynamic callee the analyzer cannot prove tracked; " +
+					"thread a ctx argument or annotate with //lint:allow goroleak -- reason",
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// goTracked decides whether one resolved or literal spawn satisfies
+// the lifecycle contract.
+func goTracked(pass *Pass, e Edge, gs *ast.GoStmt) bool {
+	// The spawned function's own transitive facts.
+	var facts FuncFacts
+	if e.Lit != nil {
+		facts = pass.Inter.FactsForLit(e.Lit)
+	} else {
+		facts = pass.Inter.FactsFor(e.Callee)
+	}
+	if facts.Set.Has(FactTracked) {
+		return true
+	}
+	// A ctx handed in at the spawn site tracks it even when the callee
+	// resolution failed to see inside (e.g. an external package's
+	// function taking ctx).
+	return callPassesContext(pass, gs.Call)
+}
+
+// callPassesContext reports whether any argument of the call has type
+// context.Context.
+func callPassesContext(pass *Pass, call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		if t := pass.Info.TypeOf(a); t != nil && t.String() == "context.Context" {
+			return true
+		}
+	}
+	return false
+}
+
+// spawnee names the spawned function for the diagnostic.
+func spawnee(e Edge) string {
+	if e.Callee != nil {
+		return " (" + ObjectKey(e.Callee) + ")"
+	}
+	return ""
+}

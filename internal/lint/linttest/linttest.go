@@ -76,6 +76,88 @@ func Run(t *testing.T, dir, importPath string, analyzers ...*lint.Analyzer) {
 	checkExpectations(t, fset, files, diags)
 }
 
+// Pkg names one fixture package of a RunMulti sequence: a testdata
+// directory and the masquerade import path it type-checks under.
+type Pkg struct {
+	Dir        string
+	ImportPath string
+}
+
+// RunMulti analyzes a dependency-ordered sequence of fixture packages
+// through ONE shared fact store — the cross-package half of the
+// interprocedural analyzers. Later fixtures may import earlier ones by
+// their masquerade paths (the chained importer hands back the
+// previously type-checked package, so object identity holds across the
+// sequence exactly as it does in a standalone ./... run). Diagnostics
+// from every package are checked against // want comments across all
+// fixture files.
+func RunMulti(t *testing.T, pkgs []Pkg, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	store := lint.NewFactStore()
+	prior := make(map[string]*types.Package)
+	var allFiles []*ast.File
+	var allDiags []lint.Diagnostic
+
+	for _, p := range pkgs {
+		names, err := filepath.Glob(filepath.Join(p.Dir, "*.go"))
+		if err != nil || len(names) == 0 {
+			t.Fatalf("no fixture files in %s (%v)", p.Dir, err)
+		}
+		sort.Strings(names)
+		var files []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("parse %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+
+		var typeErrs []error
+		conf := types.Config{
+			Importer: chainImporter{fset: fset, prior: prior},
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Instances:  make(map[*ast.Ident]types.Instance),
+		}
+		pkg, _ := conf.Check(p.ImportPath, fset, files, info)
+		if pkg == nil || len(typeErrs) > 0 {
+			t.Fatalf("fixture %s does not type-check: %v", p.Dir, typeErrs)
+		}
+		prior[p.ImportPath] = pkg
+
+		diags, err := lint.RunAnalyzersFacts(fset, files, pkg, info, analyzers, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allFiles = append(allFiles, files...)
+		allDiags = append(allDiags, diags...)
+	}
+	checkExpectations(t, fset, allFiles, allDiags)
+}
+
+// chainImporter resolves fixture masquerade paths to the packages
+// type-checked earlier in the RunMulti sequence, and everything else
+// to stdlib export data.
+type chainImporter struct {
+	fset  *token.FileSet
+	prior map[string]*types.Package
+}
+
+func (c chainImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := c.prior[path]; ok {
+		return pkg, nil
+	}
+	return importer.ForCompiler(c.fset, "gc", stdlibExport).Import(path)
+}
+
 // expectation is one // want at a (file, line).
 type expectation struct {
 	re      *regexp.Regexp

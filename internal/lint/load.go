@@ -34,6 +34,11 @@ type LoadedPackage struct {
 	// on the partial information, but callers should surface these:
 	// an unresolved identifier is an unanalyzed identifier.
 	TypeErrors []error
+	// FactsOnly marks a module-internal dependency loaded solely so its
+	// interprocedural facts feed the requested targets (a narrow
+	// pattern like ./internal/dnsblplane still sees through calls into
+	// feedsync). FactsOnly packages are not reported on.
+	FactsOnly bool
 }
 
 // listEntry is the subset of `go list -json` output the loader reads.
@@ -88,23 +93,42 @@ func Load(dir string, patterns []string, tags string, includeTests bool) ([]*Loa
 		}
 	}
 
-	var targets []*listEntry
+	// go list -deps emits dependencies before dependents, so walking
+	// the entries in order and threading one fact store through them
+	// guarantees a package's facts exist before its importers ask.
+	type target struct {
+		entry     *listEntry
+		factsOnly bool
+	}
+	var targets []target
 	for _, e := range entries {
-		if !isAnalysisTarget(e, includeTests, entries) {
-			continue
+		switch {
+		case isAnalysisTarget(e, includeTests, entries):
+			targets = append(targets, target{e, false})
+		case isFactSource(e):
+			targets = append(targets, target{e, true})
 		}
-		targets = append(targets, e)
 	}
 
 	var pkgs []*LoadedPackage
-	for _, e := range targets {
-		p, err := typecheck(e, exports)
+	for _, t := range targets {
+		p, err := typecheck(t.entry, exports)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", e.ImportPath, err)
+			return nil, fmt.Errorf("%s: %w", t.entry.ImportPath, err)
 		}
+		p.FactsOnly = t.factsOnly
 		pkgs = append(pkgs, p)
 	}
 	return pkgs, nil
+}
+
+// isFactSource picks dependency-only module-internal packages: they
+// are loaded and fact-analyzed (so targets see through calls into
+// them) but produce no diagnostics of their own.
+func isFactSource(e *listEntry) bool {
+	return e.DepOnly && !e.Standard && len(e.GoFiles) > 0 &&
+		e.ForTest == "" && !strings.HasSuffix(e.ImportPath, ".test") &&
+		strings.HasPrefix(canonicalPath(e.ImportPath), modulePrefix+"internal/")
 }
 
 func decodeList(r io.Reader) ([]*listEntry, error) {

@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// PublishedMut enforces the RCU discipline the dnsblplane snapshot
+// design rests on: a value handed to atomic.Pointer.Store (or
+// CompareAndSwap) is published — other goroutines may already be
+// reading it — so every write to it after the publish point is a data
+// race waiting for the right interleaving. The chaos race suite can
+// only catch the interleavings it happens to provoke; this analyzer
+// catches the pattern structurally.
+//
+// Within the publishing function, writes after the Store through the
+// published variable (or any local alias taken from it) are findings,
+// as is passing the published value into a callee whose fact-store
+// mutation mask says it writes through that operand — the
+// interprocedural half, so hiding the write in a helper (the shape of
+// the original symtab bug) does not hide it from the analyzer.
+var PublishedMut = &Analyzer{
+	Name: "publishedmut",
+	Doc: "forbid writes to a value after it is published via atomic.Pointer.Store/CompareAndSwap " +
+		"in engine packages; published snapshots are frozen (RCU) — build fully, then publish",
+	Run: runPublishedMut,
+}
+
+func runPublishedMut(pass *Pass) error {
+	if Classify(pass.Pkg.Path()) < ClassEngine {
+		return nil
+	}
+	if pass.Inter == nil {
+		return nil
+	}
+	for _, node := range pass.Inter.Graph.Nodes() {
+		// Literals are scanned inside their enclosing declaration's
+		// walk (they need its frozen set); only roots start one.
+		if node.Decl != nil && node.Body != nil {
+			checkPublishes(pass, node.Body)
+		}
+	}
+	return nil
+}
+
+// atomicPublish returns the published-value argument of an
+// atomic.Pointer[T].Store or CompareAndSwap call, or nil.
+func atomicPublish(info *types.Info, call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	switch fn.Name() {
+	case "Store":
+		if len(call.Args) == 1 && isAtomicPointer(recvType(fn.Origin())) {
+			return call.Args[0]
+		}
+	case "CompareAndSwap":
+		if len(call.Args) == 2 && isAtomicPointer(recvType(fn.Origin())) {
+			return call.Args[1]
+		}
+	}
+	return nil
+}
+
+// isAtomicPointer reports whether t is (a pointer to)
+// sync/atomic.Pointer[T]. Store on the scalar atomics (Int64, Value)
+// publishes a copy, not shared structure, so only Pointer counts.
+func isAtomicPointer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Pointer"
+}
+
+// checkPublishes scans one body in source order. After a publish of a
+// local variable, writes through that variable (or aliases derived
+// from it) are reported until the variable is rebound to a fresh
+// value.
+func checkPublishes(pass *Pass, body *ast.BlockStmt) {
+	// frozen maps a published object (or alias) to the name it was
+	// published under, for the diagnostic.
+	frozen := make(map[types.Object]string)
+
+	objOf := func(id *ast.Ident) types.Object {
+		if obj := pass.Info.Uses[id]; obj != nil {
+			return obj
+		}
+		return pass.Info.Defs[id]
+	}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			// A literal's body may run before OR after the publish; a
+			// deferred or spawned closure mutating the snapshot is
+			// exactly the race. Keep scanning with the current frozen
+			// set but do not let its rebinds unfreeze the outer walk.
+			inner := make(map[types.Object]string, len(frozen))
+			for k, val := range frozen {
+				inner[k] = val
+			}
+			saved := frozen
+			frozen = inner
+			ast.Inspect(v.Body, walk)
+			frozen = saved
+			return false
+		case *ast.AssignStmt:
+			// Writes through frozen roots; then rebinds and aliases.
+			for _, lhs := range v.Lhs {
+				if root := writeRoot(lhs); root != nil {
+					if name, ok := frozen[objOf(root)]; ok {
+						pass.Report(Diagnostic{
+							Pos: lhs.Pos(),
+							Message: fmt.Sprintf("write to %s after it was published via atomic.Pointer; "+
+								"published snapshots are frozen — apply the change to a fresh copy and re-publish", name),
+						})
+					}
+				}
+			}
+			for i, lhs := range v.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := objOf(id)
+				if obj == nil {
+					continue
+				}
+				// Alias: q := frozenRoot[.f][i]... freezes q too.
+				if i < len(v.Rhs) {
+					if root := rootIdent(v.Rhs[i]); root != nil {
+						if name, ok := frozen[objOf(root)]; ok {
+							frozen[obj] = name
+							continue
+						}
+					}
+				}
+				// Plain rebind to something un-frozen thaws the name.
+				delete(frozen, obj)
+			}
+		case *ast.IncDecStmt:
+			if root := writeRoot(v.X); root != nil {
+				if name, ok := frozen[objOf(root)]; ok {
+					pass.Report(Diagnostic{
+						Pos: v.Pos(),
+						Message: fmt.Sprintf("write to %s after it was published via atomic.Pointer; "+
+							"published snapshots are frozen — apply the change to a fresh copy and re-publish", name),
+					})
+				}
+			}
+		case *ast.CallExpr:
+			if arg := atomicPublish(pass.Info, v); arg != nil {
+				if root := rootIdent(arg); root != nil {
+					if obj := objOf(root); obj != nil {
+						frozen[obj] = root.Name
+					}
+				}
+				return false
+			}
+			// delete(frozen.m, k) and append-into both mutate.
+			if bi, ok := pass.Info.Uses[identOf(v.Fun)].(*types.Builtin); ok && bi.Name() == "delete" && len(v.Args) > 0 {
+				if root := rootIdent(v.Args[0]); root != nil {
+					if name, ok := frozen[objOf(root)]; ok {
+						pass.Report(Diagnostic{
+							Pos: v.Pos(),
+							Message: fmt.Sprintf("delete from %s after it was published via atomic.Pointer; "+
+								"published snapshots are frozen", name),
+						})
+					}
+				}
+				return true
+			}
+			// Interprocedural: the published value passed into an
+			// operand slot the callee's mutation mask marks written.
+			callee := ResolveCallee(pass.Info, v.Fun)
+			if callee == nil {
+				return true
+			}
+			cf := pass.Inter.FactsFor(callee)
+			if cf.MutMask == 0 {
+				return true
+			}
+			for bit, operand := range calleeOperands(pass.Info, v, callee) {
+				if bit >= 16 || cf.MutMask&(1<<bit) == 0 {
+					continue
+				}
+				if root := rootIdent(operand); root != nil {
+					if name, ok := frozen[objOf(root)]; ok {
+						pass.Report(Diagnostic{
+							Pos: operand.Pos(),
+							Message: fmt.Sprintf("%s escapes to %s.%s, which writes through it, after %s was published "+
+								"via atomic.Pointer; published snapshots are frozen",
+								name, callee.Pkg().Name(), ObjectKey(callee), name),
+						})
+					}
+				}
+			}
+		}
+		return true
+	}
+	for _, stmt := range body.List {
+		ast.Inspect(stmt, walk)
+	}
+}

@@ -1,0 +1,52 @@
+// Fixture dependency package for the cross-package fact tests: it
+// poses as the edge package tasterschoice/internal/feedsync, where
+// wall-clock reads and blocking I/O are legal. What matters is the
+// facts it exports — the engine-side fixture (factmain) imports this
+// package and every finding over there keys on facts computed here.
+package factdep
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// SlowNow legally reads the wall clock at the edge tier — and is
+// therefore wallclock-tainted for engine callers.
+func SlowNow() time.Time { return time.Now() }
+
+// Jitter hides the wall clock one call deeper; the taint fixpoint
+// carries it through.
+func Jitter() time.Duration { return time.Since(SlowNow()) }
+
+// Pick draws from the process-global RNG — banned even here at the
+// edge tier, so the leaf finding fires in this package AND the taint
+// escalates to engine callers.
+func Pick(n int) int {
+	return rand.Intn(n) // want "process-global RNG"
+}
+
+// Fetch parks on the channel until a value arrives: Blocking fact.
+func Fetch(ch chan int) int { return <-ch }
+
+// Scrub zeroes counts in place — its mutation mask marks parameter 0
+// written.
+func Scrub(m map[string]int) {
+	for k := range m {
+		m[k] = 0
+	}
+}
+
+// Pump is a worker whose Run registers with its WaitGroup: goroutines
+// spawned onto Run are tracked, and importers learn that from the
+// exported Tracked fact, not from the spawn site.
+type Pump struct {
+	wg sync.WaitGroup
+}
+
+func (p *Pump) Start()            { p.wg.Add(1) }
+func (p *Pump) Run()              { defer p.wg.Done(); work() }
+func (p *Pump) Wait()             { p.wg.Wait() }
+func Monitor(ctx context.Context) { <-ctx.Done() }
+func work()                       {}

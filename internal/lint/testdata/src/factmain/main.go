@@ -1,0 +1,69 @@
+// Fixture engine package for the cross-package fact tests: poses as
+// tasterschoice/internal/dnsblplane and imports the factdep fixture
+// (posing as feedsync). Every finding here rests on a fact computed
+// in the other package and carried across through the shared store —
+// the same channel the vetx files ride under go vet -vettool.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+
+	factdep "tasterschoice/internal/feedsync"
+)
+
+type snapshot struct {
+	entries map[string]int
+}
+
+type plane struct {
+	mu  sync.Mutex
+	cur atomic.Pointer[snapshot]
+}
+
+// Wallclock escalation: SlowNow reads time.Now legally at the edge;
+// calling it from engine code is the contract gap.
+func stamp() int64 {
+	return factdep.SlowNow().UnixNano() // want "factdep.SlowNow transitively reads the wall clock"
+}
+
+// ...and through one more level of helper indirection.
+func jittered() int64 {
+	return int64(factdep.Jitter()) // want "factdep.Jitter transitively reads the wall clock"
+}
+
+// Globalrand escalation: Pick is a finding in its own package too,
+// but the engine caller gets its own, at the call site.
+func pick() int {
+	return factdep.Pick(8) // want "factdep.Pick transitively draws from the process-global math/rand state"
+}
+
+// Lockscope through the boundary: Fetch's Blocking fact crossed over.
+func (p *plane) badFetchUnderLock(ch chan int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return factdep.Fetch(ch) // want "call to factdep.Fetch, which can block while holding p.mu"
+}
+
+// Publishedmut through the boundary: Scrub's mutation mask crossed
+// over, so handing it published structure is caught.
+func (p *plane) badScrubAfterPublish(next *snapshot) {
+	p.cur.Store(next)
+	factdep.Scrub(next.entries) // want "next escapes to factdep.Scrub, which writes through it"
+}
+
+// Goroleak through the boundary: Run's Tracked fact (a WaitGroup.Done
+// two hops away in another package) is why this spawn is clean.
+func okCrossTracked(pump *factdep.Pump) {
+	pump.Start()
+	go pump.Run()
+}
+
+// An allow at the engine call site cleanses the chain: no finding
+// here, and none for callers of sanctionedNow either.
+func sanctionedNow() int64 {
+	//lint:allow wallclock -- fixture: measures real latency for an obs histogram only
+	return factdep.SlowNow().UnixNano()
+}
+
+func callerOfSanctioned() int64 { return sanctionedNow() }

@@ -1,0 +1,89 @@
+// Fixture for the goroleak analyzer; the test runs it under the
+// engine import path tasterschoice/internal/distsweep. The bad cases
+// reintroduce the historical distsweep bug: the coordinator's accept
+// loop was spawned with nothing to drain it, so Close could return
+// while the loop (and its per-connection handlers) still ran.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// badAcceptLoop is the reintroduced historical bug: an accept loop
+// spawned with no ctx, no WaitGroup, no lifecycle registration.
+func (s *server) badAcceptLoop() {
+	go s.acceptLoop() // want "untracked goroutine"
+}
+
+func (s *server) acceptLoop() {
+	for i := 0; i < 3; i++ {
+		_ = i
+	}
+}
+
+func badLit() {
+	go func() { // want "untracked goroutine"
+		work()
+	}()
+}
+
+// badDynamic: a function-typed variable the analyzer cannot see into,
+// and no ctx handed over at the spawn site.
+func badDynamic(fn func()) {
+	go fn() // want "cannot prove tracked"
+}
+
+func work() {}
+
+// okWaitGroup: Done registers the goroutine with a WaitGroup.
+func (s *server) okWaitGroup() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+}
+
+// okCtxCapture: the closure observes a captured ctx (through a select
+// comm clause, the common shutdown shape).
+func (s *server) okCtxCapture(ctx context.Context) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-s.done:
+		}
+	}()
+}
+
+// okCtxArg: ctx threaded to the spawned function.
+func okCtxArg(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+// okTransitive: the WaitGroup registration hides two helpers down;
+// the call-graph facts still see it.
+func (s *server) okTransitive() {
+	s.wg.Add(1)
+	go s.runner()
+}
+
+func (s *server) runner() { s.finish() }
+func (s *server) finish() { s.wg.Done() }
+
+// okDynamicCtx: dynamic callee, but a ctx crosses the spawn site.
+func okDynamicCtx(ctx context.Context, fn func(context.Context)) {
+	go fn(ctx)
+}
+
+func allowedOrphan() {
+	//lint:allow goroleak -- fixture: fire-and-forget metric flush, joined by process exit
+	go work()
+}

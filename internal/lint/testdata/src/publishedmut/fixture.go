@@ -1,0 +1,127 @@
+// Fixture for the publishedmut analyzer; the test runs it under the
+// engine import path tasterschoice/internal/dnsblplane. The bad cases
+// reintroduce the shape of the historical dnsblplane bug: a snapshot
+// mutated after atomic.Pointer.Store had already published it to
+// concurrent readers.
+package fixture
+
+import "sync/atomic"
+
+type snapshot struct {
+	serial  int
+	entries map[string]int
+	order   []string
+}
+
+type shard struct {
+	cur atomic.Pointer[snapshot]
+}
+
+// badDirect is the reintroduced historical bug: the apply path once
+// bumped the serial on the snapshot it had already published, racing
+// every lock-free reader.
+func badDirect(sh *shard, next *snapshot) {
+	sh.cur.Store(next)
+	next.serial++ // want "write to next after it was published"
+}
+
+func badField(sh *shard, next *snapshot) {
+	sh.cur.Store(next)
+	next.entries["a"] = 1 // want "write to next after it was published"
+}
+
+func badSliceField(sh *shard, next *snapshot) {
+	sh.cur.Store(next)
+	next.order = append(next.order, "x") // want "write to next after it was published"
+}
+
+// badAlias shows the freeze following a local alias of published
+// structure.
+func badAlias(sh *shard, next *snapshot) {
+	sh.cur.Store(next)
+	m := next.entries
+	m["a"] = 1 // want "write to next after it was published"
+}
+
+func badDelete(sh *shard, next *snapshot) {
+	sh.cur.Store(next)
+	delete(next.entries, "a") // want "delete from next after it was published"
+}
+
+// badCAS: CompareAndSwap publishes its new-value argument just like
+// Store does.
+func badCAS(sh *shard, old, next *snapshot) {
+	if sh.cur.CompareAndSwap(old, next) {
+		next.serial = 2 // want "write to next after it was published"
+	}
+}
+
+// scrub writes through its parameter; the analyzer learns that from
+// its mutation mask, not from the call site.
+func scrub(s *snapshot) {
+	s.serial = 0
+}
+
+func badHelper(sh *shard, next *snapshot) {
+	sh.cur.Store(next)
+	scrub(next) // want "next escapes to fixture.scrub, which writes through it"
+}
+
+func (s *snapshot) bump() { s.serial++ }
+
+func badMethod(sh *shard, next *snapshot) {
+	sh.cur.Store(next)
+	next.bump() // want "next escapes to fixture.snapshot.bump, which writes through it"
+}
+
+// badClosure: a goroutine capturing the published snapshot mutates it
+// strictly after publication.
+func badClosure(sh *shard, next *snapshot) {
+	sh.cur.Store(next)
+	go func() {
+		next.serial++ // want "write to next after it was published"
+	}()
+}
+
+// okBuildThenPublish is the sanctioned shape: build fully, publish
+// last, never touch again.
+func okBuildThenPublish(sh *shard, src map[string]int) {
+	next := &snapshot{entries: make(map[string]int, len(src))}
+	for k, v := range src {
+		next.entries[k] = v
+	}
+	next.serial = 1
+	sh.cur.Store(next)
+}
+
+// okRebind: rebinding the name to a fresh value thaws it — the new
+// value is unpublished.
+func okRebind(sh *shard, next *snapshot) {
+	sh.cur.Store(next)
+	next = &snapshot{}
+	next.serial = 1
+	sh.cur.Store(next)
+}
+
+// okRead: reading published state is the whole point of RCU.
+func okRead(sh *shard, next *snapshot) int {
+	sh.cur.Store(next)
+	return next.serial
+}
+
+// okInspect: passing the published value to a non-mutating helper is
+// fine — inspect's mutation mask is empty.
+func inspect(s *snapshot) int { return s.serial }
+
+func okInspect(sh *shard, next *snapshot) int {
+	sh.cur.Store(next)
+	return inspect(next)
+}
+
+// allowed documents a deliberate write-after-store (the symtab page
+// pattern, where a later fence does the real publish).
+func allowed(sh *shard, next *snapshot) {
+	sh.cur.Store(next)
+	//lint:allow publishedmut -- fixture: slot is published by a later fence, mirroring symtab's n.Store
+	next.serial++
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/types"
 )
 
 // WallClock forbids direct wall-clock reads in engine and
@@ -51,5 +52,13 @@ func runWallClock(pass *Pass) error {
 			return true
 		})
 	}
+	// Interprocedural escalation: a helper in another internal package
+	// that transitively reads the wall clock (legally, if it sits on
+	// the edge tier) taints every engine call site that reaches it.
+	reportEscalations(pass, FactWallClock, func(fn *types.Func) string {
+		return fmt.Sprintf("%s.%s transitively reads the wall clock (time.Now/Since/Sleep); "+
+			"%s code must take time through the simclock seam or annotate the measurement path",
+			fn.Pkg().Name(), ObjectKey(fn), Classify(pass.Pkg.Path()))
+	})
 	return nil
 }

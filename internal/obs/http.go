@@ -247,6 +247,7 @@ func Serve(addr string, r *Registry, t *Tracer) (*MetricsServer, error) {
 	}
 	srv := &http.Server{Handler: NewMux(r, t)}
 	ms := &MetricsServer{addr: lis.Addr(), srv: srv}
+	//lint:allow goroleak -- drained by MetricsServer.Close: Serve returns once the listener closes
 	go srv.Serve(lis) //nolint:errcheck // ErrServerClosed on Close
 	return ms, nil
 }

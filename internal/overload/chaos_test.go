@@ -286,6 +286,7 @@ func TestChaosOverloadDNSBLDrainMidFlood(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	//lint:allow wallclock -- chaos test drives a real edge server; wall time here is harness I/O, not engine time
 	if err := srv.Shutdown(ctx); err != nil {
 		t.Fatalf("Shutdown mid-flood: %v", err)
 	}
@@ -328,7 +329,7 @@ func TestChaosOverloadSMTPConnectionFlood(t *testing.T) {
 	var received atomic.Int64
 	srv := smtpd.NewServer("mx.chaos.example", func(smtpd.Envelope) { received.Add(1) })
 	srv.Admission = overload.NewGate(overload.GateConfig{MaxConcurrent: 4})
-	addr, err := srv.Listen("127.0.0.1:0")
+	addr, err := srv.Listen("127.0.0.1:0") //lint:allow wallclock -- chaos test drives a real edge SMTP server; wall time here is harness I/O, not engine time
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -455,6 +456,7 @@ func TestChaosOverloadFeedsyncSlowReaderFanout(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv.MaxBatch = 64
+	//lint:allow wallclock -- chaos test drives a real feedsync server; wall time here is harness I/O, not engine time
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -487,6 +489,7 @@ func TestChaosOverloadFeedsyncSlowReaderFanout(t *testing.T) {
 				ReadStall:     2 * time.Millisecond,
 			}).Dial
 			dst := feeds.New("uribl", feeds.KindBlacklist, false, false)
+			//lint:allow wallclock -- chaos test syncs over a faulty real socket; wall time is the harness's, not the engine's
 			off, err := cl.Sync("uribl", 0, dst)
 			if err != nil {
 				t.Errorf("slow subscriber %d: %v", w, err)
@@ -499,6 +502,7 @@ func TestChaosOverloadFeedsyncSlowReaderFanout(t *testing.T) {
 	// The healthy subscriber must not care about its stalling peers.
 	fastStart := wallNow()
 	dst := feeds.New("uribl", feeds.KindBlacklist, false, false)
+	//lint:allow wallclock -- chaos test syncs over a real socket; wall time is the harness's, not the engine's
 	off, err := feedsync.NewClient(addr.String()).Sync("uribl", 0, dst)
 	if err != nil {
 		t.Fatal(err)

@@ -112,6 +112,10 @@ func (t *Table) add(s string) ID {
 		t.pages.Store(&np)
 		pages = &np
 	}
+	// The slot write lands after pages.Store on purpose: the slot is
+	// published by n.Store below, not by the page list — readers never
+	// index past n, so the "mutation" is invisible until then.
+	//lint:allow publishedmut -- slot id is published by n.Store, not pages.Store; readers never read past n
 	(*pages)[pi][id&pageMask] = s
 	t.ids[s] = id
 	t.n.Store(uint32(id) + 1) // publish after the slot write
